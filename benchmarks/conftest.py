@@ -1,0 +1,38 @@
+"""Benchmark harness configuration: make the shared ``_cache`` module
+importable and expose common fixtures."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import _cache  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def cv_records():
+    """The five trained cross-validation folds (built on first use)."""
+    return _cache.load_cv_records()
+
+
+@pytest.fixture(scope="session")
+def primary_regressor(cv_records):
+    """Fold 0's trained regressor, used by the condition experiments."""
+    return cv_records[0]["regressor"]
+
+
+@pytest.fixture(scope="session")
+def generator():
+    return _cache.make_generator()
+
+
+@pytest.fixture(scope="session")
+def subjects():
+    return _cache.bench_subjects()
+
+
+@pytest.fixture(scope="session")
+def campaign(cv_records):
+    return _cache.load_campaign()

@@ -1,0 +1,151 @@
+"""Ablations of mmHand's design choices (DESIGN.md Sec. 5).
+
+Not a paper table -- these benches probe the components the paper
+credits: the attention mechanisms of mmSpaceNet, the kinematic loss
+term, the zoom-FFT angle refinement, and multi-frame segments vs single
+frames. Each variant trains at reduced scale (4 users) so the sweep
+stays tractable; results are memoized.
+"""
+
+import numpy as np
+
+import _cache
+from repro.config import (
+    CampaignConfig,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.core.regressor import HandJointRegressor
+from repro.core.training import Trainer
+from repro.data.collection import CampaignGenerator
+from repro.eval.metrics import mpjpe, pck
+from repro.eval.report import render_table
+
+_ABLATION_TRAIN = TrainConfig(epochs=10, batch_size=16, seed=0)
+_ABLATION_USERS = 4
+
+
+def _ablation_data(dsp=None):
+    subjects = _cache.bench_subjects()[:_ABLATION_USERS]
+    generator = CampaignGenerator(
+        _cache.BENCH_RADAR,
+        dsp if dsp is not None else _cache.BENCH_DSP,
+        CampaignConfig(num_users=_ABLATION_USERS, segments_per_user=90),
+    )
+    dataset = generator.generate(subjects=subjects, seed=21)
+    train = dataset.subset(np.nonzero(dataset.user_ids != 1)[0])
+    test = dataset.subset(np.nonzero(dataset.user_ids == 1)[0])
+    return train, test
+
+
+def _run_variant(train, test, model=None, train_config=None, take_frames=None):
+    dsp = _cache.BENCH_DSP
+    if take_frames is not None:
+        # Segment-length ablation: keep only the last frames of each
+        # segment without regenerating radar data.
+        from dataclasses import replace
+
+        dsp = replace(dsp, segment_frames=take_frames)
+        train = _slice_frames(train, take_frames)
+        test = _slice_frames(test, take_frames)
+    regressor = HandJointRegressor(
+        dsp, model if model is not None else _cache.BENCH_MODEL
+    )
+    trainer = Trainer(
+        regressor,
+        train_config if train_config is not None else _ABLATION_TRAIN,
+    )
+    trainer.fit(train)
+    pred = trainer.predict(test)
+    return {
+        "mpjpe_mm": mpjpe(pred, test.labels),
+        "pck_percent": pck(pred, test.labels),
+    }
+
+
+def _slice_frames(dataset, frames):
+    from repro.data.dataset import HandPoseDataset
+
+    return HandPoseDataset(
+        segments=dataset.segments[:, -frames:],
+        labels=dataset.labels,
+        true_joints=dataset.true_joints,
+        meta=list(dataset.meta),
+    )
+
+
+def _compute():
+    train, test = _ablation_data()
+    results = {}
+    results["full"] = _run_variant(train, test)
+    results["no_attention"] = _run_variant(
+        train,
+        test,
+        model=ModelConfig(
+            use_frame_attention=False,
+            use_velocity_attention=False,
+            use_spatial_attention=False,
+        ),
+    )
+    results["no_kinematic_loss"] = _run_variant(
+        train,
+        test,
+        train_config=TrainConfig(
+            epochs=_ABLATION_TRAIN.epochs,
+            batch_size=_ABLATION_TRAIN.batch_size,
+            gamma_kinematic=0.0,
+            seed=0,
+        ),
+    )
+    results["single_frame"] = _run_variant(train, test, take_frames=1)
+
+    from dataclasses import replace
+
+    zoom1_dsp = replace(_cache.BENCH_DSP, zoom_factor=1)
+    train_z, test_z = _ablation_data(dsp=zoom1_dsp)
+    regressor = HandJointRegressor(zoom1_dsp, _cache.BENCH_MODEL)
+    trainer = Trainer(regressor, _ABLATION_TRAIN)
+    trainer.fit(train_z)
+    pred = trainer.predict(test_z)
+    results["no_zoom_fft"] = {
+        "mpjpe_mm": mpjpe(pred, test_z.labels),
+        "pck_percent": pck(pred, test_z.labels),
+    }
+    return results
+
+
+def test_ablations(benchmark):
+    results = _cache.memoize_json("ablations", _compute)
+
+    rows = [
+        [name, f"{entry['mpjpe_mm']:.1f}", f"{entry['pck_percent']:.1f}"]
+        for name, entry in results.items()
+    ]
+    _cache.record(
+        "ablations",
+        render_table(
+            ["variant", "MPJPE (mm)", "PCK (%)"],
+            rows,
+            title="Ablations (4-user reduced scale, cross-user test)",
+        ),
+    )
+
+    # Sanity: every variant still learns a usable model.
+    for name, entry in results.items():
+        assert entry["mpjpe_mm"] < 80.0, name
+        assert entry["pck_percent"] > 20.0, name
+    # Multi-frame segments are a core design point: single-frame input
+    # should not beat the full model by a wide margin.
+    assert results["full"]["mpjpe_mm"] < (
+        results["single_frame"]["mpjpe_mm"] + 10.0
+    )
+
+    # Benchmark one training step at ablation scale.
+    train, _ = _ablation_data()
+    regressor = HandJointRegressor(_cache.BENCH_DSP, _cache.BENCH_MODEL)
+    trainer = Trainer(
+        regressor, TrainConfig(epochs=1, batch_size=16, seed=0)
+    )
+    small = train.subset(range(16))
+
+    benchmark(lambda: trainer.fit(small))

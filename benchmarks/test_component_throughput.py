@@ -1,0 +1,88 @@
+"""Component micro-benchmarks: per-stage throughput of the pipeline.
+
+Not a paper figure -- these benches time the individual subsystems
+(IF synthesis, pre-processing, spatial network, temporal model, MANO
+evaluation, IK recovery) so regressions in any stage are visible.
+"""
+
+import numpy as np
+import pytest
+
+import _cache
+from repro.dsp.radar_cube import CubeBuilder
+from repro.hand.gestures import gesture_pose
+from repro.hand.subjects import make_subjects
+from repro.mano.model import ManoHandModel, random_theta
+from repro.nn.tensor import Tensor, no_grad
+from repro.radar.radar import RadarSimulator
+from repro.radar.scatterers import hand_scatterers
+from repro.radar.scene import Scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    shape = make_subjects(1)[0].hand_shape()
+    pose = gesture_pose(
+        "open_palm", wrist_position=np.array([0.3, 0.0, 0.0])
+    )
+    return Scene(
+        hand=hand_scatterers(shape, pose, rng=np.random.default_rng(0))
+    )
+
+
+def test_if_synthesis_throughput(benchmark, scene):
+    sim = RadarSimulator(_cache.BENCH_RADAR)
+    benchmark(lambda: sim.frame(scene))
+
+
+def test_cube_build_throughput(benchmark, scene):
+    sim = RadarSimulator(_cache.BENCH_RADAR)
+    raw = sim.frame(scene)[None]
+    builder = CubeBuilder(_cache.BENCH_RADAR, _cache.BENCH_DSP)
+    benchmark(lambda: builder.build(raw))
+
+
+def test_mmspacenet_forward_throughput(benchmark):
+    regressor = _cache.make_regressor()
+    regressor.eval()
+    dsp = _cache.BENCH_DSP
+    x = Tensor(
+        np.zeros(
+            (1, dsp.segment_frames, dsp.doppler_bins, dsp.range_bins,
+             dsp.angle_bins_total),
+            dtype=np.float32,
+        )
+    )
+
+    def forward():
+        with no_grad():
+            regressor.spatial(x)
+
+    benchmark(forward)
+
+
+def test_full_regressor_forward_throughput(benchmark):
+    regressor = _cache.make_regressor()
+    regressor.eval()
+    dsp = _cache.BENCH_DSP
+    segment = np.zeros(
+        (1, dsp.segment_frames, dsp.doppler_bins, dsp.range_bins,
+         dsp.angle_bins_total),
+        dtype=np.float32,
+    )
+    benchmark(lambda: regressor.predict(segment))
+
+
+def test_mano_evaluation_throughput(benchmark):
+    model = ManoHandModel()
+    theta = random_theta(np.random.default_rng(0))
+    beta = np.zeros(10)
+    benchmark(lambda: model(beta=beta, theta=theta))
+
+
+def test_mesh_recovery_throughput(benchmark):
+    reconstructor = _cache.load_mesh_reconstructor()
+    joints = reconstructor.hand_model.rest_joints() + np.array(
+        [0.3, 0.0, 0.0]
+    )
+    benchmark(lambda: reconstructor.reconstruct(joints))

@@ -1,0 +1,107 @@
+"""Extended error analysis (beyond the paper's metrics).
+
+Decomposes the reproduction's error using the extended metric suite:
+PA-MPJPE (pose error once global placement is factored out), the
+centroid localisation error, bone-length consistency (what the kinematic
+loss enforces), and the per-joint error profile. Also checks that the
+mmHand-vs-baseline gap of Table I is statistically significant.
+"""
+
+import numpy as np
+
+import _cache
+from repro.eval.extended import (
+    bone_length_error,
+    localisation_vs_pose_error,
+    pa_mpjpe,
+    per_joint_error_table,
+)
+from repro.eval.report import render_table
+
+
+def test_error_decomposition(benchmark, cv_records):
+    preds = np.concatenate([r["predictions"] for r in cv_records])
+    labels = np.concatenate([r["test"].labels for r in cv_records])
+
+    loc_mm, pose_mm = localisation_vs_pose_error(preds, labels)
+    pa_scaled = pa_mpjpe(preds, labels, allow_scale=True)
+    bone_mm = bone_length_error(preds, labels)
+
+    table = per_joint_error_table(preds, labels)
+    worst = sorted(table.items(), key=lambda kv: -kv[1])[:3]
+    best = sorted(table.items(), key=lambda kv: kv[1])[:3]
+
+    rows = [
+        ["global localisation (centroid)", f"{loc_mm:.1f}"],
+        ["PA-MPJPE (rigid-aligned)", f"{pose_mm:.1f}"],
+        ["PA-MPJPE (rigid + scale)", f"{pa_scaled:.1f}"],
+        ["bone-length error", f"{bone_mm:.1f}"],
+    ]
+    for name, value in best:
+        rows.append([f"best joint: {name}", f"{value:.1f}"])
+    for name, value in worst:
+        rows.append([f"worst joint: {name}", f"{value:.1f}"])
+    _cache.record(
+        "error_analysis",
+        render_table(
+            ["quantity", "mm"],
+            rows,
+            title="Error decomposition (not in the paper)",
+        ),
+    )
+
+    # Shape: after factoring out rigid placement, the articulated-pose
+    # error is below the raw MPJPE; fingertips are the hardest joints.
+    from repro.eval.metrics import mpjpe
+
+    assert pose_mm < mpjpe(preds, labels)
+    tip_names = {f"{f}_tip" for f in
+                 ("thumb", "index", "middle", "ring", "pinky")}
+    assert any(name in tip_names for name, _ in worst)
+    assert bone_mm < 40.0
+
+    benchmark(lambda: pa_mpjpe(preds[:50], labels[:50]))
+
+
+def test_significance_of_table1_gap(benchmark, cv_records):
+    """The mmHand-vs-HandFi-baseline gap should be statistically
+    significant under a paired bootstrap on the shared test set."""
+    from repro.baselines import HandFiBaseline
+    from repro.eval.significance import paired_bootstrap
+
+    record = cv_records[0]
+    campaign = _cache.load_campaign()
+    test_users = set(record["test_users"])
+    train_idx = [
+        i for i, uid in enumerate(campaign.user_ids)
+        if uid not in test_users
+    ]
+    baseline = HandFiBaseline(hidden=64)
+    baseline.fit(campaign.subset(train_idx), epochs=10)
+    baseline_preds = baseline.predict(record["test"].segments)
+
+    result = paired_bootstrap(
+        baseline_preds, record["predictions"], record["test"].labels,
+        num_resamples=500,
+    )
+    _cache.record(
+        "significance",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["HandFi-style baseline MPJPE (mm)",
+                 f"{result.mean_a_mm:.1f}"],
+                ["mmHand MPJPE (mm)", f"{result.mean_b_mm:.1f}"],
+                ["difference (mm)", f"{result.difference_mm:.1f}"],
+                ["95% CI",
+                 f"[{result.ci_low_mm:.1f}, {result.ci_high_mm:.1f}]"],
+                ["p-value", f"{result.p_value:.4f}"],
+            ],
+            title="Paired bootstrap: mmHand vs coarse-resolution baseline",
+        ),
+    )
+    assert result.difference_mm > 0  # baseline is worse
+    assert result.significant
+
+    errors = record["predictions"] - record["test"].labels
+    benchmark(lambda: np.linalg.norm(errors, axis=2).mean())

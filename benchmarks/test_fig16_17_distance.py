@@ -1,0 +1,63 @@
+"""Paper Figs. 16-17: MPJPE and 3D-PCK vs hand-radar distance.
+
+Paper result: performance is stable from 20 to 60 cm, then MPJPE rises
+and PCK falls beyond 60 cm (weaker reflections, and the pre-processing
+band is tuned to interaction range); at every distance the palm is
+easier than the fingers.
+"""
+
+import numpy as np
+
+import _cache
+from repro.eval import experiments
+from repro.eval.report import render_series
+
+
+def _compute(regressor, generator):
+    subjects = _cache.condition_subjects()
+    distances = [0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80]
+    sweep = experiments.distance_sweep(
+        regressor, generator, subjects, distances_m=distances,
+        segments_per_user=10,
+    )
+    return sweep
+
+
+def test_fig16_17_distance_sweep(benchmark, primary_regressor, generator):
+    result = _cache.memoize_json(
+        "fig16_17_distance",
+        lambda: _compute(primary_regressor, generator),
+    )
+    rows = result["rows"]
+
+    text = render_series(
+        [row["distance_m"] * 100 for row in rows],
+        {
+            "overall MPJPE (mm)": [r["mpjpe_mm"] for r in rows],
+            "palm MPJPE (mm)": [r["palm_mpjpe_mm"] for r in rows],
+            "finger MPJPE (mm)": [r["fingers_mpjpe_mm"] for r in rows],
+            "overall PCK (%)": [r["pck_percent"] for r in rows],
+        },
+        x_label="distance (cm)",
+        y_label="",
+        title="Figs. 16-17: accuracy vs distance "
+              "(paper: stable 20-60 cm, degrades beyond)",
+    )
+    _cache.record("fig16_17_distance", text)
+
+    near = [r for r in rows if r["distance_m"] <= 0.45]
+    far = [r for r in rows if r["distance_m"] >= 0.70]
+    near_mpjpe = np.mean([r["mpjpe_mm"] for r in near])
+    far_mpjpe = np.mean([r["mpjpe_mm"] for r in far])
+    near_pck = np.mean([r["pck_percent"] for r in near])
+    far_pck = np.mean([r["pck_percent"] for r in far])
+
+    # Shape: clear degradation beyond 60 cm, palm better than fingers
+    # in the trained band.
+    assert far_mpjpe > near_mpjpe * 1.3
+    assert far_pck < near_pck
+    for row in near:
+        assert row["palm_mpjpe_mm"] < row["fingers_mpjpe_mm"]
+
+    segments = _cache.load_campaign().segments[:8]
+    benchmark(lambda: primary_regressor.predict(segments))

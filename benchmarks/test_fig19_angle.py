@@ -1,0 +1,62 @@
+"""Paper Fig. 19: MPJPE and 3D-PCK vs hand angle (paper Fig. 18 setup).
+
+Paper result: errors grow with the magnitude of the angle and rise
+sharply beyond 30 degrees (angle-estimation sensitivity falls with
+sin(theta)); within +/-30 degrees the averages stay at 17.95 mm MPJPE
+and 95.78 % PCK, close to boresight performance.
+"""
+
+import numpy as np
+
+import _cache
+from repro.eval import experiments
+from repro.eval.report import render_series
+
+
+def _compute(regressor, generator):
+    subjects = _cache.condition_subjects()
+    return experiments.angle_sweep(
+        regressor, generator, subjects,
+        angle_bins_deg=(-37.5, -22.5, -7.5, 7.5, 22.5, 37.5),
+        distance_m=0.40,
+        segments_per_user=10,
+    )
+
+
+def test_fig19_angle_sweep(benchmark, primary_regressor, generator):
+    result = _cache.memoize_json(
+        "fig19_angle", lambda: _compute(primary_regressor, generator)
+    )
+    rows = result["rows"]
+
+    text = render_series(
+        [row["angle_deg"] for row in rows],
+        {
+            "MPJPE (mm)": [r["mpjpe_mm"] for r in rows],
+            "PCK (%)": [r["pck_percent"] for r in rows],
+        },
+        x_label="angle bin centre (deg)",
+        y_label="",
+        title="Fig. 19: accuracy vs hand angle at 40 cm "
+              "(paper: sharp degradation beyond 30 deg)",
+    )
+    inner = [r for r in rows if abs(r["angle_deg"]) < 30.0]
+    inner_mpjpe = np.mean([r["mpjpe_mm"] for r in inner])
+    inner_pck = np.mean([r["pck_percent"] for r in inner])
+    text += (
+        f"\nwithin +/-30 deg: MPJPE {inner_mpjpe:.1f} mm "
+        f"(paper 17.95), PCK {inner_pck:.1f} % (paper 95.78)"
+    )
+    _cache.record("fig19_angle", text)
+
+    outer = [r for r in rows if abs(r["angle_deg"]) > 30.0]
+    outer_mpjpe = np.mean([r["mpjpe_mm"] for r in outer])
+    centre = [r for r in rows if abs(r["angle_deg"]) < 15.0]
+    centre_mpjpe = np.mean([r["mpjpe_mm"] for r in centre])
+
+    # Shape: outside +/-30 deg is clearly worse than boresight.
+    assert outer_mpjpe > centre_mpjpe * 1.15
+    assert outer_mpjpe > inner_mpjpe
+
+    segments = _cache.load_campaign().segments[:8]
+    benchmark(lambda: primary_regressor.predict(segments))

@@ -1,0 +1,58 @@
+"""Paper Figs. 20-21: impact of the user's body position.
+
+Paper result: type 1 (standing in front of the radar, hand outstretched;
+body directly behind the hand) gives 19.1 mm / 93.6 %; type 2 (standing
+beside the radar, hand reached in front) gives 18.1 mm / 95.4 %. The gap
+is small because the bandpass pre-processing removes body reflections at
+longer range than the hand.
+"""
+
+import _cache
+from repro.eval import experiments
+from repro.eval.report import render_table
+
+
+def _compute(regressor, generator):
+    subjects = _cache.condition_subjects()
+    return experiments.body_position_experiment(
+        regressor, generator, subjects, segments_per_user=12
+    )
+
+
+def test_fig20_21_body_position(benchmark, primary_regressor, generator):
+    result = _cache.memoize_json(
+        "fig20_21_body", lambda: _compute(primary_regressor, generator)
+    )
+
+    rows = []
+    for name, paper in (
+        ("type1_front", "paper: 19.1 mm / 93.6 %"),
+        ("type2_side", "paper: 18.1 mm / 95.4 %"),
+    ):
+        entry = result[name]
+        rows.append(
+            [
+                name,
+                f"{entry['mpjpe_mm']:.1f}",
+                f"{entry['pck_percent']:.1f}",
+                paper,
+            ]
+        )
+    _cache.record(
+        "fig20_21_body",
+        render_table(
+            ["body position", "MPJPE (mm)", "PCK (%)", "reference"],
+            rows,
+            title="Figs. 20-21: impact of body position",
+        ),
+    )
+
+    front = result["type1_front"]
+    side = result["type2_side"]
+    # Shape: the difference between the two placements is small --
+    # the bandpass filter removes the (farther) body either way.
+    assert abs(front["mpjpe_mm"] - side["mpjpe_mm"]) < 8.0
+    assert front["mpjpe_mm"] < 50.0 and side["mpjpe_mm"] < 50.0
+
+    segments = _cache.load_campaign().segments[:8]
+    benchmark(lambda: primary_regressor.predict(segments))

@@ -1,0 +1,99 @@
+"""Paper Table I: comparison with existing methods.
+
+The paper compares mmHand (18.3 mm) against cited vision baselines
+(8.6-15.2 mm on MSRA/ICVL) and against two wireless methods evaluated on
+re-collected data: mm4Arm (4.07 mm on its own forearm-facing setup vs
+mmHand 20.4 mm) and HandFi (20.7 mm vs mmHand 19.0 mm).
+
+The reproduction mirrors that protocol: vision numbers are cited, and
+simplified mm4Arm-style (Doppler-only) and HandFi-style (coarse
+resolution) pipelines are trained and tested on the same simulated
+split as mmHand. Expected shape: mmHand clearly beats both simplified
+wireless baselines on full-hand pose (they lack the spatial detail),
+while the cited vision numbers remain better than all RF methods.
+"""
+
+import _cache
+from repro.baselines import (
+    VISION_BASELINES,
+    HandFiBaseline,
+    Mm4ArmBaseline,
+)
+from repro.eval.metrics import mpjpe
+from repro.eval.report import render_table
+
+
+def _compute(cv_records):
+    record = cv_records[0]
+    campaign = _cache.load_campaign()
+    test_users = set(record["test_users"])
+    train_idx = [
+        i for i, uid in enumerate(campaign.user_ids)
+        if uid not in test_users
+    ]
+    train = campaign.subset(train_idx)
+    test = record["test"]
+
+    mmhand_mm = mpjpe(record["predictions"], test.labels)
+
+    mm4arm = Mm4ArmBaseline(hidden=128)
+    mm4arm.fit(train, epochs=25)
+    mm4arm_mm = mpjpe(mm4arm.predict(test.segments), test.labels)
+
+    handfi = HandFiBaseline(hidden=128)
+    handfi.fit(train, epochs=25)
+    handfi_mm = mpjpe(handfi.predict(test.segments), test.labels)
+
+    return {
+        "mmhand_mm": mmhand_mm,
+        "mm4arm_mm": mm4arm_mm,
+        "handfi_mm": handfi_mm,
+    }
+
+
+def test_table1_comparison(benchmark, cv_records):
+    result = _cache.memoize_json(
+        "table1", lambda: _compute(cv_records)
+    )
+
+    rows = []
+    for ref in VISION_BASELINES:
+        rows.append(
+            [ref.method, ref.dataset, f"{ref.mpjpe_mm} (cited)",
+             f"paper mmHand: {ref.mmhand_paper_mm}"]
+        )
+    rows.append(
+        ["mm4Arm (simplified)", "simulated",
+         f"{result['mm4arm_mm']:.1f}",
+         f"paper: mm4Arm 4.07 vs mmHand 20.4"]
+    )
+    rows.append(
+        ["HandFi (simplified)", "simulated",
+         f"{result['handfi_mm']:.1f}",
+         f"paper: HandFi 20.7 vs mmHand 19.0"]
+    )
+    rows.append(
+        ["mmHand (this repro)", "simulated",
+         f"{result['mmhand_mm']:.1f}", "paper: 18.3"]
+    )
+    _cache.record(
+        "table1_comparison",
+        render_table(
+            ["method", "dataset", "MPJPE (mm)", "reference"],
+            rows,
+            title="Table I: comparison with existing methods",
+        ),
+    )
+
+    # Shape: mmHand beats both simplified wireless baselines on the
+    # same data (they discard spatial information mmHand uses).
+    assert result["mmhand_mm"] < result["mm4arm_mm"]
+    assert result["mmhand_mm"] < result["handfi_mm"]
+    # Cited vision methods stay better than RF approaches, as in Table I.
+    best_vision = min(r.mpjpe_mm for r in VISION_BASELINES)
+    assert best_vision < result["mmhand_mm"]
+
+    # Benchmark: the HandFi-style feature reduction (cheap, stable op).
+    segments = cv_records[0]["test"].segments[:16]
+    baseline = HandFiBaseline()
+    benchmark(lambda: baseline.features(segments))

@@ -1,0 +1,143 @@
+"""Continuous gesture reconstruction (paper Figs. 10-11).
+
+Simulates a user flowing through a gesture sequence (fist -> point ->
+open palm -> pinch) in front of the radar, runs the full pipeline (raw IF
+frames -> radar cubes -> skeletons -> MANO meshes) and prints a compact
+ASCII rendering of the reconstructed skeletons, frame by frame.
+
+The joint regressor is trained briefly on matching simulated data first;
+with the benchmark cache built (``python benchmarks/_cache.py``) you can
+instead load a fully trained fold via ``--use-cache``.
+
+Run:
+    python examples/continuous_gestures.py [--use-cache]
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    CampaignConfig,
+    CampaignGenerator,
+    DspConfig,
+    HandJointRegressor,
+    MeshReconstructor,
+    ModelConfig,
+    RadarConfig,
+    SystemConfig,
+    TrainConfig,
+    Trainer,
+    make_subjects,
+)
+from repro.core.pipeline import MmHand
+from repro.hand.animation import GestureSequence, Keyframe
+from repro.hand.joints import FINGER_CHAINS
+from repro.radar.radar import RadarSimulator
+from repro.radar.scatterers import hand_scatterers
+from repro.radar.scene import Scene
+
+
+def ascii_skeleton(joints: np.ndarray, width: int = 40, height: int = 16) -> str:
+    """Render a skeleton's y-z projection (front view) as ASCII art."""
+    canvas = [[" "] * width for _ in range(height)]
+    ys = joints[:, 1]
+    zs = joints[:, 2]
+    y_span = max(ys.max() - ys.min(), 1e-3)
+    z_span = max(zs.max() - zs.min(), 1e-3)
+    marks = {0: "W"}
+    for finger, chain in FINGER_CHAINS.items():
+        for j in chain[:-1]:
+            marks[j] = "o"
+        marks[chain[-1]] = finger[0].upper()
+    for j, (y, z) in enumerate(zip(ys, zs)):
+        col = int((y - ys.min()) / y_span * (width - 1))
+        row = height - 1 - int((z - zs.min()) / z_span * (height - 1))
+        canvas[row][col] = marks.get(j, "o")
+    return "\n".join("".join(row) for row in canvas)
+
+
+def train_quick_regressor(radar, dsp):
+    subjects = make_subjects(1)
+    generator = CampaignGenerator(
+        radar, dsp, CampaignConfig(num_users=1, segments_per_user=80)
+    )
+    print("Training a quick regressor on simulated captures ...")
+    dataset = generator.generate(subjects=subjects, seed=2)
+    regressor = HandJointRegressor(dsp, ModelConfig())
+    Trainer(regressor, TrainConfig(epochs=10, batch_size=16)).fit(dataset)
+    return regressor
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--use-cache", action="store_true",
+                        help="load the trained fold-0 regressor from "
+                             "the benchmark cache")
+    args = parser.parse_args()
+
+    radar = RadarConfig()
+    dsp = DspConfig()
+
+    if args.use_cache:
+        sys.path.insert(0, "benchmarks")
+        import _cache
+
+        regressor = _cache.load_primary_regressor()
+        reconstructor = _cache.load_mesh_reconstructor()
+    else:
+        regressor = train_quick_regressor(radar, dsp)
+        reconstructor = MeshReconstructor(seed=0)
+        print("Fitting mesh-recovery networks ...")
+        reconstructor.fit(steps=200, batch_size=24)
+
+    system = MmHand(
+        SystemConfig(radar=radar, dsp=dsp), regressor, reconstructor
+    )
+
+    # ------------------------------------------------------------------
+    # Simulate the continuous gesture sequence of Fig. 11.
+    # ------------------------------------------------------------------
+    sequence = GestureSequence(
+        [
+            Keyframe(0.0, "fist"),
+            Keyframe(0.8, "point"),
+            Keyframe(1.6, "open_palm"),
+            Keyframe(2.4, "pinch"),
+        ],
+        base_position=np.array([0.30, 0.0, 0.0]),
+        seed=3,
+    )
+    num_frames = 4 * dsp.segment_frames
+    poses = sequence.sample(radar.frame_period_s * 4, num_frames)
+    shape = make_subjects(1)[0].hand_shape()
+    sim = RadarSimulator(radar, seed=9)
+    rng = np.random.default_rng(4)
+    raw = []
+    for i, pose in enumerate(poses):
+        prev = poses[i - 1] if i else None
+        hand = hand_scatterers(
+            shape, pose, prev_pose=prev,
+            frame_period_s=radar.frame_period_s * 4, rng=rng,
+        )
+        raw.append(sim.frame(Scene(hand=hand)))
+    raw = np.stack(raw)
+
+    print("\nRunning the full pipeline on the gesture sequence ...")
+    output = system.process(raw)
+    gestures = ("fist", "point", "open_palm", "pinch")
+    for i, (skeleton, mesh, timing) in enumerate(
+        zip(output.skeletons, output.meshes, output.timings)
+    ):
+        print(f"\n--- segment {i} (around gesture: {gestures[i]}) ---")
+        print(ascii_skeleton(skeleton))
+        span = skeleton[:, 2].max() - skeleton[:, 2].min()
+        print(f"skeleton vertical span: {span * 100:.1f} cm | "
+              f"mesh: {len(mesh.vertices)} verts | "
+              f"skeleton {timing.skeleton_s * 1000:.0f} ms + "
+              f"mesh {timing.mesh_s * 1000:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

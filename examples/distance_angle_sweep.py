@@ -1,0 +1,83 @@
+"""Robustness sweeps: distance and angle (paper Figs. 16/17/19).
+
+Trains on the paper's nominal band (hand 20-40 cm in front of the radar,
+near boresight), then evaluates at distances out to 80 cm and angles out
+to +/-45 degrees. Expected shape, as in the paper: stable through
+~60 cm then degrading (band edge + SNR), and degrading sharply beyond
++/-30 degrees (angle-estimation sensitivity falls off boresight).
+
+Run:
+    python examples/distance_angle_sweep.py
+"""
+
+from repro import (
+    CampaignConfig,
+    CampaignGenerator,
+    DspConfig,
+    HandJointRegressor,
+    ModelConfig,
+    RadarConfig,
+    TrainConfig,
+    Trainer,
+    make_subjects,
+)
+from repro.eval import experiments
+from repro.eval.report import render_series
+
+
+def main() -> None:
+    radar = RadarConfig()
+    dsp = DspConfig()
+    subjects = make_subjects(2)
+    generator = CampaignGenerator(
+        radar, dsp, CampaignConfig(num_users=2, segments_per_user=70)
+    )
+
+    print("Training on the nominal 20-40 cm interaction band ...")
+    dataset = generator.generate(subjects=subjects, seed=8)
+    regressor = HandJointRegressor(dsp, ModelConfig())
+    Trainer(regressor, TrainConfig(epochs=10, batch_size=16)).fit(dataset)
+
+    print("\nDistance sweep 20-80 cm (paper Figs. 16/17):")
+    sweep = experiments.distance_sweep(
+        regressor, generator, subjects,
+        distances_m=[0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        segments_per_user=8,
+    )
+    print(
+        render_series(
+            [row["distance_m"] * 100 for row in sweep["rows"]],
+            {
+                "overall MPJPE": [r["mpjpe_mm"] for r in sweep["rows"]],
+                "palm MPJPE": [r["palm_mpjpe_mm"] for r in sweep["rows"]],
+                "finger MPJPE": [
+                    r["fingers_mpjpe_mm"] for r in sweep["rows"]
+                ],
+                "PCK": [r["pck_percent"] for r in sweep["rows"]],
+            },
+            x_label="distance (cm)",
+            y_label="mm / %",
+        )
+    )
+
+    print("\nAngle sweep -45..45 degrees at 40 cm (paper Fig. 19):")
+    angles = experiments.angle_sweep(
+        regressor, generator, subjects,
+        angle_bins_deg=(-37.5, -22.5, -7.5, 7.5, 22.5, 37.5),
+        segments_per_user=8,
+    )
+    print(
+        render_series(
+            [row["angle_deg"] for row in angles["rows"]],
+            {
+                "MPJPE": [r["mpjpe_mm"] for r in angles["rows"]],
+                "PCK": [r["pck_percent"] for r in angles["rows"]],
+            },
+            x_label="angle (deg)",
+            y_label="mm / %",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

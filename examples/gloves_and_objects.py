@@ -1,0 +1,85 @@
+"""Special conditions: gloves and handheld objects (paper Secs. VI-G/H).
+
+Trains a small regressor on bare-hand captures, then tests zero-shot on
+users wearing silk/cotton gloves and holding the paper's four objects
+(table-tennis ball, headphone case, pen, power bank), printing how each
+condition degrades MPJPE / 3D-PCK -- the paper's qualitative finding is
+that palm-centred objects barely matter while a pen reads as an extra
+finger and a power bank corrupts the fingers.
+
+Run:
+    python examples/gloves_and_objects.py
+"""
+
+from repro import (
+    CampaignConfig,
+    CampaignGenerator,
+    CaptureOptions,
+    DspConfig,
+    HandJointRegressor,
+    ModelConfig,
+    RadarConfig,
+    TrainConfig,
+    Trainer,
+    make_subjects,
+)
+from repro.eval import experiments
+from repro.eval.report import render_table
+
+
+def main() -> None:
+    radar = RadarConfig()
+    dsp = DspConfig()
+    subjects = make_subjects(2)
+    generator = CampaignGenerator(
+        radar, dsp, CampaignConfig(num_users=2, segments_per_user=70)
+    )
+
+    print("Training on bare-hand captures ...")
+    dataset = generator.generate(subjects=subjects, seed=5)
+    regressor = HandJointRegressor(dsp, ModelConfig())
+    Trainer(regressor, TrainConfig(epochs=10, batch_size=16)).fit(dataset)
+
+    baseline = experiments.evaluate_condition(
+        regressor, generator, subjects,
+        CaptureOptions(environment="lab"), segments_per_user=12,
+    )
+    print(f"\nBare hand: MPJPE {baseline['mpjpe_mm']:.1f} mm, "
+          f"PCK {baseline['pck_percent']:.1f} %")
+
+    print("\nZero-shot on gloves (paper Sec. VI-G):")
+    gloves = experiments.glove_experiment(
+        regressor, generator, subjects, segments_per_user=12
+    )
+    rows = [
+        [name, f"{entry['mpjpe_mm']:.1f}", f"{entry['pck_percent']:.1f}"]
+        for name, entry in gloves.items()
+    ]
+    print(render_table(["condition", "MPJPE (mm)", "PCK (%)"], rows))
+
+    print("\nZero-shot with handheld objects (paper Sec. VI-H):")
+    objects = experiments.handheld_experiment(
+        regressor, generator, subjects, segments_per_user=10
+    )
+    rows = [
+        [
+            name,
+            f"{entry['mpjpe_mm']:.1f}",
+            f"{entry['fingers_mpjpe_mm']:.1f}",
+            f"{entry['pck_percent']:.1f}",
+        ]
+        for name, entry in objects.items()
+    ]
+    print(
+        render_table(
+            ["object", "MPJPE (mm)", "finger MPJPE (mm)", "PCK (%)"],
+            rows,
+        )
+    )
+    print("\nExpected shape: palm-centred objects (ball, case) stay close "
+          "to the bare-hand error;\nthe pen and power bank hit the "
+          "fingers hardest, as in the paper's Fig. 23.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro: a full reproduction of *mmHand: 3D Hand Pose Estimation
+Leveraging mmWave Signals* (ICDCS 2024).
+
+The library spans the whole system: an FMCW mmWave radar simulator
+(replacing the TI IWR1443 hardware), the signal pre-processing chain, a
+from-scratch numpy deep-learning framework, the mmSpaceNet + LSTM joint
+regressor with the combined 3-D/kinematic loss, a MANO-style parametric
+hand mesh model, dataset generation mirroring the paper's 10-volunteer
+campaign, and the evaluation harness regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro import MmHand, CampaignGenerator, Trainer
+>>> gen = CampaignGenerator()
+>>> dataset = gen.generate(segments_per_user=20)  # doctest: +SKIP
+>>> system = MmHand()
+>>> Trainer(system.regressor).fit(dataset)        # doctest: +SKIP
+
+See ``examples/quickstart.py`` for the complete walk-through.
+"""
+
+from repro.config import (
+    CampaignConfig,
+    DspConfig,
+    ModelConfig,
+    RadarConfig,
+    SystemConfig,
+    TrainConfig,
+)
+from repro.errors import ReproError
+from repro.hand import (
+    HandPose,
+    HandShape,
+    Subject,
+    forward_kinematics,
+    gesture_pose,
+    list_gestures,
+    make_subjects,
+)
+from repro.mano import ManoHandModel, pose_to_theta
+from repro.radar import RadarSimulator, Scene
+from repro.dsp import CubeBuilder, RadarCube
+from repro.core import (
+    HandJointRegressor,
+    MeshReconstructor,
+    MmHand,
+    Trainer,
+    kfold_by_user,
+)
+from repro.data import CampaignGenerator, CaptureOptions, HandPoseDataset
+from repro.eval import metrics
+from repro.core.streaming import StreamingEstimator
+from repro.apps import GestureClassifier, GestureCommandMapper
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignConfig",
+    "DspConfig",
+    "ModelConfig",
+    "RadarConfig",
+    "SystemConfig",
+    "TrainConfig",
+    "ReproError",
+    "HandPose",
+    "HandShape",
+    "Subject",
+    "forward_kinematics",
+    "gesture_pose",
+    "list_gestures",
+    "make_subjects",
+    "ManoHandModel",
+    "pose_to_theta",
+    "RadarSimulator",
+    "Scene",
+    "CubeBuilder",
+    "RadarCube",
+    "HandJointRegressor",
+    "MeshReconstructor",
+    "MmHand",
+    "Trainer",
+    "kfold_by_user",
+    "CampaignGenerator",
+    "CaptureOptions",
+    "HandPoseDataset",
+    "metrics",
+    "StreamingEstimator",
+    "GestureClassifier",
+    "GestureCommandMapper",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Interactive applications on top of mmHand skeletons.
+
+The paper motivates hand pose estimation with user-interface control,
+sign-language understanding and VR modelling; this package provides the
+application layer: a skeleton-based gesture classifier and a debounced
+interaction state machine mapping recognised gestures to UI commands.
+"""
+
+from repro.apps.gesture_classifier import (
+    GestureClassifier,
+    skeleton_descriptor,
+)
+from repro.apps.ui_control import GestureCommandMapper, UiEvent
+
+__all__ = [
+    "GestureClassifier",
+    "skeleton_descriptor",
+    "GestureCommandMapper",
+    "UiEvent",
+]

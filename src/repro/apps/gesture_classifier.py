@@ -1,0 +1,134 @@
+"""Skeleton-based gesture classification.
+
+Maps a regressed 21-joint skeleton to the nearest gesture in the
+library using a placement-invariant descriptor: per-finger curl and
+splay features computed from the joint geometry. This is the
+application-level consumer of mmHand's output that enables the paper's
+motivating scenarios (UI control, counting recognition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hand.gestures import GESTURE_LIBRARY, gesture_pose
+from repro.hand.joints import FINGER_CHAINS, FINGERS, NUM_JOINTS
+from repro.hand.kinematics import forward_kinematics
+from repro.hand.shape import HandShape
+
+
+def skeleton_descriptor(joints: np.ndarray) -> np.ndarray:
+    """Placement- and scale-invariant gesture descriptor, shape (15,).
+
+    Three features per finger:
+
+    * *curl* -- root-to-tip distance over total chain length (1 when
+      straight, small when curled);
+    * *bend* -- cosine between the proximal and distal phalange
+      directions;
+    * *splay* -- angle of the finger's root-to-tip direction against the
+      middle finger's, capturing abduction.
+
+    All features are invariant to the hand's world position, rotation
+    and (by length normalisation) size.
+    """
+    joints = np.asarray(joints, dtype=float)
+    if joints.shape != (NUM_JOINTS, 3):
+        raise ReproError(f"expected (21, 3) joints, got {joints.shape}")
+
+    middle_chain = FINGER_CHAINS["middle"]
+    middle_dir = joints[middle_chain[3]] - joints[middle_chain[0]]
+    middle_norm = np.linalg.norm(middle_dir)
+    middle_dir = (
+        middle_dir / middle_norm if middle_norm > 1e-9
+        else np.array([0.0, 1.0, 0.0])
+    )
+
+    features: List[float] = []
+    for finger in FINGERS:
+        chain = FINGER_CHAINS[finger]
+        root, tip = joints[chain[0]], joints[chain[3]]
+        segment_lengths = [
+            np.linalg.norm(joints[chain[i + 1]] - joints[chain[i]])
+            for i in range(3)
+        ]
+        total = max(sum(segment_lengths), 1e-9)
+        curl = float(np.linalg.norm(tip - root) / total)
+
+        proximal = joints[chain[1]] - joints[chain[0]]
+        distal = joints[chain[3]] - joints[chain[2]]
+        denom = max(
+            np.linalg.norm(proximal) * np.linalg.norm(distal), 1e-9
+        )
+        bend = float(proximal @ distal / denom)
+
+        direction = tip - root
+        norm = np.linalg.norm(direction)
+        direction = (
+            direction / norm if norm > 1e-9 else middle_dir
+        )
+        splay = float(np.clip(direction @ middle_dir, -1.0, 1.0))
+        features.extend([curl, bend, splay])
+    return np.array(features)
+
+
+class GestureClassifier:
+    """Nearest-template gesture classifier over skeleton descriptors.
+
+    Templates come from the gesture library rendered through forward
+    kinematics (optionally at several hand scales so size variation is
+    covered). Classification returns the best label and a confidence
+    derived from the margin to the runner-up.
+    """
+
+    def __init__(
+        self,
+        gestures: Optional[Sequence[str]] = None,
+        hand_scales: Sequence[float] = (0.92, 1.0, 1.08),
+    ) -> None:
+        names = list(gestures) if gestures is not None else list(
+            GESTURE_LIBRARY
+        )
+        unknown = [n for n in names if n not in GESTURE_LIBRARY]
+        if unknown:
+            raise ReproError(f"unknown gestures: {unknown}")
+        if not hand_scales:
+            raise ReproError("at least one hand scale is required")
+        self.gestures = names
+        self._templates: List[Tuple[str, np.ndarray]] = []
+        for scale in hand_scales:
+            shape = HandShape.from_scale(scale)
+            for name in names:
+                pose = gesture_pose(name, wrist_position=np.zeros(3))
+                joints = forward_kinematics(shape, pose)
+                self._templates.append(
+                    (name, skeleton_descriptor(joints))
+                )
+
+    def classify(self, joints: np.ndarray) -> Tuple[str, float]:
+        """Best gesture label and confidence in [0, 1] for a skeleton."""
+        descriptor = skeleton_descriptor(joints)
+        best: Dict[str, float] = {}
+        for name, template in self._templates:
+            distance = float(np.linalg.norm(descriptor - template))
+            if name not in best or distance < best[name]:
+                best[name] = distance
+        ranked = sorted(best.items(), key=lambda kv: kv[1])
+        winner, d1 = ranked[0]
+        if len(ranked) == 1:
+            return winner, 1.0
+        d2 = ranked[1][1]
+        confidence = float(np.clip((d2 - d1) / max(d2, 1e-9), 0.0, 1.0))
+        return winner, confidence
+
+    def classify_sequence(
+        self, skeletons: np.ndarray
+    ) -> List[Tuple[str, float]]:
+        """Classify every skeleton of a (N, 21, 3) sequence."""
+        skeletons = np.asarray(skeletons, dtype=float)
+        if skeletons.ndim == 2:
+            skeletons = skeletons[None]
+        return [self.classify(s) for s in skeletons]

@@ -1,0 +1,125 @@
+"""Gesture-driven user-interface control.
+
+The paper's headline application: continuous skeletons stream in, a
+gesture classifier labels them, and a debounced state machine turns
+stable gestures into discrete UI commands (select, back, grab, ...),
+suppressing the flicker a per-frame classifier would produce during
+gesture transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.gesture_classifier import GestureClassifier
+from repro.errors import ReproError
+
+#: Default mapping from gestures to UI commands.
+DEFAULT_COMMANDS: Dict[str, str] = {
+    "point": "cursor",
+    "pinch": "select",
+    "ok_sign": "confirm",
+    "fist": "drag",
+    "open_palm": "release",
+    "thumbs_up": "approve",
+    "victory": "screenshot",
+    "grab": "rotate",
+}
+
+
+@dataclass(frozen=True)
+class UiEvent:
+    """One emitted interface command."""
+
+    frame_index: int
+    gesture: str
+    command: str
+    confidence: float
+
+
+class GestureCommandMapper:
+    """Debounced gesture-to-command state machine.
+
+    A command is emitted only after the same gesture has been observed
+    for ``hold_frames`` consecutive frames with confidence at least
+    ``min_confidence``, and is not re-emitted until the gesture changes
+    -- the standard rising-edge behaviour of gesture UIs.
+    """
+
+    def __init__(
+        self,
+        classifier: Optional[GestureClassifier] = None,
+        commands: Optional[Dict[str, str]] = None,
+        hold_frames: int = 2,
+        min_confidence: float = 0.1,
+    ) -> None:
+        if hold_frames < 1:
+            raise ReproError("hold_frames must be >= 1")
+        if not 0.0 <= min_confidence <= 1.0:
+            raise ReproError("min_confidence must lie in [0, 1]")
+        self.commands = dict(
+            commands if commands is not None else DEFAULT_COMMANDS
+        )
+        # By default classify only over the command vocabulary: some
+        # library gestures are aliases (e.g. fist == count_zero) and a
+        # wider classifier would tie between them.
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else GestureClassifier(gestures=list(self.commands))
+        )
+        self.hold_frames = hold_frames
+        self.min_confidence = min_confidence
+        self._current: Optional[str] = None
+        self._streak = 0
+        self._emitted: Optional[str] = None
+        self._frame = 0
+
+    def reset(self) -> None:
+        self._current = None
+        self._streak = 0
+        self._emitted = None
+        self._frame = 0
+
+    def process(self, joints: np.ndarray) -> Optional[UiEvent]:
+        """Feed one skeleton; returns a UiEvent on a stable new gesture."""
+        gesture, confidence = self.classifier.classify(joints)
+        frame = self._frame
+        self._frame += 1
+
+        if confidence < self.min_confidence:
+            self._current = None
+            self._streak = 0
+            return None
+        if gesture == self._current:
+            self._streak += 1
+        else:
+            self._current = gesture
+            self._streak = 1
+        if self._streak < self.hold_frames:
+            return None
+        if gesture == self._emitted:
+            return None
+        self._emitted = gesture
+        command = self.commands.get(gesture)
+        if command is None:
+            return None
+        return UiEvent(
+            frame_index=frame, gesture=gesture, command=command,
+            confidence=confidence,
+        )
+
+    def process_sequence(self, skeletons: np.ndarray) -> List[UiEvent]:
+        """Run the state machine over a (N, 21, 3) skeleton stream."""
+        skeletons = np.asarray(skeletons, dtype=float)
+        if skeletons.ndim == 2:
+            skeletons = skeletons[None]
+        events = []
+        for joints in skeletons:
+            event = self.process(joints)
+            if event is not None:
+                events.append(event)
+        return events

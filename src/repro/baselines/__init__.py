@@ -1,0 +1,26 @@
+"""Comparison methods (paper Table I).
+
+The paper compares against four vision methods via their *published*
+MPJPE numbers on MSRA/ICVL (it does not re-run them), and against two
+wireless methods -- mm4Arm (mmWave, forearm-based) and HandFi (WiFi) --
+by re-collecting data "following their experimental setups". This package
+mirrors that protocol: :mod:`literature` carries the cited numbers, and
+:mod:`mm4arm` / :mod:`handfi` implement simplified versions of the two
+wireless pipelines that run on our simulated captures.
+"""
+
+from repro.baselines.literature import (
+    LiteratureResult,
+    VISION_BASELINES,
+    WIRELESS_REFERENCE,
+)
+from repro.baselines.mm4arm import Mm4ArmBaseline
+from repro.baselines.handfi import HandFiBaseline
+
+__all__ = [
+    "LiteratureResult",
+    "VISION_BASELINES",
+    "WIRELESS_REFERENCE",
+    "Mm4ArmBaseline",
+    "HandFiBaseline",
+]

@@ -1,0 +1,122 @@
+"""Simplified HandFi-style baseline (Ji et al., SenSys 2023).
+
+HandFi constructs 3-D hand skeletons from commercial WiFi CSI. WiFi's
+bandwidth (tens of MHz vs the radar's 4 GHz) and antenna count give it
+far coarser spatial resolution; the simplified reproduction models that
+by aggressively downsampling the radar cube's range and angle axes
+before a small MLP regresses the joints -- the same learning capacity as
+the mm4Arm baseline, but on low-resolution features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import HandPoseDataset
+from repro.errors import DatasetError, ModelError
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+def _block_reduce(array: np.ndarray, factors: Tuple[int, int]) -> np.ndarray:
+    """Average-pool the last two axes by integer factors."""
+    fd, fa = factors
+    n, st, v, d, a = array.shape
+    if d % fd or a % fa:
+        raise DatasetError(
+            f"cube axes ({d}, {a}) not divisible by pooling {factors}"
+        )
+    return array.reshape(n, st, v, d // fd, fd, a // fa, fa).mean(
+        axis=(4, 6)
+    )
+
+
+class _CsiMlp(Module):
+    def __init__(self, in_features: int, hidden: int, seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.net = Sequential(
+            Linear(in_features, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, 63, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class HandFiBaseline:
+    """Coarse-resolution joint regressor in the HandFi mould."""
+
+    def __init__(
+        self,
+        pooling: Tuple[int, int] = (4, 4),
+        hidden: int = 128,
+        seed: int = 1,
+    ) -> None:
+        self.pooling = pooling
+        self.hidden = hidden
+        self.seed = seed
+        self._model: Optional[_CsiMlp] = None
+        self._input_stats = (0.0, 1.0)
+        self._label_stats: Optional[tuple] = None
+
+    def features(self, segments: np.ndarray) -> np.ndarray:
+        """Downsample range/angle axes, then flatten."""
+        segments = np.asarray(segments, dtype=np.float32)
+        if segments.ndim != 5:
+            raise DatasetError(
+                f"expected (N, st, V, D, A) segments, got {segments.shape}"
+            )
+        coarse = _block_reduce(segments, self.pooling)
+        return coarse.reshape(len(segments), -1)
+
+    def fit(
+        self,
+        dataset: HandPoseDataset,
+        epochs: int = 30,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+    ) -> list:
+        x = self.features(dataset.segments)
+        mean, std = float(x.mean()), float(x.std() + 1e-6)
+        self._input_stats = (mean, std)
+        x = (x - mean) / std
+        y = dataset.labels.reshape(len(dataset), -1).astype(np.float32)
+        y_mean = y.mean(axis=0)
+        y_std = y.std(axis=0) + 1e-6
+        self._label_stats = (y_mean, y_std)
+        y_norm = (y - y_mean) / y_std
+
+        self._model = _CsiMlp(x.shape[1], self.hidden, self.seed)
+        optimizer = Adam(self._model.parameters(), lr=lr)
+        rng = np.random.default_rng(self.seed)
+        history = []
+        for _ in range(epochs):
+            order = rng.permutation(len(x))
+            for start in range(0, len(x) - batch_size + 1, batch_size):
+                idx = order[start : start + batch_size]
+                pred = self._model(Tensor(x[idx]))
+                diff = pred - Tensor(y_norm[idx])
+                loss = (diff * diff).mean()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                history.append(float(loss.data))
+        return history
+
+    def predict(self, segments: np.ndarray) -> np.ndarray:
+        if self._model is None or self._label_stats is None:
+            raise ModelError("baseline must be fitted before predicting")
+        x = self.features(segments)
+        mean, std = self._input_stats
+        x = (x - mean) / std
+        y_mean, y_std = self._label_stats
+        with no_grad():
+            pred = self._model(Tensor(x.astype(np.float32))).data
+        return (pred * y_std + y_mean).reshape(-1, 21, 3)

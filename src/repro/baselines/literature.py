@@ -1,0 +1,42 @@
+"""Published comparison numbers (paper Table I).
+
+The paper cites these MPJPE values directly from the original works; the
+reproduction does the same rather than re-implementing four vision
+systems (which would need the MSRA/ICVL image datasets the paper itself
+could not pair with mmWave captures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class LiteratureResult:
+    """One row of the comparison table."""
+
+    method: str
+    dataset: str
+    mpjpe_mm: float
+    modality: str
+    mmhand_paper_mm: float
+
+
+#: Vision-based methods, evaluated on public depth datasets (cited).
+VISION_BASELINES: List[LiteratureResult] = [
+    LiteratureResult("Cascade", "MSRA", 15.2, "depth", 18.3),
+    LiteratureResult("Cascade", "ICVL", 9.9, "depth", 18.3),
+    LiteratureResult("CrossingNet", "MSRA", 12.2, "depth", 18.3),
+    LiteratureResult("CrossingNet", "ICVL", 10.2, "depth", 18.3),
+    LiteratureResult("DeepPrior++", "MSRA", 9.5, "depth", 18.3),
+    LiteratureResult("HBE", "ICVL", 8.62, "depth", 18.3),
+]
+
+#: Wireless methods: the typical results the papers report on their own
+#: setups, against which the paper measures mmHand on re-collected data.
+WIRELESS_REFERENCE: List[LiteratureResult] = [
+    LiteratureResult("mm4Arm", "self-collected", 4.07, "mmWave (forearm)",
+                     20.4),
+    LiteratureResult("HandFi", "self-collected", 20.7, "WiFi", 19.0),
+]

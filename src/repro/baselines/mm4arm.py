@@ -1,0 +1,111 @@
+"""Simplified mm4Arm-style baseline (Liu et al., POMACS 2022).
+
+mm4Arm infers finger motion from forearm micro-Doppler: it does not
+image the hand spatially but tracks Doppler signatures of the forearm
+muscles, which is why it excels when the forearm faces the radar and
+degrades under arm rotation, and why it cannot render hand meshes.
+
+The simplified reproduction keeps that information diet: it collapses
+the radar cube's angle axes entirely, keeping only range-Doppler
+features, and regresses joints with a small MLP. Run on the same
+segments as mmHand, it shows what Doppler-only sensing recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import HandPoseDataset
+from repro.errors import DatasetError, ModelError
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+class _DopplerMlp(Module):
+    """MLP over flattened range-Doppler features."""
+
+    def __init__(self, in_features: int, hidden: int, seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.net = Sequential(
+            Linear(in_features, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, 63, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class Mm4ArmBaseline:
+    """Doppler-range joint regressor in the mm4Arm mould."""
+
+    def __init__(self, hidden: int = 128, seed: int = 0) -> None:
+        self.hidden = hidden
+        self.seed = seed
+        self._model: Optional[_DopplerMlp] = None
+        self._input_stats = (0.0, 1.0)
+        self._label_stats: Optional[tuple] = None
+
+    @staticmethod
+    def features(segments: np.ndarray) -> np.ndarray:
+        """Collapse the angle axis: (N, st, V, D, A) -> (N, st*V*D)."""
+        segments = np.asarray(segments, dtype=np.float32)
+        if segments.ndim != 5:
+            raise DatasetError(
+                f"expected (N, st, V, D, A) segments, got {segments.shape}"
+            )
+        collapsed = segments.mean(axis=4)
+        return collapsed.reshape(len(segments), -1)
+
+    def fit(
+        self,
+        dataset: HandPoseDataset,
+        epochs: int = 30,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+    ) -> list:
+        """Train on a labelled dataset; returns the loss history."""
+        x = self.features(dataset.segments)
+        mean, std = float(x.mean()), float(x.std() + 1e-6)
+        self._input_stats = (mean, std)
+        x = (x - mean) / std
+        y = dataset.labels.reshape(len(dataset), -1).astype(np.float32)
+        y_mean = y.mean(axis=0)
+        y_std = y.std(axis=0) + 1e-6
+        self._label_stats = (y_mean, y_std)
+        y_norm = (y - y_mean) / y_std
+
+        self._model = _DopplerMlp(x.shape[1], self.hidden, self.seed)
+        optimizer = Adam(self._model.parameters(), lr=lr)
+        rng = np.random.default_rng(self.seed)
+        history = []
+        for _ in range(epochs):
+            order = rng.permutation(len(x))
+            for start in range(0, len(x) - batch_size + 1, batch_size):
+                idx = order[start : start + batch_size]
+                pred = self._model(Tensor(x[idx]))
+                diff = pred - Tensor(y_norm[idx])
+                loss = (diff * diff).mean()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                history.append(float(loss.data))
+        return history
+
+    def predict(self, segments: np.ndarray) -> np.ndarray:
+        """Joints (N, 21, 3) in metres."""
+        if self._model is None or self._label_stats is None:
+            raise ModelError("baseline must be fitted before predicting")
+        x = self.features(segments)
+        mean, std = self._input_stats
+        x = (x - mean) / std
+        y_mean, y_std = self._label_stats
+        with no_grad():
+            pred = self._model(Tensor(x.astype(np.float32))).data
+        return (pred * y_std + y_mean).reshape(-1, 21, 3)

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: hand joint regression from radar
+cubes (mmSpaceNet + LSTM + combined loss) and MANO mesh reconstruction,
+plus the end-to-end :class:`~repro.core.pipeline.MmHand` system.
+"""
+
+from repro.core.mmspacenet import MmSpaceNet, AttentionResidualBlock
+from repro.core.temporal import TemporalModel
+from repro.core.regressor import HandJointRegressor
+from repro.core.losses import (
+    joint_loss_3d,
+    kinematic_loss,
+    combined_loss,
+    finger_straightness,
+)
+from repro.core.mesh_recovery import (
+    ShapeParameterNet,
+    PoseParameterNet,
+    MeshReconstructor,
+)
+from repro.core.training import Trainer, TrainResult, kfold_by_user
+from repro.core.pipeline import MmHand, PipelineTiming
+
+__all__ = [
+    "MmSpaceNet",
+    "AttentionResidualBlock",
+    "TemporalModel",
+    "HandJointRegressor",
+    "joint_loss_3d",
+    "kinematic_loss",
+    "combined_loss",
+    "finger_straightness",
+    "ShapeParameterNet",
+    "PoseParameterNet",
+    "MeshReconstructor",
+    "Trainer",
+    "TrainResult",
+    "kfold_by_user",
+    "MmHand",
+    "PipelineTiming",
+]

@@ -1,0 +1,154 @@
+"""Combined training loss (paper Sec. IV-B, Eq. 8-9).
+
+``L_total = beta * L3D + gamma * Lkine`` where ``L3D`` sums per-joint
+Euclidean errors and ``Lkine`` imposes the hand's segmented-rigidity
+geometry on each finger chain A-B-C-D (three phalanges + fingertip):
+
+* when the ground-truth finger is straight, the predicted chain should be
+  *collinear*: total phalange length within 1% of the root-to-tip length
+  and each phalange within ``arccos(0.99)`` of the finger direction;
+* otherwise the chain should stay *coplanar*: each phalange orthogonal to
+  the ground-truth finger plane normal.
+
+The case per finger (lambda in the paper) is decided from the ground
+truth, and the plane normal comes from the ground-truth chain, so the
+loss is differentiable in the prediction only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import TrainConfig
+from repro.errors import ModelError
+from repro.hand.joints import FINGER_CHAINS, FINGERS
+from repro.nn.loss import l2_joint_loss
+from repro.nn.tensor import Tensor
+
+_EPS = 1e-8
+
+
+def joint_loss_3d(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """``L3D``: batch mean of the summed per-joint Euclidean errors."""
+    return l2_joint_loss(prediction, Tensor(np.asarray(target,
+                                                       dtype=np.float32)))
+
+
+def finger_straightness(gt_joints: np.ndarray) -> np.ndarray:
+    """Cosine between each ground-truth finger's first phalange and its
+    root-to-tip direction, shape ``(B, 5)``; ~1 means straight."""
+    gt = np.asarray(gt_joints, dtype=np.float64)
+    if gt.ndim == 2:
+        gt = gt[None]
+    cosines = np.empty((gt.shape[0], len(FINGERS)))
+    for f, finger in enumerate(FINGERS):
+        a, b, _, d = FINGER_CHAINS[finger]
+        ab = gt[:, b] - gt[:, a]
+        ad = gt[:, d] - gt[:, a]
+        num = (ab * ad).sum(axis=1)
+        den = np.linalg.norm(ab, axis=1) * np.linalg.norm(ad, axis=1)
+        cosines[:, f] = num / np.maximum(den, _EPS)
+    return cosines
+
+
+def _norm(vec: Tensor) -> Tensor:
+    """Row-wise Euclidean norm of a (B, 3) tensor -> (B,)."""
+    return ((vec * vec).sum(axis=-1) + _EPS) ** 0.5
+
+
+def kinematic_loss(
+    prediction: Tensor,
+    gt_joints: np.ndarray,
+    margin: float = 0.01,
+    cosine_threshold: float = 0.99,
+    straight_cosine: float = 0.995,
+) -> Tensor:
+    """``Lkine``: collinear/coplanar finger-geometry penalty (Eq. 9).
+
+    ``prediction`` is the (B, 21, 3) joint tensor; ``gt_joints`` the
+    matching numpy ground truth used to pick the case per finger and to
+    define finger directions/plane normals.
+    """
+    if prediction.ndim != 3 or prediction.shape[1:] != (21, 3):
+        raise ModelError(
+            f"kinematic_loss expects (B, 21, 3) predictions, got "
+            f"{prediction.shape}"
+        )
+    gt = np.asarray(gt_joints, dtype=np.float64)
+    if gt.shape != prediction.shape:
+        raise ModelError("ground truth shape must match predictions")
+    batch = prediction.shape[0]
+    straight = finger_straightness(gt) > straight_cosine  # (B, 5)
+
+    total = Tensor(np.zeros((), dtype=np.float32))
+    for f, finger in enumerate(FINGERS):
+        a, b, c, d = FINGER_CHAINS[finger]
+        pa, pb, pc, pd = (prediction[:, j, :] for j in (a, b, c, d))
+        ab, bc, cd, ad = pb - pa, pc - pb, pd - pc, pd - pa
+        n_ab, n_bc, n_cd, n_ad = _norm(ab), _norm(bc), _norm(cd), _norm(ad)
+
+        # Collinear case: length budget + alignment with the GT finger
+        # direction e_d.
+        gt_dir = gt[:, d] - gt[:, a]
+        gt_dir = gt_dir / np.maximum(
+            np.linalg.norm(gt_dir, axis=1, keepdims=True), _EPS
+        )
+        e_d = Tensor(gt_dir.astype(np.float32))
+        length_excess = (
+            n_ab + n_bc + n_cd - (1.0 + margin) * n_ad
+        ).clip_min(0.0)
+        align = Tensor(np.zeros((batch,), dtype=np.float32))
+        for bone, n_bone in ((ab, n_ab), (bc, n_bc), (cd, n_cd)):
+            cos = (bone * e_d).sum(axis=-1) / n_bone
+            align = align + (Tensor(
+                np.full((batch,), cosine_threshold, dtype=np.float32)
+            ) - cos).clip_min(0.0)
+        collinear = length_excess + align
+
+        # Coplanar case: phalanges orthogonal to the GT plane normal.
+        gt_ab = gt[:, b] - gt[:, a]
+        gt_ad = gt[:, d] - gt[:, a]
+        normal = np.cross(gt_ab, gt_ad)
+        norms = np.linalg.norm(normal, axis=1, keepdims=True)
+        # A perfectly straight GT finger has no well-defined plane; those
+        # fingers use the collinear branch anyway, so any unit vector is
+        # safe to fall back to here.
+        normal = np.where(norms > 1e-9, normal / np.maximum(norms, _EPS),
+                          np.array([0.0, 0.0, 1.0]))
+        e_n = Tensor(normal.astype(np.float32))
+        coplanar = Tensor(np.zeros((batch,), dtype=np.float32))
+        for bone, n_bone in ((ab, n_ab), (bc, n_bc), (cd, n_cd)):
+            dot = (bone * e_n).sum(axis=-1) / n_bone
+            coplanar = coplanar + (dot * dot + _EPS) ** 0.5
+
+        case = Tensor(straight[:, f].astype(np.float32))
+        total = total + (case * collinear
+                         + (1.0 - case) * coplanar).mean()
+    return total * (1.0 / len(FINGERS))
+
+
+def combined_loss(
+    prediction: Tensor,
+    gt_joints: np.ndarray,
+    config: Optional[TrainConfig] = None,
+) -> Tuple[Tensor, Tensor, Tensor]:
+    """``L_total = beta * L3D + gamma * Lkine`` (Eq. 8).
+
+    Returns ``(total, l3d, lkine)`` so trainers can log the parts.
+    """
+    if config is None:
+        config = TrainConfig()
+    l3d = joint_loss_3d(prediction, gt_joints)
+    if config.gamma_kinematic > 0:
+        lkine = kinematic_loss(
+            prediction,
+            gt_joints,
+            margin=config.collinear_margin,
+            cosine_threshold=config.collinear_cosine,
+        )
+    else:
+        lkine = Tensor(np.zeros((), dtype=np.float32))
+    total = config.beta_3d * l3d + config.gamma_kinematic * lkine
+    return total, l3d, lkine

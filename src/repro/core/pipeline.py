@@ -1,0 +1,136 @@
+"""The end-to-end mmHand system (paper Fig. 2).
+
+:class:`MmHand` chains the three modules: mmWave signal pre-processing
+(raw IF frames -> radar cube segments), hand joint regression (segments
+-> 21-joint skeletons) and hand mesh reconstruction (skeletons -> MANO
+meshes), with per-stage timing instrumentation for the time-consumption
+analysis (paper Fig. 26).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.mesh_recovery import MeshReconstructor
+from repro.core.regressor import HandJointRegressor
+from repro.dsp.radar_cube import CubeBuilder, segment_cube
+from repro.errors import ReproError
+from repro.mano.model import MeshResult
+
+
+@dataclass
+class PipelineTiming:
+    """Per-segment wall-clock times of the two stages (Fig. 26)."""
+
+    skeleton_s: float
+    mesh_s: float
+
+    @property
+    def overall_s(self) -> float:
+        return self.skeleton_s + self.mesh_s
+
+
+@dataclass
+class PipelineOutput:
+    """Everything the pipeline produces for a run of raw frames."""
+
+    skeletons: np.ndarray  # (S, 21, 3)
+    meshes: List[MeshResult]
+    timings: List[PipelineTiming]
+
+
+class MmHand:
+    """The complete mmWave 3-D hand pose estimation system.
+
+    Parameters
+    ----------
+    config:
+        Bundled subsystem configuration.
+    regressor:
+        A trained joint-regression network. An untrained network still
+        runs (useful for pipeline tests) but produces meaningless poses.
+    reconstructor:
+        A fitted mesh-recovery module; if omitted, one is created and
+        must be fitted via ``system.reconstructor.fit()`` before meshes
+        are meaningful.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        regressor: Optional[HandJointRegressor] = None,
+        reconstructor: Optional[MeshReconstructor] = None,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig()
+        self.builder = CubeBuilder(self.config.radar, self.config.dsp)
+        self.regressor = (
+            regressor
+            if regressor is not None
+            else HandJointRegressor(self.config.dsp, self.config.model)
+        )
+        self.reconstructor = (
+            reconstructor if reconstructor is not None else MeshReconstructor()
+        )
+
+    # ------------------------------------------------------------------
+    def preprocess(self, raw_frames: np.ndarray) -> np.ndarray:
+        """Raw IF frames ``(F, ants, loops, samples)`` -> stacked cube
+        segments ``(S, st, V, D, A)``."""
+        cube = self.builder.build(raw_frames)
+        segments = segment_cube(
+            cube.values, self.config.dsp.segment_frames
+        )
+        if not segments:
+            raise ReproError(
+                "not enough frames for one segment "
+                f"(need {self.config.dsp.segment_frames})"
+            )
+        return np.stack(segments)
+
+    def estimate_skeletons(
+        self, segments: np.ndarray
+    ) -> Tuple[np.ndarray, List[float]]:
+        """Regress skeletons per segment, returning per-segment times."""
+        segments = np.asarray(segments, dtype=np.float32)
+        if segments.ndim == 4:
+            segments = segments[None]
+        joints = []
+        times = []
+        for segment in segments:
+            start = time.perf_counter()
+            joints.append(self.regressor.predict(segment[None])[0])
+            times.append(time.perf_counter() - start)
+        return np.stack(joints), times
+
+    def reconstruct_meshes(
+        self, skeletons: np.ndarray
+    ) -> Tuple[List[MeshResult], List[float]]:
+        """MANO meshes per skeleton, returning per-skeleton times."""
+        skeletons = np.asarray(skeletons, dtype=float)
+        if skeletons.ndim == 2:
+            skeletons = skeletons[None]
+        meshes = []
+        times = []
+        for skeleton in skeletons:
+            result = self.reconstructor.reconstruct(skeleton)
+            meshes.append(result.mesh)
+            times.append(result.elapsed_s)
+        return meshes, times
+
+    def process(self, raw_frames: np.ndarray) -> PipelineOutput:
+        """Full pipeline: raw IF frames to skeletons + meshes."""
+        segments = self.preprocess(raw_frames)
+        skeletons, skel_times = self.estimate_skeletons(segments)
+        meshes, mesh_times = self.reconstruct_meshes(skeletons)
+        timings = [
+            PipelineTiming(skeleton_s=s, mesh_s=m)
+            for s, m in zip(skel_times, mesh_times)
+        ]
+        return PipelineOutput(
+            skeletons=skeletons, meshes=meshes, timings=timings
+        )

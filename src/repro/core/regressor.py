@@ -1,0 +1,135 @@
+"""End-to-end 3-D hand joint regression network (paper Fig. 5).
+
+Radar cube segment -> mmSpaceNet spatial features -> LSTM temporal
+features -> fully-connected layers regressing the 21 joints in 3-D.
+Label normalisation statistics live on the module as buffers so saved
+weights carry them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DspConfig, ModelConfig
+from repro.core.mmspacenet import MmSpaceNet
+from repro.core.temporal import TemporalModel
+from repro.errors import ModelError
+from repro.nn.layers import Linear, Module, ReLU, Sequential
+from repro.nn.tensor import Tensor, no_grad
+
+
+class HandJointRegressor(Module):
+    """The full joint-regression network.
+
+    ``forward`` maps normalised radar cube segments ``(B, st, V, D, A)``
+    to normalised joint predictions ``(B, 21, 3)``; :meth:`predict`
+    additionally applies input standardisation and label denormalisation
+    and returns plain numpy joints in metres.
+    """
+
+    def __init__(
+        self,
+        dsp: Optional[DspConfig] = None,
+        model: Optional[ModelConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.dsp = dsp if dsp is not None else DspConfig()
+        self.model_config = model if model is not None else ModelConfig()
+        rng = np.random.default_rng(seed)
+        self.spatial = MmSpaceNet(self.dsp, self.model_config, rng=rng)
+        self.temporal = TemporalModel(self.model_config, rng=rng)
+        hidden = self.model_config.lstm_hidden
+        joints = self.model_config.num_joints
+        self.head = Sequential(
+            Linear(hidden, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, joints * 3, rng=rng),
+        )
+        # Input/label normalisation, fitted by the trainer.
+        self.register_buffer("input_mean", np.zeros(1, dtype=np.float32))
+        self.register_buffer("input_std", np.ones(1, dtype=np.float32))
+        self.register_buffer(
+            "label_mean", np.zeros((joints, 3), dtype=np.float32)
+        )
+        self.register_buffer(
+            "label_std", np.ones((joints, 3), dtype=np.float32)
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        features = self.spatial(x)
+        context = self.temporal(features)
+        out = self.head(context)
+        joints = self.model_config.num_joints
+        return out.reshape(out.shape[0], joints, 3)
+
+    # ------------------------------------------------------------------
+    def set_normalization(
+        self,
+        input_mean: float,
+        input_std: float,
+        label_mean: np.ndarray,
+        label_std: np.ndarray,
+    ) -> None:
+        """Record dataset statistics used by :meth:`predict`."""
+        if input_std <= 0:
+            raise ModelError("input_std must be positive")
+        label_std = np.asarray(label_std, dtype=np.float32)
+        if np.any(label_std <= 0):
+            raise ModelError("label_std entries must be positive")
+        self._buffers["input_mean"] = np.array([input_mean], dtype=np.float32)
+        self._buffers["input_std"] = np.array([input_std], dtype=np.float32)
+        self._buffers["label_mean"] = np.asarray(
+            label_mean, dtype=np.float32
+        )
+        self._buffers["label_std"] = label_std
+        for name in ("input_mean", "input_std", "label_mean", "label_std"):
+            object.__setattr__(self, name, self._buffers[name])
+
+    def normalize_inputs(self, segments: np.ndarray) -> np.ndarray:
+        """Standardise raw cube segments with the fitted statistics."""
+        return (
+            (segments - float(self.input_mean[0]))
+            / float(self.input_std[0])
+        ).astype(np.float32)
+
+    def normalize_labels(self, joints: np.ndarray) -> np.ndarray:
+        return ((joints - self.label_mean) / self.label_std).astype(
+            np.float32
+        )
+
+    def denormalize_labels(self, normalised: np.ndarray) -> np.ndarray:
+        return normalised * self.label_std + self.label_mean
+
+    # ------------------------------------------------------------------
+    def predict(self, segments: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Joints in metres for raw cube segments ``(N, st, V, D, A)``.
+
+        Runs in eval mode without recording gradients.
+        """
+        segments = np.asarray(segments, dtype=np.float32)
+        if segments.ndim == 4:
+            segments = segments[None]
+        if segments.ndim != 5:
+            raise ModelError(
+                f"predict expects (N, st, V, D, A) segments, got "
+                f"{segments.shape}"
+            )
+        was_training = self.training
+        self.eval()
+        outputs = []
+        try:
+            with no_grad():
+                for start in range(0, len(segments), batch_size):
+                    batch = self.normalize_inputs(
+                        segments[start : start + batch_size]
+                    )
+                    pred = self.forward(Tensor(batch))
+                    outputs.append(self.denormalize_labels(pred.data))
+        finally:
+            if was_training:
+                self.train()
+        return np.concatenate(outputs, axis=0)

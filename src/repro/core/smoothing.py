@@ -1,0 +1,132 @@
+"""Temporal smoothing of skeleton streams.
+
+Per-segment regression is independent frame to frame; deployed systems
+smooth the stream. Two options:
+
+* :class:`JointKalmanFilter` -- a constant-velocity Kalman filter per
+  joint coordinate, the standard tracker for human-pose streams;
+* :func:`exponential_smooth` -- simple EMA smoothing for comparison.
+
+Both reduce jitter without the lag a plain moving average introduces on
+fast gesture transitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hand.joints import NUM_JOINTS
+
+
+class JointKalmanFilter:
+    """Constant-velocity Kalman filter over all 21x3 joint coordinates.
+
+    State per coordinate: (position, velocity). The filter assumes a
+    fixed frame period; process noise controls how quickly it trusts
+    observed accelerations, measurement noise how much it trusts the
+    per-frame regression.
+    """
+
+    def __init__(
+        self,
+        frame_period_s: float = 0.05,
+        process_noise: float = 8.0,
+        measurement_noise_m: float = 0.012,
+    ) -> None:
+        if frame_period_s <= 0:
+            raise ReproError("frame_period_s must be positive")
+        if process_noise <= 0 or measurement_noise_m <= 0:
+            raise ReproError("noise parameters must be positive")
+        self.dt = frame_period_s
+        dt = frame_period_s
+        self._f = np.array([[1.0, dt], [0.0, 1.0]])
+        # Piecewise-constant white acceleration model.
+        q = process_noise
+        self._q = q * np.array(
+            [[dt**4 / 4, dt**3 / 2], [dt**3 / 2, dt**2]]
+        )
+        self._r = measurement_noise_m**2
+        self._state: Optional[np.ndarray] = None  # (63, 2)
+        self._cov: Optional[np.ndarray] = None  # (63, 2, 2)
+
+    def reset(self) -> None:
+        self._state = None
+        self._cov = None
+
+    def update(self, skeleton: np.ndarray) -> np.ndarray:
+        """Filter one observed skeleton; returns the smoothed skeleton."""
+        skeleton = np.asarray(skeleton, dtype=float)
+        if skeleton.shape != (NUM_JOINTS, 3):
+            raise ReproError(
+                f"expected a (21, 3) skeleton, got {skeleton.shape}"
+            )
+        z = skeleton.reshape(-1)  # (63,)
+        if self._state is None:
+            self._state = np.stack([z, np.zeros_like(z)], axis=1)
+            self._cov = np.tile(
+                np.diag([self._r, 1.0]), (len(z), 1, 1)
+            )
+            return skeleton.copy()
+
+        # Predict.
+        state = self._state @ self._f.T
+        cov = np.einsum(
+            "ab,nbc,dc->nad", self._f, self._cov, self._f
+        ) + self._q
+
+        # Update (measurement H = [1, 0]).
+        innovation = z - state[:, 0]
+        s = cov[:, 0, 0] + self._r
+        gain = cov[:, :, 0] / s[:, None]  # (63, 2)
+        state = state + gain * innovation[:, None]
+        # Joseph-free standard form: P <- (I - K H) P.
+        kh = np.zeros_like(cov)
+        kh[:, 0, 0] = gain[:, 0]
+        kh[:, 1, 0] = gain[:, 1]
+        cov = cov - np.einsum("nab,nbc->nac", kh, cov)
+
+        self._state = state
+        self._cov = cov
+        return state[:, 0].reshape(NUM_JOINTS, 3)
+
+    def smooth_sequence(self, skeletons: np.ndarray) -> np.ndarray:
+        """Filter a (N, 21, 3) sequence, returning the smoothed stream."""
+        skeletons = np.asarray(skeletons, dtype=float)
+        if skeletons.ndim != 3:
+            raise ReproError("expected (N, 21, 3) skeletons")
+        return np.stack([self.update(s) for s in skeletons])
+
+
+def exponential_smooth(
+    skeletons: np.ndarray, alpha: float = 0.5
+) -> np.ndarray:
+    """EMA smoothing of a (N, 21, 3) skeleton sequence.
+
+    ``alpha`` is the weight of the newest observation (1 = no smoothing).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ReproError("alpha must lie in (0, 1]")
+    skeletons = np.asarray(skeletons, dtype=float)
+    if skeletons.ndim != 3 or skeletons.shape[1:] != (NUM_JOINTS, 3):
+        raise ReproError("expected (N, 21, 3) skeletons")
+    out = np.empty_like(skeletons)
+    out[0] = skeletons[0]
+    for i in range(1, len(skeletons)):
+        out[i] = alpha * skeletons[i] + (1.0 - alpha) * out[i - 1]
+    return out
+
+
+def jitter_metric(skeletons: np.ndarray) -> float:
+    """Mean frame-to-frame joint displacement (mm) -- a jitter proxy.
+
+    Smoothing should reduce this on a stationary hand without biasing a
+    moving one.
+    """
+    skeletons = np.asarray(skeletons, dtype=float)
+    if skeletons.ndim != 3 or len(skeletons) < 2:
+        raise ReproError("need at least 2 skeletons")
+    deltas = np.linalg.norm(np.diff(skeletons, axis=0), axis=2)
+    return float(deltas.mean() * 1000.0)

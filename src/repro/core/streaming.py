@@ -1,0 +1,119 @@
+"""Online (streaming) inference over a live radar frame stream.
+
+The batch pipeline (:class:`~repro.core.pipeline.MmHand`) processes a
+recorded capture; interactive applications instead receive raw frames
+one at a time. :class:`StreamingEstimator` maintains a sliding window of
+pre-processed frames and emits a skeleton (and optionally a mesh) every
+``hop`` frames once the window is full -- the structure a deployed
+mmHand UI controller would run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.core.mesh_recovery import MeshReconstructor
+from repro.core.regressor import HandJointRegressor
+from repro.dsp.radar_cube import CubeBuilder
+from repro.errors import ReproError
+from repro.mano.model import MeshResult
+
+
+@dataclass
+class StreamOutput:
+    """One emission of the streaming estimator."""
+
+    frame_index: int
+    skeleton: np.ndarray
+    mesh: Optional[MeshResult] = None
+
+
+class StreamingEstimator:
+    """Sliding-window skeleton estimation over raw IF frames.
+
+    Parameters
+    ----------
+    builder / regressor:
+        The pre-processing and regression stages (the regressor must be
+        trained and carry fitted normalisation).
+    reconstructor:
+        Optional fitted mesh-recovery stage; when provided each emission
+        includes the MANO mesh.
+    hop_frames:
+        Emit every ``hop_frames`` new frames once the window holds a full
+        segment; 1 gives per-frame updates with maximal overlap.
+    """
+
+    def __init__(
+        self,
+        builder: CubeBuilder,
+        regressor: HandJointRegressor,
+        reconstructor: Optional[MeshReconstructor] = None,
+        hop_frames: int = 1,
+    ) -> None:
+        if hop_frames < 1:
+            raise ReproError("hop_frames must be >= 1")
+        self.builder = builder
+        self.regressor = regressor
+        self.reconstructor = reconstructor
+        self.hop_frames = hop_frames
+        self._window: Deque[np.ndarray] = deque(
+            maxlen=builder.dsp.segment_frames
+        )
+        self._since_emit = 0
+        self._frame_index = -1
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._since_emit = 0
+        self._frame_index = -1
+
+    @property
+    def window_fill(self) -> int:
+        """Frames currently buffered (max: segment length)."""
+        return len(self._window)
+
+    def push(self, raw_frame: np.ndarray) -> Optional[StreamOutput]:
+        """Feed one raw IF frame ``(antennas, loops, samples)``.
+
+        Returns an emission when the window is full and the hop has
+        elapsed, else ``None``.
+        """
+        raw_frame = np.asarray(raw_frame)
+        if raw_frame.ndim != 3:
+            raise ReproError(
+                "push expects a single raw frame "
+                "(antennas, loops, samples)"
+            )
+        self._frame_index += 1
+        cube = self.builder.build(raw_frame[None])
+        self._window.append(cube.values[0])
+        self._since_emit += 1
+        st = self.builder.dsp.segment_frames
+        if len(self._window) < st or self._since_emit < self.hop_frames:
+            return None
+        self._since_emit = 0
+        segment = np.stack(list(self._window))
+        skeleton = self.regressor.predict(segment[None])[0]
+        mesh = None
+        if self.reconstructor is not None:
+            mesh = self.reconstructor.reconstruct(skeleton).mesh
+        return StreamOutput(
+            frame_index=self._frame_index, skeleton=skeleton, mesh=mesh
+        )
+
+    def run(self, raw_frames: np.ndarray) -> List[StreamOutput]:
+        """Convenience: push a whole (F, antennas, loops, samples) array."""
+        raw_frames = np.asarray(raw_frames)
+        if raw_frames.ndim != 4:
+            raise ReproError("run expects (F, antennas, loops, samples)")
+        outputs = []
+        for frame in raw_frames:
+            out = self.push(frame)
+            if out is not None:
+                outputs.append(out)
+        return outputs

@@ -1,0 +1,23 @@
+"""Dataset generation and management.
+
+Replaces the paper's (unreleased) 1.5M-frame capture campaign: synthetic
+subjects perform continuous gestures in front of the simulated radar, the
+DSP produces radar-cube segments, and a depth-camera ground-truth model
+labels each segment with (noisy) 21-joint positions, exactly mirroring
+the paper's MediaPipe-on-depth-camera labelling.
+"""
+
+from repro.data.dataset import HandPoseDataset, SegmentMeta
+from repro.data.groundtruth import CameraNoiseModel, camera_ground_truth
+from repro.data.collection import CaptureOptions, CampaignGenerator
+from repro.data.splits import kfold_user_splits
+
+__all__ = [
+    "HandPoseDataset",
+    "SegmentMeta",
+    "CameraNoiseModel",
+    "camera_ground_truth",
+    "CaptureOptions",
+    "CampaignGenerator",
+    "kfold_user_splits",
+]

@@ -1,0 +1,102 @@
+"""Train-time radar-cube augmentation.
+
+The paper trains on 1.5M real frames; at simulation scale, augmenting
+cube segments improves cross-user generalisation. All transforms act on
+the log-magnitude cube and preserve label validity:
+
+* amplitude gain/noise -- per-subject reflectivity and RCS speckle vary;
+* Doppler flip with velocity-consistent label (disabled by default: it
+  would require reversing time);
+* small range-axis shifts with matching label translation along
+  boresight -- the dominant placement variation;
+* frame dropout -- emulates occasional weak frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class AugmentationConfig:
+    """Augmentation strengths; zeros disable each transform."""
+
+    gain_std: float = 0.08
+    noise_std: float = 0.02
+    range_shift_bins: int = 1
+    range_resolution_m: float = 0.03747405725
+    frame_dropout_prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.gain_std < 0 or self.noise_std < 0:
+            raise DatasetError("augmentation stds must be non-negative")
+        if self.range_shift_bins < 0:
+            raise DatasetError("range_shift_bins must be >= 0")
+        if not 0.0 <= self.frame_dropout_prob < 1.0:
+            raise DatasetError("frame_dropout_prob must lie in [0, 1)")
+        if self.range_resolution_m <= 0:
+            raise DatasetError("range_resolution_m must be positive")
+
+
+def augment_batch(
+    segments: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    config: AugmentationConfig = AugmentationConfig(),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Augment a batch of (segments, labels) consistently.
+
+    ``segments``: (B, st, V, D, A) log-magnitude cubes;
+    ``labels``: (B, 21, 3) joints in metres. Returns new arrays; inputs
+    are not modified.
+    """
+    segments = np.asarray(segments, dtype=np.float32)
+    labels = np.asarray(labels, dtype=np.float32)
+    if segments.ndim != 5:
+        raise DatasetError(
+            f"expected (B, st, V, D, A) segments, got {segments.shape}"
+        )
+    if labels.shape != (len(segments), 21, 3):
+        raise DatasetError("labels must have shape (B, 21, 3)")
+    out_x = segments.copy()
+    out_y = labels.copy()
+    batch = len(segments)
+
+    if config.gain_std > 0:
+        gains = rng.normal(1.0, config.gain_std, size=(batch, 1, 1, 1, 1))
+        out_x *= np.abs(gains).astype(np.float32)
+
+    if config.noise_std > 0:
+        out_x += rng.normal(
+            0.0, config.noise_std, size=out_x.shape
+        ).astype(np.float32)
+        np.clip(out_x, 0.0, None, out=out_x)
+
+    if config.range_shift_bins > 0:
+        shifts = rng.integers(
+            -config.range_shift_bins, config.range_shift_bins + 1,
+            size=batch,
+        )
+        for b, shift in enumerate(shifts):
+            if shift == 0:
+                continue
+            out_x[b] = np.roll(out_x[b], shift, axis=2)
+            if shift > 0:
+                out_x[b, :, :, :shift, :] = 0.0
+            else:
+                out_x[b, :, :, shift:, :] = 0.0
+            # The radar cube's range axis is boresight (+x): shift the
+            # label the same physical amount.
+            out_y[b, :, 0] += shift * config.range_resolution_m
+
+    if config.frame_dropout_prob > 0:
+        drops = rng.random(size=(batch, segments.shape[1]))
+        mask = drops < config.frame_dropout_prob
+        for b, frame in np.argwhere(mask):
+            out_x[b, frame] *= 0.2
+    return out_x, out_y

@@ -1,0 +1,275 @@
+"""Simulated data-collection campaign (paper Sec. VI-A).
+
+Mirrors the paper's setup: subjects stand in front of the radar, keep the
+hand 20-40 cm away, and perform continuous interaction/counting gestures
+while radar and depth camera record synchronously. One *capture* is a
+continuous gesture sequence producing several radar-cube segments; a
+campaign runs many captures per subject under configurable conditions
+(environment, body position, gloves, handheld objects, occluders,
+distance and angle overrides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import CampaignConfig, DspConfig, RadarConfig
+from repro.data.dataset import HandPoseDataset, SegmentMeta
+from repro.data.groundtruth import CameraNoiseModel, camera_ground_truth
+from repro.dsp.radar_cube import CubeBuilder, segment_cube
+from repro.errors import DatasetError
+from repro.hand.animation import sample_gesture_sequence
+from repro.hand.gestures import list_gestures
+from repro.hand.kinematics import forward_kinematics
+from repro.hand.subjects import Subject, make_subjects
+from repro.radar.clutter import (
+    ENVIRONMENTS,
+    OCCLUDER_MATERIALS,
+    BodyPosition,
+    body_scatterers,
+    environment_scatterers,
+    occluder_scatterers,
+)
+from repro.radar.radar import RadarSimulator
+from repro.radar.scatterers import (
+    GLOVE_MATERIALS,
+    HANDHELD_OBJECTS,
+    hand_scatterers,
+)
+from repro.radar.scene import Scatterers, Scene
+
+
+@dataclass(frozen=True)
+class CaptureOptions:
+    """Conditions of one capture session.
+
+    ``distance_m`` / ``angle_deg`` override the sampled hand placement
+    (used by the distance/angle sweeps); ``glove`` / ``handheld`` /
+    ``occluder`` name entries of the corresponding registries.
+    """
+
+    environment: str = "classroom"
+    body_position: BodyPosition = BodyPosition.FRONT
+    glove: Optional[str] = None
+    handheld: Optional[str] = None
+    occluder: Optional[str] = None
+    distance_m: Optional[float] = None
+    angle_deg: float = 0.0
+    gestures: Optional[Tuple[str, ...]] = None
+    segments_per_capture: int = 4
+
+    def __post_init__(self) -> None:
+        if self.environment not in ENVIRONMENTS:
+            raise DatasetError(f"unknown environment {self.environment!r}")
+        if self.glove is not None and self.glove not in GLOVE_MATERIALS:
+            raise DatasetError(f"unknown glove {self.glove!r}")
+        if self.handheld is not None and self.handheld not in HANDHELD_OBJECTS:
+            raise DatasetError(f"unknown handheld object {self.handheld!r}")
+        if self.occluder is not None and self.occluder not in OCCLUDER_MATERIALS:
+            raise DatasetError(f"unknown occluder {self.occluder!r}")
+        if self.segments_per_capture < 1:
+            raise DatasetError("segments_per_capture must be >= 1")
+
+    @property
+    def condition_tag(self) -> str:
+        """Compact label recorded in segment metadata."""
+        tags = []
+        if self.glove:
+            tags.append(f"glove:{self.glove}")
+        if self.handheld:
+            tags.append(f"handheld:{self.handheld}")
+        if self.occluder:
+            tags.append(f"occluder:{self.occluder}")
+        if self.body_position is not BodyPosition.FRONT:
+            tags.append(f"body:{self.body_position.value}")
+        return "+".join(tags) if tags else "baseline"
+
+
+class CampaignGenerator:
+    """Generates labelled radar-cube datasets under arbitrary conditions."""
+
+    def __init__(
+        self,
+        radar: Optional[RadarConfig] = None,
+        dsp: Optional[DspConfig] = None,
+        campaign: Optional[CampaignConfig] = None,
+        noise_model: CameraNoiseModel = CameraNoiseModel(),
+    ) -> None:
+        self.radar = radar if radar is not None else RadarConfig()
+        self.dsp = dsp if dsp is not None else DspConfig()
+        self.campaign = campaign if campaign is not None else CampaignConfig()
+        self.noise_model = noise_model
+        self.builder = CubeBuilder(self.radar, self.dsp)
+
+    # ------------------------------------------------------------------
+    def capture(
+        self,
+        subject: Subject,
+        options: CaptureOptions,
+        rng: np.random.Generator,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], List[SegmentMeta]]:
+        """Run one continuous-gesture capture and return per-segment
+        (cube segment, camera label, true joints, meta) lists."""
+        st = self.dsp.segment_frames
+        num_frames = options.segments_per_capture * st
+        frame_period = self.radar.frame_period_s
+
+        distance = (
+            options.distance_m
+            if options.distance_m is not None
+            else float(rng.uniform(*self.campaign.distance_range_m))
+        )
+        angle = np.radians(options.angle_deg)
+        base = np.array(
+            [
+                distance * np.cos(angle),
+                distance * np.sin(angle),
+                float(rng.uniform(-0.03, 0.03)),
+            ]
+        )
+        gestures = (
+            list(options.gestures)
+            if options.gestures is not None
+            else list_gestures()
+        )
+        sequence = sample_gesture_sequence(
+            rng, gestures, num_keyframes=max(2, num_frames // 6),
+            base_position=base,
+        )
+        poses = sequence.sample(frame_period, num_frames)
+
+        shape = subject.hand_shape()
+        glove = GLOVE_MATERIALS.get(options.glove) if options.glove else None
+        handheld = (
+            HANDHELD_OBJECTS.get(options.handheld)
+            if options.handheld
+            else None
+        )
+        occluder = (
+            OCCLUDER_MATERIALS.get(options.occluder)
+            if options.occluder
+            else None
+        )
+
+        env_seed = int(rng.integers(2**31))
+        body_seed = int(rng.integers(2**31))
+        occ_seed = int(rng.integers(2**31))
+        sim = RadarSimulator(self.radar, seed=int(rng.integers(2**31)))
+        scatter_rng = np.random.default_rng(int(rng.integers(2**31)))
+
+        raw_frames = []
+        for i, pose in enumerate(poses):
+            prev = poses[i - 1] if i > 0 else None
+            hand = hand_scatterers(
+                shape,
+                pose,
+                prev_pose=prev,
+                frame_period_s=frame_period,
+                reflectivity=subject.skin_reflectivity,
+                glove=glove,
+                handheld=handheld,
+                rng=scatter_rng,
+            )
+            env = environment_scatterers(
+                options.environment,
+                np.random.default_rng(env_seed),
+                time_s=i * frame_period,
+            )
+            body = body_scatterers(
+                options.body_position,
+                np.random.default_rng(body_seed),
+                body_rcs=subject.body_rcs,
+                hand_range_m=distance,
+            )
+            occ = occluder_scatterers(
+                occluder, np.random.default_rng(occ_seed)
+            )
+            scene = Scene(
+                hand=hand,
+                background=Scatterers.concatenate([env, body, occ]),
+                hand_attenuation=(
+                    occluder.transmission if occluder is not None else 1.0
+                ),
+            )
+            raw_frames.append(sim.frame(scene))
+
+        cube = self.builder.build(np.stack(raw_frames))
+        segments = segment_cube(cube.values, st)
+
+        seg_data, labels, trues, metas = [], [], [], []
+        for s, segment in enumerate(segments):
+            # The label is the pose at the segment's final frame: the
+            # network regresses the skeleton "at that moment" (Sec. IV).
+            pose = poses[(s + 1) * st - 1]
+            joints = forward_kinematics(shape, pose)
+            label = camera_ground_truth(joints, rng, self.noise_model)
+            seg_data.append(segment.astype(np.float32))
+            labels.append(label.astype(np.float32))
+            trues.append(joints.astype(np.float32))
+            metas.append(
+                SegmentMeta(
+                    user_id=subject.user_id,
+                    environment=options.environment,
+                    distance_m=distance,
+                    angle_deg=options.angle_deg,
+                    gesture=sequence.keyframes[-1].gesture,
+                    condition=options.condition_tag,
+                )
+            )
+        return seg_data, labels, trues, metas
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        subjects: Optional[Sequence[Subject]] = None,
+        options: CaptureOptions = CaptureOptions(),
+        segments_per_user: Optional[int] = None,
+        seed: Optional[int] = None,
+        rotate_environments: bool = True,
+    ) -> HandPoseDataset:
+        """Generate a full campaign dataset.
+
+        With ``rotate_environments`` (the default) captures cycle through
+        the campaign's environments, as in the paper's three test sites;
+        the explicit ``options.environment`` is used otherwise.
+        """
+        if subjects is None:
+            subjects = make_subjects(
+                self.campaign.num_users, seed=self.campaign.seed
+            )
+        if segments_per_user is None:
+            segments_per_user = self.campaign.segments_per_user
+        if seed is None:
+            seed = self.campaign.seed
+        rng = np.random.default_rng(seed)
+
+        all_segments, all_labels, all_true, all_meta = [], [], [], []
+        for subject in subjects:
+            collected = 0
+            capture_index = 0
+            while collected < segments_per_user:
+                capture_options = options
+                if rotate_environments:
+                    env = self.campaign.environments[
+                        capture_index % len(self.campaign.environments)
+                    ]
+                    capture_options = replace(options, environment=env)
+                segs, labels, trues, metas = self.capture(
+                    subject, capture_options, rng
+                )
+                take = min(len(segs), segments_per_user - collected)
+                all_segments.extend(segs[:take])
+                all_labels.extend(labels[:take])
+                all_true.extend(trues[:take])
+                all_meta.extend(metas[:take])
+                collected += take
+                capture_index += 1
+        return HandPoseDataset(
+            segments=np.stack(all_segments),
+            labels=np.stack(all_labels),
+            true_joints=np.stack(all_true),
+            meta=all_meta,
+        )

@@ -1,0 +1,147 @@
+"""Dataset containers for radar-cube segments and joint labels."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Provenance of one radar-cube segment."""
+
+    user_id: int
+    environment: str = "classroom"
+    distance_m: float = 0.3
+    angle_deg: float = 0.0
+    gesture: str = ""
+    condition: str = "baseline"
+
+
+@dataclass
+class HandPoseDataset:
+    """Aligned arrays of segments, labels and provenance.
+
+    Attributes
+    ----------
+    segments:
+        (N, st, V, D, A) float32 radar-cube segments (log magnitudes).
+    labels:
+        (N, 21, 3) float32 camera ground-truth joints (what the paper
+        trains against -- depth-camera MediaPipe output, itself noisy).
+    true_joints:
+        (N, 21, 3) float32 simulator-exact joints (available only because
+        this is a simulation; used for ground-truth-quality analyses).
+    meta:
+        Per-segment provenance records.
+    """
+
+    segments: np.ndarray
+    labels: np.ndarray
+    true_joints: np.ndarray
+    meta: List[SegmentMeta] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.segments = np.asarray(self.segments, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.float32)
+        self.true_joints = np.asarray(self.true_joints, dtype=np.float32)
+        n = len(self.segments)
+        if self.segments.ndim != 5:
+            raise DatasetError(
+                f"segments must be 5-D (N, st, V, D, A), got "
+                f"{self.segments.shape}"
+            )
+        if self.labels.shape != (n, 21, 3):
+            raise DatasetError(
+                f"labels must have shape ({n}, 21, 3), got "
+                f"{self.labels.shape}"
+            )
+        if self.true_joints.shape != (n, 21, 3):
+            raise DatasetError("true_joints shape mismatch")
+        if len(self.meta) != n:
+            raise DatasetError(
+                f"need {n} meta records, got {len(self.meta)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def user_ids(self) -> np.ndarray:
+        return np.array([m.user_id for m in self.meta])
+
+    def subset(self, indices: Sequence[int]) -> "HandPoseDataset":
+        indices = np.asarray(indices, dtype=int)
+        return HandPoseDataset(
+            segments=self.segments[indices],
+            labels=self.labels[indices],
+            true_joints=self.true_joints[indices],
+            meta=[self.meta[i] for i in indices],
+        )
+
+    def for_user(self, user_id: int) -> "HandPoseDataset":
+        mask = self.user_ids == user_id
+        return self.subset(np.nonzero(mask)[0])
+
+    def filter(self, **conditions) -> "HandPoseDataset":
+        """Subset by exact-match meta fields, e.g.
+        ``dataset.filter(environment="corridor")``."""
+        indices = [
+            i
+            for i, m in enumerate(self.meta)
+            if all(getattr(m, k) == v for k, v in conditions.items())
+        ]
+        return self.subset(indices)
+
+    @staticmethod
+    def concatenate(parts: Sequence["HandPoseDataset"]) -> "HandPoseDataset":
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            raise DatasetError("cannot concatenate zero non-empty datasets")
+        return HandPoseDataset(
+            segments=np.concatenate([p.segments for p in parts]),
+            labels=np.concatenate([p.labels for p in parts]),
+            true_joints=np.concatenate([p.true_joints for p in parts]),
+            meta=[m for p in parts for m in p.meta],
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the dataset as a single ``.npz`` archive."""
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        meta_json = json.dumps([asdict(m) for m in self.meta])
+        np.savez_compressed(
+            path,
+            segments=self.segments,
+            labels=self.labels,
+            true_joints=self.true_joints,
+            meta=np.frombuffer(meta_json.encode(), dtype=np.uint8),
+        )
+
+    @staticmethod
+    def load(path: Union[str, os.PathLike]) -> "HandPoseDataset":
+        path = os.fspath(path)
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        if not os.path.exists(path):
+            raise DatasetError(f"no dataset at {path}")
+        with np.load(path) as archive:
+            meta_json = bytes(archive["meta"]).decode()
+            meta = [SegmentMeta(**record) for record in json.loads(meta_json)]
+            return HandPoseDataset(
+                segments=archive["segments"],
+                labels=archive["labels"],
+                true_joints=archive["true_joints"],
+                meta=meta,
+            )

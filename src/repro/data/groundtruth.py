@@ -1,0 +1,74 @@
+"""Depth-camera ground-truth model.
+
+The paper's labels are not perfect: they come from MediaPipe Hands run on
+a depth camera co-located with the radar. This module models that
+labelling channel -- anisotropic per-joint noise (depth is worse than the
+image plane), fingertips noisier than palm joints, and occasional tracking
+glitches -- so the training labels carry realistic imperfection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.hand.joints import NUM_JOINTS, PALM_JOINTS
+
+
+@dataclass(frozen=True)
+class CameraNoiseModel:
+    """Noise statistics of the depth-camera + MediaPipe labelling chain.
+
+    All sigmas in metres. ``depth_sigma_m`` applies along the camera's
+    optical axis (world +x, since camera and radar are co-located and
+    face the user); ``lateral_sigma_m`` in the image plane. Fingertip
+    joints get ``finger_noise_scale`` times more noise; with probability
+    ``glitch_rate`` a joint is displaced by ``glitch_sigma_m``.
+    """
+
+    lateral_sigma_m: float = 0.0020
+    depth_sigma_m: float = 0.0040
+    finger_noise_scale: float = 1.6
+    glitch_rate: float = 0.002
+    glitch_sigma_m: float = 0.02
+
+    def __post_init__(self) -> None:
+        if min(self.lateral_sigma_m, self.depth_sigma_m,
+               self.glitch_sigma_m) < 0:
+            raise DatasetError("noise sigmas must be non-negative")
+        if not 0 <= self.glitch_rate <= 1:
+            raise DatasetError("glitch_rate must lie in [0, 1]")
+        if self.finger_noise_scale < 1:
+            raise DatasetError("finger_noise_scale must be >= 1")
+
+
+def camera_ground_truth(
+    joints: np.ndarray,
+    rng: np.random.Generator,
+    model: CameraNoiseModel = CameraNoiseModel(),
+) -> np.ndarray:
+    """Noisy 21-joint labels as the depth camera would report them."""
+    joints = np.asarray(joints, dtype=float)
+    if joints.shape != (NUM_JOINTS, 3):
+        raise DatasetError(
+            f"expected (21, 3) joints, got {joints.shape}"
+        )
+    sigma = np.empty((NUM_JOINTS, 3))
+    sigma[:, 0] = model.depth_sigma_m
+    sigma[:, 1] = model.lateral_sigma_m
+    sigma[:, 2] = model.lateral_sigma_m
+    finger_mask = np.ones(NUM_JOINTS)
+    for j in range(NUM_JOINTS):
+        if j not in PALM_JOINTS:
+            finger_mask[j] = model.finger_noise_scale
+    noisy = joints + rng.normal(0.0, 1.0, size=joints.shape) * sigma * (
+        finger_mask[:, None]
+    )
+    glitches = rng.random(NUM_JOINTS) < model.glitch_rate
+    if np.any(glitches):
+        noisy[glitches] += rng.normal(
+            0.0, model.glitch_sigma_m, size=(int(glitches.sum()), 3)
+        )
+    return noisy

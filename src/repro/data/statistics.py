@@ -1,0 +1,114 @@
+"""Dataset inspection: composition and signal-quality statistics.
+
+Summarises a :class:`~repro.data.dataset.HandPoseDataset` the way a data
+sheet would -- per-user/environment/gesture composition, label geometry
+(distance and workspace coverage) and a cube SNR proxy -- so campaigns
+can be sanity-checked before spending training time on them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+import numpy as np
+
+from repro.data.dataset import HandPoseDataset
+from repro.errors import DatasetError
+
+
+def composition(dataset: HandPoseDataset) -> Dict[str, Dict[str, int]]:
+    """Segment counts per user, environment, gesture and condition."""
+    if len(dataset) == 0:
+        raise DatasetError("cannot summarise an empty dataset")
+    return {
+        "users": dict(
+            Counter(str(m.user_id) for m in dataset.meta)
+        ),
+        "environments": dict(
+            Counter(m.environment for m in dataset.meta)
+        ),
+        "gestures": dict(Counter(m.gesture for m in dataset.meta)),
+        "conditions": dict(Counter(m.condition for m in dataset.meta)),
+    }
+
+
+def label_statistics(dataset: HandPoseDataset) -> Dict[str, float]:
+    """Geometry of the labels: distance band and workspace extents."""
+    if len(dataset) == 0:
+        raise DatasetError("cannot summarise an empty dataset")
+    wrists = dataset.labels[:, 0, :]
+    distances = np.linalg.norm(wrists, axis=1)
+    spans = dataset.labels.max(axis=1) - dataset.labels.min(axis=1)
+    label_noise = np.linalg.norm(
+        dataset.labels - dataset.true_joints, axis=2
+    )
+    return {
+        "distance_min_m": float(distances.min()),
+        "distance_mean_m": float(distances.mean()),
+        "distance_max_m": float(distances.max()),
+        "hand_span_mean_m": float(spans.mean()),
+        "label_noise_mean_mm": float(label_noise.mean() * 1000.0),
+        "label_noise_p95_mm": float(
+            np.percentile(label_noise, 95) * 1000.0
+        ),
+    }
+
+
+def cube_statistics(dataset: HandPoseDataset) -> Dict[str, float]:
+    """Signal statistics of the radar cubes.
+
+    The SNR proxy compares the mean of the strongest 1% of cube cells
+    (target returns) against the median cell (noise floor), in dB of the
+    log-magnitude domain's linear equivalent.
+    """
+    if len(dataset) == 0:
+        raise DatasetError("cannot summarise an empty dataset")
+    values = dataset.segments
+    flat = values.reshape(len(values), -1)
+    top = np.quantile(flat, 0.99, axis=1)
+    floor = np.median(flat, axis=1)
+    # Cube cells store log1p magnitudes; convert back for a power ratio.
+    linear_top = np.expm1(top)
+    linear_floor = np.maximum(np.expm1(floor), 1e-9)
+    snr_db = 20.0 * np.log10(np.maximum(linear_top / linear_floor, 1e-9))
+    return {
+        "cube_mean": float(values.mean()),
+        "cube_max": float(values.max()),
+        "occupancy_percent": float(
+            (flat > 0.05 * flat.max()).mean() * 100.0
+        ),
+        "snr_proxy_db_mean": float(snr_db.mean()),
+        "snr_proxy_db_min": float(snr_db.min()),
+    }
+
+
+def summarize(dataset: HandPoseDataset) -> str:
+    """Human-readable multi-section dataset summary."""
+    comp = composition(dataset)
+    labels = label_statistics(dataset)
+    cubes = cube_statistics(dataset)
+    lines = [f"dataset: {len(dataset)} segments"]
+    lines.append(
+        "users: " + ", ".join(
+            f"{k}:{v}" for k, v in sorted(comp["users"].items())
+        )
+    )
+    lines.append(
+        "environments: " + ", ".join(
+            f"{k}:{v}" for k, v in sorted(comp["environments"].items())
+        )
+    )
+    lines.append(
+        f"distance: {labels['distance_min_m']:.2f}-"
+        f"{labels['distance_max_m']:.2f} m "
+        f"(mean {labels['distance_mean_m']:.2f})"
+    )
+    lines.append(
+        f"label noise: {labels['label_noise_mean_mm']:.1f} mm mean, "
+        f"{labels['label_noise_p95_mm']:.1f} mm p95"
+    )
+    lines.append(
+        f"cube SNR proxy: {cubes['snr_proxy_db_mean']:.1f} dB mean"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""mmWave signal pre-processing (paper Sec. III).
+
+Raw IF frames pass through an 8th-order Butterworth bandpass that keeps
+the hand's range band, then range-FFT, Doppler-FFT and angle processing
+over the TDM-MIMO virtual array (zoom-FFT restricted to +/-30 degrees),
+producing the 4-D Radar Cube ``RC in R^{F x V x D x A}`` the network
+consumes.
+"""
+
+from repro.dsp.windows import get_window
+from repro.dsp.filters import hand_bandpass, band_to_if_hz
+from repro.dsp.fft import (
+    range_fft,
+    doppler_fft,
+    AngleProcessor,
+    zoom_fft,
+)
+from repro.dsp.radar_cube import (
+    RadarCube,
+    CubeBuilder,
+    segment_cube,
+)
+from repro.dsp.cfar import (
+    CfarConfig,
+    ca_cfar,
+    detect_peaks,
+    locate_hand,
+    adaptive_hand_band,
+)
+from repro.dsp.mti import (
+    mti_highpass,
+    two_pulse_canceller,
+    RecursiveClutterFilter,
+)
+from repro.dsp.pointcloud import (
+    PointCloud,
+    extract_pointcloud,
+    sequence_pointclouds,
+)
+
+__all__ = [
+    "get_window",
+    "hand_bandpass",
+    "band_to_if_hz",
+    "range_fft",
+    "doppler_fft",
+    "AngleProcessor",
+    "zoom_fft",
+    "RadarCube",
+    "CubeBuilder",
+    "segment_cube",
+    "CfarConfig",
+    "ca_cfar",
+    "detect_peaks",
+    "locate_hand",
+    "adaptive_hand_band",
+    "mti_highpass",
+    "two_pulse_canceller",
+    "RecursiveClutterFilter",
+    "PointCloud",
+    "extract_pointcloud",
+    "sequence_pointclouds",
+]

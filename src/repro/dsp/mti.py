@@ -1,0 +1,87 @@
+"""Moving-target indication (MTI) static-clutter removal.
+
+Furniture, walls and the radar's own leakage are static: their IF
+contribution is identical chirp after chirp, while the hand's
+micro-motion modulates the slow-time phase. Subtracting the slow-time
+mean (or a first-order recursive estimate across frames) removes static
+clutter before the Doppler FFT -- a standard radar pre-processing stage
+that complements the paper's range-band filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+
+
+def mti_highpass(data: np.ndarray, axis: int = -2) -> np.ndarray:
+    """Remove the zero-Doppler (static) component along slow time.
+
+    Subtracts the mean over the chirp-loop axis, equivalent to notching
+    the DC Doppler bin. Default ``axis=-2`` matches the radar cube's
+    ``(..., loops, samples)`` layout.
+    """
+    data = np.asarray(data)
+    if data.ndim < 2:
+        raise SignalProcessingError("MTI needs at least 2-D data")
+    if data.shape[axis] < 2:
+        raise SignalProcessingError(
+            "MTI needs at least 2 chirps along the slow-time axis"
+        )
+    return data - data.mean(axis=axis, keepdims=True)
+
+
+def two_pulse_canceller(data: np.ndarray, axis: int = -2) -> np.ndarray:
+    """First-difference MTI filter along slow time.
+
+    Output has one fewer chirp; static returns cancel exactly while
+    moving returns pass with a sin-shaped Doppler response. Useful when
+    the static clutter drifts slowly (so mean subtraction underperforms).
+    """
+    data = np.asarray(data)
+    if data.ndim < 2:
+        raise SignalProcessingError("MTI needs at least 2-D data")
+    if data.shape[axis] < 2:
+        raise SignalProcessingError(
+            "two-pulse canceller needs >= 2 chirps"
+        )
+    upper = [slice(None)] * data.ndim
+    lower = [slice(None)] * data.ndim
+    upper[axis] = slice(1, None)
+    lower[axis] = slice(None, -1)
+    return data[tuple(upper)] - data[tuple(lower)]
+
+
+class RecursiveClutterFilter:
+    """Exponential-average clutter map subtracted frame by frame.
+
+    Maintains ``clutter <- (1 - alpha) * clutter + alpha * frame`` and
+    returns ``frame - clutter`` for each incoming raw frame, adapting to
+    slow environmental change across a capture session (people settling,
+    doors opening) without touching hand motion.
+    """
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise SignalProcessingError("alpha must lie in (0, 1)")
+        self.alpha = alpha
+        self._clutter = None
+
+    def reset(self) -> None:
+        self._clutter = None
+
+    def process(self, frame: np.ndarray) -> np.ndarray:
+        """Filter one raw frame ``(antennas, loops, samples)``."""
+        frame = np.asarray(frame)
+        if self._clutter is None:
+            # First frame: bootstrap the clutter map from the slow-time
+            # mean so the hand's moving component survives.
+            self._clutter = np.broadcast_to(
+                frame.mean(axis=-2, keepdims=True), frame.shape
+            ).copy()
+        out = frame - self._clutter
+        self._clutter = (
+            (1.0 - self.alpha) * self._clutter + self.alpha * frame
+        )
+        return out

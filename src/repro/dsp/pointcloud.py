@@ -1,0 +1,161 @@
+"""Radar point-cloud extraction from the 4-D radar cube.
+
+Many mmWave sensing systems (e.g. RadHAR, mPose) convert the radar cube
+into a sparse 3-D point cloud of detected reflectors. mmHand feeds the
+dense cube to its network instead, but the point-cloud view is valuable
+for inspection, debugging and alternative baselines: each detected cell
+becomes a point with Cartesian position, radial velocity and intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dsp.cfar import CfarConfig, ca_cfar
+from repro.dsp.radar_cube import RadarCube
+from repro.errors import SignalProcessingError
+
+
+@dataclass
+class PointCloud:
+    """Detected radar points for one frame.
+
+    Attributes
+    ----------
+    positions:
+        (P, 3) Cartesian positions in the radar frame (x boresight).
+    velocities:
+        (P,) radial velocities in m/s (positive receding).
+    intensities:
+        (P,) log-magnitude intensities from the cube.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    intensities: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.atleast_2d(
+            np.asarray(self.positions, dtype=float)
+        )
+        self.velocities = np.atleast_1d(
+            np.asarray(self.velocities, dtype=float)
+        )
+        self.intensities = np.atleast_1d(
+            np.asarray(self.intensities, dtype=float)
+        )
+        n = len(self.positions)
+        if self.positions.shape != (n, 3):
+            raise SignalProcessingError("positions must have shape (P, 3)")
+        if self.velocities.shape != (n,) or self.intensities.shape != (n,):
+            raise SignalProcessingError(
+                "velocities/intensities must match positions"
+            )
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def centroid(self) -> np.ndarray:
+        """Intensity-weighted centroid of the cloud."""
+        if len(self) == 0:
+            raise SignalProcessingError("empty point cloud has no centroid")
+        weights = np.maximum(self.intensities, 1e-9)
+        return (self.positions * weights[:, None]).sum(axis=0) / (
+            weights.sum()
+        )
+
+    def top_k(self, k: int) -> "PointCloud":
+        """The ``k`` strongest points (all points if fewer)."""
+        if k < 1:
+            raise SignalProcessingError("k must be >= 1")
+        order = np.argsort(self.intensities)[::-1][:k]
+        return PointCloud(
+            positions=self.positions[order],
+            velocities=self.velocities[order],
+            intensities=self.intensities[order],
+        )
+
+
+def extract_pointcloud(
+    cube: RadarCube,
+    frame: int = 0,
+    cfar: Optional[CfarConfig] = None,
+    max_points: int = 64,
+    min_intensity: float = 0.0,
+) -> PointCloud:
+    """Detect reflector points in one frame of a radar cube.
+
+    CFAR runs along the range axis of the velocity-summed range-angle
+    map; each detection contributes a point at the detected range, the
+    azimuth/elevation of its strongest angle bins, and the Doppler of
+    its strongest velocity bin.
+    """
+    if cfar is None:
+        cfar = CfarConfig(guard_cells=1, training_cells=4,
+                          threshold_factor=2.0)
+    if not 0 <= frame < cube.num_frames:
+        raise SignalProcessingError(
+            f"frame {frame} out of range (cube has {cube.num_frames})"
+        )
+    values = cube.values[frame]  # (V, D, A)
+    num_az = len(cube.azimuth_axis_rad)
+
+    range_profile = values.sum(axis=(0, 2))
+    detections = ca_cfar(range_profile, cfar)
+
+    positions: List[np.ndarray] = []
+    velocities: List[float] = []
+    intensities: List[float] = []
+    for d in np.nonzero(detections)[0]:
+        cell = values[:, d, :]  # (V, A)
+        intensity = float(cell.max())
+        if intensity < min_intensity:
+            continue
+        v_bin = int(cell.max(axis=1).argmax())
+        az_bin = int(cell[:, :num_az].max(axis=0).argmax())
+        el_bin = int(cell[:, num_az:].max(axis=0).argmax())
+        r = float(cube.range_axis_m[d])
+        az = float(cube.azimuth_axis_rad[min(az_bin,
+                                             len(cube.azimuth_axis_rad) - 1)])
+        el = float(
+            cube.elevation_axis_rad[
+                min(el_bin, len(cube.elevation_axis_rad) - 1)
+            ]
+        )
+        positions.append(
+            np.array(
+                [
+                    r * np.cos(el) * np.cos(az),
+                    r * np.cos(el) * np.sin(az),
+                    r * np.sin(el),
+                ]
+            )
+        )
+        velocities.append(float(cube.velocity_axis_mps[v_bin]))
+        intensities.append(intensity)
+
+    if not positions:
+        return PointCloud(
+            positions=np.zeros((0, 3)),
+            velocities=np.zeros(0),
+            intensities=np.zeros(0),
+        )
+    cloud = PointCloud(
+        positions=np.array(positions),
+        velocities=np.array(velocities),
+        intensities=np.array(intensities),
+    )
+    return cloud.top_k(max_points) if len(cloud) > max_points else cloud
+
+
+def sequence_pointclouds(
+    cube: RadarCube, **kwargs
+) -> List[PointCloud]:
+    """Point clouds for every frame of a cube."""
+    return [
+        extract_pointcloud(cube, frame=f, **kwargs)
+        for f in range(cube.num_frames)
+    ]

@@ -1,0 +1,69 @@
+"""Window functions for the FFT stages.
+
+Kept minimal and dependency-light: the radar DSP only needs a few
+classical tapers, applied along fast-time (range) and slow-time (Doppler)
+axes to control spectral leakage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalProcessingError
+
+_WINDOWS = {}
+
+
+def _register(name):
+    def deco(fn):
+        _WINDOWS[name] = fn
+        return fn
+
+    return deco
+
+
+@_register("rect")
+def _rect(n: int) -> np.ndarray:
+    return np.ones(n)
+
+
+@_register("hann")
+def _hann(n: int) -> np.ndarray:
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * k / (n - 1))
+
+
+@_register("hamming")
+def _hamming(n: int) -> np.ndarray:
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * k / (n - 1))
+
+
+@_register("blackman")
+def _blackman(n: int) -> np.ndarray:
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n) / (n - 1)
+    return (
+        0.42 - 0.5 * np.cos(2 * np.pi * k) + 0.08 * np.cos(4 * np.pi * k)
+    )
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Return the named window of the given length.
+
+    Supported names: ``rect``, ``hann``, ``hamming``, ``blackman``.
+    """
+    if length < 1:
+        raise SignalProcessingError("window length must be >= 1")
+    try:
+        fn = _WINDOWS[name]
+    except KeyError:
+        raise SignalProcessingError(
+            f"unknown window {name!r}; available: {sorted(_WINDOWS)}"
+        ) from None
+    return fn(length)

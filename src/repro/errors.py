@@ -1,0 +1,51 @@
+"""Exception hierarchy for the mmHand reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses partition failures by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class KinematicsError(ReproError):
+    """Hand kinematics received inconsistent joint/angle data."""
+
+
+class MeshError(ReproError):
+    """The parametric hand mesh model received invalid parameters."""
+
+
+class RadarError(ReproError):
+    """The radar simulator was asked to synthesise an impossible scene."""
+
+
+class SignalProcessingError(ReproError):
+    """A DSP stage received data with an unexpected shape or content."""
+
+
+class ModelError(ReproError):
+    """A neural-network module was misused (shape mismatch, bad state)."""
+
+
+class GradientError(ModelError):
+    """Backpropagation encountered an invalid graph state."""
+
+
+class SerializationError(ModelError):
+    """Weights could not be saved or restored."""
+
+
+class DatasetError(ReproError):
+    """Dataset construction or splitting failed."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,51 @@
+"""Evaluation: metrics (MPJPE, 3D-PCK, AUC, CDF), per-figure experiment
+runners, and text rendering of the paper's tables and figures.
+"""
+
+from repro.eval.metrics import (
+    per_joint_errors,
+    mpjpe,
+    pck,
+    pck_curve,
+    auc,
+    error_cdf,
+    JointGroupMetrics,
+    group_metrics,
+)
+from repro.eval.report import render_table, render_series, format_mm
+from repro.eval.extended import (
+    pa_mpjpe,
+    bone_length_error,
+    per_joint_error_table,
+    localisation_vs_pose_error,
+    procrustes_align,
+)
+from repro.eval.significance import (
+    ComparisonResult,
+    paired_bootstrap,
+    paired_permutation_test,
+)
+from repro.eval import experiments
+
+__all__ = [
+    "pa_mpjpe",
+    "bone_length_error",
+    "per_joint_error_table",
+    "localisation_vs_pose_error",
+    "procrustes_align",
+    "ComparisonResult",
+    "paired_bootstrap",
+    "paired_permutation_test",
+    "per_joint_errors",
+    "mpjpe",
+    "pck",
+    "pck_curve",
+    "auc",
+    "error_cdf",
+    "JointGroupMetrics",
+    "group_metrics",
+    "render_table",
+    "render_series",
+    "format_mm",
+    "experiments",
+]

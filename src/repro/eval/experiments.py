@@ -1,0 +1,389 @@
+"""Per-figure experiment runners (paper Sec. VI).
+
+Each function reproduces one table or figure of the evaluation: it takes
+trained cross-validation records (from
+:func:`repro.core.training.kfold_by_user`) and/or a campaign generator
+for condition-specific test data, and returns a structured result dict
+the benchmark harness prints with :mod:`repro.eval.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import MmHand
+from repro.core.regressor import HandJointRegressor
+from repro.data.collection import CampaignGenerator, CaptureOptions
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    error_cdf,
+    group_metrics,
+    mpjpe,
+    pck,
+    pck_curve,
+    auc,
+)
+from repro.hand.joints import FINGER_JOINTS, PALM_JOINTS
+from repro.hand.subjects import Subject
+from repro.radar.clutter import BodyPosition
+
+
+def _pooled(records: Sequence[dict]):
+    """Stack predictions and labels across CV folds."""
+    if not records:
+        raise EvaluationError("no cross-validation records supplied")
+    preds = np.concatenate([r["predictions"] for r in records])
+    labels = np.concatenate([r["test"].labels for r in records])
+    users = np.concatenate([r["test"].user_ids for r in records])
+    metas = [m for r in records for m in r["test"].meta]
+    return preds, labels, users, metas
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 / 13: per-participant MPJPE and 3D-PCK
+# ----------------------------------------------------------------------
+def overall_performance(records: Sequence[dict]) -> Dict:
+    """Per-user MPJPE/PCK plus averages and standard deviations."""
+    preds, labels, users, _ = _pooled(records)
+    user_ids = sorted(set(int(u) for u in users))
+    per_user = {}
+    for uid in user_ids:
+        mask = users == uid
+        per_user[uid] = {
+            "mpjpe_mm": mpjpe(preds[mask], labels[mask]),
+            "pck_percent": pck(preds[mask], labels[mask]),
+        }
+    mpjpes = np.array([v["mpjpe_mm"] for v in per_user.values()])
+    pcks = np.array([v["pck_percent"] for v in per_user.values()])
+    return {
+        "per_user": per_user,
+        "mean_mpjpe_mm": float(mpjpes.mean()),
+        "std_mpjpe_mm": float(mpjpes.std()),
+        "mean_pck_percent": float(pcks.mean()),
+        "std_pck_percent": float(pcks.std()),
+        "overall_mpjpe_mm": mpjpe(preds, labels),
+        "overall_pck_percent": pck(preds, labels),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 14: 3D-PCK vs threshold with palm/fingers/overall AUC
+# ----------------------------------------------------------------------
+def pck_threshold_curves(records: Sequence[dict]) -> Dict:
+    preds, labels, _, _ = _pooled(records)
+    thresholds = np.linspace(0.0, 60.0, 61)
+    result = {"thresholds_mm": thresholds, "curves": {}, "auc": {}}
+    for name, joints in (
+        ("palm", list(PALM_JOINTS)),
+        ("fingers", list(FINGER_JOINTS)),
+        ("overall", None),
+    ):
+        t, curve = pck_curve(preds, labels, thresholds, joints=joints)
+        result["curves"][name] = curve
+        result["auc"][name] = auc(t, curve)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 15: CDF of MPJPE
+# ----------------------------------------------------------------------
+def mpjpe_cdf(records: Sequence[dict]) -> Dict:
+    preds, labels, _, _ = _pooled(records)
+    errors, fractions = error_cdf(preds, labels)
+    within_30 = float(fractions[errors <= 30.0][-1] * 100.0) if np.any(
+        errors <= 30.0
+    ) else 0.0
+    return {
+        "errors_mm": errors,
+        "fractions": fractions,
+        "within_30mm_percent": within_30,
+    }
+
+
+# ----------------------------------------------------------------------
+# Condition sweeps: shared machinery
+# ----------------------------------------------------------------------
+def evaluate_condition(
+    regressor: HandJointRegressor,
+    generator: CampaignGenerator,
+    subjects: Sequence[Subject],
+    options: CaptureOptions,
+    segments_per_user: int = 24,
+    seed: int = 1234,
+) -> Dict:
+    """Generate condition-specific test data and evaluate a trained model.
+
+    Used by the distance/angle/body/glove/object/environment/obstacle
+    experiments: the paper trains on the baseline condition and tests on
+    data collected under the new condition.
+    """
+    dataset = generator.generate(
+        subjects=subjects,
+        options=options,
+        segments_per_user=segments_per_user,
+        seed=seed,
+        rotate_environments=False,
+    )
+    preds = regressor.predict(dataset.segments)
+    groups = group_metrics(preds, dataset.labels)
+    return {
+        "dataset": dataset,
+        "predictions": preds,
+        "mpjpe_mm": groups["overall"].mpjpe_mm,
+        "pck_percent": groups["overall"].pck_percent,
+        "palm_mpjpe_mm": groups["palm"].mpjpe_mm,
+        "palm_pck_percent": groups["palm"].pck_percent,
+        "fingers_mpjpe_mm": groups["fingers"].mpjpe_mm,
+        "fingers_pck_percent": groups["fingers"].pck_percent,
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 16 / 17: distance sweep
+# ----------------------------------------------------------------------
+def distance_sweep(
+    regressor: HandJointRegressor,
+    generator: CampaignGenerator,
+    subjects: Sequence[Subject],
+    distances_m: Optional[Sequence[float]] = None,
+    segments_per_user: int = 12,
+    seed: int = 100,
+) -> Dict:
+    """MPJPE/PCK vs hand-radar distance (paper sweeps 20-80 cm)."""
+    if distances_m is None:
+        distances_m = np.arange(0.20, 0.81, 0.05)
+    rows = []
+    for i, distance in enumerate(distances_m):
+        options = CaptureOptions(
+            environment="lab", distance_m=float(distance)
+        )
+        result = evaluate_condition(
+            regressor, generator, subjects, options,
+            segments_per_user=segments_per_user, seed=seed + i,
+        )
+        rows.append(
+            {
+                "distance_m": float(distance),
+                "mpjpe_mm": result["mpjpe_mm"],
+                "pck_percent": result["pck_percent"],
+                "palm_mpjpe_mm": result["palm_mpjpe_mm"],
+                "fingers_mpjpe_mm": result["fingers_mpjpe_mm"],
+                "palm_pck_percent": result["palm_pck_percent"],
+                "fingers_pck_percent": result["fingers_pck_percent"],
+            }
+        )
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Fig. 19: angle sweep
+# ----------------------------------------------------------------------
+def angle_sweep(
+    regressor: HandJointRegressor,
+    generator: CampaignGenerator,
+    subjects: Sequence[Subject],
+    angle_bins_deg: Optional[Sequence[float]] = None,
+    distance_m: float = 0.40,
+    segments_per_user: int = 12,
+    seed: int = 200,
+) -> Dict:
+    """MPJPE/PCK vs hand angle (paper: -45 to 45 degrees, 15-degree bins,
+    hand at 40 cm)."""
+    if angle_bins_deg is None:
+        angle_bins_deg = (-37.5, -22.5, -7.5, 7.5, 22.5, 37.5)
+    rows = []
+    for i, angle in enumerate(angle_bins_deg):
+        options = CaptureOptions(
+            environment="lab", distance_m=distance_m,
+            angle_deg=float(angle),
+        )
+        result = evaluate_condition(
+            regressor, generator, subjects, options,
+            segments_per_user=segments_per_user, seed=seed + i,
+        )
+        rows.append(
+            {
+                "angle_deg": float(angle),
+                "mpjpe_mm": result["mpjpe_mm"],
+                "pck_percent": result["pck_percent"],
+            }
+        )
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Fig. 20 / 21: impact of human body position
+# ----------------------------------------------------------------------
+def body_position_experiment(
+    regressor: HandJointRegressor,
+    generator: CampaignGenerator,
+    subjects: Sequence[Subject],
+    segments_per_user: int = 16,
+    seed: int = 300,
+) -> Dict:
+    """Type 1 (body behind hand) vs type 2 (body beside radar), per user."""
+    results = {}
+    for name, position in (
+        ("type1_front", BodyPosition.FRONT),
+        ("type2_side", BodyPosition.SIDE),
+    ):
+        options = CaptureOptions(
+            environment="lab", body_position=position
+        )
+        per_user = {}
+        for subject in subjects:
+            result = evaluate_condition(
+                regressor, generator, [subject], options,
+                segments_per_user=segments_per_user,
+                seed=seed + subject.user_id,
+            )
+            per_user[subject.user_id] = {
+                "mpjpe_mm": result["mpjpe_mm"],
+                "pck_percent": result["pck_percent"],
+            }
+        mpjpes = [v["mpjpe_mm"] for v in per_user.values()]
+        pcks = [v["pck_percent"] for v in per_user.values()]
+        results[name] = {
+            "per_user": per_user,
+            "mpjpe_mm": float(np.mean(mpjpes)),
+            "pck_percent": float(np.mean(pcks)),
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Sec. VI-G: gloves
+# ----------------------------------------------------------------------
+def glove_experiment(
+    regressor: HandJointRegressor,
+    generator: CampaignGenerator,
+    subjects: Sequence[Subject],
+    segments_per_user: int = 16,
+    seed: int = 400,
+) -> Dict:
+    """Zero-shot test on silk and cotton gloves (test-only data)."""
+    results = {}
+    all_preds, all_labels = [], []
+    for glove in ("silk", "cotton"):
+        options = CaptureOptions(environment="lab", glove=glove)
+        result = evaluate_condition(
+            regressor, generator, subjects, options,
+            segments_per_user=segments_per_user, seed=seed,
+        )
+        results[glove] = {
+            "mpjpe_mm": result["mpjpe_mm"],
+            "pck_percent": result["pck_percent"],
+        }
+        all_preds.append(result["predictions"])
+        all_labels.append(result["dataset"].labels)
+    preds = np.concatenate(all_preds)
+    labels = np.concatenate(all_labels)
+    results["overall"] = {
+        "mpjpe_mm": mpjpe(preds, labels),
+        "pck_percent": pck(preds, labels),
+    }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Sec. VI-H: handheld objects
+# ----------------------------------------------------------------------
+def handheld_experiment(
+    regressor: HandJointRegressor,
+    generator: CampaignGenerator,
+    subjects: Sequence[Subject],
+    segments_per_user: int = 12,
+    seed: int = 500,
+) -> Dict:
+    """Per-object MPJPE/PCK for the paper's four handheld objects."""
+    results = {}
+    for obj in ("table_tennis_ball", "headphone_case", "pen", "power_bank"):
+        options = CaptureOptions(environment="lab", handheld=obj)
+        result = evaluate_condition(
+            regressor, generator, subjects, options,
+            segments_per_user=segments_per_user, seed=seed,
+        )
+        results[obj] = {
+            "mpjpe_mm": result["mpjpe_mm"],
+            "pck_percent": result["pck_percent"],
+            "fingers_mpjpe_mm": result["fingers_mpjpe_mm"],
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 24: environments
+# ----------------------------------------------------------------------
+def environment_experiment(records: Sequence[dict]) -> Dict:
+    """Metrics split by capture environment, from the CV test data."""
+    preds, labels, _, metas = _pooled(records)
+    environments = sorted({m.environment for m in metas})
+    results = {}
+    for env in environments:
+        mask = np.array([m.environment == env for m in metas])
+        if not np.any(mask):
+            continue
+        results[env] = {
+            "mpjpe_mm": mpjpe(preds[mask], labels[mask]),
+            "pck_percent": pck(preds[mask], labels[mask]),
+        }
+    results["overall"] = {
+        "mpjpe_mm": mpjpe(preds, labels),
+        "pck_percent": pck(preds, labels),
+    }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 25: obstacles
+# ----------------------------------------------------------------------
+def obstacle_experiment(
+    regressor: HandJointRegressor,
+    generator: CampaignGenerator,
+    subjects: Sequence[Subject],
+    segments_per_user: int = 12,
+    seed: int = 600,
+) -> Dict:
+    """A4 paper / cloth / wooden board in the line of sight."""
+    results = {}
+    for occluder in ("a4_paper", "cloth", "wood_board"):
+        options = CaptureOptions(environment="lab", occluder=occluder)
+        result = evaluate_condition(
+            regressor, generator, subjects, options,
+            segments_per_user=segments_per_user, seed=seed,
+        )
+        results[occluder] = {
+            "mpjpe_mm": result["mpjpe_mm"],
+            "pck_percent": result["pck_percent"],
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 26: time consumption
+# ----------------------------------------------------------------------
+def timing_experiment(
+    pipeline: MmHand, segments: np.ndarray, repeats: int = 1
+) -> Dict:
+    """Per-segment skeleton/mesh/overall time CDFs."""
+    skeleton_times: List[float] = []
+    mesh_times: List[float] = []
+    for _ in range(repeats):
+        skeletons, skel_t = pipeline.estimate_skeletons(segments)
+        _, mesh_t = pipeline.reconstruct_meshes(skeletons)
+        skeleton_times.extend(skel_t)
+        mesh_times.extend(mesh_t)
+    skeleton_ms = np.array(skeleton_times) * 1000.0
+    mesh_ms = np.array(mesh_times) * 1000.0
+    overall_ms = skeleton_ms + mesh_ms
+    return {
+        "skeleton_ms": skeleton_ms,
+        "mesh_ms": mesh_ms,
+        "overall_ms": overall_ms,
+        "mean_skeleton_ms": float(skeleton_ms.mean()),
+        "mean_mesh_ms": float(mesh_ms.mean()),
+        "mean_overall_ms": float(overall_ms.mean()),
+        "p90_overall_ms": float(np.percentile(overall_ms, 90)),
+    }

@@ -1,0 +1,138 @@
+"""Extended evaluation metrics beyond the paper's three.
+
+These are standard in the hand-pose literature and useful for deeper
+error analysis of the reproduction:
+
+* PA-MPJPE -- MPJPE after Procrustes alignment (rotation + translation,
+  optionally scale), isolating pose-shape error from global placement
+  error (the radar's absolute-localisation error).
+* Bone-length error -- how well predictions preserve the rigid phalange
+  lengths, which the kinematic loss is meant to enforce.
+* Per-joint error table -- errors broken down by joint name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.hand.joints import JOINT_NAMES, NUM_JOINTS, PHALANGES
+from repro.eval.metrics import per_joint_errors
+
+
+def procrustes_align(
+    source: np.ndarray, target: np.ndarray, allow_scale: bool = False
+) -> np.ndarray:
+    """Rigidly align ``source`` (21, 3) onto ``target`` (21, 3).
+
+    Classical orthogonal Procrustes: centre both point sets, find the
+    rotation (via SVD) minimising the squared distance, optionally a
+    uniform scale, and return the aligned source points.
+    """
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if source.shape != (NUM_JOINTS, 3) or target.shape != (NUM_JOINTS, 3):
+        raise EvaluationError("procrustes_align expects (21, 3) arrays")
+    mu_s = source.mean(axis=0)
+    mu_t = target.mean(axis=0)
+    s_c = source - mu_s
+    t_c = target - mu_t
+    h = s_c.T @ t_c
+    u, sigma, vt = np.linalg.svd(h)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, d])
+    rotation = vt.T @ correction @ u.T
+    if allow_scale:
+        denom = (s_c**2).sum()
+        if denom < 1e-12:
+            raise EvaluationError("degenerate source for scaled alignment")
+        scale = (sigma * np.diag(correction)).sum() / denom
+    else:
+        scale = 1.0
+    return scale * s_c @ rotation.T + mu_t
+
+
+def pa_mpjpe(
+    predictions: np.ndarray,
+    ground_truth: np.ndarray,
+    allow_scale: bool = False,
+) -> float:
+    """Procrustes-aligned MPJPE in millimetres."""
+    pred = np.asarray(predictions, dtype=float)
+    gt = np.asarray(ground_truth, dtype=float)
+    if pred.ndim == 2:
+        pred = pred[None]
+        gt = gt[None]
+    if pred.shape != gt.shape or pred.shape[1:] != (NUM_JOINTS, 3):
+        raise EvaluationError(
+            f"expected matching (N, 21, 3) arrays, got {pred.shape} vs "
+            f"{gt.shape}"
+        )
+    errors = []
+    for p, g in zip(pred, gt):
+        aligned = procrustes_align(p, g, allow_scale=allow_scale)
+        errors.append(np.linalg.norm(aligned - g, axis=1).mean())
+    return float(np.mean(errors) * 1000.0)
+
+
+def bone_lengths(joints: np.ndarray) -> np.ndarray:
+    """Lengths of the 20 phalanges, shape (N, 20), in metres."""
+    joints = np.asarray(joints, dtype=float)
+    if joints.ndim == 2:
+        joints = joints[None]
+    if joints.shape[1:] != (NUM_JOINTS, 3):
+        raise EvaluationError(
+            f"expected (N, 21, 3) joints, got {joints.shape}"
+        )
+    return np.stack(
+        [
+            np.linalg.norm(joints[:, c] - joints[:, p], axis=1)
+            for p, c in PHALANGES
+        ],
+        axis=1,
+    )
+
+
+def bone_length_error(
+    predictions: np.ndarray, ground_truth: np.ndarray
+) -> float:
+    """Mean absolute phalange-length error in millimetres.
+
+    Low values mean predictions respect the hand's segmented rigidity,
+    the property the kinematic loss (paper Eq. 9) encourages.
+    """
+    pred_lengths = bone_lengths(predictions)
+    gt_lengths = bone_lengths(ground_truth)
+    return float(np.abs(pred_lengths - gt_lengths).mean() * 1000.0)
+
+
+def per_joint_error_table(
+    predictions: np.ndarray, ground_truth: np.ndarray
+) -> Dict[str, float]:
+    """Mean error per named joint (mm), ordered as JOINT_NAMES."""
+    errors = per_joint_errors(predictions, ground_truth).mean(axis=0)
+    return {name: float(err) for name, err in zip(JOINT_NAMES, errors)}
+
+
+def localisation_vs_pose_error(
+    predictions: np.ndarray, ground_truth: np.ndarray
+) -> Tuple[float, float]:
+    """Split MPJPE into global localisation and residual pose error (mm).
+
+    The first value is the mean wrist/centroid displacement (how well the
+    radar locates the hand in space); the second is PA-MPJPE (how well
+    the articulated pose is recovered once placement is factored out).
+    """
+    pred = np.asarray(predictions, dtype=float)
+    gt = np.asarray(ground_truth, dtype=float)
+    if pred.ndim == 2:
+        pred = pred[None]
+        gt = gt[None]
+    centroid_error = float(
+        np.linalg.norm(
+            pred.mean(axis=1) - gt.mean(axis=1), axis=1
+        ).mean() * 1000.0
+    )
+    return centroid_error, pa_mpjpe(pred, gt)

@@ -1,0 +1,156 @@
+"""Hand-pose evaluation metrics (paper Sec. VI-A).
+
+* MPJPE: mean per-joint position error, the Euclidean distance between
+  predicted and ground-truth joints (Eq. 12), reported in millimetres.
+* 3D-PCK: percentage of correct keypoints under a distance threshold
+  (Eq. 13); the paper reports PCK at a 40 mm threshold.
+* AUC: area under the 3D-PCK curve over thresholds 0-60 mm, normalised
+  by the threshold span.
+* CDF: cumulative distribution of per-joint errors (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.hand.joints import FINGER_JOINTS, NUM_JOINTS, PALM_JOINTS
+
+#: The paper's default PCK threshold (mm) and AUC integration range.
+DEFAULT_PCK_THRESHOLD_MM = 40.0
+DEFAULT_AUC_RANGE_MM = (0.0, 60.0)
+
+
+def per_joint_errors(
+    predictions: np.ndarray, ground_truth: np.ndarray
+) -> np.ndarray:
+    """Euclidean error of every joint in millimetres, shape (N, 21)."""
+    pred = np.asarray(predictions, dtype=float)
+    gt = np.asarray(ground_truth, dtype=float)
+    if pred.ndim == 2:
+        pred = pred[None]
+    if gt.ndim == 2:
+        gt = gt[None]
+    if pred.shape != gt.shape or pred.shape[1:] != (NUM_JOINTS, 3):
+        raise EvaluationError(
+            f"expected matching (N, 21, 3) arrays, got {pred.shape} vs "
+            f"{gt.shape}"
+        )
+    return np.linalg.norm(pred - gt, axis=2) * 1000.0
+
+
+def mpjpe(
+    predictions: np.ndarray,
+    ground_truth: np.ndarray,
+    joints: Optional[Sequence[int]] = None,
+) -> float:
+    """Mean per-joint position error in millimetres (Eq. 12).
+
+    ``joints`` restricts the average to a joint subset (palm/fingers).
+    """
+    errors = per_joint_errors(predictions, ground_truth)
+    if joints is not None:
+        errors = errors[:, list(joints)]
+    return float(errors.mean())
+
+
+def pck(
+    predictions: np.ndarray,
+    ground_truth: np.ndarray,
+    threshold_mm: float = DEFAULT_PCK_THRESHOLD_MM,
+    joints: Optional[Sequence[int]] = None,
+) -> float:
+    """Percentage of correct keypoints under ``threshold_mm`` (Eq. 13)."""
+    if threshold_mm <= 0:
+        raise EvaluationError("threshold_mm must be positive")
+    errors = per_joint_errors(predictions, ground_truth)
+    if joints is not None:
+        errors = errors[:, list(joints)]
+    return float((errors < threshold_mm).mean() * 100.0)
+
+
+def pck_curve(
+    predictions: np.ndarray,
+    ground_truth: np.ndarray,
+    thresholds_mm: Optional[np.ndarray] = None,
+    joints: Optional[Sequence[int]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """3D-PCK over a threshold sweep; returns (thresholds, pck_percent)."""
+    if thresholds_mm is None:
+        thresholds_mm = np.linspace(*DEFAULT_AUC_RANGE_MM, 61)
+    thresholds_mm = np.asarray(thresholds_mm, dtype=float)
+    if thresholds_mm.ndim != 1 or len(thresholds_mm) < 2:
+        raise EvaluationError("need a 1-D threshold sweep of length >= 2")
+    errors = per_joint_errors(predictions, ground_truth)
+    if joints is not None:
+        errors = errors[:, list(joints)]
+    flat = errors.reshape(-1)
+    curve = np.array(
+        [(flat < t).mean() * 100.0 for t in thresholds_mm]
+    )
+    return thresholds_mm, curve
+
+
+def auc(thresholds_mm: np.ndarray, curve_percent: np.ndarray) -> float:
+    """Normalised area under a 3D-PCK curve (0-1)."""
+    thresholds_mm = np.asarray(thresholds_mm, dtype=float)
+    curve = np.asarray(curve_percent, dtype=float) / 100.0
+    if thresholds_mm.shape != curve.shape:
+        raise EvaluationError("thresholds and curve must align")
+    span = thresholds_mm[-1] - thresholds_mm[0]
+    if span <= 0:
+        raise EvaluationError("thresholds must increase")
+    return float(np.trapezoid(curve, thresholds_mm) / span)
+
+
+def error_cdf(
+    predictions: np.ndarray, ground_truth: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of all per-joint errors; returns (error_mm, fraction)."""
+    errors = np.sort(per_joint_errors(predictions, ground_truth).reshape(-1))
+    fractions = np.arange(1, len(errors) + 1) / len(errors)
+    return errors, fractions
+
+
+@dataclass(frozen=True)
+class JointGroupMetrics:
+    """MPJPE/PCK/AUC for one joint group (palm, fingers, or overall)."""
+
+    name: str
+    mpjpe_mm: float
+    pck_percent: float
+    auc: float
+
+
+def group_metrics(
+    predictions: np.ndarray,
+    ground_truth: np.ndarray,
+    threshold_mm: float = DEFAULT_PCK_THRESHOLD_MM,
+) -> Dict[str, JointGroupMetrics]:
+    """Palm / fingers / overall metrics, as the paper splits them.
+
+    Palm joints are the wrist plus the five finger roots; finger joints
+    the remaining PIP/DIP/TIP chain joints.
+    """
+    groups = {
+        "palm": list(PALM_JOINTS),
+        "fingers": list(FINGER_JOINTS),
+        "overall": None,
+    }
+    results = {}
+    for name, joints in groups.items():
+        thresholds, curve = pck_curve(
+            predictions, ground_truth, joints=joints
+        )
+        results[name] = JointGroupMetrics(
+            name=name,
+            mpjpe_mm=mpjpe(predictions, ground_truth, joints=joints),
+            pck_percent=pck(
+                predictions, ground_truth, threshold_mm, joints=joints
+            ),
+            auc=auc(thresholds, curve),
+        )
+    return results

@@ -1,0 +1,95 @@
+"""Plain-text rendering of result tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep the output uniform and readable in
+terminal logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def format_mm(value: float) -> str:
+    """Millimetre values with one decimal, as the paper prints them."""
+    return f"{value:.1f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise EvaluationError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    series: dict,
+    x_label: str,
+    y_label: str,
+    title: Optional[str] = None,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Figure data as a table: one x column, one column per series."""
+    x = list(x)
+    for name, values in series.items():
+        if len(values) != len(x):
+            raise EvaluationError(
+                f"series {name!r} length {len(values)} does not match x "
+                f"length {len(x)}"
+            )
+    headers = [x_label] + [f"{name} ({y_label})" for name in series]
+    rows = []
+    for i, xv in enumerate(x):
+        row = [fmt.format(xv)] + [
+            fmt.format(values[i]) for values in series.values()
+        ]
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_cdf_summary(
+    errors_mm: np.ndarray,
+    fractions: np.ndarray,
+    probe_mm: Sequence[float] = (10, 20, 30, 40, 50),
+    title: Optional[str] = None,
+) -> str:
+    """Summarise a CDF at a few probe error values (paper Fig. 15)."""
+    errors_mm = np.asarray(errors_mm)
+    fractions = np.asarray(fractions)
+    rows = []
+    for p in probe_mm:
+        frac = float(fractions[errors_mm <= p][-1]) if np.any(
+            errors_mm <= p
+        ) else 0.0
+        rows.append([f"{p:.0f}", f"{frac * 100:.1f}"])
+    return render_table(["error (mm)", "CDF (%)"], rows, title=title)

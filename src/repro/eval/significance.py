@@ -1,0 +1,116 @@
+"""Statistical significance utilities for metric comparisons.
+
+When two systems' MPJPEs differ by a millimetre on a finite test set,
+is that real? These helpers answer with paired bootstrap resampling and
+a paired permutation test over per-sample errors -- standard practice
+for pose-estimation comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import per_joint_errors
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing system A against system B (lower = better)."""
+
+    mean_a_mm: float
+    mean_b_mm: float
+    difference_mm: float
+    ci_low_mm: float
+    ci_high_mm: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI of (A - B) excludes zero."""
+        return self.ci_low_mm > 0 or self.ci_high_mm < 0
+
+
+def _per_sample_errors(
+    predictions: np.ndarray, ground_truth: np.ndarray
+) -> np.ndarray:
+    """Per-sample MPJPE in mm, shape (N,)."""
+    return per_joint_errors(predictions, ground_truth).mean(axis=1)
+
+
+def paired_bootstrap(
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    ground_truth: np.ndarray,
+    num_resamples: int = 2000,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> ComparisonResult:
+    """Paired bootstrap comparison of two systems on the same test set.
+
+    Resamples test indices with replacement and recomputes the MPJPE
+    difference A - B; reports the mean difference, its confidence
+    interval, and a two-sided bootstrap p-value for "no difference".
+    """
+    if num_resamples < 100:
+        raise EvaluationError("use at least 100 bootstrap resamples")
+    if not 0.5 < confidence < 1.0:
+        raise EvaluationError("confidence must lie in (0.5, 1)")
+    errors_a = _per_sample_errors(predictions_a, ground_truth)
+    errors_b = _per_sample_errors(predictions_b, ground_truth)
+    if errors_a.shape != errors_b.shape:
+        raise EvaluationError("prediction sets must share the test set")
+    n = len(errors_a)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, n, size=(num_resamples, n))
+    diffs = errors_a[indices].mean(axis=1) - errors_b[indices].mean(axis=1)
+    alpha = 1.0 - confidence
+    ci_low, ci_high = np.quantile(diffs, [alpha / 2, 1 - alpha / 2])
+    # Two-sided bootstrap p-value: how often the resampled difference
+    # crosses zero relative to its observed sign.
+    observed = errors_a.mean() - errors_b.mean()
+    if observed >= 0:
+        tail = float((diffs <= 0).mean())
+    else:
+        tail = float((diffs >= 0).mean())
+    p_value = min(1.0, 2.0 * tail)
+    return ComparisonResult(
+        mean_a_mm=float(errors_a.mean()),
+        mean_b_mm=float(errors_b.mean()),
+        difference_mm=float(observed),
+        ci_low_mm=float(ci_low),
+        ci_high_mm=float(ci_high),
+        p_value=p_value,
+    )
+
+
+def paired_permutation_test(
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    ground_truth: np.ndarray,
+    num_permutations: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Paired sign-flip permutation test on per-sample error differences.
+
+    Returns ``(observed_difference_mm, p_value)`` for the null hypothesis
+    that the two systems' errors are exchangeable.
+    """
+    if num_permutations < 100:
+        raise EvaluationError("use at least 100 permutations")
+    errors_a = _per_sample_errors(predictions_a, ground_truth)
+    errors_b = _per_sample_errors(predictions_b, ground_truth)
+    if errors_a.shape != errors_b.shape:
+        raise EvaluationError("prediction sets must share the test set")
+    deltas = errors_a - errors_b
+    observed = float(deltas.mean())
+    rng = np.random.default_rng(seed)
+    signs = rng.choice([-1.0, 1.0], size=(num_permutations, len(deltas)))
+    permuted = (signs * deltas).mean(axis=1)
+    p_value = float(
+        (np.abs(permuted) >= abs(observed)).mean()
+    )
+    return observed, max(p_value, 1.0 / num_permutations)

@@ -1,0 +1,50 @@
+"""Hand kinematics substrate: the 21-joint model, forward kinematics,
+per-subject anthropometry, gesture library and continuous animation.
+
+This package replaces the paper's human volunteers: it produces the exact
+21-joint hand configurations that the radar simulator senses and the
+training labels are derived from.
+"""
+
+from repro.hand.joints import (
+    JOINT_NAMES,
+    JOINT_PARENTS,
+    FINGER_CHAINS,
+    FINGERS,
+    NUM_JOINTS,
+    PALM_JOINTS,
+    FINGER_JOINTS,
+    PHALANGES,
+    WRIST,
+    finger_joint_indices,
+    joint_index,
+)
+from repro.hand.shape import HandShape
+from repro.hand.kinematics import HandPose, forward_kinematics
+from repro.hand.gestures import GESTURE_LIBRARY, gesture_pose, list_gestures
+from repro.hand.animation import GestureSequence, sample_gesture_sequence
+from repro.hand.subjects import Subject, make_subjects
+
+__all__ = [
+    "JOINT_NAMES",
+    "JOINT_PARENTS",
+    "FINGER_CHAINS",
+    "FINGERS",
+    "NUM_JOINTS",
+    "PALM_JOINTS",
+    "FINGER_JOINTS",
+    "PHALANGES",
+    "WRIST",
+    "finger_joint_indices",
+    "joint_index",
+    "HandShape",
+    "HandPose",
+    "forward_kinematics",
+    "GESTURE_LIBRARY",
+    "gesture_pose",
+    "list_gestures",
+    "GestureSequence",
+    "sample_gesture_sequence",
+    "Subject",
+    "make_subjects",
+]

@@ -1,0 +1,172 @@
+"""Continuous gesture animation.
+
+The paper senses *continuous* hand gestures: users transition between
+gestures while the radar records frames. :class:`GestureSequence`
+interpolates between gesture keyframes with smooth easing and adds
+physiological tremor and wrist drift, producing the time-varying poses the
+radar simulator samples frame by frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import KinematicsError
+from repro.hand.gestures import GESTURE_LIBRARY
+from repro.hand.kinematics import HandPose
+
+
+def _smoothstep(x: np.ndarray) -> np.ndarray:
+    """C1 ease curve on [0, 1], zero first derivative at both ends."""
+    x = np.clip(x, 0.0, 1.0)
+    return x * x * (3.0 - 2.0 * x)
+
+
+@dataclass(frozen=True)
+class Keyframe:
+    """One gesture held at one instant of the sequence timeline."""
+
+    time_s: float
+    gesture: str
+
+    def __post_init__(self) -> None:
+        if self.gesture not in GESTURE_LIBRARY:
+            raise KinematicsError(f"unknown gesture {self.gesture!r}")
+        if self.time_s < 0:
+            raise KinematicsError("keyframe time must be non-negative")
+
+
+class GestureSequence:
+    """A timeline of gesture keyframes with smooth transitions.
+
+    Parameters
+    ----------
+    keyframes:
+        Gesture keyframes ordered by time. At least one is required;
+        between consecutive keyframes the finger angles ease smoothly.
+    base_position:
+        Nominal wrist position in the world frame.
+    orientation:
+        Hand-to-world rotation, constant over the sequence.
+    tremor_amplitude_m:
+        Peak amplitude of physiological tremor (~8-12 Hz micro motion).
+    drift_amplitude_m:
+        Peak amplitude of slow involuntary wrist drift.
+    seed:
+        Seed of the tremor/drift phase offsets, so sequences are
+        reproducible.
+    """
+
+    def __init__(
+        self,
+        keyframes: Sequence[Keyframe],
+        base_position: Optional[np.ndarray] = None,
+        orientation: Optional[np.ndarray] = None,
+        tremor_amplitude_m: float = 0.0015,
+        drift_amplitude_m: float = 0.004,
+        seed: int = 0,
+    ) -> None:
+        if not keyframes:
+            raise KinematicsError("a gesture sequence needs >= 1 keyframe")
+        times = [kf.time_s for kf in keyframes]
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise KinematicsError("keyframe times must strictly increase")
+        self.keyframes: List[Keyframe] = list(keyframes)
+        self.base_position = (
+            np.array([0.30, 0.0, 0.0])
+            if base_position is None
+            else np.asarray(base_position, dtype=float)
+        )
+        self.orientation = orientation
+        self.tremor_amplitude_m = float(tremor_amplitude_m)
+        self.drift_amplitude_m = float(drift_amplitude_m)
+        rng = np.random.default_rng(seed)
+        self._tremor_phase = rng.uniform(0.0, 2.0 * np.pi, size=3)
+        self._drift_phase = rng.uniform(0.0, 2.0 * np.pi, size=3)
+        self._tremor_freq = rng.uniform(8.0, 12.0)
+        self._drift_freq = rng.uniform(0.15, 0.35)
+
+    @property
+    def duration_s(self) -> float:
+        """Timeline length (time of the final keyframe)."""
+        return self.keyframes[-1].time_s
+
+    def _angles_at(self, t: float) -> np.ndarray:
+        frames = self.keyframes
+        if t <= frames[0].time_s:
+            return GESTURE_LIBRARY[frames[0].gesture].copy()
+        if t >= frames[-1].time_s:
+            return GESTURE_LIBRARY[frames[-1].gesture].copy()
+        for left, right in zip(frames, frames[1:]):
+            if left.time_s <= t <= right.time_s:
+                span = right.time_s - left.time_s
+                alpha = float(_smoothstep((t - left.time_s) / span))
+                a = GESTURE_LIBRARY[left.gesture]
+                b = GESTURE_LIBRARY[right.gesture]
+                return (1.0 - alpha) * a + alpha * b
+        raise KinematicsError("time lookup failed")  # pragma: no cover
+
+    def _wrist_at(self, t: float) -> np.ndarray:
+        tremor = self.tremor_amplitude_m * np.sin(
+            2.0 * np.pi * self._tremor_freq * t + self._tremor_phase
+        )
+        drift = self.drift_amplitude_m * np.sin(
+            2.0 * np.pi * self._drift_freq * t + self._drift_phase
+        )
+        return self.base_position + tremor + drift
+
+    def pose_at(self, t: float) -> HandPose:
+        """The hand pose at time ``t`` seconds."""
+        kwargs = {}
+        if self.orientation is not None:
+            kwargs["orientation"] = self.orientation
+        return HandPose(
+            finger_angles=self._angles_at(t),
+            wrist_position=self._wrist_at(t),
+            **kwargs,
+        )
+
+    def sample(self, frame_period_s: float, num_frames: int) -> List[HandPose]:
+        """Poses at ``num_frames`` radar frame instants."""
+        if frame_period_s <= 0:
+            raise KinematicsError("frame_period_s must be positive")
+        if num_frames < 1:
+            raise KinematicsError("num_frames must be >= 1")
+        return [self.pose_at(i * frame_period_s) for i in range(num_frames)]
+
+
+def sample_gesture_sequence(
+    rng: np.random.Generator,
+    gestures: Sequence[str],
+    num_keyframes: int = 4,
+    hold_s: Tuple[float, float] = (0.4, 0.9),
+    base_position: Optional[np.ndarray] = None,
+    orientation: Optional[np.ndarray] = None,
+) -> GestureSequence:
+    """Draw a random continuous gesture sequence from a gesture pool.
+
+    Consecutive keyframes always differ, mimicking a user flowing from one
+    gesture to the next as in the paper's collection sessions.
+    """
+    if num_keyframes < 1:
+        raise KinematicsError("num_keyframes must be >= 1")
+    if not gestures:
+        raise KinematicsError("gesture pool must be non-empty")
+    names: List[str] = []
+    for _ in range(num_keyframes):
+        pool = [g for g in gestures if not names or g != names[-1]]
+        names.append(pool[int(rng.integers(len(pool)))])
+    t = 0.0
+    keyframes = []
+    for name in names:
+        keyframes.append(Keyframe(time_s=t, gesture=name))
+        t += float(rng.uniform(*hold_s))
+    return GestureSequence(
+        keyframes,
+        base_position=base_position,
+        orientation=orientation,
+        seed=int(rng.integers(2**31)),
+    )

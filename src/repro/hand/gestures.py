@@ -1,0 +1,140 @@
+"""Gesture library: the counting and interaction gestures of the paper.
+
+The paper's volunteers perform "non-predefined and most common daily
+gestures": counting gestures and interaction gestures. This module encodes
+a library of such gestures as per-finger angle presets; the animation layer
+interpolates between them to create the continuous motions the radar senses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import KinematicsError
+from repro.hand.kinematics import HandPose
+
+# Angle presets per finger state: (mcp_flex, mcp_abd, pip_flex, dip_flex).
+_EXTENDED = (0.0, 0.0, 0.0, 0.0)
+_SPREAD = (0.0, 0.25, 0.0, 0.0)
+_CURLED = (1.35, 0.0, 1.5, 0.9)
+_HALF_CURLED = (0.7, 0.0, 0.8, 0.45)
+_HOOK = (0.15, 0.0, 1.3, 0.8)
+_THUMB_EXTENDED = (0.0, 0.0, 0.0, 0.0)
+_THUMB_TUCKED = (0.9, -0.35, 0.9, 0.5)
+_THUMB_OPPOSED = (0.55, 0.15, 0.55, 0.35)
+
+
+def _angles(
+    thumb=_THUMB_TUCKED, index=_CURLED, middle=_CURLED, ring=_CURLED,
+    pinky=_CURLED,
+) -> np.ndarray:
+    return np.array([thumb, index, middle, ring, pinky], dtype=float)
+
+
+#: Named gesture -> (5, 4) finger angle array. Counting gestures zero..five
+#: plus the common interaction gestures the intro motivates (pointing for UI
+#: control, pinch for selection, grab for VR manipulation, etc.).
+GESTURE_LIBRARY: Dict[str, np.ndarray] = {
+    # -- counting gestures ------------------------------------------------
+    "count_zero": _angles(),  # fist
+    "count_one": _angles(index=_EXTENDED),
+    "count_two": _angles(index=_SPREAD, middle=_EXTENDED),
+    "count_three": _angles(index=_SPREAD, middle=_EXTENDED, ring=_SPREAD),
+    "count_four": _angles(
+        index=_SPREAD, middle=_EXTENDED, ring=_SPREAD, pinky=_SPREAD
+    ),
+    "count_five": _angles(
+        thumb=_THUMB_EXTENDED,
+        index=_SPREAD,
+        middle=_EXTENDED,
+        ring=_SPREAD,
+        pinky=_SPREAD,
+    ),
+    # -- interaction gestures ---------------------------------------------
+    "open_palm": _angles(
+        thumb=_THUMB_EXTENDED,
+        index=_EXTENDED,
+        middle=_EXTENDED,
+        ring=_EXTENDED,
+        pinky=_EXTENDED,
+    ),
+    "fist": _angles(),
+    "point": _angles(index=_EXTENDED, thumb=_THUMB_TUCKED),
+    "pinch": _angles(
+        thumb=_THUMB_OPPOSED,
+        index=_HALF_CURLED,
+        middle=_EXTENDED,
+        ring=_EXTENDED,
+        pinky=_EXTENDED,
+    ),
+    "ok_sign": _angles(
+        thumb=_THUMB_OPPOSED,
+        index=(0.9, 0.0, 1.0, 0.6),
+        middle=_EXTENDED,
+        ring=_EXTENDED,
+        pinky=_SPREAD,
+    ),
+    "thumbs_up": _angles(thumb=_THUMB_EXTENDED),
+    "grab": _angles(
+        thumb=_THUMB_OPPOSED,
+        index=_HALF_CURLED,
+        middle=_HALF_CURLED,
+        ring=_HALF_CURLED,
+        pinky=_HALF_CURLED,
+    ),
+    "hook": _angles(
+        thumb=_THUMB_TUCKED, index=_HOOK, middle=_HOOK, ring=_HOOK,
+        pinky=_HOOK,
+    ),
+    "victory": _angles(index=_SPREAD, middle=_EXTENDED),
+    "call_me": _angles(thumb=_THUMB_EXTENDED, pinky=_SPREAD),
+}
+
+#: Gesture groups used by the data campaign to mimic the paper's two
+#: categories.
+COUNTING_GESTURES: List[str] = [
+    name for name in GESTURE_LIBRARY if name.startswith("count_")
+]
+INTERACTION_GESTURES: List[str] = [
+    name for name in GESTURE_LIBRARY if not name.startswith("count_")
+]
+
+
+def list_gestures() -> List[str]:
+    """Names of every gesture in the library, stable order."""
+    return list(GESTURE_LIBRARY)
+
+
+def gesture_pose(name: str, **placement) -> HandPose:
+    """Build a :class:`HandPose` for the named gesture.
+
+    ``placement`` keyword arguments (``wrist_position``, ``orientation``)
+    are forwarded to :class:`HandPose`.
+    """
+    if name not in GESTURE_LIBRARY:
+        raise KinematicsError(
+            f"unknown gesture {name!r}; available: {sorted(GESTURE_LIBRARY)}"
+        )
+    return HandPose(
+        finger_angles=GESTURE_LIBRARY[name].copy(), **placement
+    )
+
+
+def blend_gestures(
+    name_a: str, name_b: str, alpha: float
+) -> np.ndarray:
+    """Linearly blend two gestures' angles; ``alpha`` = 0 gives ``name_a``.
+
+    Used by the animation layer for continuous transitions.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise KinematicsError("blend alpha must lie in [0, 1]")
+    for name in (name_a, name_b):
+        if name not in GESTURE_LIBRARY:
+            raise KinematicsError(f"unknown gesture {name!r}")
+    return (
+        (1.0 - alpha) * GESTURE_LIBRARY[name_a]
+        + alpha * GESTURE_LIBRARY[name_b]
+    )

@@ -1,0 +1,83 @@
+"""The 21-hand-joint model used throughout mmHand (paper Fig. 4).
+
+The skeleton comprises one wrist joint, 16 finger joints (4 per finger:
+metacarpophalangeal MCP, proximal interphalangeal PIP, distal
+interphalangeal DIP -- the thumb uses CMC/MCP/IP) and 4 fingertip joints
+(the thumb's tip is its 4th chain joint). Joint ordering follows the
+MediaPipe Hands convention, which is what the paper uses for ground truth:
+
+====  =================
+index  joint
+====  =================
+0      wrist
+1-4    thumb  (CMC, MCP, IP, TIP)
+5-8    index  (MCP, PIP, DIP, TIP)
+9-12   middle (MCP, PIP, DIP, TIP)
+13-16  ring   (MCP, PIP, DIP, TIP)
+17-20  pinky  (MCP, PIP, DIP, TIP)
+====  =================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+NUM_JOINTS = 21
+WRIST = 0
+
+FINGERS: Tuple[str, ...] = ("thumb", "index", "middle", "ring", "pinky")
+
+JOINT_NAMES: Tuple[str, ...] = ("wrist",) + tuple(
+    f"{finger}_{part}"
+    for finger in FINGERS
+    for part in ("mcp", "pip", "dip", "tip")
+)
+
+#: Parent joint index of every joint; the wrist is its own root (-1).
+JOINT_PARENTS: Tuple[int, ...] = (-1,) + tuple(
+    WRIST if part == 0 else 1 + 4 * finger + (part - 1)
+    for finger in range(len(FINGERS))
+    for part in range(4)
+)
+
+#: Per-finger joint chains (MCP, PIP, DIP, TIP), keyed by finger name.
+FINGER_CHAINS: Dict[str, Tuple[int, int, int, int]] = {
+    finger: tuple(range(1 + 4 * i, 1 + 4 * i + 4))  # type: ignore[misc]
+    for i, finger in enumerate(FINGERS)
+}
+
+#: Palm joints: wrist + the five finger roots. The paper's palm/fingers
+#: split in Fig. 14/16/17 groups joints this way: palm joints are the
+#: stable ones lacking flexible deformation.
+PALM_JOINTS: Tuple[int, ...] = (WRIST,) + tuple(
+    chain[0] for chain in FINGER_CHAINS.values()
+)
+
+#: All joints that are not palm joints (PIP/DIP/TIP of each finger).
+FINGER_JOINTS: Tuple[int, ...] = tuple(
+    j for j in range(NUM_JOINTS) if j not in PALM_JOINTS
+)
+
+#: The 20 phalange segments (parent, child) used for bone-direction
+#: features and the kinematic loss. Ordered finger by finger, root first.
+PHALANGES: Tuple[Tuple[int, int], ...] = tuple(
+    (JOINT_PARENTS[j], j) for j in range(1, NUM_JOINTS)
+)
+
+
+def joint_index(name: str) -> int:
+    """Return the index of a joint by its canonical name.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    try:
+        return JOINT_NAMES.index(name)
+    except ValueError:
+        raise KeyError(f"unknown joint name: {name!r}") from None
+
+
+def finger_joint_indices(finger: str) -> List[int]:
+    """Return the four chain joint indices of ``finger`` (MCP..TIP)."""
+    if finger not in FINGER_CHAINS:
+        raise KeyError(f"unknown finger: {finger!r}")
+    return list(FINGER_CHAINS[finger])

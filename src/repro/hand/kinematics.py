@@ -1,0 +1,228 @@
+"""Forward kinematics of the 21-joint hand.
+
+A :class:`HandPose` stores per-finger joint angles plus the global wrist
+placement; :func:`forward_kinematics` turns (shape, pose) into the 21x3
+joint positions the rest of the system consumes.
+
+Coordinate conventions
+----------------------
+World frame (shared with the radar simulator): the radar sits at the
+origin, +x is boresight (towards the user), +y is to the radar's left
+(azimuth) and +z is up (elevation).
+
+Hand frame: origin at the wrist, +y towards the fingers, +x towards the
+thumb side, +z out of the back of the hand (the palm faces -z). The default
+orientation faces the palm towards the radar with fingers pointing up,
+matching the paper's interaction posture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import KinematicsError
+from repro.hand.joints import FINGERS, NUM_JOINTS, WRIST
+from repro.hand.shape import HandShape
+
+#: Column order of the per-finger angle array.
+ANGLE_FIELDS = ("mcp_flexion", "mcp_abduction", "pip_flexion", "dip_flexion")
+
+#: Loose anatomical limits (radians) used for validation.
+_FLEXION_LIMITS = (-0.6, 2.2)
+_ABDUCTION_LIMITS = (-0.8, 0.8)
+
+#: Direction (hand frame) each finger bends towards at full flexion.
+#: Fingers curl into the palm (-z); the thumb sweeps across the palm.
+_BEND_NORMALS: Dict[str, np.ndarray] = {
+    finger: np.array([0.0, 0.0, -1.0]) for finger in FINGERS
+}
+_BEND_NORMALS["thumb"] = np.array([-0.55, 0.0, -0.835])
+_BEND_NORMALS["thumb"] /= np.linalg.norm(_BEND_NORMALS["thumb"])
+
+
+def rotation_about_axis(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix about a unit ``axis`` by ``angle`` rad."""
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm < 1e-12:
+        raise KinematicsError("rotation axis must be non-zero")
+    x, y, z = axis / norm
+    c, s = np.cos(angle), np.sin(angle)
+    cross = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    outer = np.outer(axis / norm, axis / norm)
+    return c * np.eye(3) + s * cross + (1.0 - c) * outer
+
+
+def default_orientation() -> np.ndarray:
+    """Hand-to-world rotation with the palm facing the radar, fingers up.
+
+    Maps hand +y (fingers) -> world +z (up), hand +z (back of hand) ->
+    world +x (away from the radar), hand +x (thumb side) -> world +y.
+    """
+    return np.array(
+        [
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ]
+    )
+
+
+def orientation_from_yaw_pitch(yaw_rad: float, pitch_rad: float) -> np.ndarray:
+    """Rotate the default orientation by yaw (about world z) and pitch
+    (about world y). Used by the angle-sweep experiments (paper Fig. 18/19).
+    """
+    yaw = rotation_about_axis(np.array([0.0, 0.0, 1.0]), yaw_rad)
+    pitch = rotation_about_axis(np.array([0.0, 1.0, 0.0]), pitch_rad)
+    return yaw @ pitch @ default_orientation()
+
+
+@dataclass
+class HandPose:
+    """Joint angles plus global placement of one hand at one instant.
+
+    Attributes
+    ----------
+    finger_angles:
+        Array of shape (5, 4): per finger (thumb..pinky) the MCP flexion,
+        MCP abduction, PIP flexion and DIP flexion in radians.
+    wrist_position:
+        3-vector wrist location in the world frame (metres).
+    orientation:
+        3x3 rotation from the hand frame to the world frame.
+    """
+
+    finger_angles: np.ndarray = field(
+        default_factory=lambda: np.zeros((len(FINGERS), len(ANGLE_FIELDS)))
+    )
+    wrist_position: np.ndarray = field(
+        default_factory=lambda: np.array([0.30, 0.0, 0.0])
+    )
+    orientation: np.ndarray = field(default_factory=default_orientation)
+
+    def __post_init__(self) -> None:
+        self.finger_angles = np.asarray(self.finger_angles, dtype=float)
+        self.wrist_position = np.asarray(self.wrist_position, dtype=float)
+        self.orientation = np.asarray(self.orientation, dtype=float)
+        if self.finger_angles.shape != (len(FINGERS), len(ANGLE_FIELDS)):
+            raise KinematicsError(
+                "finger_angles must have shape (5, 4), got "
+                f"{self.finger_angles.shape}"
+            )
+        if self.wrist_position.shape != (3,):
+            raise KinematicsError("wrist_position must be a 3-vector")
+        if self.orientation.shape != (3, 3):
+            raise KinematicsError("orientation must be a 3x3 matrix")
+        if not np.allclose(
+            self.orientation @ self.orientation.T, np.eye(3), atol=1e-6
+        ):
+            raise KinematicsError("orientation must be a rotation matrix")
+        self._validate_angles()
+
+    def _validate_angles(self) -> None:
+        flexions = self.finger_angles[:, [0, 2, 3]]
+        lo, hi = _FLEXION_LIMITS
+        if np.any(flexions < lo) or np.any(flexions > hi):
+            raise KinematicsError(
+                f"flexion angles must lie in [{lo}, {hi}] rad"
+            )
+        abductions = self.finger_angles[:, 1]
+        lo, hi = _ABDUCTION_LIMITS
+        if np.any(abductions < lo) or np.any(abductions > hi):
+            raise KinematicsError(
+                f"abduction angles must lie in [{lo}, {hi}] rad"
+            )
+
+    def copy(self) -> "HandPose":
+        return HandPose(
+            finger_angles=self.finger_angles.copy(),
+            wrist_position=self.wrist_position.copy(),
+            orientation=self.orientation.copy(),
+        )
+
+    def with_placement(
+        self, wrist_position: np.ndarray, orientation: np.ndarray
+    ) -> "HandPose":
+        """Return a copy re-placed in the world, keeping joint angles."""
+        return HandPose(
+            finger_angles=self.finger_angles.copy(),
+            wrist_position=np.asarray(wrist_position, dtype=float),
+            orientation=np.asarray(orientation, dtype=float),
+        )
+
+
+def _finger_local_joints(
+    shape: HandShape, finger: str, angles: np.ndarray
+) -> np.ndarray:
+    """Chain positions (4, 3) of one finger in the hand frame."""
+    mcp_flex, mcp_abd, pip_flex, dip_flex = angles
+    root = np.asarray(shape.root_offsets[finger], dtype=float)
+    splay = shape.splay_rad[finger]
+
+    # Resting pointing direction: +y rotated by splay about the palm normal.
+    direction = rotation_about_axis(np.array([0.0, 0.0, 1.0]), splay) @ np.array(
+        [0.0, 1.0, 0.0]
+    )
+    # Abduction swings the whole finger in the palm plane.
+    direction = (
+        rotation_about_axis(np.array([0.0, 0.0, 1.0]), mcp_abd) @ direction
+    )
+
+    bend_normal = _BEND_NORMALS[finger]
+    flex_axis = np.cross(direction, bend_normal)
+    axis_norm = np.linalg.norm(flex_axis)
+    if axis_norm < 1e-9:
+        # Degenerate only if direction aligns with the bend normal, which
+        # the angle limits prevent; guard regardless.
+        flex_axis = np.array([1.0, 0.0, 0.0])
+    else:
+        flex_axis = flex_axis / axis_norm
+
+    lengths = shape.phalange_lengths[finger]
+    joints = np.empty((4, 3))
+    joints[0] = root
+
+    d = rotation_about_axis(flex_axis, mcp_flex) @ direction
+    joints[1] = joints[0] + lengths[0] * d
+    d = rotation_about_axis(flex_axis, pip_flex) @ d
+    joints[2] = joints[1] + lengths[1] * d
+    d = rotation_about_axis(flex_axis, dip_flex) @ d
+    joints[3] = joints[2] + lengths[2] * d
+    return joints
+
+
+def forward_kinematics(shape: HandShape, pose: HandPose) -> np.ndarray:
+    """Compute the 21 world-frame joint positions of ``shape`` at ``pose``.
+
+    Returns an array of shape (21, 3) ordered per
+    :data:`repro.hand.joints.JOINT_NAMES`.
+    """
+    local = np.zeros((NUM_JOINTS, 3))
+    local[WRIST] = 0.0
+    for i, finger in enumerate(FINGERS):
+        chain = _finger_local_joints(shape, finger, pose.finger_angles[i])
+        local[1 + 4 * i : 1 + 4 * i + 4] = chain
+    return pose.wrist_position + local @ pose.orientation.T
+
+
+def phalange_directions(joints: np.ndarray) -> np.ndarray:
+    """Unit direction vectors of the 20 phalanges, shape (20, 3).
+
+    The network's mesh-recovery stage concatenates these with the joint
+    coordinates (paper Sec. V): explicitly providing phalange directions
+    helps predict joint rotations.
+    """
+    from repro.hand.joints import PHALANGES
+
+    joints = np.asarray(joints, dtype=float)
+    if joints.shape != (NUM_JOINTS, 3):
+        raise KinematicsError(
+            f"expected joints of shape (21, 3), got {joints.shape}"
+        )
+    vectors = np.array([joints[c] - joints[p] for p, c in PHALANGES])
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-9, 1.0, norms)
+    return vectors / norms

@@ -1,0 +1,137 @@
+"""Per-subject hand anthropometry.
+
+A :class:`HandShape` fixes the rigid geometry of one person's hand: where
+the finger roots sit on the palm and how long each phalange is. The paper's
+volunteers span heights of 1.65-1.85 m and several body types; hand size
+correlates with height, which :func:`HandShape.from_scale` captures with a
+single scale factor around average adult proportions.
+
+All lengths are metres, expressed in the hand's local frame:
+
+* origin at the wrist,
+* +y towards the fingers,
+* +x towards the thumb side (radial),
+* +z out of the palm (the palm faces -z).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import KinematicsError
+from repro.hand.joints import FINGERS
+
+#: Average adult phalange lengths (proximal, middle, distal) in metres,
+#: loosely following anthropometric survey tables.
+_BASE_PHALANGE_LENGTHS: Dict[str, Tuple[float, float, float]] = {
+    "thumb": (0.046, 0.032, 0.025),
+    "index": (0.040, 0.025, 0.019),
+    "middle": (0.044, 0.029, 0.020),
+    "ring": (0.041, 0.027, 0.019),
+    "pinky": (0.032, 0.019, 0.016),
+}
+
+#: Finger-root (MCP / thumb CMC) offsets from the wrist in the hand frame.
+_BASE_ROOT_OFFSETS: Dict[str, Tuple[float, float, float]] = {
+    "thumb": (0.028, 0.022, -0.004),
+    "index": (0.022, 0.086, 0.0),
+    "middle": (0.006, 0.090, 0.0),
+    "ring": (-0.010, 0.086, 0.0),
+    "pinky": (-0.024, 0.078, 0.0),
+}
+
+#: Resting abduction (splay) of each finger's pointing direction, radians,
+#: positive towards the thumb side.
+_BASE_SPLAY_RAD: Dict[str, float] = {
+    "thumb": 0.85,
+    "index": 0.10,
+    "middle": 0.0,
+    "ring": -0.09,
+    "pinky": -0.20,
+}
+
+
+@dataclass(frozen=True)
+class HandShape:
+    """Rigid geometry of a single hand.
+
+    Attributes
+    ----------
+    phalange_lengths:
+        Mapping finger name -> (proximal, middle, distal) lengths in metres.
+    root_offsets:
+        Mapping finger name -> 3-vector offset of the finger root from the
+        wrist, in the hand's local frame.
+    splay_rad:
+        Mapping finger name -> resting abduction angle in radians.
+    palm_thickness_m:
+        Palm thickness, used by the radar scatterer model and mesh template.
+    """
+
+    phalange_lengths: Dict[str, Tuple[float, float, float]] = field(
+        default_factory=lambda: dict(_BASE_PHALANGE_LENGTHS)
+    )
+    root_offsets: Dict[str, Tuple[float, float, float]] = field(
+        default_factory=lambda: dict(_BASE_ROOT_OFFSETS)
+    )
+    splay_rad: Dict[str, float] = field(
+        default_factory=lambda: dict(_BASE_SPLAY_RAD)
+    )
+    palm_thickness_m: float = 0.022
+
+    def __post_init__(self) -> None:
+        for table in (self.phalange_lengths, self.root_offsets, self.splay_rad):
+            missing = set(FINGERS) - set(table)
+            if missing:
+                raise KinematicsError(
+                    f"hand shape missing fingers: {sorted(missing)}"
+                )
+        for finger, lengths in self.phalange_lengths.items():
+            if any(length <= 0 for length in lengths):
+                raise KinematicsError(
+                    f"non-positive phalange length for {finger}: {lengths}"
+                )
+        if self.palm_thickness_m <= 0:
+            raise KinematicsError("palm_thickness_m must be positive")
+
+    @classmethod
+    def from_scale(cls, scale: float) -> "HandShape":
+        """Build a hand uniformly scaled around the average adult hand.
+
+        ``scale`` around 0.9 gives a small hand, 1.1 a large one. The
+        paper's population (1.65-1.85 m heights) maps to roughly
+        [0.92, 1.08].
+        """
+        if scale <= 0:
+            raise KinematicsError("hand scale must be positive")
+        lengths = {
+            finger: tuple(length * scale for length in base)
+            for finger, base in _BASE_PHALANGE_LENGTHS.items()
+        }
+        offsets = {
+            finger: tuple(coord * scale for coord in base)
+            for finger, base in _BASE_ROOT_OFFSETS.items()
+        }
+        return cls(
+            phalange_lengths=lengths,  # type: ignore[arg-type]
+            root_offsets=offsets,  # type: ignore[arg-type]
+            splay_rad=dict(_BASE_SPLAY_RAD),
+            palm_thickness_m=0.022 * scale,
+        )
+
+    @property
+    def hand_length_m(self) -> float:
+        """Wrist-to-middle-fingertip length at full extension."""
+        root = np.asarray(self.root_offsets["middle"])
+        return float(np.linalg.norm(root)) + sum(
+            self.phalange_lengths["middle"]
+        )
+
+    def finger_length_m(self, finger: str) -> float:
+        """Total phalange length of ``finger`` in metres."""
+        if finger not in self.phalange_lengths:
+            raise KeyError(f"unknown finger: {finger!r}")
+        return float(sum(self.phalange_lengths[finger]))

@@ -1,0 +1,137 @@
+"""Wrist trajectory patterns for interaction motions.
+
+The gesture library animates *finger* articulation; real interactions
+also move the whole hand: swipes, pushes, circles. These trajectory
+generators modulate a gesture sequence's base wrist position over time,
+giving the radar realistic gross hand motion (strong Doppler content)
+on top of the articulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import KinematicsError
+
+#: A trajectory maps time (s) to a wrist displacement (3-vector, metres)
+#: added to the base position.
+Trajectory = Callable[[float], np.ndarray]
+
+
+def hold() -> Trajectory:
+    """No gross motion (articulation only)."""
+
+    def fn(t: float) -> np.ndarray:
+        return np.zeros(3)
+
+    return fn
+
+
+def swipe(
+    direction: str = "right", extent_m: float = 0.12, duration_s: float = 0.8
+) -> Trajectory:
+    """One smooth lateral swipe completing in ``duration_s``.
+
+    Directions are from the radar's viewpoint: ``right``/``left`` move
+    along -y/+y, ``up``/``down`` along +z/-z.
+    """
+    vectors = {
+        "right": np.array([0.0, -1.0, 0.0]),
+        "left": np.array([0.0, 1.0, 0.0]),
+        "up": np.array([0.0, 0.0, 1.0]),
+        "down": np.array([0.0, 0.0, -1.0]),
+    }
+    if direction not in vectors:
+        raise KinematicsError(
+            f"unknown swipe direction {direction!r}; "
+            f"available: {sorted(vectors)}"
+        )
+    if extent_m <= 0 or duration_s <= 0:
+        raise KinematicsError("extent and duration must be positive")
+    axis = vectors[direction]
+
+    def fn(t: float) -> np.ndarray:
+        progress = np.clip(t / duration_s, 0.0, 1.0)
+        eased = progress * progress * (3.0 - 2.0 * progress)
+        return axis * extent_m * eased
+
+    return fn
+
+
+def push_pull(
+    extent_m: float = 0.08, period_s: float = 1.2
+) -> Trajectory:
+    """Cyclic push towards / pull away from the radar (boresight x).
+
+    Produces the strongest radial Doppler of the common interaction
+    motions.
+    """
+    if extent_m <= 0 or period_s <= 0:
+        raise KinematicsError("extent and period must be positive")
+
+    def fn(t: float) -> np.ndarray:
+        return np.array(
+            [-extent_m * 0.5 * (1 - np.cos(2 * np.pi * t / period_s)),
+             0.0, 0.0]
+        )
+
+    return fn
+
+
+def circle(
+    radius_m: float = 0.06, period_s: float = 1.5, clockwise: bool = True
+) -> Trajectory:
+    """Circular stirring motion in the y-z plane facing the radar."""
+    if radius_m <= 0 or period_s <= 0:
+        raise KinematicsError("radius and period must be positive")
+    sign = -1.0 if clockwise else 1.0
+
+    def fn(t: float) -> np.ndarray:
+        phase = 2 * np.pi * t / period_s
+        return np.array(
+            [0.0, radius_m * np.cos(phase) - radius_m,
+             sign * radius_m * np.sin(phase)]
+        )
+
+    return fn
+
+
+#: Registry of named trajectory factories with default parameters.
+TRAJECTORY_LIBRARY: Dict[str, Callable[[], Trajectory]] = {
+    "hold": hold,
+    "swipe_right": lambda: swipe("right"),
+    "swipe_left": lambda: swipe("left"),
+    "swipe_up": lambda: swipe("up"),
+    "swipe_down": lambda: swipe("down"),
+    "push_pull": push_pull,
+    "circle": circle,
+}
+
+
+def list_trajectories() -> List[str]:
+    return list(TRAJECTORY_LIBRARY)
+
+
+def apply_trajectory(
+    poses: List, trajectory: Trajectory, frame_period_s: float
+):
+    """Offset a sampled pose sequence's wrist positions along a trajectory.
+
+    Returns new :class:`~repro.hand.kinematics.HandPose` objects; the
+    inputs are unchanged.
+    """
+    if frame_period_s <= 0:
+        raise KinematicsError("frame_period_s must be positive")
+    out = []
+    for i, pose in enumerate(poses):
+        offset = np.asarray(trajectory(i * frame_period_s), dtype=float)
+        if offset.shape != (3,):
+            raise KinematicsError("trajectory must return 3-vectors")
+        out.append(
+            pose.with_placement(
+                pose.wrist_position + offset, pose.orientation
+            )
+        )
+    return out

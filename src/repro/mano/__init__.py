@@ -1,0 +1,44 @@
+"""MANO-like parametric hand mesh model, built from scratch.
+
+The paper reconstructs meshes with MANO (hand Model with Articulated and
+Non-rigid defOrmations, Romero et al.), whose learned assets are not
+redistributable. This package implements the same differentiable-function
+shape ``M(beta, theta)`` (paper Eq. 10-11) on top of a procedurally
+generated hand template: ``beta`` in R^10 controls shape through analytic
+blend shapes, ``theta`` in R^{21x3} controls pose in axis-angle, and linear
+blend skinning produces the final mesh.
+"""
+
+from repro.mano.rotations import (
+    axis_angle_to_matrix,
+    matrix_to_axis_angle,
+    quaternion_to_matrix,
+    matrix_to_quaternion,
+    quaternion_to_axis_angle,
+    axis_angle_to_quaternion,
+    normalize_quaternion,
+)
+from repro.mano.template import HandTemplate, build_template
+from repro.mano.blend import ShapeBasis, build_shape_basis, pose_blend_offsets
+from repro.mano.skinning import linear_blend_skinning, global_transforms
+from repro.mano.model import ManoHandModel, MeshResult, pose_to_theta
+
+__all__ = [
+    "axis_angle_to_matrix",
+    "matrix_to_axis_angle",
+    "quaternion_to_matrix",
+    "matrix_to_quaternion",
+    "quaternion_to_axis_angle",
+    "axis_angle_to_quaternion",
+    "normalize_quaternion",
+    "HandTemplate",
+    "build_template",
+    "ShapeBasis",
+    "build_shape_basis",
+    "pose_blend_offsets",
+    "linear_blend_skinning",
+    "global_transforms",
+    "ManoHandModel",
+    "MeshResult",
+    "pose_to_theta",
+]

@@ -1,0 +1,145 @@
+"""Shape and pose blend shapes (the ``Bs(beta)`` and ``Bp(theta)`` of
+paper Eq. 11).
+
+Real MANO learns these from hand scans; here the *shape* basis is derived
+analytically by finite-differencing the procedural template along its ten
+shape knobs (scale, finger length, palm width, ...), and the *pose* blend
+offsets add a small palmar bulge near bending joints, the dominant soft-
+tissue effect LBS alone misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.hand.joints import JOINT_PARENTS, NUM_JOINTS
+from repro.hand.shape import HandShape
+from repro.mano.template import HandTemplate, TemplateParams, build_template
+
+#: Finite-difference step per shape knob. One unit of beta moves the knob
+#: by this amount, so beta ~ N(0, 1) spans realistic hand variation.
+_KNOB_DELTAS: Tuple[float, ...] = (
+    0.05,  # uniform_scale
+    0.06,  # finger_length
+    0.06,  # palm_width
+    0.10,  # thickness
+    0.08,  # thumb_scale
+    0.08,  # pinky_scale
+    0.12,  # tube_radius
+    0.05,  # palm_length
+    0.08,  # distal_taper
+    0.15,  # knuckle_bump
+)
+
+NUM_SHAPE_PARAMS = len(_KNOB_DELTAS)
+
+
+@dataclass
+class ShapeBasis:
+    """Linear shape space around a base template.
+
+    ``vertices(beta) = base.vertices + sum_k beta_k * vertex_dirs[k]`` and
+    likewise for joints -- the ``T + Bs(beta)`` and ``J(beta)`` pieces of
+    Eq. (10)/(11).
+    """
+
+    base: HandTemplate
+    vertex_dirs: np.ndarray  # (10, V, 3)
+    joint_dirs: np.ndarray  # (10, 21, 3)
+
+    def __post_init__(self) -> None:
+        expected_v = (NUM_SHAPE_PARAMS, self.base.num_vertices, 3)
+        expected_j = (NUM_SHAPE_PARAMS, NUM_JOINTS, 3)
+        if self.vertex_dirs.shape != expected_v:
+            raise MeshError(
+                f"vertex_dirs must have shape {expected_v}, got "
+                f"{self.vertex_dirs.shape}"
+            )
+        if self.joint_dirs.shape != expected_j:
+            raise MeshError(
+                f"joint_dirs must have shape {expected_j}, got "
+                f"{self.joint_dirs.shape}"
+            )
+
+    def shaped_vertices(self, beta: np.ndarray) -> np.ndarray:
+        """Template vertices deformed by shape coefficients ``beta``."""
+        beta = self._check_beta(beta)
+        return self.base.vertices + np.tensordot(
+            beta, self.vertex_dirs, axes=1
+        )
+
+    def shaped_joints(self, beta: np.ndarray) -> np.ndarray:
+        """Rest joint locations ``J(beta)`` for shape ``beta``."""
+        beta = self._check_beta(beta)
+        return self.base.rest_joints + np.tensordot(
+            beta, self.joint_dirs, axes=1
+        )
+
+    @staticmethod
+    def _check_beta(beta: np.ndarray) -> np.ndarray:
+        beta = np.asarray(beta, dtype=float)
+        if beta.shape != (NUM_SHAPE_PARAMS,):
+            raise MeshError(
+                f"beta must have shape ({NUM_SHAPE_PARAMS},), got {beta.shape}"
+            )
+        return beta
+
+
+def build_shape_basis(
+    shape: HandShape, params: TemplateParams = TemplateParams()
+) -> ShapeBasis:
+    """Finite-difference the template knobs into a linear shape basis.
+
+    Every perturbed template preserves topology, so displacement fields
+    are well-defined per-vertex differences.
+    """
+    base = build_template(shape, params)
+    vertex_dirs = np.empty((NUM_SHAPE_PARAMS, base.num_vertices, 3))
+    joint_dirs = np.empty((NUM_SHAPE_PARAMS, NUM_JOINTS, 3))
+    for k, (knob, delta) in enumerate(zip(params.knob_names(), _KNOB_DELTAS)):
+        perturbed = build_template(shape, params.perturbed(knob, delta))
+        if perturbed.num_vertices != base.num_vertices:
+            raise MeshError(
+                f"knob {knob!r} changed template topology"
+            )  # pragma: no cover - template guarantees this
+        vertex_dirs[k] = perturbed.vertices - base.vertices
+        joint_dirs[k] = perturbed.rest_joints - base.rest_joints
+    return ShapeBasis(base=base, vertex_dirs=vertex_dirs, joint_dirs=joint_dirs)
+
+
+def pose_blend_offsets(
+    template: HandTemplate, theta: np.ndarray, bulge_m: float = 0.0015
+) -> np.ndarray:
+    """Pose-dependent corrective offsets ``Bp(theta)`` (paper Eq. 11).
+
+    For every bending joint, vertices it (or its child bone) drives bulge
+    slightly towards the palm (-z in the hand frame), proportional to the
+    sine of the bend angle -- a first-order model of flexor soft tissue.
+
+    Returns an array of shape (V, 3) to add to the rest vertices *before*
+    skinning, as in SMPL/MANO.
+    """
+    theta = np.asarray(theta, dtype=float)
+    if theta.shape != (NUM_JOINTS, 3):
+        raise MeshError(f"theta must have shape (21, 3), got {theta.shape}")
+    bend = np.linalg.norm(theta, axis=1)
+    offsets = np.zeros_like(template.vertices)
+    palmward = np.array([0.0, 0.0, -1.0])
+    for joint in range(1, NUM_JOINTS):
+        amount = float(np.sin(min(bend[joint], np.pi / 2)))
+        if amount <= 0.0:
+            continue
+        # Vertices influenced by the bending joint or by its parent bone
+        # (the two sides of the crease).
+        parent = JOINT_PARENTS[joint]
+        influence = template.weights[:, joint] + 0.5 * template.weights[
+            :, parent
+        ] * (template.vertex_joint == parent)
+        offsets += (
+            bulge_m * amount * influence[:, None] * palmward[None, :]
+        )
+    return offsets

@@ -1,0 +1,197 @@
+"""The MANO-style parametric hand model ``M(beta, theta)`` (paper Eq. 10).
+
+``beta in R^10`` controls shape through the analytic blend basis,
+``theta in R^{21x3}`` controls pose as per-joint axis-angle rotations, and
+linear blend skinning of the deformed template produces the final mesh:
+
+    M(beta, theta) = W(T + Bs(beta) + Bp(theta), J(beta), theta, W)
+
+The model operates in the hand frame (wrist at origin); callers translate
+the result to the world wrist position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.hand.joints import FINGER_CHAINS, FINGERS, NUM_JOINTS
+from repro.hand.kinematics import _BEND_NORMALS, HandPose, rotation_about_axis
+from repro.hand.shape import HandShape
+from repro.mano.blend import (
+    NUM_SHAPE_PARAMS,
+    ShapeBasis,
+    build_shape_basis,
+    pose_blend_offsets,
+)
+from repro.mano.rotations import matrix_to_axis_angle
+from repro.mano.skinning import linear_blend_skinning
+from repro.mano.template import TemplateParams
+
+
+@dataclass
+class MeshResult:
+    """Output of one ``M(beta, theta)`` evaluation."""
+
+    vertices: np.ndarray  # (V, 3)
+    faces: np.ndarray  # (F, 3)
+    joints: np.ndarray  # (21, 3)
+
+    def translated(self, offset: np.ndarray) -> "MeshResult":
+        """The same mesh rigidly shifted by ``offset`` (world placement)."""
+        offset = np.asarray(offset, dtype=float)
+        if offset.shape != (3,):
+            raise MeshError("offset must be a 3-vector")
+        return MeshResult(
+            vertices=self.vertices + offset,
+            faces=self.faces,
+            joints=self.joints + offset,
+        )
+
+
+class ManoHandModel:
+    """Differentiable-function-shaped parametric hand model.
+
+    Parameters
+    ----------
+    shape:
+        Base hand geometry the template is generated from; defaults to the
+        average adult hand. ``beta`` deforms around this base.
+    params:
+        Template generation knobs (rarely changed).
+    """
+
+    def __init__(
+        self,
+        shape: Optional[HandShape] = None,
+        params: TemplateParams = TemplateParams(),
+    ) -> None:
+        self.shape = shape if shape is not None else HandShape()
+        self.basis: ShapeBasis = build_shape_basis(self.shape, params)
+        self.faces = self.basis.base.faces
+
+    @property
+    def num_vertices(self) -> int:
+        return self.basis.base.num_vertices
+
+    @property
+    def num_shape_params(self) -> int:
+        return NUM_SHAPE_PARAMS
+
+    def rest_joints(self, beta: Optional[np.ndarray] = None) -> np.ndarray:
+        """``J(beta)``: rest joint locations for shape ``beta``."""
+        if beta is None:
+            beta = np.zeros(NUM_SHAPE_PARAMS)
+        return self.basis.shaped_joints(beta)
+
+    def __call__(
+        self,
+        beta: Optional[np.ndarray] = None,
+        theta: Optional[np.ndarray] = None,
+        use_pose_blend: bool = True,
+    ) -> MeshResult:
+        """Evaluate ``M(beta, theta)`` in the hand frame.
+
+        ``beta`` defaults to zeros (mean shape), ``theta`` to the rest
+        pose. Setting ``use_pose_blend=False`` skips the ``Bp(theta)``
+        corrective offsets (useful for ablation).
+        """
+        if beta is None:
+            beta = np.zeros(NUM_SHAPE_PARAMS)
+        if theta is None:
+            theta = np.zeros((NUM_JOINTS, 3))
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (NUM_JOINTS, 3):
+            raise MeshError(
+                f"theta must have shape (21, 3), got {theta.shape}"
+            )
+        vertices = self.basis.shaped_vertices(beta)
+        rest_joints = self.basis.shaped_joints(beta)
+        if use_pose_blend:
+            vertices = vertices + pose_blend_offsets(self.basis.base, theta)
+        posed_vertices, posed_joints = linear_blend_skinning(
+            vertices, self.basis.base.weights, theta, rest_joints
+        )
+        return MeshResult(
+            vertices=posed_vertices, faces=self.faces, joints=posed_joints
+        )
+
+
+def pose_to_theta(pose: HandPose) -> np.ndarray:
+    """Convert a :class:`HandPose` (gesture angles + global orientation)
+    into the equivalent MANO axis-angle parameters ``theta in R^{21x3}``.
+
+    The wrist entry carries the global hand rotation; finger entries
+    express each joint's rotation in its parent frame so that MANO forward
+    kinematics reproduces :func:`~repro.hand.kinematics.forward_kinematics`
+    exactly (tested property). Fingertips carry no rotation.
+    """
+    theta = np.zeros((NUM_JOINTS, 3))
+    theta[0] = matrix_to_axis_angle(pose.orientation)
+    z_axis = np.array([0.0, 0.0, 1.0])
+    for i, finger in enumerate(FINGERS):
+        mcp_flex, mcp_abd, pip_flex, dip_flex = pose.finger_angles[i]
+        chain = FINGER_CHAINS[finger]
+        splay = rotation_about_axis(z_axis, _rest_splay(finger))
+        d0 = splay @ np.array([0.0, 1.0, 0.0])
+        r_abd = rotation_about_axis(z_axis, mcp_abd)
+        d_abd = r_abd @ d0
+        bend_normal = _BEND_NORMALS[finger]
+        axis = np.cross(d_abd, bend_normal)
+        norm = np.linalg.norm(axis)
+        axis = axis / norm if norm > 1e-9 else np.array([1.0, 0.0, 0.0])
+        # MCP: flexion about the (post-abduction) flex axis composed with
+        # the abduction swing.
+        r_mcp = rotation_about_axis(axis, mcp_flex) @ r_abd
+        theta[chain[0]] = matrix_to_axis_angle(r_mcp)
+        # PIP/DIP: flexion about the same anatomical axis, expressed in
+        # the local (post-abduction) frame: a' = R_abd^T a.
+        local_axis = r_abd.T @ axis
+        theta[chain[1]] = local_axis * pip_flex
+        theta[chain[2]] = local_axis * dip_flex
+    return theta
+
+
+def _rest_splay(finger: str) -> float:
+    """Resting splay of the default hand shape (template rest pose)."""
+    from repro.hand.shape import _BASE_SPLAY_RAD
+
+    return _BASE_SPLAY_RAD[finger]
+
+
+def random_theta(
+    rng: np.random.Generator,
+    orientation: Optional[np.ndarray] = None,
+    orientation_jitter_rad: float = 0.35,
+) -> np.ndarray:
+    """Sample an anatomically plausible ``theta`` by drawing finger angles
+    within their limits and converting through :func:`pose_to_theta`.
+
+    Used to self-train the inverse-kinematics networks of the mesh
+    reconstruction stage. The wrist orientation is sampled around the
+    interaction posture the radar pipeline produces (palm facing the
+    radar, fingers up) with random jitter, so the learned inverse covers
+    the skeletons the regressor actually emits.
+    """
+    angles = np.zeros((len(FINGERS), 4))
+    angles[:, 0] = rng.uniform(-0.1, 1.5, size=len(FINGERS))  # mcp flexion
+    angles[:, 1] = rng.uniform(-0.4, 0.4, size=len(FINGERS))  # abduction
+    angles[:, 2] = rng.uniform(0.0, 1.6, size=len(FINGERS))  # pip flexion
+    angles[:, 3] = rng.uniform(0.0, 1.0, size=len(FINGERS))  # dip flexion
+    if orientation is None:
+        from repro.hand.kinematics import default_orientation
+
+        axis = rng.normal(size=3)
+        axis /= np.linalg.norm(axis)
+        angle = rng.uniform(0.0, orientation_jitter_rad)
+        orientation = (
+            rotation_about_axis(axis, angle) @ default_orientation()
+        )
+    pose = HandPose(
+        finger_angles=angles, wrist_position=np.zeros(3),
+        orientation=orientation,
+    )
+    return pose_to_theta(pose)

@@ -1,0 +1,152 @@
+"""Rotation representation conversions.
+
+The mesh-recovery network outputs rotation quaternions ``Q in R^{21x4}``
+for computational efficiency and converts them to the axis-angle
+representation ``theta in R^{21x3}`` MANO consumes (paper Sec. V). This
+module provides the batched conversions between axis-angle, quaternion and
+rotation-matrix forms, all pure numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+
+_EPS = 1e-12
+
+
+def _check_last_dim(array: np.ndarray, dim: int, what: str) -> np.ndarray:
+    array = np.asarray(array, dtype=float)
+    if array.shape[-1] != dim:
+        raise MeshError(f"{what} must have trailing dimension {dim}, "
+                        f"got shape {array.shape}")
+    return array
+
+
+def axis_angle_to_matrix(axis_angle: np.ndarray) -> np.ndarray:
+    """Convert axis-angle vectors (..., 3) to rotation matrices (..., 3, 3).
+
+    The vector's norm is the rotation angle; a zero vector maps to the
+    identity.
+    """
+    aa = _check_last_dim(axis_angle, 3, "axis-angle")
+    batch = aa.reshape(-1, 3)
+    angles = np.linalg.norm(batch, axis=1)
+    safe = np.where(angles < _EPS, 1.0, angles)
+    axes = batch / safe[:, None]
+    x, y, z = axes[:, 0], axes[:, 1], axes[:, 2]
+    zeros = np.zeros_like(x)
+    k = np.stack(
+        [zeros, -z, y, z, zeros, -x, -y, x, zeros], axis=1
+    ).reshape(-1, 3, 3)
+    c = np.cos(angles)[:, None, None]
+    s = np.sin(angles)[:, None, None]
+    eye = np.broadcast_to(np.eye(3), k.shape)
+    mats = eye * c + s * k + (1.0 - c) * np.einsum(
+        "bi,bj->bij", axes, axes
+    )
+    identity_mask = angles < _EPS
+    mats[identity_mask] = np.eye(3)
+    return mats.reshape(aa.shape[:-1] + (3, 3))
+
+
+def matrix_to_axis_angle(matrix: np.ndarray) -> np.ndarray:
+    """Convert rotation matrices (..., 3, 3) to axis-angle (..., 3)."""
+    mat = np.asarray(matrix, dtype=float)
+    if mat.shape[-2:] != (3, 3):
+        raise MeshError(f"expected (..., 3, 3) matrices, got {mat.shape}")
+    return quaternion_to_axis_angle(matrix_to_quaternion(mat))
+
+
+def normalize_quaternion(quat: np.ndarray) -> np.ndarray:
+    """Normalise quaternions (..., 4) to unit norm (w, x, y, z order).
+
+    Raises :class:`MeshError` on (near-)zero quaternions, which carry no
+    orientation information.
+    """
+    q = _check_last_dim(quat, 4, "quaternion")
+    norms = np.linalg.norm(q, axis=-1, keepdims=True)
+    if np.any(norms < 1e-8):
+        raise MeshError("cannot normalise a zero quaternion")
+    return q / norms
+
+
+def quaternion_to_matrix(quat: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions (..., 4), (w, x, y, z), to matrices."""
+    q = normalize_quaternion(quat)
+    w, x, y, z = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
+    m = np.empty(q.shape[:-1] + (3, 3))
+    m[..., 0, 0] = 1 - 2 * (y * y + z * z)
+    m[..., 0, 1] = 2 * (x * y - w * z)
+    m[..., 0, 2] = 2 * (x * z + w * y)
+    m[..., 1, 0] = 2 * (x * y + w * z)
+    m[..., 1, 1] = 1 - 2 * (x * x + z * z)
+    m[..., 1, 2] = 2 * (y * z - w * x)
+    m[..., 2, 0] = 2 * (x * z - w * y)
+    m[..., 2, 1] = 2 * (y * z + w * x)
+    m[..., 2, 2] = 1 - 2 * (x * x + y * y)
+    return m
+
+
+def matrix_to_quaternion(matrix: np.ndarray) -> np.ndarray:
+    """Convert rotation matrices (..., 3, 3) to unit quaternions (w,x,y,z).
+
+    Uses Shepperd's numerically stable branch selection.
+    """
+    mat = np.asarray(matrix, dtype=float)
+    if mat.shape[-2:] != (3, 3):
+        raise MeshError(f"expected (..., 3, 3) matrices, got {mat.shape}")
+    m = mat.reshape(-1, 3, 3)
+    q = np.empty((m.shape[0], 4))
+    trace = np.trace(m, axis1=1, axis2=2)
+    for i in range(m.shape[0]):
+        r = m[i]
+        t = trace[i]
+        if t > 0:
+            s = np.sqrt(t + 1.0) * 2.0
+            q[i] = [0.25 * s, (r[2, 1] - r[1, 2]) / s,
+                    (r[0, 2] - r[2, 0]) / s, (r[1, 0] - r[0, 1]) / s]
+        elif r[0, 0] >= r[1, 1] and r[0, 0] >= r[2, 2]:
+            s = np.sqrt(1.0 + r[0, 0] - r[1, 1] - r[2, 2]) * 2.0
+            q[i] = [(r[2, 1] - r[1, 2]) / s, 0.25 * s,
+                    (r[0, 1] + r[1, 0]) / s, (r[0, 2] + r[2, 0]) / s]
+        elif r[1, 1] >= r[2, 2]:
+            s = np.sqrt(1.0 + r[1, 1] - r[0, 0] - r[2, 2]) * 2.0
+            q[i] = [(r[0, 2] - r[2, 0]) / s, (r[0, 1] + r[1, 0]) / s,
+                    0.25 * s, (r[1, 2] + r[2, 1]) / s]
+        else:
+            s = np.sqrt(1.0 + r[2, 2] - r[0, 0] - r[1, 1]) * 2.0
+            q[i] = [(r[1, 0] - r[0, 1]) / s, (r[0, 2] + r[2, 0]) / s,
+                    (r[1, 2] + r[2, 1]) / s, 0.25 * s]
+    # Canonical sign: non-negative scalar part.
+    flip = q[:, 0] < 0
+    q[flip] = -q[flip]
+    return q.reshape(mat.shape[:-2] + (4,))
+
+
+def quaternion_to_axis_angle(quat: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions (..., 4) to axis-angle vectors (..., 3)."""
+    q = normalize_quaternion(quat)
+    flip = q[..., 0:1] < 0
+    q = np.where(flip, -q, q)
+    w = np.clip(q[..., 0], -1.0, 1.0)
+    angles = 2.0 * np.arccos(w)
+    sin_half = np.sqrt(np.maximum(1.0 - w * w, 0.0))
+    scale = np.where(sin_half < 1e-8, 2.0, angles / np.where(
+        sin_half < 1e-8, 1.0, sin_half))
+    return q[..., 1:] * scale[..., None]
+
+
+def axis_angle_to_quaternion(axis_angle: np.ndarray) -> np.ndarray:
+    """Convert axis-angle vectors (..., 3) to unit quaternions (w,x,y,z)."""
+    aa = _check_last_dim(axis_angle, 3, "axis-angle")
+    angles = np.linalg.norm(aa, axis=-1)
+    safe = np.where(angles < _EPS, 1.0, angles)
+    axes = aa / safe[..., None]
+    half = angles / 2.0
+    q = np.concatenate(
+        [np.cos(half)[..., None], axes * np.sin(half)[..., None]], axis=-1
+    )
+    q[angles < _EPS] = np.array([1.0, 0.0, 0.0, 0.0])
+    return q

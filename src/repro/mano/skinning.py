@@ -1,0 +1,85 @@
+"""Linear blend skinning (the ``W(.)`` of paper Eq. 10).
+
+Given per-joint axis-angle rotations along the kinematic tree, compute the
+posed global joint transforms and deform the template vertices as a
+weighted blend of per-joint rigid motions -- the standard LBS formulation
+MANO (and SMPL before it) uses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.hand.joints import JOINT_PARENTS, NUM_JOINTS
+from repro.mano.rotations import axis_angle_to_matrix
+
+
+def global_transforms(
+    theta: np.ndarray, rest_joints: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Forward kinematics over the joint tree.
+
+    Parameters
+    ----------
+    theta:
+        (21, 3) axis-angle rotation of every joint relative to its parent
+        frame; the wrist entry is the global hand rotation.
+    rest_joints:
+        (21, 3) rest-pose joint locations.
+
+    Returns
+    -------
+    (rotations, positions):
+        ``rotations`` (21, 3, 3) global joint rotations and ``positions``
+        (21, 3) posed global joint locations.
+    """
+    theta = np.asarray(theta, dtype=float)
+    rest_joints = np.asarray(rest_joints, dtype=float)
+    if theta.shape != (NUM_JOINTS, 3):
+        raise MeshError(f"theta must have shape (21, 3), got {theta.shape}")
+    if rest_joints.shape != (NUM_JOINTS, 3):
+        raise MeshError(
+            f"rest_joints must have shape (21, 3), got {rest_joints.shape}"
+        )
+    local = axis_angle_to_matrix(theta)
+    rotations = np.empty((NUM_JOINTS, 3, 3))
+    positions = np.empty((NUM_JOINTS, 3))
+    rotations[0] = local[0]
+    positions[0] = rest_joints[0]
+    for joint in range(1, NUM_JOINTS):
+        parent = JOINT_PARENTS[joint]
+        rotations[joint] = rotations[parent] @ local[joint]
+        offset = rest_joints[joint] - rest_joints[parent]
+        positions[joint] = positions[parent] + rotations[parent] @ offset
+    return rotations, positions
+
+
+def linear_blend_skinning(
+    vertices: np.ndarray,
+    weights: np.ndarray,
+    theta: np.ndarray,
+    rest_joints: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deform ``vertices`` by blended per-joint rigid transforms.
+
+    Every vertex moves as ``sum_j w_vj * (R_j (v - j_j^rest) + j_j^posed)``
+    where ``R_j`` is joint j's global rotation. Returns the posed vertices
+    (V, 3) and posed joints (21, 3).
+    """
+    vertices = np.asarray(vertices, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if vertices.ndim != 2 or vertices.shape[1] != 3:
+        raise MeshError("vertices must have shape (V, 3)")
+    if weights.shape != (len(vertices), NUM_JOINTS):
+        raise MeshError("weights must have shape (V, 21)")
+    rotations, positions = global_transforms(theta, rest_joints)
+
+    # (J, V, 3): each vertex rigidly transformed by each joint.
+    centred = vertices[None, :, :] - rest_joints[:, None, :]
+    rotated = np.einsum("jab,jvb->jva", rotations, centred)
+    rigid = rotated + positions[:, None, :]
+    posed = np.einsum("vj,jva->va", weights, rigid)
+    return posed, positions

@@ -1,0 +1,340 @@
+"""Procedural hand template mesh.
+
+Real MANO ships a scanned, learned template; those assets are not
+redistributable, so this module *generates* an equivalent low-poly hand
+mesh from a :class:`~repro.hand.shape.HandShape`: capsule-like tubes along
+every phalange, a two-layer palm slab and a thumb metacarpal, each vertex
+carrying linear-blend-skinning weights over the 21 joints.
+
+The template lives in the hand frame (wrist at the origin, fingers +y,
+palm facing -z) in its rest pose (all joint angles zero), which is the
+"standard template T" (T-pose) of paper Eq. (11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.hand.joints import FINGER_CHAINS, FINGERS, NUM_JOINTS, WRIST
+from repro.hand.kinematics import HandPose, forward_kinematics
+from repro.hand.shape import HandShape
+
+#: Ring vertex count of every finger tube cross-section.
+RING_VERTS = 8
+#: Stations (fractions along each phalange) where rings are placed.
+STATIONS = (0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0)
+
+#: Base tube radii per finger (metres, before shape scaling).
+_FINGER_RADII: Dict[str, float] = {
+    "thumb": 0.0105,
+    "index": 0.0085,
+    "middle": 0.0088,
+    "ring": 0.0082,
+    "pinky": 0.0070,
+}
+
+
+@dataclass(frozen=True)
+class TemplateParams:
+    """Shape knobs of the procedural template.
+
+    Perturbing one knob at a time yields the analytic shape blend-shape
+    basis (see :mod:`repro.mano.blend`). All knobs are multiplicative
+    around 1.0 except ``knuckle_bump`` which is additive around 0.0.
+    """
+
+    uniform_scale: float = 1.0
+    finger_length: float = 1.0
+    palm_width: float = 1.0
+    thickness: float = 1.0
+    thumb_scale: float = 1.0
+    pinky_scale: float = 1.0
+    tube_radius: float = 1.0
+    palm_length: float = 1.0
+    distal_taper: float = 1.0
+    knuckle_bump: float = 0.0
+
+    def knob_names(self) -> Tuple[str, ...]:
+        return (
+            "uniform_scale",
+            "finger_length",
+            "palm_width",
+            "thickness",
+            "thumb_scale",
+            "pinky_scale",
+            "tube_radius",
+            "palm_length",
+            "distal_taper",
+            "knuckle_bump",
+        )
+
+    def perturbed(self, knob: str, delta: float) -> "TemplateParams":
+        if knob not in self.knob_names():
+            raise MeshError(f"unknown template knob {knob!r}")
+        return replace(self, **{knob: getattr(self, knob) + delta})
+
+
+@dataclass
+class HandTemplate:
+    """The rest-pose hand mesh plus everything skinning needs.
+
+    Attributes
+    ----------
+    vertices:
+        (V, 3) rest-pose vertex positions in the hand frame.
+    faces:
+        (F, 3) integer triangle indices.
+    weights:
+        (V, 21) linear-blend-skinning weights; each row sums to 1.
+    rest_joints:
+        (21, 3) rest-pose joint locations (the ``J(beta)`` of Eq. 10).
+    vertex_joint:
+        (V,) dominant joint per vertex, used by pose blend shapes and the
+        radar scatterer sampler.
+    """
+
+    vertices: np.ndarray
+    faces: np.ndarray
+    weights: np.ndarray
+    rest_joints: np.ndarray
+    vertex_joint: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=float)
+        self.faces = np.asarray(self.faces, dtype=int)
+        self.weights = np.asarray(self.weights, dtype=float)
+        self.rest_joints = np.asarray(self.rest_joints, dtype=float)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise MeshError("vertices must have shape (V, 3)")
+        if self.weights.shape != (len(self.vertices), NUM_JOINTS):
+            raise MeshError("weights must have shape (V, 21)")
+        if self.rest_joints.shape != (NUM_JOINTS, 3):
+            raise MeshError("rest_joints must have shape (21, 3)")
+        if self.faces.size and (
+            self.faces.min() < 0 or self.faces.max() >= len(self.vertices)
+        ):
+            raise MeshError("face indices out of range")
+        sums = self.weights.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-6):
+            raise MeshError("skinning weights must sum to 1 per vertex")
+        if self.vertex_joint is None:
+            self.vertex_joint = np.argmax(self.weights, axis=1)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_faces(self) -> int:
+        return len(self.faces)
+
+
+def _ring_frame(direction: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Two unit vectors orthogonal to ``direction`` (tube cross-section)."""
+    direction = direction / np.linalg.norm(direction)
+    helper = np.array([0.0, 0.0, 1.0])
+    if abs(np.dot(direction, helper)) > 0.95:
+        helper = np.array([1.0, 0.0, 0.0])
+    u = np.cross(direction, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(direction, u)
+    return u, v
+
+
+def _tube_ring(
+    centre: np.ndarray, u: np.ndarray, v: np.ndarray, radius: float
+) -> np.ndarray:
+    angles = 2.0 * np.pi * np.arange(RING_VERTS) / RING_VERTS
+    return centre + radius * (
+        np.cos(angles)[:, None] * u + np.sin(angles)[:, None] * v
+    )
+
+
+def _quad_faces(ring_a: int, ring_b: int) -> List[Tuple[int, int, int]]:
+    """Triangles connecting two consecutive rings given start indices."""
+    faces = []
+    for k in range(RING_VERTS):
+        a0 = ring_a + k
+        a1 = ring_a + (k + 1) % RING_VERTS
+        b0 = ring_b + k
+        b1 = ring_b + (k + 1) % RING_VERTS
+        faces.append((a0, b0, b1))
+        faces.append((a0, b1, a1))
+    return faces
+
+
+def build_template(
+    shape: HandShape, params: TemplateParams = TemplateParams()
+) -> HandTemplate:
+    """Generate the rest-pose hand mesh for ``shape`` under ``params``.
+
+    Deterministic: the same inputs give an identical mesh, and any
+    ``params`` perturbation preserves topology (vertex and face counts),
+    which the shape blend-shape basis relies on.
+    """
+    rest_pose = HandPose(wrist_position=np.zeros(3), orientation=np.eye(3))
+    rest_joints = forward_kinematics(shape, rest_pose)
+
+    verts: List[np.ndarray] = []
+    weights: List[np.ndarray] = []
+    faces: List[Tuple[int, int, int]] = []
+
+    def add_vertex(position: np.ndarray, weight: Dict[int, float]) -> int:
+        w = np.zeros(NUM_JOINTS)
+        for joint, value in weight.items():
+            w[joint] = value
+        total = w.sum()
+        if total <= 0:
+            raise MeshError("vertex weights must be positive")
+        verts.append(np.asarray(position, dtype=float))
+        weights.append(w / total)
+        return len(verts) - 1
+
+    # ------------------------------------------------------------------
+    # Finger tubes: one capsule-like tube per phalange, ring weights
+    # blended across joints for smooth bending.
+    # ------------------------------------------------------------------
+    for finger in FINGERS:
+        chain = FINGER_CHAINS[finger]
+        finger_scale = 1.0
+        if finger == "thumb":
+            finger_scale *= params.thumb_scale
+        if finger == "pinky":
+            finger_scale *= params.pinky_scale
+        base_radius = _FINGER_RADII[finger] * params.tube_radius
+        root = rest_joints[chain[0]]
+
+        for seg in range(3):
+            pa, pb = chain[seg], chain[seg + 1]
+            length_knob = params.finger_length * finger_scale
+            if seg == 2:
+                length_knob *= params.distal_taper
+            a = root + (rest_joints[pa] - root) * length_knob
+            b = root + (rest_joints[pb] - root) * length_knob
+            direction = b - a
+            u, v = _ring_frame(direction)
+            radius0 = base_radius * (1.0 - 0.12 * seg)
+            radius1 = base_radius * (1.0 - 0.12 * (seg + 1))
+            ring_starts = []
+            for t in STATIONS:
+                centre = a + t * direction
+                radius = radius0 + t * (radius1 - radius0)
+                if t == 0.0 and seg == 0:
+                    radius *= 1.0 + params.knuckle_bump
+                ring = _tube_ring(centre, u, v, radius)
+                if t < 0.2:
+                    parent = WRIST if seg == 0 else chain[seg - 1]
+                    weight = {parent: 0.35, pa: 0.65}
+                elif t > 0.8:
+                    weight = {pa: 0.6, pb: 0.4}
+                else:
+                    weight = {pa: 1.0}
+                start = len(verts)
+                for p in ring:
+                    add_vertex(p, weight)
+                ring_starts.append(start)
+            for r0, r1 in zip(ring_starts, ring_starts[1:]):
+                faces.extend(_quad_faces(r0, r1))
+
+        # Fingertip cap vertex, driven by the DIP joint (the last phalange
+        # DIP->TIP is the distal bone, rotated at the DIP joint).
+        tip = root + (rest_joints[chain[3]] - root) * (
+            params.finger_length * finger_scale * params.distal_taper
+        ) + np.array([0.0, 0.004, 0.0])
+        tip_index = add_vertex(tip, {chain[2]: 1.0})
+        last_ring = tip_index - RING_VERTS
+        for k in range(RING_VERTS):
+            a0 = last_ring + k
+            a1 = last_ring + (k + 1) % RING_VERTS
+            faces.append((a0, a1, tip_index))
+
+    # ------------------------------------------------------------------
+    # Palm slab: two-layer grid from the wrist to the knuckle line, rigid
+    # with the wrist (the paper notes the palm lacks flexible deformation)
+    # apart from a soft blend at the knuckle edge.
+    # ------------------------------------------------------------------
+    knuckles = [rest_joints[FINGER_CHAINS[f][0]] for f in FINGERS[1:]]
+    wrist_corners = [
+        np.array([0.030, 0.0, 0.0]),
+        np.array([0.012, -0.008, 0.0]),
+        np.array([-0.008, -0.008, 0.0]),
+        np.array([-0.028, 0.002, 0.0]),
+    ]
+    rows, cols = 5, 4
+    half_thick = 0.5 * shape.palm_thickness_m * params.thickness
+    layer_starts = []
+    for layer, z_offset in ((0, -half_thick), (1, half_thick)):
+        start = len(verts)
+        layer_starts.append(start)
+        for r in range(rows):
+            t = r / (rows - 1)
+            for c in range(cols):
+                bottom = wrist_corners[c]
+                top = knuckles[c] * np.array(
+                    [params.palm_width, params.palm_length, 1.0]
+                )
+                p = (1.0 - t) * bottom + t * top + np.array(
+                    [0.0, 0.0, z_offset]
+                )
+                mcp = FINGER_CHAINS[FINGERS[1 + c]][0]
+                if t > 0.8:
+                    weight = {WRIST: 0.75, mcp: 0.25}
+                else:
+                    weight = {WRIST: 1.0}
+                add_vertex(p, weight)
+        for r in range(rows - 1):
+            for c in range(cols - 1):
+                i00 = start + r * cols + c
+                i01 = i00 + 1
+                i10 = i00 + cols
+                i11 = i10 + 1
+                if layer == 0:
+                    faces.append((i00, i10, i11))
+                    faces.append((i00, i11, i01))
+                else:
+                    faces.append((i00, i11, i10))
+                    faces.append((i00, i01, i11))
+
+    # Side walls stitching the two palm layers along the outer columns.
+    front, back = layer_starts
+    for r in range(rows - 1):
+        for c in (0, cols - 1):
+            f0 = front + r * cols + c
+            f1 = f0 + cols
+            b0 = back + r * cols + c
+            b1 = b0 + cols
+            faces.append((f0, b0, b1))
+            faces.append((f0, b1, f1))
+
+    # ------------------------------------------------------------------
+    # Thumb metacarpal: short tube from the wrist to the thumb root.
+    # ------------------------------------------------------------------
+    thumb_root = rest_joints[FINGER_CHAINS["thumb"][0]]
+    u, v = _ring_frame(thumb_root)
+    radius = _FINGER_RADII["thumb"] * 1.25 * params.tube_radius
+    ring_starts = []
+    for t in (0.25, 0.65, 1.0):
+        ring = _tube_ring(t * thumb_root, u, v, radius * (1.1 - 0.2 * t))
+        weight = (
+            {WRIST: 1.0}
+            if t < 0.9
+            else {WRIST: 0.5, FINGER_CHAINS["thumb"][0]: 0.5}
+        )
+        start = len(verts)
+        for p in ring:
+            add_vertex(p, weight)
+        ring_starts.append(start)
+    for r0, r1 in zip(ring_starts, ring_starts[1:]):
+        faces.extend(_quad_faces(r0, r1))
+
+    scale = params.uniform_scale
+    return HandTemplate(
+        vertices=np.array(verts) * scale,
+        faces=np.array(faces, dtype=int),
+        weights=np.array(weights),
+        rest_joints=rest_joints * scale,
+    )

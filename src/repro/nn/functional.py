@@ -1,0 +1,251 @@
+"""Functional ops on autograd tensors: convolution via im2col, zero
+upsampling (the building block of transposed convolution), and pooling
+helpers used by the attention blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor
+
+
+def _im2col(
+    data: np.ndarray, kh: int, kw: int, stride: int
+) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding (kh, kw) patches of an NCHW array.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(C*kh*kw, N*out_h*out_w)`` -- the batch folded into the spatial
+    axis so a single BLAS GEMM performs the whole convolution.
+    """
+    n, c, h, w = data.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    shape = (c, kh, kw, n, out_h, out_w)
+    strides = (
+        data.strides[1],
+        data.strides[2],
+        data.strides[3],
+        data.strides[0],
+        data.strides[2] * stride,
+        data.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(data, shape, strides)
+    cols = np.ascontiguousarray(patches).reshape(
+        c * kh * kw, n * out_h * out_w
+    )
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter-add column patches back into an NCHW array (im2col adjoint).
+
+    ``cols`` uses the (C*kh*kw, N*out_h*out_w) layout of :func:`_im2col`.
+    """
+    n, c, h, w = image_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    patches = cols.reshape(c, kh, kw, n, out_h, out_w)
+    image = np.zeros(image_shape, dtype=cols.dtype)
+    view = image.transpose(1, 0, 2, 3)  # (C, N, H, W) view
+    for i in range(kh):
+        for j in range(kw):
+            view[
+                :, :, i : i + stride * out_h : stride,
+                j : j + stride * out_w : stride,
+            ] += patches[:, i, j]
+    return image
+
+
+def conv2d(
+    x: Tensor, weight: Tensor, bias: Tensor = None, stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) on NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``.
+    """
+    if x.ndim != 4:
+        raise ModelError(f"conv2d expects NCHW input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ModelError("conv2d weight must be (O, C, kh, kw)")
+    if x.shape[1] != weight.shape[1]:
+        raise ModelError(
+            f"input has {x.shape[1]} channels but weight expects "
+            f"{weight.shape[1]}"
+        )
+    if stride < 1:
+        raise ModelError("stride must be >= 1")
+    if padding:
+        x = x.pad2d(padding)
+
+    n, c, h, w = x.shape
+    out_c, _, kh, kw = weight.shape
+    if h < kh or w < kw:
+        raise ModelError("input smaller than kernel after padding")
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride)
+    w_flat = weight.data.reshape(out_c, -1)
+    # Single GEMM over the batch-folded columns: (O, K) @ (K, N*M).
+    out_flat = w_flat @ cols  # (O, N*M)
+    out_data = np.moveaxis(
+        out_flat.reshape(out_c, n, out_h, out_w), 0, 1
+    ).copy()
+    if bias is not None:
+        out_data += bias.data.reshape(1, out_c, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        grad2d = np.ascontiguousarray(
+            np.moveaxis(grad, 1, 0)
+        ).reshape(out_c, -1)
+        if weight.requires_grad:
+            gw = (grad2d @ cols.T).reshape(weight.data.shape)
+            weight._accumulate(gw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gcols = w_flat.T @ grad2d
+            gx = _col2im(gcols, (n, c, h, w), kh, kw, stride)
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def upsample_zeros(x: Tensor, stride: int) -> Tensor:
+    """Insert ``stride - 1`` zeros between spatial samples of NCHW input.
+
+    Composing with :func:`conv2d` yields a transposed convolution: the
+    output doubles (stride 2) the spatial size before the conv smooths it.
+    """
+    if x.ndim != 4:
+        raise ModelError("upsample_zeros expects NCHW input")
+    if stride < 1:
+        raise ModelError("stride must be >= 1")
+    if stride == 1:
+        return x
+    n, c, h, w = x.shape
+    out_data = np.zeros((n, c, h * stride, w * stride), dtype=x.data.dtype)
+    out_data[:, :, ::stride, ::stride] = x.data
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[:, :, ::stride, ::stride])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float,
+    batch_stats: bool,
+) -> Tensor:
+    """Fused batch normalisation over NCHW channels.
+
+    ``mean`` / ``var`` are per-channel statistics (batch statistics in
+    training, running statistics in eval); ``batch_stats`` selects the
+    backward formula (batch statistics depend on ``x``, running ones do
+    not). Fusing the op avoids the long elementwise autograd chains the
+    naive formulation creates.
+    """
+    if x.ndim != 4:
+        raise ModelError("batch_norm2d expects NCHW input")
+    n, c, h, w = x.shape
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
+    out_data = xhat * gamma.data.reshape(1, c, 1, 1) + beta.data.reshape(
+        1, c, 1, 1
+    )
+    m = n * h * w
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate((grad * xhat).sum(axis=(0, 2, 3)))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            scale = (gamma.data * inv_std).reshape(1, c, 1, 1)
+            if batch_stats:
+                dbeta = grad.sum(axis=(0, 2, 3), keepdims=True).reshape(
+                    1, c, 1, 1
+                )
+                dgamma = (grad * xhat).sum(
+                    axis=(0, 2, 3), keepdims=True
+                ).reshape(1, c, 1, 1)
+                gx = scale * (grad - dbeta / m - xhat * dgamma / m)
+            else:
+                gx = scale * grad
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
+def global_avg_pool(x: Tensor, axes: Tuple[int, ...]) -> Tensor:
+    """Mean over the given axes, keeping dims."""
+    return x.mean(axis=axes, keepdims=True)
+
+
+def global_max_pool(x: Tensor, axes: Tuple[int, ...]) -> Tensor:
+    """Max over the given axes (applied sequentially), keeping dims."""
+    out = x
+    for axis in sorted(axes):
+        out = out.max(axis=axis, keepdims=True)
+    return out
+
+
+def flatten(x: Tensor, start_axis: int = 1) -> Tensor:
+    """Flatten all axes from ``start_axis`` onward."""
+    lead = x.shape[:start_axis]
+    return x.reshape(lead + (-1,))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def group_norm(
+    x: Tensor, groups: int, gamma: Tensor, beta: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Group normalisation over NCHW input.
+
+    Normalises each sample's channel groups independently of the batch,
+    so train/eval behaviour is identical -- a batch-size-robust
+    alternative to batch norm for tiny-batch training.
+    """
+    if x.ndim != 4:
+        raise ModelError("group_norm expects NCHW input")
+    n, c, h, w = x.shape
+    if c % groups != 0:
+        raise ModelError(
+            f"channels ({c}) must be divisible by groups ({groups})"
+        )
+    grouped = x.reshape(n, groups, c // groups, h, w)
+    mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+    centred = grouped - mean
+    var = (centred * centred).mean(axis=(2, 3, 4), keepdims=True)
+    normed = centred * ((var + eps) ** -0.5)
+    out = normed.reshape(n, c, h, w)
+    return out * gamma.reshape(1, c, 1, 1) + beta.reshape(1, c, 1, 1)

@@ -1,0 +1,31 @@
+"""Weight initialisers.
+
+Deterministic given a generator: every layer takes an ``rng`` so whole
+models are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def kaiming_uniform(
+    rng: np.random.Generator, shape, fan_in: int
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU networks."""
+    if fan_in < 1:
+        raise ModelError("fan_in must be >= 1")
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for saturating activations."""
+    if fan_in < 1 or fan_out < 1:
+        raise ModelError("fan_in and fan_out must be >= 1")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

@@ -1,0 +1,66 @@
+"""Basic losses on autograd tensors.
+
+The task-specific combined loss (3-D joint loss + kinematic loss) lives
+in :mod:`repro.core.losses`; this module provides the generic pieces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    target = Tensor._coerce(target)
+    if prediction.shape != target.shape:
+        raise ModelError(
+            f"mse_loss shape mismatch: {prediction.shape} vs {target.shape}"
+        )
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def cross_entropy_loss(logits: Tensor, target_indices) -> Tensor:
+    """Mean cross entropy between logits (B, C) and integer targets (B,).
+
+    Used by classification heads (e.g. learned gesture recognition on
+    top of skeleton descriptors).
+    """
+    import numpy as np
+
+    from repro.nn.functional import log_softmax
+
+    targets = np.asarray(target_indices, dtype=int)
+    if logits.ndim != 2:
+        raise ModelError("cross_entropy_loss expects (B, C) logits")
+    if targets.shape != (logits.shape[0],):
+        raise ModelError("targets must have shape (B,)")
+    if targets.min() < 0 or targets.max() >= logits.shape[1]:
+        raise ModelError("target indices out of range")
+    log_probs = log_softmax(logits, axis=-1)
+    one_hot = np.zeros(logits.shape, dtype=np.float32)
+    one_hot[np.arange(len(targets)), targets] = 1.0
+    return -(log_probs * Tensor(one_hot)).sum() * (1.0 / len(targets))
+
+
+def l2_joint_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Sum of per-joint Euclidean distances (paper's L3D, Eq. 8).
+
+    ``prediction`` and ``target`` have shape (B, J, 3); the result is the
+    mean over the batch of the per-sample sum of joint distances.
+    """
+    target = Tensor._coerce(target)
+    if prediction.ndim != 3 or prediction.shape[-1] != 3:
+        raise ModelError(
+            f"l2_joint_loss expects (B, J, 3), got {prediction.shape}"
+        )
+    if prediction.shape != target.shape:
+        raise ModelError(
+            f"l2_joint_loss shape mismatch: {prediction.shape} vs "
+            f"{target.shape}"
+        )
+    diff = prediction - target
+    sq = (diff * diff).sum(axis=-1)
+    dist = (sq + 1e-12) ** 0.5
+    return dist.sum(axis=-1).mean()

@@ -1,0 +1,243 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains with an initial learning rate of 0.001 under cosine
+decay; :class:`Adam` + :class:`CosineSchedule` reproduce that setup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ModelError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ModelError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Scale all gradients so their global L2 norm is <= ``max_norm``.
+
+        Returns the pre-clip norm (useful for logging).
+        """
+        if max_norm <= 0:
+            raise ModelError("max_norm must be positive")
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float((param.grad**2).sum())
+        norm = math.sqrt(total)
+        if norm > max_norm:
+            scale = max_norm / (norm + 1e-12)
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad *= scale
+        return norm
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ModelError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam with decoupled weight decay (AdamW-style when decay > 0)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ModelError("betas must lie in [0, 1)")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= b1
+            m += (1.0 - b1) * grad
+            v *= b2
+            v += (1.0 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data = param.data - self.lr * update
+
+
+class RMSProp(Optimizer):
+    """RMSProp with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        decay: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= decay < 1.0:
+            raise ModelError("decay must lie in [0, 1)")
+        if not 0.0 <= momentum < 1.0:
+            raise ModelError("momentum must lie in [0, 1)")
+        self.decay = decay
+        self.eps = eps
+        self.momentum = momentum
+        self._sq = [np.zeros_like(p.data) for p in self.parameters]
+        self._vel = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, sq, vel in zip(self.parameters, self._sq, self._vel):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            sq *= self.decay
+            sq += (1.0 - self.decay) * grad * grad
+            update = grad / (np.sqrt(sq) + self.eps)
+            if self.momentum:
+                vel *= self.momentum
+                vel += update
+                update = vel
+            param.data = param.data - self.lr * update
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(
+        self, optimizer: Optimizer, lr0: float, step_size: int,
+        gamma: float = 0.5,
+    ) -> None:
+        if step_size < 1:
+            raise ModelError("step_size must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ModelError("gamma must lie in (0, 1]")
+        if lr0 <= 0:
+            raise ModelError("lr0 must be positive")
+        self.optimizer = optimizer
+        self.lr0 = lr0
+        self.step_size = step_size
+        self.gamma = gamma
+        self._step = 0
+
+    def current_lr(self) -> float:
+        return self.lr0 * self.gamma ** (self._step // self.step_size)
+
+    def step(self) -> float:
+        self._step += 1
+        lr = self.current_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class EarlyStopping:
+    """Patience-based early stopping on a monitored metric (lower is
+    better). Call :meth:`update` per epoch; it returns True when training
+    should stop."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ModelError("patience must be >= 1")
+        if min_delta < 0:
+            raise ModelError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.bad_epochs = 0
+
+    def update(self, metric: float) -> bool:
+        if self.best is None or metric < self.best - self.min_delta:
+            self.best = metric
+            self.bad_epochs = 0
+            return False
+        self.bad_epochs += 1
+        return self.bad_epochs >= self.patience
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay from ``lr0`` to ``lr_min`` over
+    ``total_steps`` (the paper's schedule)."""
+
+    def __init__(
+        self, optimizer: Optimizer, lr0: float, total_steps: int,
+        lr_min: float = 0.0,
+    ) -> None:
+        if total_steps < 1:
+            raise ModelError("total_steps must be >= 1")
+        if lr0 <= 0 or lr_min < 0 or lr_min > lr0:
+            raise ModelError("require 0 <= lr_min <= lr0 and lr0 > 0")
+        self.optimizer = optimizer
+        self.lr0 = lr0
+        self.lr_min = lr_min
+        self.total_steps = total_steps
+        self._step = 0
+
+    def current_lr(self) -> float:
+        progress = min(self._step / self.total_steps, 1.0)
+        return self.lr_min + 0.5 * (self.lr0 - self.lr_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate."""
+        self._step += 1
+        lr = self.current_lr()
+        self.optimizer.lr = lr
+        return lr

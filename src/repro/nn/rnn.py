@@ -1,0 +1,80 @@
+"""LSTM for the temporal feature model (paper Sec. IV-A).
+
+A single-layer LSTM over the per-frame feature vectors mmSpaceNet
+produces: consecutive radar frames are highly correlated, and the LSTM
+extracts the temporal features that describe hand motion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.init import xavier_uniform
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, stack
+
+
+class LSTM(Module):
+    """Single-layer LSTM, batch-first.
+
+    Input ``(B, T, input_size)``; returns ``(outputs, (h, c))`` where
+    ``outputs`` is ``(B, T, hidden_size)`` and ``h`` / ``c`` the final
+    states ``(B, hidden_size)``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gates = 4 * hidden_size
+        self.w_ih = Tensor(
+            xavier_uniform(rng, (gates, input_size), input_size, gates),
+            requires_grad=True,
+        )
+        self.w_hh = Tensor(
+            xavier_uniform(rng, (gates, hidden_size), hidden_size, gates),
+            requires_grad=True,
+        )
+        bias = np.zeros(gates, dtype=np.float32)
+        # Forget-gate bias starts at 1: standard trick for gradient flow.
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def forward(
+        self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ModelError(
+                f"LSTM expects (B, T, {self.input_size}), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        h_dim = self.hidden_size
+        if state is None:
+            h = Tensor(np.zeros((batch, h_dim), dtype=np.float32))
+            c = Tensor(np.zeros((batch, h_dim), dtype=np.float32))
+        else:
+            h, c = state
+        outputs = []
+        w_ih_t = self.w_ih.transpose()
+        w_hh_t = self.w_hh.transpose()
+        for t in range(steps):
+            x_t = x[:, t, :]
+            gates = x_t @ w_ih_t + h @ w_hh_t + self.bias
+            i_gate = gates[:, 0:h_dim].sigmoid()
+            f_gate = gates[:, h_dim : 2 * h_dim].sigmoid()
+            g_gate = gates[:, 2 * h_dim : 3 * h_dim].tanh()
+            o_gate = gates[:, 3 * h_dim : 4 * h_dim].sigmoid()
+            c = f_gate * c + i_gate * g_gate
+            h = o_gate * c.tanh()
+            outputs.append(h)
+        return stack(outputs, axis=1), (h, c)

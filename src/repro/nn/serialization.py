@@ -1,0 +1,34 @@
+"""Model weight (de)serialization as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.layers import Module
+
+
+def save_state(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Write ``module``'s parameters and buffers to ``path`` (npz)."""
+    state = module.state_dict()
+    if not state:
+        raise SerializationError("module has no parameters to save")
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Restore parameters and buffers saved by :func:`save_state`."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    if not os.path.exists(path):
+        raise SerializationError(f"no saved state at {path}")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,45 @@
+"""Model inspection: parameter counts and per-module summaries."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.nn.layers import Module
+
+
+def count_parameters(module: Module) -> int:
+    """Total number of trainable scalar parameters."""
+    return int(sum(p.data.size for p in module.parameters()))
+
+
+def parameter_breakdown(module: Module) -> List[Tuple[str, int]]:
+    """(name, size) for every registered parameter, insertion order."""
+    return [
+        (name, int(p.data.size)) for name, p in module.named_parameters()
+    ]
+
+
+def summarize_module(module: Module, top: int = 12) -> str:
+    """Readable summary: totals plus the largest parameter tensors.
+
+    Useful for verifying a configuration stays within a compute budget
+    and for documenting trained models.
+    """
+    breakdown = parameter_breakdown(module)
+    total = sum(size for _, size in breakdown)
+    lines = [
+        f"{type(module).__name__}: {len(breakdown)} parameter tensors, "
+        f"{total:,} scalars "
+        f"({total * 4 / 1024 / 1024:.2f} MiB at float32)"
+    ]
+    largest = sorted(breakdown, key=lambda kv: -kv[1])[:top]
+    width = max((len(name) for name, _ in largest), default=4)
+    for name, size in largest:
+        share = 100.0 * size / total if total else 0.0
+        lines.append(f"  {name.ljust(width)}  {size:>10,}  {share:5.1f}%")
+    if len(breakdown) > top:
+        rest = total - sum(size for _, size in largest)
+        lines.append(
+            f"  (+{len(breakdown) - top} more tensors, {rest:,} scalars)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""FMCW mmWave radar simulator.
+
+Replaces the paper's TI IWR1443 + DCA1000EVM capture chain: the simulator
+synthesises the exact intermediate-frequency (IF) signal of paper Eq. (1)
+for a scene of point scatterers (hand, body, furniture, occluders), over
+the IWR1443's TDM-MIMO virtual antenna array, so every downstream DSP step
+runs unchanged on simulated data.
+"""
+
+from repro.radar.antenna import VirtualArray, iwr1443_array
+from repro.radar.chirp import synthesize_frame
+from repro.radar.scatterers import (
+    GloveSpec,
+    HandheldObjectSpec,
+    hand_scatterers,
+    GLOVE_MATERIALS,
+    HANDHELD_OBJECTS,
+)
+from repro.radar.clutter import (
+    ENVIRONMENTS,
+    OCCLUDER_MATERIALS,
+    BodyPosition,
+    OccluderSpec,
+    body_scatterers,
+    environment_scatterers,
+)
+from repro.radar.scene import Scatterers, Scene
+from repro.radar.radar import RadarSimulator
+
+__all__ = [
+    "VirtualArray",
+    "iwr1443_array",
+    "synthesize_frame",
+    "GloveSpec",
+    "HandheldObjectSpec",
+    "hand_scatterers",
+    "GLOVE_MATERIALS",
+    "HANDHELD_OBJECTS",
+    "ENVIRONMENTS",
+    "OCCLUDER_MATERIALS",
+    "BodyPosition",
+    "OccluderSpec",
+    "body_scatterers",
+    "environment_scatterers",
+    "Scatterers",
+    "Scene",
+    "RadarSimulator",
+]

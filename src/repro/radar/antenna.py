@@ -1,0 +1,124 @@
+"""TDM-MIMO virtual antenna array geometry.
+
+The IWR1443 has 3 transmit and 4 receive antennas. Under TDM-MIMO the
+transmitters fire in turn while all receivers listen, synthesising a
+``num_tx * num_rx`` virtual array whose element positions are the sums of
+TX and RX positions (paper Sec. III): TX1/TX3 extend the azimuth aperture
+to 8 half-wavelength elements; TX2 sits half a wavelength higher, giving
+the elevated row used for elevation estimation.
+
+Positions are expressed in wavelengths in the radar's (y, z) aperture
+plane -- y is azimuth (radar's left), z is elevation (up); boresight is +x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import RadarConfig
+from repro.errors import RadarError
+
+
+@dataclass(frozen=True)
+class VirtualArray:
+    """Virtual antenna element positions.
+
+    Attributes
+    ----------
+    tx_positions / rx_positions:
+        (num_tx, 2) and (num_rx, 2) arrays of (y, z) positions in
+        wavelengths.
+    positions:
+        (num_tx * num_rx, 2) virtual element positions, ordered TX-major
+        (tx0rx0, tx0rx1, ..., tx1rx0, ...), matching the order the radar
+        simulator fills the data cube in.
+    """
+
+    tx_positions: np.ndarray
+    rx_positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name, arr in (
+            ("tx_positions", self.tx_positions),
+            ("rx_positions", self.rx_positions),
+        ):
+            arr = np.asarray(arr, dtype=float)
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise RadarError(f"{name} must have shape (N, 2)")
+            object.__setattr__(self, name, arr)
+
+    @property
+    def num_tx(self) -> int:
+        return len(self.tx_positions)
+
+    @property
+    def num_rx(self) -> int:
+        return len(self.rx_positions)
+
+    @property
+    def num_virtual(self) -> int:
+        return self.num_tx * self.num_rx
+
+    @property
+    def positions(self) -> np.ndarray:
+        return (
+            self.tx_positions[:, None, :] + self.rx_positions[None, :, :]
+        ).reshape(-1, 2)
+
+    def tx_of_virtual(self) -> np.ndarray:
+        """TX index of every virtual element (TDM slot assignment)."""
+        return np.repeat(np.arange(self.num_tx), self.num_rx)
+
+    def steering_phases(
+        self, azimuth_rad: np.ndarray, elevation_rad: np.ndarray
+    ) -> np.ndarray:
+        """Per-element phases (radians) for plane waves from given angles.
+
+        ``azimuth_rad`` and ``elevation_rad`` must broadcast together;
+        the result has shape ``broadcast_shape + (num_virtual,)``. The
+        phase of element at aperture position (y, z) wavelengths for a
+        source at azimuth ``a`` / elevation ``e`` is
+        ``2*pi*(y*sin(a)*cos(e) + z*sin(e))``.
+        """
+        az = np.asarray(azimuth_rad, dtype=float)
+        el = np.asarray(elevation_rad, dtype=float)
+        az, el = np.broadcast_arrays(az, el)
+        pos = self.positions
+        return 2.0 * np.pi * (
+            pos[:, 0] * (np.sin(az) * np.cos(el))[..., None]
+            + pos[:, 1] * np.sin(el)[..., None]
+        )
+
+
+def iwr1443_array(config: RadarConfig) -> VirtualArray:
+    """The IWR1443 antenna layout for ``config``'s TX/RX counts.
+
+    At the default 3 TX x 4 RX this reproduces the EVM geometry: RX at
+    0..1.5 wavelengths along azimuth, TX1 at the origin, TX3 two
+    wavelengths over (extending the azimuth aperture to 8 contiguous
+    half-wavelength elements) and TX2 between them, half a wavelength up
+    (the elevated row). Other counts fall back to uniform rows.
+    """
+    d = config.rx_spacing_wavelengths
+    rx = np.stack(
+        [np.arange(config.num_rx) * d, np.zeros(config.num_rx)], axis=1
+    )
+    if config.num_tx == 3 and config.num_rx == 4:
+        tx = np.array(
+            [
+                [0.0, 0.0],  # TX1: starts the azimuth row
+                [2.0 * d, 1.0 * d],  # TX2: elevated by half a wavelength
+                [4.0 * d, 0.0],  # TX3: extends the azimuth row
+            ]
+        )
+    else:
+        tx = np.stack(
+            [
+                np.arange(config.num_tx) * config.num_rx * d,
+                np.zeros(config.num_tx),
+            ],
+            axis=1,
+        )
+    return VirtualArray(tx_positions=tx, rx_positions=rx)

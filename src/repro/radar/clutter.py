@@ -1,0 +1,194 @@
+"""Environmental clutter, user body, and occluder models.
+
+These populate the scene with everything that is *not* the hand, so the
+pre-processing stage has real interference to remove:
+
+* environments (paper Sec. VI-I): playground (empty), corridor (sparse
+  static + occasional passer-by), classroom (dense static + moving people);
+* the user's body (paper Sec. VI-F): a torso scatterer cluster placed
+  behind or beside the hand;
+* occluders (paper Sec. VI-J): A4 paper, cloth, or a thin wooden board in
+  the line of sight, attenuating the hand return and adding their own
+  reflection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import RadarError
+from repro.radar.scene import Scatterers
+
+
+class BodyPosition(enum.Enum):
+    """Where the user's body stands relative to the radar (Sec. VI-F)."""
+
+    FRONT = "front"  # type 1: body behind the outstretched hand
+    SIDE = "side"  # type 2: body beside the radar, hand reached in front
+    ABSENT = "absent"
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """Static and dynamic clutter statistics of one environment."""
+
+    name: str
+    num_static: int
+    static_range_m: tuple
+    static_amplitude: float
+    num_movers: int
+    mover_amplitude: float
+
+    def __post_init__(self) -> None:
+        if self.num_static < 0 or self.num_movers < 0:
+            raise RadarError("clutter counts must be non-negative")
+
+
+ENVIRONMENTS: Dict[str, EnvironmentProfile] = {
+    # A large empty area: essentially no clutter.
+    "playground": EnvironmentProfile(
+        "playground", num_static=1, static_range_m=(3.0, 6.0),
+        static_amplitude=0.05, num_movers=0, mover_amplitude=0.0,
+    ),
+    # Empty static background with a few people.
+    "corridor": EnvironmentProfile(
+        "corridor", num_static=4, static_range_m=(1.5, 4.0),
+        static_amplitude=0.15, num_movers=1, mover_amplitude=0.10,
+    ),
+    # Complex static background and dynamic people moving around.
+    "classroom": EnvironmentProfile(
+        "classroom", num_static=10, static_range_m=(1.2, 3.5),
+        static_amplitude=0.30, num_movers=2, mover_amplitude=0.18,
+    ),
+    # A bare lab bench, used by the comparison experiments (Sec. VI-C).
+    "lab": EnvironmentProfile(
+        "lab", num_static=3, static_range_m=(1.5, 3.0),
+        static_amplitude=0.12, num_movers=0, mover_amplitude=0.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class OccluderSpec:
+    """An obstacle in the radar-hand line of sight (Sec. VI-J).
+
+    ``transmission`` is the two-way amplitude transmission coefficient of
+    the material at 77 GHz; ``reflection`` the strength of the obstacle's
+    own return; ``range_m`` its distance from the radar.
+    """
+
+    name: str
+    transmission: float
+    reflection: float
+    range_m: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transmission <= 1.0:
+            raise RadarError("transmission must lie in [0, 1]")
+        if self.reflection < 0 or self.range_m <= 0:
+            raise RadarError("invalid occluder reflection/range")
+
+
+OCCLUDER_MATERIALS: Dict[str, OccluderSpec] = {
+    # Paper and cloth are nearly transparent at 77 GHz; a wooden board
+    # attenuates strongly and reflects specularly.
+    "a4_paper": OccluderSpec("a4_paper", transmission=0.90, reflection=0.08),
+    "cloth": OccluderSpec("cloth", transmission=0.85, reflection=0.12),
+    "wood_board": OccluderSpec("wood_board", transmission=0.62,
+                               reflection=0.30),
+}
+
+
+def environment_scatterers(
+    environment: str, rng: np.random.Generator, time_s: float = 0.0
+) -> Scatterers:
+    """Static + dynamic clutter for a named environment profile.
+
+    Static reflectors are fixed per-``rng`` stream; movers follow slow
+    sinusoidal walks so consecutive frames see coherent motion.
+    """
+    if environment not in ENVIRONMENTS:
+        raise RadarError(
+            f"unknown environment {environment!r}; "
+            f"available: {sorted(ENVIRONMENTS)}"
+        )
+    profile = ENVIRONMENTS[environment]
+    parts = []
+    if profile.num_static:
+        ranges = rng.uniform(*profile.static_range_m, size=profile.num_static)
+        azimuths = rng.uniform(-1.0, 1.0, size=profile.num_static)
+        heights = rng.uniform(-0.5, 1.0, size=profile.num_static)
+        pos = np.stack([ranges, ranges * azimuths * 0.4, heights], axis=1)
+        amp = profile.static_amplitude * rng.uniform(
+            0.4, 1.0, size=profile.num_static
+        )
+        parts.append(
+            Scatterers(positions=pos, velocities=np.zeros_like(pos),
+                       amplitudes=amp)
+        )
+    for mover in range(profile.num_movers):
+        phase = rng.uniform(0.0, 2 * np.pi)
+        base_range = rng.uniform(2.0, 4.0)
+        speed = rng.uniform(0.5, 1.2)
+        y = np.sin(2 * np.pi * 0.2 * time_s + phase) * 1.5
+        vy = speed * np.cos(2 * np.pi * 0.2 * time_s + phase)
+        pos = np.array([[base_range, y, 0.0]])
+        vel = np.array([[0.0, vy, 0.0]])
+        parts.append(
+            Scatterers(positions=pos, velocities=vel,
+                       amplitudes=np.array([profile.mover_amplitude]))
+        )
+    return Scatterers.concatenate(parts)
+
+
+def body_scatterers(
+    position: BodyPosition,
+    rng: np.random.Generator,
+    body_rcs: float = 1.0,
+    hand_range_m: float = 0.30,
+) -> Scatterers:
+    """The user's torso/arm as a scatterer cluster (paper Sec. VI-F).
+
+    FRONT places the body directly behind the hand along boresight (the
+    arm is outstretched towards the radar); SIDE places it off-axis. In
+    both cases the body is farther than the hand, which is why bandpass
+    filtering can separate them (paper Sec. III).
+    """
+    if position is BodyPosition.ABSENT:
+        return Scatterers.empty()
+    arm_extent = rng.uniform(0.35, 0.50)
+    body_range = hand_range_m + arm_extent
+    if position is BodyPosition.FRONT:
+        centre = np.array([body_range, 0.0, -0.1])
+    else:
+        centre = np.array([body_range, 0.45, -0.1])
+    count = 8
+    offsets = rng.normal(0.0, 1.0, size=(count, 3)) * np.array(
+        [0.05, 0.15, 0.25]
+    )
+    pos = centre + offsets
+    # Breathing micro-motion along boresight.
+    vel = np.zeros_like(pos)
+    vel[:, 0] = rng.normal(0.0, 0.01, size=count)
+    amp = 0.8 * body_rcs * rng.uniform(0.5, 1.0, size=count)
+    return Scatterers(positions=pos, velocities=vel, amplitudes=amp)
+
+
+def occluder_scatterers(
+    occluder: Optional[OccluderSpec], rng: np.random.Generator
+) -> Scatterers:
+    """The obstacle's own reflection (a small flat cluster near the radar)."""
+    if occluder is None:
+        return Scatterers.empty()
+    count = 5
+    pos = np.zeros((count, 3))
+    pos[:, 0] = occluder.range_m
+    pos[:, 1] = rng.uniform(-0.08, 0.08, size=count)
+    pos[:, 2] = rng.uniform(-0.08, 0.08, size=count)
+    amp = np.full(count, occluder.reflection)
+    return Scatterers(positions=pos, velocities=np.zeros_like(pos),
+                      amplitudes=amp)

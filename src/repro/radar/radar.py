@@ -1,0 +1,59 @@
+"""The radar simulator front-end.
+
+:class:`RadarSimulator` bundles the radar configuration and antenna array
+and turns :class:`~repro.radar.scene.Scene` snapshots into raw IF frames,
+the exact input the paper's pre-processing stage consumes from the
+DCA1000EVM capture card.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import RadarConfig
+from repro.errors import RadarError
+from repro.radar.antenna import VirtualArray, iwr1443_array
+from repro.radar.chirp import synthesize_frame
+from repro.radar.scene import Scene
+
+
+class RadarSimulator:
+    """Synthesises raw IF data frames from scene snapshots.
+
+    Parameters
+    ----------
+    config:
+        FMCW front-end parameters; defaults to the IWR1443 setup.
+    array:
+        Virtual antenna geometry; defaults to the IWR1443 layout.
+    seed:
+        Seed of the internal noise stream.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RadarConfig] = None,
+        array: Optional[VirtualArray] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else RadarConfig()
+        self.array = array if array is not None else iwr1443_array(self.config)
+        if self.array.num_virtual != self.config.num_virtual_antennas:
+            raise RadarError("array size does not match radar config")
+        self._rng = np.random.default_rng(seed)
+
+    def frame(self, scene: Scene) -> np.ndarray:
+        """Raw IF cube ``(virtual_antennas, chirp_loops, samples)`` for
+        one frame."""
+        return synthesize_frame(
+            self.config, self.array, scene.all_scatterers(), self._rng
+        )
+
+    def sequence(self, scenes: Sequence[Scene]) -> np.ndarray:
+        """Raw IF cubes for consecutive frames, shape ``(F, V, L, N)``."""
+        if not scenes:
+            raise RadarError("at least one scene is required")
+        frames: List[np.ndarray] = [self.frame(scene) for scene in scenes]
+        return np.stack(frames)

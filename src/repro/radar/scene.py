@@ -1,0 +1,111 @@
+"""Scene description for the radar simulator.
+
+A :class:`Scene` is the full set of point scatterers the radar sees at one
+frame instant: the hand (possibly gloved or holding an object), the user's
+body, the environment, and an optional occluder between radar and hand.
+Scatterers carry position, radial-motion-inducing velocity and complex
+reflection amplitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import RadarError
+
+
+@dataclass
+class Scatterers:
+    """A batch of point scatterers.
+
+    Attributes
+    ----------
+    positions:
+        (S, 3) world-frame positions (radar at origin, +x boresight).
+    velocities:
+        (S, 3) world-frame velocities in m/s.
+    amplitudes:
+        (S,) non-negative reflection amplitude coefficients, proportional
+        to the square root of each scatterer's radar cross-section.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    amplitudes: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.atleast_2d(np.asarray(self.positions, float))
+        self.velocities = np.atleast_2d(np.asarray(self.velocities, float))
+        self.amplitudes = np.atleast_1d(np.asarray(self.amplitudes, float))
+        n = len(self.positions)
+        if self.positions.shape != (n, 3):
+            raise RadarError("positions must have shape (S, 3)")
+        if self.velocities.shape != (n, 3):
+            raise RadarError("velocities must match positions in shape")
+        if self.amplitudes.shape != (n,):
+            raise RadarError("amplitudes must have shape (S,)")
+        if np.any(self.amplitudes < 0):
+            raise RadarError("amplitudes must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def scaled(self, factor: float) -> "Scatterers":
+        """Same scatterers with amplitudes multiplied by ``factor``."""
+        if factor < 0:
+            raise RadarError("amplitude scale factor must be non-negative")
+        return Scatterers(
+            positions=self.positions,
+            velocities=self.velocities,
+            amplitudes=self.amplitudes * factor,
+        )
+
+    @staticmethod
+    def concatenate(parts: List["Scatterers"]) -> "Scatterers":
+        """Merge several scatterer batches (empty parts allowed)."""
+        parts = [p for p in parts if len(p) > 0]
+        if not parts:
+            return Scatterers(
+                positions=np.zeros((0, 3)),
+                velocities=np.zeros((0, 3)),
+                amplitudes=np.zeros(0),
+            )
+        return Scatterers(
+            positions=np.concatenate([p.positions for p in parts]),
+            velocities=np.concatenate([p.velocities for p in parts]),
+            amplitudes=np.concatenate([p.amplitudes for p in parts]),
+        )
+
+    @staticmethod
+    def empty() -> "Scatterers":
+        return Scatterers(
+            positions=np.zeros((0, 3)),
+            velocities=np.zeros((0, 3)),
+            amplitudes=np.zeros(0),
+        )
+
+
+@dataclass
+class Scene:
+    """Everything the radar senses during one frame.
+
+    ``hand`` is attenuated by the occluder (if any) before synthesis;
+    ``background`` (body + environment + occluder reflections) is not.
+    """
+
+    hand: Scatterers
+    background: Scatterers = field(default_factory=Scatterers.empty)
+    hand_attenuation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hand_attenuation <= 1.0:
+            raise RadarError("hand_attenuation must lie in [0, 1]")
+
+    def all_scatterers(self) -> Scatterers:
+        """Combined scatterer set with occlusion applied to the hand."""
+        return Scatterers.concatenate(
+            [self.hand.scaled(self.hand_attenuation), self.background]
+        )

@@ -1,0 +1,15 @@
+"""Dependency-free visualisation: ASCII skeleton renders, SVG projections
+of skeletons and meshes, and Wavefront OBJ export of MANO meshes."""
+
+from repro.viz.ascii_render import ascii_skeleton, ascii_range_profile
+from repro.viz.svg import skeleton_svg, mesh_svg
+from repro.viz.mesh_io import save_obj, mesh_summary
+
+__all__ = [
+    "ascii_skeleton",
+    "ascii_range_profile",
+    "skeleton_svg",
+    "mesh_svg",
+    "save_obj",
+    "mesh_summary",
+]

@@ -1,0 +1,83 @@
+"""ASCII renderings for terminal inspection of skeletons and spectra."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hand.joints import FINGER_CHAINS, NUM_JOINTS, WRIST
+
+
+def ascii_skeleton(
+    joints: np.ndarray, width: int = 40, height: int = 16,
+    plane: str = "yz",
+) -> str:
+    """Project a 21-joint skeleton to ASCII art.
+
+    ``plane`` picks the projection: ``"yz"`` (front view, default),
+    ``"xy"`` (top view) or ``"xz"`` (side view). The wrist is marked
+    ``W``, fingertips by their finger's initial, other joints ``o``.
+    """
+    joints = np.asarray(joints, dtype=float)
+    if joints.shape != (NUM_JOINTS, 3):
+        raise ReproError(f"expected (21, 3) joints, got {joints.shape}")
+    axes = {"yz": (1, 2), "xy": (0, 1), "xz": (0, 2)}
+    if plane not in axes:
+        raise ReproError(f"unknown projection plane {plane!r}")
+    if width < 4 or height < 4:
+        raise ReproError("canvas must be at least 4x4")
+    a, b = axes[plane]
+    us = joints[:, a]
+    vs = joints[:, b]
+    u_span = max(us.max() - us.min(), 1e-3)
+    v_span = max(vs.max() - vs.min(), 1e-3)
+
+    marks: Dict[int, str] = {WRIST: "W"}
+    for finger, chain in FINGER_CHAINS.items():
+        for j in chain[:-1]:
+            marks[j] = "o"
+        marks[chain[-1]] = finger[0].upper()
+
+    canvas = [[" "] * width for _ in range(height)]
+    for j in range(NUM_JOINTS):
+        col = int((us[j] - us.min()) / u_span * (width - 1))
+        row = height - 1 - int((vs[j] - vs.min()) / v_span * (height - 1))
+        canvas[row][col] = marks[j]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def ascii_range_profile(
+    profile: np.ndarray, range_axis_m: np.ndarray, height: int = 8
+) -> str:
+    """Bar-chart rendering of a range power profile (paper Fig. 3).
+
+    Each column is one range bin; bar height is proportional to power.
+    The axis line labels every fourth bin in centimetres.
+    """
+    profile = np.asarray(profile, dtype=float)
+    range_axis_m = np.asarray(range_axis_m, dtype=float)
+    if profile.shape != range_axis_m.shape or profile.ndim != 1:
+        raise ReproError("profile and range axis must be matching 1-D")
+    if height < 2:
+        raise ReproError("height must be >= 2")
+    top = profile.max()
+    if top <= 0:
+        levels = np.zeros(len(profile), dtype=int)
+    else:
+        levels = np.round(profile / top * height).astype(int)
+    rows = []
+    for level in range(height, 0, -1):
+        rows.append(
+            "".join("#" if l >= level else " " for l in levels)
+        )
+    rows.append("-" * len(profile))
+    labels = [" "] * len(profile)
+    for i in range(0, len(profile), 4):
+        text = f"{range_axis_m[i] * 100:.0f}"
+        for k, ch in enumerate(text):
+            if i + k < len(labels):
+                labels[i + k] = ch
+    rows.append("".join(labels) + " (cm)")
+    return "\n".join(rows)

@@ -1,0 +1,77 @@
+"""Wavefront OBJ export and mesh inspection utilities."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mano.model import MeshResult
+
+
+def save_obj(mesh: MeshResult, path: Union[str, os.PathLike]) -> None:
+    """Write a mesh as a Wavefront OBJ file (1-based face indices).
+
+    The output opens in any standard 3-D viewer (Blender, MeshLab, ...).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    vertices = np.asarray(mesh.vertices, dtype=float)
+    faces = np.asarray(mesh.faces, dtype=int)
+    if faces.size and faces.max() >= len(vertices):
+        raise ReproError("face indices exceed vertex count")
+    lines = ["# mmHand reproduction mesh export"]
+    for x, y, z in vertices:
+        lines.append(f"v {x:.6f} {y:.6f} {z:.6f}")
+    for a, b, c in faces:
+        lines.append(f"f {a + 1} {b + 1} {c + 1}")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def face_normals(vertices: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """Unit normals of every triangle, shape (F, 3)."""
+    vertices = np.asarray(vertices, dtype=float)
+    faces = np.asarray(faces, dtype=int)
+    a = vertices[faces[:, 0]]
+    b = vertices[faces[:, 1]]
+    c = vertices[faces[:, 2]]
+    normals = np.cross(b - a, c - a)
+    norms = np.linalg.norm(normals, axis=1, keepdims=True)
+    return normals / np.maximum(norms, 1e-12)
+
+
+def surface_area(vertices: np.ndarray, faces: np.ndarray) -> float:
+    """Total surface area of the triangle mesh in square metres."""
+    vertices = np.asarray(vertices, dtype=float)
+    faces = np.asarray(faces, dtype=int)
+    a = vertices[faces[:, 0]]
+    b = vertices[faces[:, 1]]
+    c = vertices[faces[:, 2]]
+    return float(
+        0.5 * np.linalg.norm(np.cross(b - a, c - a), axis=1).sum()
+    )
+
+
+def mesh_summary(mesh: MeshResult) -> Dict[str, float]:
+    """Key statistics of a mesh: counts, bounding box, surface area.
+
+    Useful both for quick sanity checks in examples and for regression
+    tests over the template generator.
+    """
+    vertices = np.asarray(mesh.vertices, dtype=float)
+    if len(vertices) == 0:
+        raise ReproError("mesh has no vertices")
+    bbox = vertices.max(axis=0) - vertices.min(axis=0)
+    return {
+        "num_vertices": float(len(vertices)),
+        "num_faces": float(len(mesh.faces)),
+        "bbox_x_m": float(bbox[0]),
+        "bbox_y_m": float(bbox[1]),
+        "bbox_z_m": float(bbox[2]),
+        "surface_area_m2": surface_area(vertices, mesh.faces),
+    }

@@ -1,0 +1,132 @@
+"""SVG export of skeleton and mesh projections.
+
+Produces small standalone SVG documents (no plotting dependency) showing
+the front-view (y-z) projection by default; handy for embedding pipeline
+outputs in reports or READMEs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hand.joints import NUM_JOINTS, PHALANGES
+
+_FINGER_COLORS = (
+    "#888888",  # wrist-mcp connections
+    "#c0392b",  # thumb
+    "#2980b9",  # index
+    "#27ae60",  # middle
+    "#8e44ad",  # ring
+    "#d35400",  # pinky
+)
+
+
+def _project(
+    points: np.ndarray, plane: str, size: int, margin: float
+) -> np.ndarray:
+    axes = {"yz": (1, 2), "xy": (0, 1), "xz": (0, 2)}
+    if plane not in axes:
+        raise ReproError(f"unknown projection plane {plane!r}")
+    a, b = axes[plane]
+    us = points[:, a]
+    vs = points[:, b]
+    u_span = max(us.max() - us.min(), 1e-6)
+    v_span = max(vs.max() - vs.min(), 1e-6)
+    span = max(u_span, v_span)
+    inner = size - 2 * margin
+    x = margin + (us - us.min()) / span * inner
+    y = size - margin - (vs - vs.min()) / span * inner
+    return np.stack([x, y], axis=1)
+
+
+def _svg_document(size: int, body: List[str]) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">\n'
+        + "\n".join(body)
+        + "\n</svg>\n"
+    )
+
+
+def skeleton_svg(
+    joints: np.ndarray,
+    plane: str = "yz",
+    size: int = 320,
+    path: Optional[str] = None,
+) -> str:
+    """Render a 21-joint skeleton as an SVG string (and optionally save).
+
+    Bones are coloured per finger; joints are dots, the wrist a larger
+    one.
+    """
+    joints = np.asarray(joints, dtype=float)
+    if joints.shape != (NUM_JOINTS, 3):
+        raise ReproError(f"expected (21, 3) joints, got {joints.shape}")
+    pts = _project(joints, plane, size, margin=20.0)
+    body = ['<rect width="100%" height="100%" fill="white"/>']
+    for parent, child in PHALANGES:
+        finger = (child - 1) // 4 + 1
+        color = _FINGER_COLORS[finger if parent != 0 else 0]
+        x1, y1 = pts[parent]
+        x2, y2 = pts[child]
+        body.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{color}" stroke-width="3"/>'
+        )
+    for j, (x, y) in enumerate(pts):
+        radius = 6 if j == 0 else 3
+        body.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" '
+            'fill="#2c3e50"/>'
+        )
+    document = _svg_document(size, body)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(document)
+    return document
+
+
+def mesh_svg(
+    vertices: np.ndarray,
+    faces: np.ndarray,
+    plane: str = "yz",
+    size: int = 320,
+    path: Optional[str] = None,
+) -> str:
+    """Render a mesh's projected wireframe as an SVG string.
+
+    Faces are painter-sorted by depth and filled with a simple
+    depth-based shade, giving a readable 3-D impression without a real
+    renderer.
+    """
+    vertices = np.asarray(vertices, dtype=float)
+    faces = np.asarray(faces, dtype=int)
+    if vertices.ndim != 2 or vertices.shape[1] != 3:
+        raise ReproError("vertices must have shape (V, 3)")
+    if faces.ndim != 2 or faces.shape[1] != 3:
+        raise ReproError("faces must have shape (F, 3)")
+    depth_axis = {"yz": 0, "xy": 2, "xz": 1}[plane]
+    pts = _project(vertices, plane, size, margin=20.0)
+    depths = vertices[faces].mean(axis=1)[:, depth_axis]
+    order = np.argsort(depths)[::-1]  # far first (painter's algorithm)
+    d_lo, d_hi = depths.min(), depths.max()
+    span = max(d_hi - d_lo, 1e-6)
+    body = ['<rect width="100%" height="100%" fill="white"/>']
+    for f in order:
+        tri = pts[faces[f]]
+        shade = int(150 + 90 * (d_hi - depths[f]) / span)
+        shade = min(shade, 240)
+        color = f"rgb({shade},{shade - 30},{shade - 60})"
+        points = " ".join(f"{x:.1f},{y:.1f}" for x, y in tri)
+        body.append(
+            f'<polygon points="{points}" fill="{color}" '
+            'stroke="#555555" stroke-width="0.4"/>'
+        )
+    document = _svg_document(size, body)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(document)
+    return document

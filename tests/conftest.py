@@ -1,0 +1,72 @@
+"""Shared fixtures: small configurations that keep tests fast while
+exercising the same code paths as the full-size system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CampaignConfig,
+    DspConfig,
+    ModelConfig,
+    RadarConfig,
+    TrainConfig,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_radar():
+    return RadarConfig(samples_per_chirp=32, chirp_loops=8)
+
+
+@pytest.fixture
+def small_dsp():
+    return DspConfig(
+        range_bins=16,
+        doppler_bins=4,
+        azimuth_bins=8,
+        elevation_bins=8,
+        segment_frames=2,
+    )
+
+
+@pytest.fixture
+def small_model():
+    return ModelConfig(
+        base_channels=4,
+        hourglass_depth=1,
+        num_blocks=1,
+        feature_dim=16,
+        lstm_hidden=16,
+    )
+
+
+@pytest.fixture
+def small_train():
+    return TrainConfig(epochs=1, batch_size=4, log_every=1000)
+
+
+@pytest.fixture
+def small_campaign():
+    return CampaignConfig(num_users=2, segments_per_user=4)
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn`` w.r.t. ``array``
+    (mutated in place and restored)."""
+    grad = np.zeros_like(array)
+    for index in np.ndindex(*array.shape):
+        original = array[index]
+        array[index] = original + eps
+        f_plus = fn()
+        array[index] = original - eps
+        f_minus = fn()
+        array[index] = original
+        grad[index] = (f_plus - f_minus) / (2.0 * eps)
+    return grad

@@ -1,0 +1,190 @@
+"""Tests of the application layer: gesture classification and UI control."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gesture_classifier import (
+    GestureClassifier,
+    skeleton_descriptor,
+)
+from repro.apps.ui_control import (
+    DEFAULT_COMMANDS,
+    GestureCommandMapper,
+    UiEvent,
+)
+from repro.errors import ReproError
+from repro.hand.gestures import gesture_pose, list_gestures
+from repro.hand.kinematics import (
+    forward_kinematics,
+    orientation_from_yaw_pitch,
+)
+from repro.hand.shape import HandShape
+
+
+def joints_for(gesture, scale=1.0, **placement):
+    pose = gesture_pose(gesture, **placement)
+    return forward_kinematics(HandShape.from_scale(scale), pose)
+
+
+# ----------------------------------------------------------------------
+# Descriptor
+# ----------------------------------------------------------------------
+def test_descriptor_shape_and_range():
+    descriptor = skeleton_descriptor(joints_for("open_palm"))
+    assert descriptor.shape == (15,)
+    curls = descriptor[0::3]
+    assert np.all(curls > 0.9)  # open palm: every finger straight
+
+
+def test_descriptor_distinguishes_fist_from_open():
+    open_desc = skeleton_descriptor(joints_for("open_palm"))
+    fist_desc = skeleton_descriptor(joints_for("fist"))
+    # Non-thumb curls collapse in a fist.
+    assert np.all(fist_desc[3::3] < 0.75)
+    assert np.linalg.norm(open_desc - fist_desc) > 0.5
+
+
+def test_descriptor_invariant_to_placement():
+    base = skeleton_descriptor(joints_for("point"))
+    moved = skeleton_descriptor(
+        joints_for(
+            "point",
+            wrist_position=np.array([0.7, 0.2, -0.1]),
+            orientation=orientation_from_yaw_pitch(0.4, -0.2),
+        )
+    )
+    assert np.allclose(base, moved, atol=1e-9)
+
+
+def test_descriptor_insensitive_to_scale():
+    small = skeleton_descriptor(joints_for("grab", scale=0.9))
+    large = skeleton_descriptor(joints_for("grab", scale=1.1))
+    assert np.allclose(small, large, atol=1e-6)
+
+
+def test_descriptor_validates():
+    with pytest.raises(ReproError):
+        skeleton_descriptor(np.zeros((20, 3)))
+
+
+# ----------------------------------------------------------------------
+# Classifier
+# ----------------------------------------------------------------------
+#: Gestures that share identical finger angles in the library; the
+#: classifier cannot (and need not) distinguish them.
+ALIASES = {
+    "fist": {"fist", "count_zero"},
+    "count_zero": {"fist", "count_zero"},
+    "point": {"point", "count_one"},
+    "count_one": {"point", "count_one"},
+    "victory": {"victory", "count_two"},
+    "count_two": {"victory", "count_two"},
+}
+
+
+def test_classifier_perfect_on_clean_templates():
+    classifier = GestureClassifier()
+    for name in list_gestures():
+        label, confidence = classifier.classify(joints_for(name))
+        assert label in ALIASES.get(name, {name}), name
+        assert 0.0 <= confidence <= 1.0
+
+
+def test_classifier_robust_to_noise():
+    classifier = GestureClassifier(
+        gestures=["fist", "open_palm", "point"]
+    )
+    rng = np.random.default_rng(0)
+    correct = 0
+    trials = 30
+    for i in range(trials):
+        name = ["fist", "open_palm", "point"][i % 3]
+        noisy = joints_for(name) + rng.normal(0, 0.004, size=(21, 3))
+        label, _ = classifier.classify(noisy)
+        correct += label == name
+    assert correct >= trials * 0.9
+
+
+def test_classifier_handles_unseen_hand_scale():
+    classifier = GestureClassifier(gestures=["fist", "open_palm"])
+    label, _ = classifier.classify(joints_for("fist", scale=1.12))
+    assert label == "fist"
+
+
+def test_classifier_sequence():
+    classifier = GestureClassifier(gestures=["fist", "open_palm"])
+    sequence = np.stack(
+        [joints_for("fist"), joints_for("open_palm")]
+    )
+    labels = [name for name, _ in classifier.classify_sequence(sequence)]
+    assert labels == ["fist", "open_palm"]
+
+
+def test_classifier_validates_gestures():
+    with pytest.raises(ReproError):
+        GestureClassifier(gestures=["vulcan_salute"])
+    with pytest.raises(ReproError):
+        GestureClassifier(hand_scales=())
+
+
+# ----------------------------------------------------------------------
+# UI control
+# ----------------------------------------------------------------------
+def test_mapper_emits_on_stable_gesture():
+    mapper = GestureCommandMapper(hold_frames=2)
+    stream = np.stack([joints_for("point")] * 3)
+    events = mapper.process_sequence(stream)
+    assert len(events) == 1
+    event = events[0]
+    assert isinstance(event, UiEvent)
+    assert event.gesture == "point"
+    assert event.command == DEFAULT_COMMANDS["point"]
+    assert event.frame_index == 1  # second consecutive frame
+
+
+def test_mapper_debounces_single_frames():
+    mapper = GestureCommandMapper(hold_frames=3)
+    stream = np.stack(
+        [joints_for("point"), joints_for("fist"), joints_for("point")]
+    )
+    assert mapper.process_sequence(stream) == []
+
+
+def test_mapper_no_reemission_until_change():
+    mapper = GestureCommandMapper(hold_frames=1)
+    stream = np.stack([joints_for("fist")] * 4)
+    events = mapper.process_sequence(stream)
+    assert len(events) == 1
+    # After switching gestures, the next stable gesture emits again.
+    more = mapper.process_sequence(
+        np.stack([joints_for("open_palm")] * 2)
+    )
+    assert len(more) == 1
+    assert more[0].command == DEFAULT_COMMANDS["open_palm"]
+
+
+def test_mapper_ignores_unmapped_gesture():
+    # Classifier knows both gestures but only "point" is mapped to a
+    # command: a stable fist is recognised yet emits nothing.
+    mapper = GestureCommandMapper(
+        classifier=GestureClassifier(gestures=["point", "fist"]),
+        hold_frames=1,
+        commands={"point": "cursor"},
+    )
+    events = mapper.process_sequence(np.stack([joints_for("fist")] * 2))
+    assert events == []
+
+
+def test_mapper_reset():
+    mapper = GestureCommandMapper(hold_frames=1)
+    mapper.process_sequence(np.stack([joints_for("fist")] * 2))
+    mapper.reset()
+    events = mapper.process_sequence(np.stack([joints_for("fist")] * 2))
+    assert len(events) == 1  # re-emits after reset
+
+
+def test_mapper_validation():
+    with pytest.raises(ReproError):
+        GestureCommandMapper(hold_frames=0)
+    with pytest.raises(ReproError):
+        GestureCommandMapper(min_confidence=2.0)

@@ -1,0 +1,229 @@
+"""Tests of data augmentation and the streaming estimator."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CampaignConfig,
+    DspConfig,
+    ModelConfig,
+    RadarConfig,
+    TrainConfig,
+)
+from repro.core.regressor import HandJointRegressor
+from repro.core.streaming import StreamingEstimator
+from repro.core.training import Trainer
+from repro.data.augmentation import AugmentationConfig, augment_batch
+from repro.data.collection import CampaignGenerator
+from repro.dsp.radar_cube import CubeBuilder
+from repro.errors import DatasetError, ReproError
+from repro.hand.subjects import make_subjects
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    segments = np.abs(
+        rng.normal(size=(4, 2, 4, 16, 16))
+    ).astype(np.float32)
+    labels = rng.normal(0.3, 0.05, size=(4, 21, 3)).astype(np.float32)
+    return segments, labels
+
+
+# ----------------------------------------------------------------------
+# Augmentation
+# ----------------------------------------------------------------------
+def test_augment_preserves_shapes(batch):
+    segments, labels = batch
+    out_x, out_y = augment_batch(
+        segments, labels, np.random.default_rng(1)
+    )
+    assert out_x.shape == segments.shape
+    assert out_y.shape == labels.shape
+    # Inputs untouched.
+    assert np.array_equal(labels, batch[1])
+
+
+def test_augment_disabled_is_identity(batch):
+    segments, labels = batch
+    config = AugmentationConfig(
+        gain_std=0.0, noise_std=0.0, range_shift_bins=0,
+        frame_dropout_prob=0.0,
+    )
+    out_x, out_y = augment_batch(
+        segments, labels, np.random.default_rng(1), config
+    )
+    assert np.allclose(out_x, segments)
+    assert np.allclose(out_y, labels)
+
+
+def test_augment_range_shift_moves_labels(batch):
+    segments, labels = batch
+    config = AugmentationConfig(
+        gain_std=0.0, noise_std=0.0, range_shift_bins=2,
+        frame_dropout_prob=0.0, range_resolution_m=0.0375,
+    )
+    rng = np.random.default_rng(3)
+    out_x, out_y = augment_batch(segments, labels, rng, config)
+    # Label x-shift must be a multiple of the range resolution and match
+    # the cube roll.
+    deltas = (out_y - labels)[:, 0, 0] / 0.0375
+    assert np.allclose(deltas, np.round(deltas), atol=1e-4)
+    assert np.abs(deltas).max() <= 2 + 1e-6
+    # y/z coordinates untouched.
+    assert np.allclose(out_y[:, :, 1:], labels[:, :, 1:])
+
+
+def test_augment_output_non_negative(batch):
+    segments, labels = batch
+    out_x, _ = augment_batch(
+        segments, labels, np.random.default_rng(2),
+        AugmentationConfig(noise_std=0.5),
+    )
+    assert np.all(out_x >= 0)
+
+
+def test_augment_validates(batch):
+    segments, labels = batch
+    with pytest.raises(DatasetError):
+        augment_batch(segments[:, 0], labels, np.random.default_rng(0))
+    with pytest.raises(DatasetError):
+        augment_batch(segments, labels[:2], np.random.default_rng(0))
+    with pytest.raises(DatasetError):
+        AugmentationConfig(gain_std=-0.1)
+    with pytest.raises(DatasetError):
+        AugmentationConfig(frame_dropout_prob=1.0)
+
+
+# ----------------------------------------------------------------------
+# Streaming
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def streaming_setup():
+    radar = RadarConfig(samples_per_chirp=32, chirp_loops=8)
+    dsp = DspConfig(
+        range_bins=16, doppler_bins=4, azimuth_bins=8, elevation_bins=8,
+        segment_frames=2,
+    )
+    model = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16,
+    )
+    generator = CampaignGenerator(
+        radar, dsp, CampaignConfig(num_users=1, segments_per_user=8)
+    )
+    dataset = generator.generate(subjects=make_subjects(1), seed=13)
+    regressor = HandJointRegressor(dsp, model)
+    Trainer(regressor, TrainConfig(epochs=1, batch_size=4)).fit(dataset)
+    builder = CubeBuilder(radar, dsp)
+    return radar, dsp, builder, regressor
+
+
+def _raw_frames(radar, count):
+    from repro.hand.gestures import gesture_pose
+    from repro.radar.radar import RadarSimulator
+    from repro.radar.scatterers import hand_scatterers
+    from repro.radar.scene import Scene
+    from repro.hand.shape import HandShape
+
+    sim = RadarSimulator(radar, seed=5)
+    pose = gesture_pose(
+        "open_palm", wrist_position=np.array([0.3, 0.0, 0.0])
+    )
+    scene = Scene(
+        hand=hand_scatterers(
+            HandShape(), pose, rng=np.random.default_rng(1)
+        )
+    )
+    return sim.sequence([scene] * count)
+
+
+def test_streaming_emits_after_window_fill(streaming_setup):
+    radar, dsp, builder, regressor = streaming_setup
+    estimator = StreamingEstimator(builder, regressor, hop_frames=1)
+    raw = _raw_frames(radar, 5)
+    outputs = estimator.run(raw)
+    # Window of 2: first emission at frame 1, then every frame.
+    assert len(outputs) == 4
+    assert outputs[0].frame_index == 1
+    assert outputs[0].skeleton.shape == (21, 3)
+    assert outputs[0].mesh is None
+
+
+def test_streaming_hop_controls_rate(streaming_setup):
+    radar, dsp, builder, regressor = streaming_setup
+    estimator = StreamingEstimator(builder, regressor, hop_frames=2)
+    raw = _raw_frames(radar, 6)
+    outputs = estimator.run(raw)
+    assert len(outputs) == 3
+    assert [o.frame_index for o in outputs] == [1, 3, 5]
+
+
+def test_streaming_reset(streaming_setup):
+    radar, dsp, builder, regressor = streaming_setup
+    estimator = StreamingEstimator(builder, regressor)
+    raw = _raw_frames(radar, 3)
+    estimator.run(raw)
+    estimator.reset()
+    assert estimator.window_fill == 0
+    outputs = estimator.run(raw)
+    assert outputs[0].frame_index == 1
+
+
+def test_streaming_validates(streaming_setup):
+    radar, dsp, builder, regressor = streaming_setup
+    with pytest.raises(ReproError):
+        StreamingEstimator(builder, regressor, hop_frames=0)
+    estimator = StreamingEstimator(builder, regressor)
+    with pytest.raises(ReproError):
+        estimator.push(np.zeros((2, 3), dtype=complex))
+    with pytest.raises(ReproError):
+        estimator.run(np.zeros((2, 3, 4), dtype=complex))
+
+
+def test_streaming_matches_batch_pipeline(streaming_setup):
+    """Streaming with hop = segment length reproduces the batch
+    pipeline's segmentation exactly."""
+    radar, dsp, builder, regressor = streaming_setup
+    raw = _raw_frames(radar, 4)
+
+    estimator = StreamingEstimator(
+        builder, regressor, hop_frames=dsp.segment_frames
+    )
+    stream_out = estimator.run(raw)
+
+    from repro.dsp.radar_cube import segment_cube
+
+    cube = builder.build(raw)
+    segments = np.stack(segment_cube(cube.values, dsp.segment_frames))
+    batch_pred = regressor.predict(segments)
+    # Streaming emits at the end of each segment; note the streaming
+    # window covers the same frames as the batch segmentation here.
+    assert len(stream_out) == len(batch_pred)
+    for out, ref in zip(stream_out, batch_pred):
+        assert np.allclose(out.skeleton, ref, atol=1e-5)
+
+
+def test_trainer_with_augmentation(streaming_setup):
+    """The Trainer accepts an AugmentationConfig and still learns."""
+    radar, dsp, builder, _ = streaming_setup
+    model = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16,
+    )
+    generator = CampaignGenerator(
+        radar, dsp, CampaignConfig(num_users=1, segments_per_user=10)
+    )
+    dataset = generator.generate(subjects=make_subjects(1), seed=17)
+    regressor = HandJointRegressor(dsp, model)
+    trainer = Trainer(
+        regressor,
+        TrainConfig(epochs=2, batch_size=4),
+        augmentation=AugmentationConfig(
+            range_resolution_m=radar.range_resolution_m
+        ),
+    )
+    result = trainer.fit(dataset)
+    assert result.epochs == 2
+    pred = trainer.predict(dataset)
+    assert np.isfinite(pred).all()

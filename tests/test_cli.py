@@ -1,0 +1,133 @@
+"""Tests of the command-line interface (all subcommands exercised with
+tiny configurations via monkeypatched defaults)."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.config import CampaignConfig, DspConfig, ModelConfig, RadarConfig
+
+
+@pytest.fixture(autouse=True)
+def small_defaults(monkeypatch):
+    """Shrink the CLI's default radar/model so tests stay fast."""
+    small_radar = RadarConfig(samples_per_chirp=32, chirp_loops=8)
+    small_dsp = DspConfig(
+        range_bins=16, doppler_bins=4, azimuth_bins=8, elevation_bins=8,
+        segment_frames=2,
+    )
+    small_model = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16,
+    )
+    import repro.config as config_module
+
+    monkeypatch.setattr(config_module, "RadarConfig",
+                        lambda **kw: small_radar)
+    monkeypatch.setattr(config_module, "DspConfig", lambda **kw: small_dsp)
+    monkeypatch.setattr(config_module, "ModelConfig",
+                        lambda **kw: small_model)
+    # Re-point the default-constructed classes used inside the CLI path.
+    import repro.data.collection as collection
+    import repro.core.regressor as regressor_module
+    import repro.core.pipeline as pipeline_module
+
+    original_generator = collection.CampaignGenerator
+
+    def patched_generator(radar=None, dsp=None, campaign=None, **kw):
+        return original_generator(
+            small_radar, small_dsp, campaign, **kw
+        )
+
+    monkeypatch.setattr(collection, "CampaignGenerator", patched_generator)
+    original_regressor = regressor_module.HandJointRegressor
+
+    def patched_regressor(dsp=None, model=None, seed=0):
+        return original_regressor(small_dsp, small_model, seed=seed)
+
+    monkeypatch.setattr(
+        regressor_module, "HandJointRegressor", patched_regressor
+    )
+    yield
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args([])
+
+
+def test_generate_train_evaluate_cycle(tmp_path, capsys):
+    dataset_path = str(tmp_path / "data.npz")
+    weights_path = str(tmp_path / "weights.npz")
+
+    assert cli.main(
+        [
+            "generate-data", dataset_path,
+            "--users", "2", "--segments-per-user", "8", "--seed", "3",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote 16 segments" in out
+
+    assert cli.main(
+        [
+            "train", dataset_path, weights_path,
+            "--epochs", "1", "--batch-size", "4",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "weights ->" in out
+
+    assert cli.main(["evaluate", dataset_path, weights_path]) == 0
+    out = capsys.readouterr().out
+    assert "MPJPE" in out
+    assert "overall" in out
+
+
+def test_evaluate_single_user(tmp_path, capsys):
+    dataset_path = str(tmp_path / "data.npz")
+    weights_path = str(tmp_path / "weights.npz")
+    cli.main(["generate-data", dataset_path, "--users", "2",
+              "--segments-per-user", "6"])
+    cli.main(["train", dataset_path, weights_path, "--epochs", "1",
+              "--batch-size", "4"])
+    capsys.readouterr()
+    assert cli.main(
+        ["evaluate", dataset_path, weights_path, "--user", "1"]
+    ) == 0
+    assert cli.main(
+        ["evaluate", dataset_path, weights_path, "--user", "99"]
+    ) == 1
+
+
+def test_generate_with_condition(tmp_path, capsys):
+    dataset_path = str(tmp_path / "gloved.npz")
+    assert cli.main(
+        [
+            "generate-data", dataset_path,
+            "--users", "1", "--segments-per-user", "4",
+            "--environment", "lab", "--glove", "silk",
+            "--distance", "0.35",
+        ]
+    ) == 0
+    from repro.data.dataset import HandPoseDataset
+
+    dataset = HandPoseDataset.load(dataset_path)
+    assert all(m.environment == "lab" for m in dataset.meta)
+    assert all(m.condition == "glove:silk" for m in dataset.meta)
+
+
+def test_export_mesh(tmp_path, capsys):
+    prefix = str(tmp_path / "hand")
+    assert cli.main(
+        ["export-mesh", "fist", prefix, "--fit-steps", "10"]
+    ) == 0
+    assert (tmp_path / "hand.obj").exists()
+    assert (tmp_path / "hand.svg").exists()
+
+
+def test_export_mesh_unknown_gesture(tmp_path, capsys):
+    assert cli.main(
+        ["export-mesh", "spock", str(tmp_path / "x")]
+    ) == 1
+    assert "unknown gesture" in capsys.readouterr().err

@@ -1,0 +1,120 @@
+"""Tests of the combined 3-D + kinematic loss (paper Eq. 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainConfig
+from repro.core.losses import (
+    combined_loss,
+    finger_straightness,
+    joint_loss_3d,
+    kinematic_loss,
+)
+from repro.errors import ModelError
+from repro.hand.gestures import gesture_pose
+from repro.hand.kinematics import forward_kinematics
+from repro.hand.shape import HandShape
+from repro.nn.tensor import Tensor
+
+
+def hand_joints(gesture, batch=1):
+    pose = gesture_pose(gesture, wrist_position=np.zeros(3),
+                        orientation=np.eye(3))
+    joints = forward_kinematics(HandShape(), pose)
+    return np.tile(joints[None], (batch, 1, 1)).astype(np.float32)
+
+
+def test_l3d_zero_for_perfect_prediction():
+    gt = hand_joints("open_palm")
+    loss = joint_loss_3d(Tensor(gt), gt)
+    assert float(loss.data) < 1e-4
+
+
+def test_l3d_scales_with_offset():
+    gt = hand_joints("open_palm")
+    offset = gt + 0.01  # 1 cm on every joint
+    loss = joint_loss_3d(Tensor(offset), gt)
+    # Sum over 21 joints of 1 cm * sqrt(3) each.
+    assert float(loss.data) == pytest.approx(
+        21 * 0.01 * np.sqrt(3), rel=1e-3
+    )
+
+
+def test_straightness_detects_open_vs_fist():
+    open_cos = finger_straightness(hand_joints("open_palm")[0])
+    fist_cos = finger_straightness(hand_joints("fist")[0])
+    # Non-thumb fingers: straight when open, bent in a fist.
+    assert np.all(open_cos[0, 1:] > 0.999)
+    assert np.all(fist_cos[0, 1:] < 0.9)
+
+
+def test_kinematic_loss_zero_for_ground_truth():
+    """The GT skeleton satisfies its own geometric constraints."""
+    for gesture in ("open_palm", "fist", "point", "grab"):
+        gt = hand_joints(gesture)
+        loss = kinematic_loss(Tensor(gt), gt)
+        assert float(loss.data) < 5e-2, gesture
+
+
+def test_kinematic_loss_penalises_non_collinear_prediction():
+    gt = hand_joints("open_palm")  # straight fingers -> collinear case
+    bent = gt.copy()
+    bent[0, 6] += [0.0, 0.0, -0.03]  # kink the index PIP out of line
+    loss_good = float(kinematic_loss(Tensor(gt), gt).data)
+    loss_bad = float(kinematic_loss(Tensor(bent), gt).data)
+    assert loss_bad > loss_good + 0.05
+
+
+def test_kinematic_loss_penalises_out_of_plane_prediction():
+    gt = hand_joints("fist")  # bent fingers -> coplanar case
+    twisted = gt.copy()
+    # Push the index DIP out of the finger plane (the plane of a curled
+    # index finger is roughly the world x-y... use the GT normal).
+    a, b, _, d = 5, 6, 7, 8
+    normal = np.cross(gt[0, b] - gt[0, a], gt[0, d] - gt[0, a])
+    normal /= np.linalg.norm(normal)
+    twisted[0, 7] += (0.02 * normal).astype(np.float32)
+    loss_good = float(kinematic_loss(Tensor(gt), gt).data)
+    loss_bad = float(kinematic_loss(Tensor(twisted), gt).data)
+    assert loss_bad > loss_good + 0.05
+
+
+def test_kinematic_loss_gradient_flows():
+    gt = hand_joints("open_palm")
+    pred = Tensor(gt + 0.01, requires_grad=True)
+    loss = kinematic_loss(pred, gt)
+    loss.backward()
+    assert pred.grad is not None
+
+
+def test_kinematic_loss_validates_shapes():
+    gt = hand_joints("fist")
+    with pytest.raises(ModelError):
+        kinematic_loss(Tensor(np.zeros((1, 20, 3))), gt)
+    with pytest.raises(ModelError):
+        kinematic_loss(Tensor(gt), gt[:, :20])
+
+
+def test_combined_loss_weights():
+    gt = hand_joints("open_palm", batch=2)
+    pred = Tensor(gt + 0.01)
+    config = TrainConfig(beta_3d=2.0, gamma_kinematic=0.5)
+    total, l3d, lkine = combined_loss(pred, gt, config)
+    assert float(total.data) == pytest.approx(
+        2.0 * float(l3d.data) + 0.5 * float(lkine.data), rel=1e-5
+    )
+
+
+def test_combined_loss_gamma_zero_skips_kinematics():
+    gt = hand_joints("fist")
+    pred = Tensor(gt + 0.02)
+    config = TrainConfig(gamma_kinematic=0.0)
+    total, l3d, lkine = combined_loss(pred, gt, config)
+    assert float(lkine.data) == 0.0
+    assert float(total.data) == pytest.approx(float(l3d.data), rel=1e-6)
+
+
+def test_combined_loss_default_config():
+    gt = hand_joints("point")
+    total, _, _ = combined_loss(Tensor(gt + 0.01), gt)
+    assert float(total.data) > 0

@@ -1,0 +1,87 @@
+"""Tests of the mesh reconstruction stage (shape net, pose net, IK)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mesh_recovery import (
+    MeshReconstructor,
+    PoseParameterNet,
+    ShapeParameterNet,
+)
+from repro.errors import MeshError, ModelError
+from repro.hand.gestures import gesture_pose
+from repro.hand.kinematics import forward_kinematics
+from repro.hand.shape import HandShape
+from repro.mano.model import ManoHandModel
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def reconstructor():
+    rec = MeshReconstructor(seed=0)
+    rec.fit(steps=250, batch_size=24)
+    return rec
+
+
+def test_shape_net_output_shape():
+    net = ShapeParameterNet()
+    out = net(Tensor(np.zeros((4, 63), dtype=np.float32)))
+    assert out.shape == (4, 10)
+    with pytest.raises(ModelError):
+        net(Tensor(np.zeros((4, 60), dtype=np.float32)))
+
+
+def test_pose_net_output_shape():
+    net = PoseParameterNet()
+    out = net(Tensor(np.zeros((4, 123), dtype=np.float32)))
+    assert out.shape == (4, 21, 4)
+    with pytest.raises(ModelError):
+        net(Tensor(np.zeros((4, 63), dtype=np.float32)))
+
+
+def test_fit_reduces_losses(reconstructor):
+    history = reconstructor.fit(steps=30, batch_size=16)
+    assert len(history["shape_loss"]) == 30
+    # Continued training keeps losses at a low level.
+    assert np.mean(history["pose_loss"][-5:]) < 0.5
+
+
+def test_infer_parameters_shapes(reconstructor):
+    joints = ManoHandModel().rest_joints()
+    beta, theta = reconstructor.infer_parameters(joints)
+    assert beta.shape == (10,)
+    assert theta.shape == (21, 3)
+    with pytest.raises(MeshError):
+        reconstructor.infer_parameters(np.zeros((20, 3)))
+
+
+def test_reconstruct_recovers_skeleton(reconstructor):
+    """Reconstructed mesh joints should approximate the input skeleton --
+    the inverse-kinematics consistency the paper's Fig. 8 relies on."""
+    shape = HandShape()
+    errors = []
+    for gesture in ("open_palm", "fist", "grab", "point"):
+        # Default orientation: the interaction posture the pipeline's
+        # regressed skeletons arrive in (palm facing the radar).
+        pose = gesture_pose(gesture, wrist_position=np.zeros(3))
+        joints = forward_kinematics(shape, pose)
+        result = reconstructor.reconstruct(joints)
+        err = np.linalg.norm(result.mesh.joints - joints, axis=1).mean()
+        errors.append(err)
+    # Self-trained IK: mean joint error well under 2.5 cm.
+    assert float(np.mean(errors)) < 0.025
+
+
+def test_reconstruct_translates_to_wrist(reconstructor):
+    joints = ManoHandModel().rest_joints() + np.array([0.3, 0.05, -0.02])
+    result = reconstructor.reconstruct(joints)
+    assert np.allclose(result.mesh.joints[0], joints[0], atol=1e-9)
+
+
+def test_reconstruct_reports_timing(reconstructor):
+    joints = ManoHandModel().rest_joints()
+    result = reconstructor.reconstruct(joints)
+    assert result.elapsed_s > 0
+    assert result.beta.shape == (10,)
+    assert result.theta.shape == (21, 3)
+    assert len(result.mesh.vertices) == reconstructor.hand_model.num_vertices

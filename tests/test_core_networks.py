@@ -1,0 +1,174 @@
+"""Tests of mmSpaceNet, the temporal model and the joint regressor."""
+
+import numpy as np
+import pytest
+
+from repro.config import DspConfig, ModelConfig
+from repro.core.mmspacenet import AttentionResidualBlock, MmSpaceNet
+from repro.core.regressor import HandJointRegressor
+from repro.core.temporal import TemporalModel
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def dsp(small_dsp):
+    return small_dsp
+
+
+@pytest.fixture
+def model_config(small_model):
+    return small_model
+
+
+def make_input(dsp, batch=2):
+    rng = np.random.default_rng(0)
+    return Tensor(
+        rng.normal(
+            size=(
+                batch,
+                dsp.segment_frames,
+                dsp.doppler_bins,
+                dsp.range_bins,
+                dsp.angle_bins_total,
+            )
+        ).astype(np.float32)
+    )
+
+
+def test_residual_block_preserves_shape():
+    block = AttentionResidualBlock(4, depth=1)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 8, 8)))
+    assert block(x).shape == (2, 4, 8, 8)
+
+
+def test_residual_block_depth_divisibility():
+    block = AttentionResidualBlock(4, depth=2)
+    with pytest.raises(ModelError):
+        block(Tensor(np.ones((1, 4, 6, 6))))  # 6 not divisible by 4
+
+
+def test_residual_block_attention_optional():
+    block = AttentionResidualBlock(
+        4, depth=1, use_channel_attention=False,
+        use_spatial_attention=False,
+    )
+    assert block.channel_attention is None
+    assert block.spatial_attention is None
+    x = Tensor(np.random.default_rng(0).normal(size=(1, 4, 8, 8)))
+    assert block(x).shape == (1, 4, 8, 8)
+
+
+def test_mmspacenet_output_shape(dsp, model_config):
+    net = MmSpaceNet(dsp, model_config)
+    out = net(make_input(dsp))
+    assert out.shape == (2, dsp.segment_frames, model_config.feature_dim)
+
+
+def test_mmspacenet_validates_segment_shape(dsp, model_config):
+    net = MmSpaceNet(dsp, model_config)
+    bad = Tensor(np.ones((1, 3, dsp.doppler_bins, dsp.range_bins,
+                          dsp.angle_bins_total), dtype=np.float32))
+    with pytest.raises(ModelError):
+        net(bad)
+    with pytest.raises(ModelError):
+        net(Tensor(np.ones((2, 3, 4), dtype=np.float32)))
+
+
+def test_mmspacenet_attention_flags(dsp):
+    config = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16, use_frame_attention=False,
+        use_velocity_attention=False, use_spatial_attention=False,
+    )
+    net = MmSpaceNet(dsp, config)
+    assert net.frame_attention is None
+    assert net.input_velocity_attention is None
+    out = net(make_input(dsp))
+    assert out.shape == (2, dsp.segment_frames, 16)
+
+
+def test_temporal_model_shape(model_config):
+    temporal = TemporalModel(model_config)
+    x = Tensor(np.random.default_rng(0).normal(
+        size=(3, 4, model_config.feature_dim)).astype(np.float32))
+    out = temporal(x)
+    assert out.shape == (3, model_config.lstm_hidden)
+    with pytest.raises(ModelError):
+        temporal(Tensor(np.ones((3, 4, 7), dtype=np.float32)))
+
+
+def test_regressor_forward_shape(dsp, model_config):
+    reg = HandJointRegressor(dsp, model_config)
+    out = reg(make_input(dsp))
+    assert out.shape == (2, 21, 3)
+
+
+def test_regressor_gradients_reach_every_parameter(dsp, model_config):
+    reg = HandJointRegressor(dsp, model_config)
+    out = reg(make_input(dsp))
+    (out * out).sum().backward()
+    for name, param in reg.named_parameters():
+        assert param.grad is not None, name
+
+
+def test_regressor_predict_denormalizes(dsp, model_config):
+    reg = HandJointRegressor(dsp, model_config)
+    label_mean = np.full((21, 3), 0.3, dtype=np.float32)
+    label_std = np.full((21, 3), 0.05, dtype=np.float32)
+    reg.set_normalization(0.0, 1.0, label_mean, label_std)
+    segments = np.random.default_rng(0).normal(
+        size=(3, dsp.segment_frames, dsp.doppler_bins, dsp.range_bins,
+              dsp.angle_bins_total)
+    ).astype(np.float32)
+    pred = reg.predict(segments)
+    assert pred.shape == (3, 21, 3)
+    # Untrained outputs are near zero pre-denormalisation, so predictions
+    # cluster near the label mean.
+    assert np.abs(pred - 0.3).mean() < 0.2
+
+
+def test_regressor_predict_accepts_single_segment(dsp, model_config):
+    reg = HandJointRegressor(dsp, model_config)
+    segment = np.zeros(
+        (dsp.segment_frames, dsp.doppler_bins, dsp.range_bins,
+         dsp.angle_bins_total), dtype=np.float32,
+    )
+    assert reg.predict(segment).shape == (1, 21, 3)
+    with pytest.raises(ModelError):
+        reg.predict(np.zeros((2, 3)))
+
+
+def test_regressor_predict_restores_training_mode(dsp, model_config):
+    reg = HandJointRegressor(dsp, model_config)
+    reg.train()
+    segment = np.zeros(
+        (1, dsp.segment_frames, dsp.doppler_bins, dsp.range_bins,
+         dsp.angle_bins_total), dtype=np.float32,
+    )
+    reg.predict(segment)
+    assert reg.training
+
+
+def test_set_normalization_validates(dsp, model_config):
+    reg = HandJointRegressor(dsp, model_config)
+    with pytest.raises(ModelError):
+        reg.set_normalization(0.0, 0.0, np.zeros((21, 3)),
+                              np.ones((21, 3)))
+    with pytest.raises(ModelError):
+        reg.set_normalization(0.0, 1.0, np.zeros((21, 3)),
+                              np.zeros((21, 3)))
+
+
+def test_normalization_round_trip(dsp, model_config):
+    reg = HandJointRegressor(dsp, model_config)
+    mean = np.random.default_rng(0).normal(size=(21, 3)).astype(np.float32)
+    std = np.abs(np.random.default_rng(1).normal(size=(21, 3))).astype(
+        np.float32
+    ) + 0.1
+    reg.set_normalization(1.0, 2.0, mean, std)
+    joints = np.random.default_rng(2).normal(size=(4, 21, 3))
+    assert np.allclose(
+        reg.denormalize_labels(reg.normalize_labels(joints)), joints,
+        atol=1e-5,
+    )

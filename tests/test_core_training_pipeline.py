@@ -1,0 +1,159 @@
+"""Tests of the trainer, cross-validation and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CampaignConfig,
+    DspConfig,
+    ModelConfig,
+    RadarConfig,
+    SystemConfig,
+    TrainConfig,
+)
+from repro.core.mesh_recovery import MeshReconstructor
+from repro.core.pipeline import MmHand, PipelineTiming
+from repro.core.regressor import HandJointRegressor
+from repro.core.training import Trainer, kfold_by_user
+from repro.data.collection import CampaignGenerator, CaptureOptions
+from repro.data.dataset import HandPoseDataset, SegmentMeta
+from repro.errors import DatasetError, ReproError
+from repro.hand.subjects import make_subjects
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    radar = RadarConfig(samples_per_chirp=32, chirp_loops=8)
+    dsp = DspConfig(
+        range_bins=16, doppler_bins=4, azimuth_bins=8, elevation_bins=8,
+        segment_frames=2,
+    )
+    model = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16,
+    )
+    campaign = CampaignConfig(num_users=2, segments_per_user=10)
+    generator = CampaignGenerator(radar, dsp, campaign)
+    dataset = generator.generate(subjects=make_subjects(2), seed=5)
+    return radar, dsp, model, generator, dataset
+
+
+def test_trainer_reduces_training_error(small_setup):
+    """After fitting, MPJPE on the training data beats the label-mean
+    predictor the untrained network effectively starts from."""
+    _, dsp, model, _, dataset = small_setup
+    regressor = HandJointRegressor(dsp, model)
+    trainer = Trainer(
+        regressor, TrainConfig(epochs=10, batch_size=4, seed=0)
+    )
+    result = trainer.fit(dataset)
+    assert result.epochs == 10
+    assert result.elapsed_s > 0
+    assert result.final_loss == result.total_loss[-1]
+    pred = trainer.predict(dataset)
+    fitted_err = np.linalg.norm(pred - dataset.labels, axis=2).mean()
+    mean_predictor = np.broadcast_to(
+        dataset.labels.mean(axis=0), dataset.labels.shape
+    )
+    baseline_err = np.linalg.norm(
+        mean_predictor - dataset.labels, axis=2
+    ).mean()
+    assert fitted_err < baseline_err
+
+
+def test_trainer_rejects_tiny_dataset(small_setup):
+    _, dsp, model, _, dataset = small_setup
+    regressor = HandJointRegressor(dsp, model)
+    trainer = Trainer(regressor, TrainConfig(batch_size=64))
+    with pytest.raises(DatasetError):
+        trainer.fit(dataset)
+
+
+def test_trainer_fits_normalization(small_setup):
+    _, dsp, model, _, dataset = small_setup
+    regressor = HandJointRegressor(dsp, model)
+    Trainer(regressor, TrainConfig(epochs=1, batch_size=4)).fit(dataset)
+    assert float(regressor.input_std[0]) > 0
+    assert not np.allclose(regressor.label_mean, 0.0)
+
+
+def test_trainer_predictions_in_hand_workspace(small_setup):
+    _, dsp, model, _, dataset = small_setup
+    regressor = HandJointRegressor(dsp, model)
+    trainer = Trainer(regressor, TrainConfig(epochs=2, batch_size=4))
+    trainer.fit(dataset)
+    pred = trainer.predict(dataset)
+    assert pred.shape == (len(dataset), 21, 3)
+    # Predictions should live in the hand workspace, near the labels.
+    assert np.abs(pred - dataset.labels).max() < 0.5
+
+
+def test_kfold_by_user_covers_all_users(small_setup):
+    _, dsp, model, _, dataset = small_setup
+    records = kfold_by_user(
+        dataset,
+        make_regressor=lambda: HandJointRegressor(dsp, model),
+        config=TrainConfig(epochs=1, batch_size=4),
+        num_folds=2,
+    )
+    assert len(records) == 2
+    tested_users = sorted(
+        u for r in records for u in r["test_users"]
+    )
+    assert tested_users == [1, 2]
+    for record in records:
+        assert record["predictions"].shape == (
+            len(record["test"]), 21, 3,
+        )
+        # Test users never appear in this fold's training data.
+        assert set(record["test"].user_ids) == set(record["test_users"])
+
+
+def test_pipeline_end_to_end(small_setup):
+    radar, dsp, model, generator, dataset = small_setup
+    config = SystemConfig(radar=radar, dsp=dsp, model=model)
+    regressor = HandJointRegressor(dsp, model)
+    Trainer(regressor, TrainConfig(epochs=1, batch_size=4)).fit(dataset)
+    reconstructor = MeshReconstructor(seed=0)
+    reconstructor.fit(steps=20, batch_size=8)
+    system = MmHand(config, regressor, reconstructor)
+
+    # Simulate a short capture and push raw frames through the pipeline.
+    from repro.radar.radar import RadarSimulator
+    from repro.radar.scene import Scene
+    from repro.radar.scatterers import hand_scatterers
+    from repro.hand.gestures import gesture_pose
+
+    subject = make_subjects(1)[0]
+    sim = RadarSimulator(radar)
+    pose = gesture_pose("open_palm",
+                        wrist_position=np.array([0.3, 0.0, 0.0]))
+    scene = Scene(hand=hand_scatterers(subject.hand_shape(), pose))
+    raw = sim.sequence([scene] * (2 * dsp.segment_frames))
+
+    output = system.process(raw)
+    assert output.skeletons.shape == (2, 21, 3)
+    assert len(output.meshes) == 2
+    assert len(output.timings) == 2
+    for timing in output.timings:
+        assert isinstance(timing, PipelineTiming)
+        assert timing.overall_s == timing.skeleton_s + timing.mesh_s
+        assert timing.overall_s > 0
+
+
+def test_pipeline_preprocess_validates_frame_count(small_setup):
+    radar, dsp, model, _, _ = small_setup
+    config = SystemConfig(radar=radar, dsp=dsp, model=model)
+    system = MmHand(config)
+    too_few = np.zeros(
+        (1, 12, radar.chirp_loops, radar.samples_per_chirp),
+        dtype=complex,
+    )
+    with pytest.raises(ReproError):
+        system.preprocess(too_few)
+
+
+def test_pipeline_defaults_construct():
+    system = MmHand()
+    assert system.regressor is not None
+    assert system.reconstructor is not None

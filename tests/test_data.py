@@ -1,0 +1,270 @@
+"""Tests of dataset containers, camera ground truth, the collection
+campaign and cross-validation splits."""
+
+import numpy as np
+import pytest
+
+from repro.config import CampaignConfig, DspConfig, RadarConfig
+from repro.data.collection import CampaignGenerator, CaptureOptions
+from repro.data.dataset import HandPoseDataset, SegmentMeta
+from repro.data.groundtruth import CameraNoiseModel, camera_ground_truth
+from repro.data.splits import kfold_user_splits
+from repro.errors import DatasetError
+from repro.hand.subjects import make_subjects
+from repro.radar.clutter import BodyPosition
+
+
+def make_dataset(n=6, users=(1, 1, 1, 2, 2, 2)):
+    rng = np.random.default_rng(0)
+    return HandPoseDataset(
+        segments=rng.normal(size=(n, 2, 4, 8, 8)).astype(np.float32),
+        labels=rng.normal(size=(n, 21, 3)).astype(np.float32),
+        true_joints=rng.normal(size=(n, 21, 3)).astype(np.float32),
+        meta=[
+            SegmentMeta(user_id=u, environment="lab", gesture="fist")
+            for u in users
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Dataset container
+# ----------------------------------------------------------------------
+def test_dataset_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(DatasetError):
+        HandPoseDataset(
+            segments=rng.normal(size=(3, 2, 4, 8, 8)),
+            labels=rng.normal(size=(2, 21, 3)),
+            true_joints=rng.normal(size=(3, 21, 3)),
+            meta=[SegmentMeta(user_id=1)] * 3,
+        )
+    with pytest.raises(DatasetError):
+        HandPoseDataset(
+            segments=rng.normal(size=(3, 2, 4, 8)),
+            labels=rng.normal(size=(3, 21, 3)),
+            true_joints=rng.normal(size=(3, 21, 3)),
+            meta=[SegmentMeta(user_id=1)] * 3,
+        )
+    with pytest.raises(DatasetError):
+        HandPoseDataset(
+            segments=rng.normal(size=(3, 2, 4, 8, 8)),
+            labels=rng.normal(size=(3, 21, 3)),
+            true_joints=rng.normal(size=(3, 21, 3)),
+            meta=[SegmentMeta(user_id=1)] * 2,
+        )
+
+
+def test_dataset_subset_and_user_filter():
+    ds = make_dataset()
+    sub = ds.subset([0, 3])
+    assert len(sub) == 2
+    assert list(sub.user_ids) == [1, 2]
+    user2 = ds.for_user(2)
+    assert len(user2) == 3
+    assert set(user2.user_ids) == {2}
+
+
+def test_dataset_filter_by_meta():
+    ds = make_dataset()
+    assert len(ds.filter(environment="lab")) == 6
+    assert len(ds.filter(environment="moon")) == 0
+    assert len(ds.filter(user_id=1, gesture="fist")) == 3
+
+
+def test_dataset_concatenate():
+    a, b = make_dataset(3, (1, 1, 1)), make_dataset(2, (2, 2))
+    merged = HandPoseDataset.concatenate([a, b])
+    assert len(merged) == 5
+    with pytest.raises(DatasetError):
+        HandPoseDataset.concatenate([])
+
+
+def test_dataset_save_load_round_trip(tmp_path):
+    ds = make_dataset()
+    path = tmp_path / "data.npz"
+    ds.save(path)
+    loaded = HandPoseDataset.load(path)
+    assert np.allclose(loaded.segments, ds.segments)
+    assert np.allclose(loaded.labels, ds.labels)
+    assert loaded.meta == ds.meta
+    with pytest.raises(DatasetError):
+        HandPoseDataset.load(tmp_path / "missing.npz")
+
+
+# ----------------------------------------------------------------------
+# Camera ground truth
+# ----------------------------------------------------------------------
+def test_camera_gt_adds_bounded_noise():
+    joints = np.zeros((21, 3))
+    noisy = camera_ground_truth(
+        joints, np.random.default_rng(0),
+        CameraNoiseModel(glitch_rate=0.0),
+    )
+    errors = np.linalg.norm(noisy - joints, axis=1)
+    assert errors.mean() > 0
+    assert errors.max() < 0.05
+
+
+def test_camera_gt_depth_noise_dominates():
+    joints = np.zeros((21, 3))
+    model = CameraNoiseModel(glitch_rate=0.0)
+    samples = np.stack(
+        [
+            camera_ground_truth(joints, np.random.default_rng(i), model)
+            for i in range(300)
+        ]
+    )
+    stds = samples.std(axis=0).mean(axis=0)
+    assert stds[0] > 1.5 * stds[1]  # depth (x) noisier than lateral
+
+
+def test_camera_gt_fingertips_noisier_than_palm():
+    from repro.hand.joints import PALM_JOINTS
+
+    joints = np.zeros((21, 3))
+    model = CameraNoiseModel(glitch_rate=0.0)
+    samples = np.stack(
+        [
+            camera_ground_truth(joints, np.random.default_rng(i), model)
+            for i in range(300)
+        ]
+    )
+    per_joint = np.linalg.norm(samples, axis=2).mean(axis=0)
+    palm = np.mean([per_joint[j] for j in PALM_JOINTS])
+    tips = np.mean([per_joint[j] for j in (4, 8, 12, 16, 20)])
+    assert tips > 1.2 * palm
+
+
+def test_camera_gt_glitches_occur():
+    joints = np.zeros((21, 3))
+    model = CameraNoiseModel(glitch_rate=0.5, glitch_sigma_m=0.1)
+    noisy = camera_ground_truth(joints, np.random.default_rng(0), model)
+    assert np.linalg.norm(noisy, axis=1).max() > 0.03
+
+
+def test_camera_gt_validates():
+    with pytest.raises(DatasetError):
+        camera_ground_truth(np.zeros((20, 3)), np.random.default_rng(0))
+    with pytest.raises(DatasetError):
+        CameraNoiseModel(glitch_rate=2.0)
+    with pytest.raises(DatasetError):
+        CameraNoiseModel(lateral_sigma_m=-1.0)
+    with pytest.raises(DatasetError):
+        CameraNoiseModel(finger_noise_scale=0.5)
+
+
+# ----------------------------------------------------------------------
+# Collection campaign
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_generator():
+    return CampaignGenerator(
+        RadarConfig(samples_per_chirp=32, chirp_loops=8),
+        DspConfig(range_bins=16, doppler_bins=4, azimuth_bins=8,
+                  elevation_bins=8, segment_frames=2),
+        CampaignConfig(num_users=2, segments_per_user=4),
+    )
+
+
+def test_capture_options_validate():
+    with pytest.raises(DatasetError):
+        CaptureOptions(environment="moon")
+    with pytest.raises(DatasetError):
+        CaptureOptions(glove="leather")
+    with pytest.raises(DatasetError):
+        CaptureOptions(handheld="sword")
+    with pytest.raises(DatasetError):
+        CaptureOptions(occluder="wall")
+    with pytest.raises(DatasetError):
+        CaptureOptions(segments_per_capture=0)
+
+
+def test_condition_tags():
+    assert CaptureOptions().condition_tag == "baseline"
+    assert CaptureOptions(glove="silk").condition_tag == "glove:silk"
+    tag = CaptureOptions(
+        glove="silk", handheld="pen", occluder="cloth",
+        body_position=BodyPosition.SIDE,
+    ).condition_tag
+    assert "glove:silk" in tag and "handheld:pen" in tag
+    assert "occluder:cloth" in tag and "body:side" in tag
+
+
+def test_generate_campaign_counts(small_generator):
+    dataset = small_generator.generate(seed=1)
+    assert len(dataset) == 8  # 2 users x 4 segments
+    assert set(dataset.user_ids) == {1, 2}
+    assert dataset.segments.shape[1:] == (2, 4, 16, 16)
+
+
+def test_generate_rotates_environments(small_generator):
+    dataset = small_generator.generate(
+        subjects=make_subjects(1),
+        segments_per_user=12,
+        seed=2,
+    )
+    environments = {m.environment for m in dataset.meta}
+    assert len(environments) >= 2
+
+
+def test_generate_fixed_condition(small_generator):
+    options = CaptureOptions(
+        environment="lab", distance_m=0.5, angle_deg=15.0, glove="cotton"
+    )
+    dataset = small_generator.generate(
+        subjects=make_subjects(1), options=options, segments_per_user=4,
+        seed=3, rotate_environments=False,
+    )
+    for meta in dataset.meta:
+        assert meta.environment == "lab"
+        assert meta.distance_m == pytest.approx(0.5)
+        assert meta.angle_deg == 15.0
+        assert meta.condition == "glove:cotton"
+
+
+def test_generate_deterministic(small_generator):
+    a = small_generator.generate(seed=7)
+    b = small_generator.generate(seed=7)
+    assert np.allclose(a.segments, b.segments)
+    assert np.allclose(a.labels, b.labels)
+
+
+def test_labels_near_true_joints(small_generator):
+    dataset = small_generator.generate(seed=4)
+    errors = np.linalg.norm(
+        dataset.labels - dataset.true_joints, axis=2
+    )
+    assert errors.mean() < 0.02  # camera noise is mm-scale
+    assert errors.mean() > 0.0
+
+
+def test_hand_stays_in_configured_distance_band(small_generator):
+    dataset = small_generator.generate(seed=5)
+    wrists = dataset.true_joints[:, 0, :]
+    ranges = np.linalg.norm(wrists, axis=1)
+    lo, hi = small_generator.campaign.distance_range_m
+    assert np.all(ranges > lo - 0.06)
+    assert np.all(ranges < hi + 0.12)
+
+
+# ----------------------------------------------------------------------
+# Splits
+# ----------------------------------------------------------------------
+def test_kfold_splits_pair_users():
+    user_ids = np.repeat(np.arange(1, 11), 5)
+    folds = kfold_user_splits(user_ids, 5)
+    assert len(folds) == 5
+    assert folds[0][2] == [1, 2]
+    assert folds[4][2] == [9, 10]
+    for train_idx, test_idx, test_users in folds:
+        assert len(train_idx) + len(test_idx) == len(user_ids)
+        assert not set(train_idx) & set(test_idx)
+        assert set(user_ids[test_idx]) == set(test_users)
+
+
+def test_kfold_validates():
+    with pytest.raises(DatasetError):
+        kfold_user_splits([1, 1, 2, 2], 5)
+    with pytest.raises(DatasetError):
+        kfold_user_splits([1, 2, 3], 1)

@@ -1,0 +1,314 @@
+"""Tests of the signal pre-processing chain: windows, Butterworth
+filtering, range/Doppler/angle FFTs and radar-cube construction."""
+
+import numpy as np
+import pytest
+
+from repro.config import DspConfig, RadarConfig
+from repro.dsp.fft import AngleProcessor, doppler_fft, range_fft, zoom_fft
+from repro.dsp.filters import band_to_if_hz, hand_bandpass
+from repro.dsp.radar_cube import CubeBuilder, RadarCube, segment_cube
+from repro.dsp.windows import get_window
+from repro.errors import SignalProcessingError
+from repro.radar.antenna import iwr1443_array
+from repro.radar.chirp import synthesize_frame
+from repro.radar.scene import Scatterers
+
+
+@pytest.fixture
+def radar():
+    return RadarConfig(noise_std=0.0)
+
+
+@pytest.fixture
+def dsp():
+    return DspConfig()
+
+
+def point(position, velocity=(0, 0, 0), amplitude=1.0):
+    return Scatterers(
+        positions=np.array([position], dtype=float),
+        velocities=np.array([velocity], dtype=float),
+        amplitudes=np.array([amplitude]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Windows
+# ----------------------------------------------------------------------
+def test_windows_available():
+    for name in ("rect", "hann", "hamming", "blackman"):
+        w = get_window(name, 32)
+        assert w.shape == (32,)
+        assert np.all(w >= -1e-12)
+
+
+def test_hann_endpoints_zero():
+    w = get_window("hann", 16)
+    assert w[0] == pytest.approx(0.0, abs=1e-12)
+    assert w[-1] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_window_length_one():
+    assert np.allclose(get_window("hann", 1), [1.0])
+
+
+def test_unknown_window():
+    with pytest.raises(SignalProcessingError):
+        get_window("kaiser", 8)
+    with pytest.raises(SignalProcessingError):
+        get_window("hann", 0)
+
+
+# ----------------------------------------------------------------------
+# Butterworth hand bandpass
+# ----------------------------------------------------------------------
+def test_band_to_if_conversion(radar):
+    lo, hi = band_to_if_hz(radar, (0.1, 0.9))
+    # f = 2 B r / (c Tc)
+    assert lo == pytest.approx(
+        2 * radar.bandwidth_hz * 0.1 / (299792458.0 * radar.chirp_duration_s)
+    )
+    assert hi > lo
+
+
+def test_bandpass_keeps_hand_removes_body(radar, dsp):
+    """A hand at 0.3 m passes; a body at 0.8 m (outside the hand band) is
+    suppressed -- the paper's environmental-interference removal."""
+    array = iwr1443_array(radar)
+    hand = synthesize_frame(radar, array, point([0.3, 0, 0]))
+    body = synthesize_frame(radar, array, point([0.8, 0, 0], amplitude=3.0))
+    hand_out = hand_bandpass(hand, radar, dsp)
+    body_out = hand_bandpass(body, radar, dsp)
+    hand_kept = np.abs(hand_out).mean() / np.abs(hand).mean()
+    body_kept = np.abs(body_out).mean() / np.abs(body).mean()
+    assert hand_kept > 0.6
+    assert body_kept < 0.25
+
+
+def test_far_clutter_suppressed_by_antialiasing(radar, dsp):
+    """A reflector at 1.5 m has a beat tone near Nyquist: the receive
+    chain's anti-aliasing filter rolls it off before it can alias into
+    the hand band."""
+    array = iwr1443_array(radar)
+    hand = synthesize_frame(radar, array, point([0.3, 0, 0]))
+    far = synthesize_frame(radar, array, point([1.5, 0, 0], amplitude=1.0))
+    # Compare at equal scatterer amplitude: the far return must be far
+    # weaker than 1/r^2 alone would predict.
+    ratio = np.abs(far).max() / np.abs(hand).max()
+    assert ratio < (0.3 / 1.5) ** 2 * 0.5
+
+
+def test_bandpass_validates_sample_count(radar, dsp):
+    with pytest.raises(SignalProcessingError):
+        hand_bandpass(np.zeros((12, 16, 10)), radar, dsp)
+
+
+def test_band_to_if_validates(radar):
+    with pytest.raises(SignalProcessingError):
+        band_to_if_hz(radar, (0.5, 0.2))
+
+
+# ----------------------------------------------------------------------
+# FFT stages
+# ----------------------------------------------------------------------
+def test_range_fft_peak_at_true_range(radar, dsp):
+    array = iwr1443_array(radar)
+    data = synthesize_frame(radar, array, point([0.45, 0, 0]))
+    spectrum = range_fft(data, radar, dsp)
+    assert spectrum.shape[-1] == dsp.range_bins
+    profile = np.abs(spectrum[0, 0])
+    peak = np.argmax(profile)
+    assert peak * radar.range_resolution_m == pytest.approx(0.45, abs=0.04)
+
+
+def test_doppler_fft_zero_velocity_centre_bin(radar, dsp):
+    array = iwr1443_array(radar)
+    data = synthesize_frame(radar, array, point([0.4, 0, 0]))
+    ranged = range_fft(data, radar, dsp)
+    doppler = doppler_fft(ranged, radar, dsp, axis=1)
+    assert doppler.shape[1] == dsp.doppler_bins
+    # Static target: energy in the central Doppler bin.
+    profile = np.abs(doppler[0]).sum(axis=1)
+    assert np.argmax(profile) == dsp.doppler_bins // 2
+
+
+def test_doppler_fft_moving_target_offset_bin(radar, dsp):
+    array = iwr1443_array(radar)
+    v = 2 * radar.velocity_resolution_mps
+    data = synthesize_frame(
+        radar, array, point([0.4, 0, 0], velocity=[-v, 0, 0])
+    )
+    ranged = range_fft(data, radar, dsp)
+    doppler = doppler_fft(ranged, radar, dsp, axis=1)
+    profile = np.abs(doppler[0]).sum(axis=1)
+    # Negative radial velocity (approaching) -> bin below centre.
+    assert np.argmax(profile) == dsp.doppler_bins // 2 - 2
+
+
+def test_range_fft_validates(radar, dsp):
+    with pytest.raises(SignalProcessingError):
+        range_fft(np.zeros((12, 16, 10)), radar, dsp)
+    big = DspConfig(range_bins=128)
+    with pytest.raises(SignalProcessingError):
+        range_fft(np.zeros((12, 16, 64)), radar, big)
+
+
+def test_zoom_fft_matches_dft():
+    rng = np.random.default_rng(0)
+    signal = rng.normal(size=16) + 1j * rng.normal(size=16)
+    out = zoom_fft(signal, (-0.5, 0.5 - 1 / 16), 16)
+    reference = np.fft.fft(signal)
+    # Our grid runs -0.5..0.4375, i.e. fftshifted order.
+    assert np.allclose(out, np.fft.fftshift(reference), atol=1e-10)
+
+
+def test_zoom_fft_refines_resolution():
+    n = 8
+    f0 = 0.17
+    signal = np.exp(2j * np.pi * f0 * np.arange(n))
+    fine = zoom_fft(signal, (0.1, 0.25), 64)
+    peak = 0.1 + (0.25 - 0.1) * np.argmax(np.abs(fine)) / 63
+    assert peak == pytest.approx(f0, abs=0.01)
+
+
+def test_zoom_fft_validates():
+    with pytest.raises(SignalProcessingError):
+        zoom_fft(np.ones(8), (0.2, 0.9), 4)
+    with pytest.raises(SignalProcessingError):
+        zoom_fft(np.ones(8), (0.1, 0.2), 0)
+
+
+# ----------------------------------------------------------------------
+# Angle processing
+# ----------------------------------------------------------------------
+def test_angle_processor_finds_azimuth(radar, dsp):
+    array = iwr1443_array(radar)
+    processor = AngleProcessor(array, dsp)
+    azimuth = np.radians(12.0)
+    r = 0.4
+    data = synthesize_frame(
+        radar, array,
+        point([r * np.cos(azimuth), r * np.sin(azimuth), 0.0]),
+    )
+    snapshot = data[:, 0, :1]  # (V, 1)
+    az_spec, el_spec = processor.spectra(snapshot)
+    peak = processor.azimuth_grid[np.argmax(az_spec[:, 0])]
+    assert np.degrees(peak) == pytest.approx(12.0, abs=4.5)
+    assert el_spec.shape[0] == dsp.elevation_bins
+
+
+def test_angle_processor_finds_elevation(radar, dsp):
+    array = iwr1443_array(radar)
+    processor = AngleProcessor(array, dsp)
+    elevation = np.radians(-15.0)
+    r = 0.4
+    data = synthesize_frame(
+        radar, array,
+        point([r * np.cos(elevation), 0.0, r * np.sin(elevation)]),
+    )
+    az_spec, el_spec = processor.spectra(data[:, 0, :1])
+    peak = processor.elevation_grid[np.argmax(el_spec[:, 0])]
+    assert np.degrees(peak) < 0
+
+
+def test_zoom_ablation_repeats_rows(radar):
+    dsp_zoom1 = DspConfig(zoom_factor=1)
+    array = iwr1443_array(radar)
+    processor = AngleProcessor(array, dsp_zoom1)
+    # Half the grid evaluated, repeated to full size.
+    assert len(processor.azimuth_grid) == dsp_zoom1.azimuth_bins // 2
+    data = np.ones((12, 1), dtype=complex)
+    az, el = processor.spectra(data)
+    assert az.shape[0] == dsp_zoom1.azimuth_bins
+    assert np.allclose(az[0::2], az[1::2])
+
+
+def test_angle_processor_validates_antenna_axis(radar, dsp):
+    processor = AngleProcessor(iwr1443_array(radar), dsp)
+    with pytest.raises(SignalProcessingError):
+        processor.spectra(np.ones((5, 3)))
+
+
+# ----------------------------------------------------------------------
+# Radar cube
+# ----------------------------------------------------------------------
+def test_cube_builder_shapes(radar, dsp):
+    array = iwr1443_array(radar)
+    builder = CubeBuilder(radar, dsp)
+    frames = np.stack(
+        [
+            synthesize_frame(radar, array, point([0.35, 0.02, 0.0]))
+            for _ in range(3)
+        ]
+    )
+    cube = builder.build(frames)
+    assert cube.values.shape == (
+        3, dsp.doppler_bins, dsp.range_bins, dsp.angle_bins_total,
+    )
+    assert cube.num_frames == 3
+    assert len(cube.range_axis_m) == dsp.range_bins
+
+
+def test_cube_builder_accepts_single_frame(radar, dsp):
+    array = iwr1443_array(radar)
+    builder = CubeBuilder(radar, dsp)
+    frame = synthesize_frame(radar, array, point([0.35, 0, 0]))
+    cube = builder.build(frame)
+    assert cube.values.shape[0] == 1
+
+
+def test_cube_peak_at_hand_range(radar, dsp):
+    builder = CubeBuilder(radar, dsp)
+    array = iwr1443_array(radar)
+    frame = synthesize_frame(radar, array, point([0.30, 0, 0]))
+    cube = builder.build(frame)
+    profile = cube.values[0].sum(axis=(0, 2))
+    peak_range = cube.range_axis_m[np.argmax(profile)]
+    assert peak_range == pytest.approx(0.30, abs=0.04)
+
+
+def test_cube_values_non_negative(radar, dsp):
+    builder = CubeBuilder(radar, dsp)
+    array = iwr1443_array(radar)
+    frame = synthesize_frame(radar, array, point([0.3, 0, 0]))
+    cube = builder.build(frame)
+    assert np.all(cube.values >= 0)  # log1p of magnitudes
+
+
+def test_cube_builder_validates_antennas(radar, dsp):
+    builder = CubeBuilder(radar, dsp)
+    with pytest.raises(SignalProcessingError):
+        builder.build(np.zeros((1, 5, 16, 64), dtype=complex))
+
+
+def test_radar_cube_validates_axes():
+    with pytest.raises(SignalProcessingError):
+        RadarCube(
+            values=np.zeros((1, 4, 8, 16)),
+            range_axis_m=np.zeros(7),
+            velocity_axis_mps=np.zeros(4),
+            azimuth_axis_rad=np.zeros(8),
+            elevation_axis_rad=np.zeros(8),
+        )
+
+
+def test_segment_cube_non_overlapping():
+    values = np.zeros((10, 2, 3, 4))
+    segments = segment_cube(values, 4)
+    assert len(segments) == 2
+    assert segments[0].shape == (4, 2, 3, 4)
+
+
+def test_segment_cube_with_stride():
+    values = np.arange(10)[:, None, None, None] * np.ones((10, 1, 1, 1))
+    segments = segment_cube(values, 4, stride=2)
+    assert len(segments) == 4
+    assert segments[1][0, 0, 0, 0] == 2
+
+
+def test_segment_cube_validates():
+    with pytest.raises(SignalProcessingError):
+        segment_cube(np.zeros((10, 2, 3)), 4)
+    with pytest.raises(SignalProcessingError):
+        segment_cube(np.zeros((10, 2, 3, 4)), 0)

@@ -1,0 +1,184 @@
+"""Tests of CFAR hand localisation and MTI clutter removal."""
+
+import numpy as np
+import pytest
+
+from repro.config import DspConfig, RadarConfig
+from repro.dsp.cfar import (
+    CfarConfig,
+    adaptive_hand_band,
+    ca_cfar,
+    detect_peaks,
+    locate_hand,
+)
+from repro.dsp.fft import range_fft
+from repro.dsp.mti import (
+    RecursiveClutterFilter,
+    mti_highpass,
+    two_pulse_canceller,
+)
+from repro.errors import SignalProcessingError
+from repro.radar.antenna import iwr1443_array
+from repro.radar.chirp import synthesize_frame
+from repro.radar.scene import Scatterers
+
+
+def synthetic_profile(peaks, n=64, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    profile = np.abs(rng.normal(0, noise, n))
+    for idx, power in peaks:
+        profile[idx] += power
+    return profile
+
+
+# ----------------------------------------------------------------------
+# CFAR
+# ----------------------------------------------------------------------
+def test_cfar_detects_strong_peak():
+    profile = synthetic_profile([(20, 5.0)])
+    mask = ca_cfar(profile)
+    assert mask[20]
+    assert mask.sum() <= 4
+
+
+def test_cfar_ignores_flat_noise():
+    profile = synthetic_profile([])
+    assert ca_cfar(profile, CfarConfig(threshold_factor=6.0)).sum() == 0
+
+
+def test_cfar_validates():
+    with pytest.raises(SignalProcessingError):
+        ca_cfar(np.ones((4, 4)))
+    with pytest.raises(SignalProcessingError):
+        ca_cfar(-np.ones(32))
+    with pytest.raises(SignalProcessingError):
+        ca_cfar(np.ones(5), CfarConfig(training_cells=6))
+    with pytest.raises(SignalProcessingError):
+        CfarConfig(threshold_factor=0)
+
+
+def test_detect_peaks_returns_local_maxima():
+    profile = synthetic_profile([(20, 5.0), (21, 4.0), (40, 6.0)])
+    peaks = detect_peaks(profile)
+    assert 20 in peaks
+    assert 40 in peaks
+    assert 21 not in peaks  # shoulder of the 20-peak
+
+
+def test_locate_hand_first_dominant_peak():
+    """With hand at bin 8 and body at bin 18, the hand (closer) wins."""
+    profile = synthetic_profile([(8, 4.0), (18, 6.0)])
+    range_axis = np.arange(64) * 0.0375
+    assert locate_hand(profile, range_axis) == pytest.approx(8 * 0.0375)
+
+
+def test_locate_hand_skips_leakage_bin():
+    profile = synthetic_profile([(1, 9.0), (10, 4.0)])
+    range_axis = np.arange(64) * 0.0375
+    assert locate_hand(profile, range_axis, min_range_m=0.08) == (
+        pytest.approx(10 * 0.0375)
+    )
+
+
+def test_locate_hand_none_when_empty():
+    profile = synthetic_profile([])
+    range_axis = np.arange(64) * 0.0375
+    assert locate_hand(
+        profile, range_axis, CfarConfig(threshold_factor=8.0)
+    ) is None
+
+
+def test_locate_hand_on_simulated_radar_data():
+    radar = RadarConfig(noise_std=0.01)
+    dsp = DspConfig()
+    array = iwr1443_array(radar)
+    hand = Scatterers(
+        positions=np.array([[0.33, 0.0, 0.0]]),
+        velocities=np.zeros((1, 3)),
+        amplitudes=np.array([1.0]),
+    )
+    data = synthesize_frame(radar, array, hand)
+    spectrum = range_fft(data, radar, dsp)
+    profile = np.abs(spectrum).sum(axis=(0, 1))
+    range_axis = np.arange(dsp.range_bins) * radar.range_resolution_m
+    located = locate_hand(profile, range_axis)
+    assert located == pytest.approx(0.33, abs=radar.range_resolution_m)
+
+
+def test_adaptive_hand_band():
+    profile = synthetic_profile([(8, 5.0)])
+    range_axis = np.arange(64) * 0.0375
+    lo, hi = adaptive_hand_band(profile, range_axis, half_width_m=0.1)
+    assert lo == pytest.approx(0.3 - 0.1, abs=0.02)
+    assert hi == pytest.approx(0.3 + 0.1, abs=0.02)
+
+
+def test_adaptive_hand_band_fallback():
+    profile = synthetic_profile([])
+    range_axis = np.arange(64) * 0.0375
+    band = adaptive_hand_band(
+        profile, range_axis, config=CfarConfig(threshold_factor=9.0),
+        fallback=(0.1, 0.5),
+    )
+    assert band == (0.1, 0.5)
+    with pytest.raises(SignalProcessingError):
+        adaptive_hand_band(profile, range_axis, half_width_m=0.0)
+
+
+# ----------------------------------------------------------------------
+# MTI
+# ----------------------------------------------------------------------
+def test_mti_removes_static_keeps_moving():
+    radar = RadarConfig(noise_std=0.0)
+    array = iwr1443_array(radar)
+    static = Scatterers(
+        positions=np.array([[0.4, 0.0, 0.0]]),
+        velocities=np.zeros((1, 3)),
+        amplitudes=np.array([1.0]),
+    )
+    moving = Scatterers(
+        positions=np.array([[0.3, 0.0, 0.0]]),
+        velocities=np.array([[0.8, 0.0, 0.0]]),
+        amplitudes=np.array([1.0]),
+    )
+    static_data = synthesize_frame(radar, array, static)
+    moving_data = synthesize_frame(radar, array, moving)
+    static_out = mti_highpass(static_data)
+    moving_out = mti_highpass(moving_data)
+    assert np.abs(static_out).max() < 1e-10 * np.abs(static_data).max() + 1e-12
+    assert np.abs(moving_out).mean() > 0.3 * np.abs(moving_data).mean()
+
+
+def test_two_pulse_canceller_shape_and_cancellation():
+    data = np.ones((12, 16, 64), dtype=complex)
+    out = two_pulse_canceller(data)
+    assert out.shape == (12, 15, 64)
+    assert np.abs(out).max() == 0.0
+
+
+def test_mti_validates():
+    with pytest.raises(SignalProcessingError):
+        mti_highpass(np.ones(5))
+    with pytest.raises(SignalProcessingError):
+        two_pulse_canceller(np.ones((12, 1, 64)))
+
+
+def test_recursive_clutter_filter_adapts():
+    rng = np.random.default_rng(0)
+    static = rng.normal(size=(12, 8, 32)) + 1j * rng.normal(size=(12, 8, 32))
+    filt = RecursiveClutterFilter(alpha=0.3)
+    residuals = []
+    for _ in range(20):
+        out = filt.process(static)
+        residuals.append(np.abs(out).mean())
+    # Static scene: residual shrinks as the clutter map converges.
+    assert residuals[-1] < 0.2 * residuals[1] + 1e-12
+
+
+def test_recursive_clutter_filter_reset_and_validation():
+    filt = RecursiveClutterFilter(alpha=0.1)
+    filt.process(np.ones((2, 4, 8), dtype=complex))
+    filt.reset()
+    assert filt._clutter is None
+    with pytest.raises(SignalProcessingError):
+        RecursiveClutterFilter(alpha=0.0)

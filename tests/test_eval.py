@@ -1,0 +1,188 @@
+"""Tests of evaluation metrics and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    auc,
+    error_cdf,
+    group_metrics,
+    mpjpe,
+    pck,
+    pck_curve,
+    per_joint_errors,
+)
+from repro.eval.report import (
+    format_mm,
+    render_cdf_summary,
+    render_series,
+    render_table,
+)
+from repro.hand.joints import FINGER_JOINTS, PALM_JOINTS
+
+
+def shifted(gt, mm, joints=None):
+    pred = gt.copy()
+    shift = mm / 1000.0
+    if joints is None:
+        pred += np.array([shift, 0, 0])
+    else:
+        pred[:, joints] += np.array([shift, 0, 0])
+    return pred
+
+
+@pytest.fixture
+def gt():
+    rng = np.random.default_rng(0)
+    return rng.normal(0.3, 0.05, size=(10, 21, 3))
+
+
+def test_per_joint_errors_in_mm(gt):
+    pred = shifted(gt, 25.0)
+    errors = per_joint_errors(pred, gt)
+    assert errors.shape == (10, 21)
+    assert np.allclose(errors, 25.0)
+
+
+def test_per_joint_errors_accepts_single_sample(gt):
+    errors = per_joint_errors(gt[0], gt[0])
+    assert errors.shape == (1, 21)
+    assert np.allclose(errors, 0.0)
+
+
+def test_per_joint_errors_validates(gt):
+    with pytest.raises(EvaluationError):
+        per_joint_errors(gt[:, :20], gt[:, :20])
+    with pytest.raises(EvaluationError):
+        per_joint_errors(gt[:5], gt)
+
+
+def test_mpjpe_exact(gt):
+    assert mpjpe(shifted(gt, 10.0), gt) == pytest.approx(10.0)
+
+
+def test_mpjpe_joint_subset(gt):
+    pred = shifted(gt, 30.0, joints=list(PALM_JOINTS))
+    assert mpjpe(pred, gt, joints=PALM_JOINTS) == pytest.approx(30.0)
+    assert mpjpe(pred, gt, joints=FINGER_JOINTS) == pytest.approx(0.0)
+
+
+def test_pck_threshold_behaviour(gt):
+    pred = shifted(gt, 30.0)
+    assert pck(pred, gt, threshold_mm=40.0) == pytest.approx(100.0)
+    assert pck(pred, gt, threshold_mm=20.0) == pytest.approx(0.0)
+    with pytest.raises(EvaluationError):
+        pck(pred, gt, threshold_mm=0.0)
+
+
+def test_pck_curve_monotone(gt):
+    rng = np.random.default_rng(1)
+    pred = gt + rng.normal(0, 0.01, size=gt.shape)
+    thresholds, curve = pck_curve(pred, gt)
+    assert len(thresholds) == len(curve)
+    assert np.all(np.diff(curve) >= 0)
+    assert curve[-1] == pytest.approx(100.0, abs=1.0)
+
+
+def test_pck_curve_validates(gt):
+    with pytest.raises(EvaluationError):
+        pck_curve(gt, gt, thresholds_mm=np.array([5.0]))
+
+
+def test_auc_perfect_prediction(gt):
+    thresholds, curve = pck_curve(gt, gt)
+    assert auc(thresholds, curve) == pytest.approx(1.0, abs=0.02)
+
+
+def test_auc_fixed_error(gt):
+    """Constant 30 mm error over 0-60 mm thresholds: PCK jumps from 0 to
+    100 at 30 mm, so AUC is ~0.5."""
+    pred = shifted(gt, 30.0)
+    thresholds, curve = pck_curve(pred, gt)
+    assert auc(thresholds, curve) == pytest.approx(0.5, abs=0.02)
+
+
+def test_auc_validates():
+    with pytest.raises(EvaluationError):
+        auc(np.array([0.0, 1.0]), np.array([1.0]))
+    with pytest.raises(EvaluationError):
+        auc(np.array([1.0, 0.0]), np.array([50.0, 50.0]))
+
+
+def test_error_cdf_properties(gt):
+    rng = np.random.default_rng(2)
+    pred = gt + rng.normal(0, 0.01, size=gt.shape)
+    errors, fractions = error_cdf(pred, gt)
+    assert np.all(np.diff(errors) >= 0)
+    assert fractions[-1] == pytest.approx(1.0)
+    assert len(errors) == 10 * 21
+
+
+def test_group_metrics_structure(gt):
+    rng = np.random.default_rng(3)
+    pred = gt + rng.normal(0, 0.005, size=gt.shape)
+    groups = group_metrics(pred, gt)
+    assert set(groups) == {"palm", "fingers", "overall"}
+    overall = groups["overall"]
+    assert 0 < overall.mpjpe_mm < 30
+    assert 0 < overall.pck_percent <= 100
+    assert 0 < overall.auc <= 1
+
+
+def test_group_metrics_palm_fingers_split(gt):
+    pred = shifted(gt, 35.0, joints=list(FINGER_JOINTS))
+    groups = group_metrics(pred, gt)
+    assert groups["fingers"].mpjpe_mm == pytest.approx(35.0)
+    assert groups["palm"].mpjpe_mm == pytest.approx(0.0)
+    assert (
+        groups["palm"].mpjpe_mm
+        < groups["overall"].mpjpe_mm
+        < groups["fingers"].mpjpe_mm
+    )
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+def test_format_mm():
+    assert format_mm(18.34) == "18.3"
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["method", "mpjpe"],
+        [["mmHand", "18.3"], ["HandFi", "20.7"]],
+        title="Table I",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Table I"
+    assert "method" in lines[1]
+    assert "mmHand" in lines[3]
+
+
+def test_render_table_validates_width():
+    with pytest.raises(EvaluationError):
+        render_table(["a", "b"], [["only one"]])
+
+
+def test_render_series():
+    text = render_series(
+        [20, 40], {"mpjpe": [18.0, 19.0]}, x_label="distance",
+        y_label="mm",
+    )
+    assert "distance" in text
+    assert "18.0" in text
+
+
+def test_render_series_validates_lengths():
+    with pytest.raises(EvaluationError):
+        render_series([1, 2], {"x": [1.0]}, "a", "b")
+
+
+def test_render_cdf_summary(gt):
+    pred = shifted(gt, 15.0)
+    errors, fractions = error_cdf(pred, gt)
+    text = render_cdf_summary(errors, fractions, probe_mm=(10, 20))
+    assert "100.0" in text  # all errors <= 20mm
+    assert "0.0" in text  # none <= 10mm

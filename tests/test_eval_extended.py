@@ -1,0 +1,112 @@
+"""Tests of the extended metrics: Procrustes alignment, PA-MPJPE,
+bone-length error, per-joint tables and error decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.extended import (
+    bone_length_error,
+    bone_lengths,
+    localisation_vs_pose_error,
+    pa_mpjpe,
+    per_joint_error_table,
+    procrustes_align,
+)
+from repro.hand.gestures import gesture_pose
+from repro.hand.joints import JOINT_NAMES
+from repro.hand.kinematics import forward_kinematics, rotation_about_axis
+from repro.hand.shape import HandShape
+
+
+@pytest.fixture
+def joints():
+    pose = gesture_pose("open_palm", wrist_position=np.zeros(3))
+    return forward_kinematics(HandShape(), pose)
+
+
+def test_procrustes_recovers_rigid_transform(joints):
+    rot = rotation_about_axis(np.array([0.3, 0.5, 0.8]), 0.7)
+    moved = joints @ rot.T + np.array([0.1, -0.2, 0.05])
+    aligned = procrustes_align(moved, joints)
+    assert np.abs(aligned - joints).max() < 1e-9
+
+
+def test_procrustes_with_scale(joints):
+    scaled = joints * 1.3 + np.array([0.2, 0.0, 0.0])
+    aligned = procrustes_align(scaled, joints, allow_scale=True)
+    assert np.abs(aligned - joints).max() < 1e-9
+    # Without scale compensation the alignment cannot be exact.
+    rigid_only = procrustes_align(scaled, joints, allow_scale=False)
+    assert np.abs(rigid_only - joints).max() > 1e-3
+
+
+def test_procrustes_validates(joints):
+    with pytest.raises(EvaluationError):
+        procrustes_align(joints[:20], joints)
+
+
+def test_pa_mpjpe_zero_for_rigid_motion(joints):
+    rot = rotation_about_axis(np.array([0.0, 0.0, 1.0]), 0.4)
+    moved = joints @ rot.T + np.array([0.3, 0.0, 0.0])
+    assert pa_mpjpe(moved, joints) < 1e-6
+    # Plain MPJPE sees the full displacement.
+    from repro.eval.metrics import mpjpe
+
+    assert mpjpe(moved, joints) > 50.0
+
+
+def test_pa_mpjpe_nonzero_for_pose_change(joints):
+    fist = forward_kinematics(
+        HandShape(), gesture_pose("fist", wrist_position=np.zeros(3))
+    )
+    assert pa_mpjpe(fist, joints) > 10.0
+
+
+def test_pa_mpjpe_validates(joints):
+    with pytest.raises(EvaluationError):
+        pa_mpjpe(joints[None, :, :2], joints[None, :, :2])
+
+
+def test_bone_lengths_match_shape(joints):
+    lengths = bone_lengths(joints)
+    assert lengths.shape == (1, 20)
+    shape = HandShape()
+    # Chain bones (non-root) should equal the configured phalange lengths.
+    from repro.hand.joints import PHALANGES, WRIST
+
+    for k, (parent, child) in enumerate(PHALANGES):
+        if parent == WRIST:
+            continue
+        finger_index = (child - 1) // 4
+        finger = list(shape.phalange_lengths)[finger_index]
+        seg = (child - 1) % 4 - 1
+        expected = shape.phalange_lengths[finger][seg]
+        assert lengths[0, k] == pytest.approx(expected, rel=1e-6)
+
+
+def test_bone_length_error_zero_for_same_pose(joints):
+    fist = forward_kinematics(
+        HandShape(), gesture_pose("fist", wrist_position=np.zeros(3))
+    )
+    # Different poses, same rigid hand: bone lengths agree.
+    assert bone_length_error(fist, joints) < 1e-6
+
+
+def test_bone_length_error_detects_stretching(joints):
+    stretched = joints * 1.1
+    assert bone_length_error(stretched, joints) > 1.0
+
+
+def test_per_joint_table_names(joints):
+    table = per_joint_error_table(joints + 0.01, joints)
+    assert set(table) == set(JOINT_NAMES)
+    for value in table.values():
+        assert value == pytest.approx(10 * np.sqrt(3), rel=1e-3)
+
+
+def test_localisation_vs_pose_split(joints):
+    offset = joints + np.array([0.05, 0.0, 0.0])
+    loc, pose_err = localisation_vs_pose_error(offset, joints)
+    assert loc == pytest.approx(50.0, rel=1e-3)
+    assert pose_err < 1e-6

@@ -1,0 +1,54 @@
+"""Smoke checks that every example script parses, compiles and exposes a
+main() entry point (full runs are exercised manually / in CI nightly)."""
+
+import ast
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable minimum
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+    has_main = any(
+        isinstance(node, ast.FunctionDef) and node.name == "main"
+        for node in tree.body
+    )
+    assert has_main, f"{path.name} lacks a main() function"
+    guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    )
+    assert guard, f"{path.name} lacks an __main__ guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples should demonstrate the public API: no private (_-prefixed)
+    module imports other than the benchmark cache helper."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            parts = node.module.split(".")
+            assert not any(
+                p.startswith("_") for p in parts
+            ), f"{path.name} imports private module {node.module}"

@@ -1,0 +1,124 @@
+"""Tests of continuous gesture animation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KinematicsError
+from repro.hand.animation import (
+    GestureSequence,
+    Keyframe,
+    sample_gesture_sequence,
+)
+from repro.hand.gestures import GESTURE_LIBRARY
+
+
+def make_sequence(**kwargs):
+    return GestureSequence(
+        [Keyframe(0.0, "fist"), Keyframe(1.0, "open_palm")],
+        tremor_amplitude_m=0.0,
+        drift_amplitude_m=0.0,
+        **kwargs,
+    )
+
+
+def test_keyframe_validates_gesture():
+    with pytest.raises(KinematicsError):
+        Keyframe(0.0, "unknown")
+
+
+def test_keyframe_validates_time():
+    with pytest.raises(KinematicsError):
+        Keyframe(-1.0, "fist")
+
+
+def test_sequence_requires_increasing_times():
+    with pytest.raises(KinematicsError):
+        GestureSequence([Keyframe(1.0, "fist"), Keyframe(0.5, "open_palm")])
+
+
+def test_pose_at_endpoints_match_keyframes():
+    seq = make_sequence()
+    start = seq.pose_at(0.0)
+    end = seq.pose_at(1.0)
+    assert np.allclose(start.finger_angles, GESTURE_LIBRARY["fist"])
+    assert np.allclose(end.finger_angles, GESTURE_LIBRARY["open_palm"])
+
+
+def test_pose_clamps_outside_timeline():
+    seq = make_sequence()
+    before = seq.pose_at(-5.0)
+    after = seq.pose_at(10.0)
+    assert np.allclose(before.finger_angles, GESTURE_LIBRARY["fist"])
+    assert np.allclose(after.finger_angles, GESTURE_LIBRARY["open_palm"])
+
+
+def test_transition_is_monotone_and_smooth():
+    seq = make_sequence()
+    times = np.linspace(0.0, 1.0, 21)
+    # Index MCP flexion goes from curled (fist) to 0 (open).
+    flexions = [seq.pose_at(t).finger_angles[1, 0] for t in times]
+    diffs = np.diff(flexions)
+    assert np.all(diffs <= 1e-12)
+    # Smoothstep: zero slope at the ends.
+    assert abs(flexions[1] - flexions[0]) < abs(flexions[11] - flexions[10])
+
+
+def test_tremor_moves_wrist_but_small():
+    seq = GestureSequence(
+        [Keyframe(0.0, "fist")],
+        base_position=np.array([0.3, 0.0, 0.0]),
+        tremor_amplitude_m=0.002,
+        drift_amplitude_m=0.004,
+        seed=1,
+    )
+    positions = np.array([seq.pose_at(t).wrist_position
+                          for t in np.linspace(0, 2, 50)])
+    deviations = np.linalg.norm(positions - [0.3, 0, 0], axis=1)
+    assert deviations.max() > 1e-4  # it moves
+    assert deviations.max() < 0.02  # but stays near the base
+
+
+def test_sample_returns_requested_frames():
+    seq = make_sequence()
+    poses = seq.sample(0.05, 12)
+    assert len(poses) == 12
+
+
+def test_sample_validates_arguments():
+    seq = make_sequence()
+    with pytest.raises(KinematicsError):
+        seq.sample(0.0, 5)
+    with pytest.raises(KinematicsError):
+        seq.sample(0.05, 0)
+
+
+def test_sample_gesture_sequence_no_repeats():
+    rng = np.random.default_rng(7)
+    seq = sample_gesture_sequence(
+        rng, ["fist", "open_palm", "point"], num_keyframes=6
+    )
+    names = [kf.gesture for kf in seq.keyframes]
+    assert len(names) == 6
+    for a, b in zip(names, names[1:]):
+        assert a != b
+
+
+def test_sample_gesture_sequence_deterministic():
+    seq_a = sample_gesture_sequence(
+        np.random.default_rng(3), ["fist", "open_palm"], num_keyframes=4
+    )
+    seq_b = sample_gesture_sequence(
+        np.random.default_rng(3), ["fist", "open_palm"], num_keyframes=4
+    )
+    assert [k.gesture for k in seq_a.keyframes] == [
+        k.gesture for k in seq_b.keyframes
+    ]
+    assert seq_a.duration_s == seq_b.duration_s
+
+
+def test_sample_gesture_sequence_validates():
+    rng = np.random.default_rng(0)
+    with pytest.raises(KinematicsError):
+        sample_gesture_sequence(rng, [], num_keyframes=3)
+    with pytest.raises(KinematicsError):
+        sample_gesture_sequence(rng, ["fist"], num_keyframes=0)

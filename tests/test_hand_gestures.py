@@ -1,0 +1,89 @@
+"""Tests of the gesture library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KinematicsError
+from repro.hand.gestures import (
+    COUNTING_GESTURES,
+    GESTURE_LIBRARY,
+    INTERACTION_GESTURES,
+    blend_gestures,
+    gesture_pose,
+    list_gestures,
+)
+from repro.hand.joints import FINGER_CHAINS
+from repro.hand.kinematics import HandPose, forward_kinematics
+from repro.hand.shape import HandShape
+
+
+def test_library_is_non_trivial():
+    assert len(GESTURE_LIBRARY) >= 12
+    assert set(list_gestures()) == set(GESTURE_LIBRARY)
+
+
+def test_counting_and_interaction_partition():
+    assert set(COUNTING_GESTURES) | set(INTERACTION_GESTURES) == set(
+        GESTURE_LIBRARY
+    )
+    assert not set(COUNTING_GESTURES) & set(INTERACTION_GESTURES)
+    assert len(COUNTING_GESTURES) == 6  # zero..five
+
+
+def test_all_gestures_produce_valid_poses():
+    for name in list_gestures():
+        pose = gesture_pose(name)
+        assert isinstance(pose, HandPose)
+
+
+def test_gesture_pose_rejects_unknown():
+    with pytest.raises(KinematicsError):
+        gesture_pose("live_long_and_prosper")
+
+
+def test_fist_curls_all_fingers():
+    shape = HandShape()
+    open_joints = forward_kinematics(
+        shape, gesture_pose("open_palm", wrist_position=np.zeros(3),
+                            orientation=np.eye(3))
+    )
+    fist_joints = forward_kinematics(
+        shape, gesture_pose("fist", wrist_position=np.zeros(3),
+                            orientation=np.eye(3))
+    )
+    for finger in ("index", "middle", "ring", "pinky"):
+        tip = FINGER_CHAINS[finger][3]
+        root = FINGER_CHAINS[finger][0]
+        open_span = np.linalg.norm(open_joints[tip] - open_joints[root])
+        fist_span = np.linalg.norm(fist_joints[tip] - fist_joints[root])
+        assert fist_span < 0.6 * open_span
+
+
+def test_count_one_extends_only_index():
+    angles = GESTURE_LIBRARY["count_one"]
+    # Index (row 1) straight; middle/ring/pinky curled.
+    assert np.allclose(angles[1], 0.0)
+    for row in (2, 3, 4):
+        assert angles[row][0] > 1.0
+
+
+def test_blend_endpoints_match_gestures():
+    a = blend_gestures("fist", "open_palm", 0.0)
+    b = blend_gestures("fist", "open_palm", 1.0)
+    assert np.allclose(a, GESTURE_LIBRARY["fist"])
+    assert np.allclose(b, GESTURE_LIBRARY["open_palm"])
+
+
+def test_blend_midpoint_is_average():
+    mid = blend_gestures("fist", "open_palm", 0.5)
+    expected = 0.5 * (
+        GESTURE_LIBRARY["fist"] + GESTURE_LIBRARY["open_palm"]
+    )
+    assert np.allclose(mid, expected)
+
+
+def test_blend_validates_inputs():
+    with pytest.raises(KinematicsError):
+        blend_gestures("fist", "open_palm", 1.5)
+    with pytest.raises(KinematicsError):
+        blend_gestures("fist", "nope", 0.5)

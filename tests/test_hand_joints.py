@@ -1,0 +1,76 @@
+"""Tests of the 21-joint skeleton model topology."""
+
+import pytest
+
+from repro.hand.joints import (
+    FINGER_CHAINS,
+    FINGER_JOINTS,
+    FINGERS,
+    JOINT_NAMES,
+    JOINT_PARENTS,
+    NUM_JOINTS,
+    PALM_JOINTS,
+    PHALANGES,
+    WRIST,
+    finger_joint_indices,
+    joint_index,
+)
+
+
+def test_joint_count_is_21():
+    assert NUM_JOINTS == 21
+    assert len(JOINT_NAMES) == 21
+    assert len(JOINT_PARENTS) == 21
+
+
+def test_wrist_is_root():
+    assert JOINT_PARENTS[WRIST] == -1
+    assert JOINT_NAMES[WRIST] == "wrist"
+
+
+def test_every_finger_has_four_chain_joints():
+    assert set(FINGER_CHAINS) == set(FINGERS)
+    seen = set()
+    for chain in FINGER_CHAINS.values():
+        assert len(chain) == 4
+        seen.update(chain)
+    assert seen == set(range(1, 21))
+
+
+def test_finger_roots_attach_to_wrist():
+    for chain in FINGER_CHAINS.values():
+        assert JOINT_PARENTS[chain[0]] == WRIST
+        for parent, child in zip(chain, chain[1:]):
+            assert JOINT_PARENTS[child] == parent
+
+
+def test_palm_and_finger_joints_partition_the_hand():
+    assert set(PALM_JOINTS) | set(FINGER_JOINTS) == set(range(NUM_JOINTS))
+    assert not set(PALM_JOINTS) & set(FINGER_JOINTS)
+    # Palm = wrist + five finger roots.
+    assert len(PALM_JOINTS) == 6
+    assert WRIST in PALM_JOINTS
+
+
+def test_phalanges_cover_every_non_root_joint():
+    assert len(PHALANGES) == 20
+    children = {child for _, child in PHALANGES}
+    assert children == set(range(1, 21))
+    for parent, child in PHALANGES:
+        assert JOINT_PARENTS[child] == parent
+
+
+def test_joint_index_round_trips_names():
+    for i, name in enumerate(JOINT_NAMES):
+        assert joint_index(name) == i
+
+
+def test_joint_index_rejects_unknown_name():
+    with pytest.raises(KeyError):
+        joint_index("elbow")
+
+
+def test_finger_joint_indices():
+    assert finger_joint_indices("index") == [5, 6, 7, 8]
+    with pytest.raises(KeyError):
+        finger_joint_indices("toe")

@@ -1,0 +1,158 @@
+"""Tests of hand forward kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KinematicsError
+from repro.hand.joints import FINGER_CHAINS, FINGERS, WRIST
+from repro.hand.kinematics import (
+    HandPose,
+    default_orientation,
+    forward_kinematics,
+    orientation_from_yaw_pitch,
+    phalange_directions,
+    rotation_about_axis,
+)
+from repro.hand.shape import HandShape
+
+
+@pytest.fixture
+def shape():
+    return HandShape()
+
+
+def test_rotation_about_axis_is_a_rotation():
+    rot = rotation_about_axis(np.array([0.0, 0.0, 1.0]), 0.7)
+    assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+    assert np.isclose(np.linalg.det(rot), 1.0)
+
+
+def test_rotation_about_axis_quarter_turn():
+    rot = rotation_about_axis(np.array([0.0, 0.0, 1.0]), np.pi / 2)
+    assert np.allclose(rot @ np.array([1.0, 0.0, 0.0]),
+                       [0.0, 1.0, 0.0], atol=1e-12)
+
+
+def test_rotation_rejects_zero_axis():
+    with pytest.raises(KinematicsError):
+        rotation_about_axis(np.zeros(3), 0.5)
+
+
+def test_default_orientation_is_rotation():
+    rot = default_orientation()
+    assert np.allclose(rot @ rot.T, np.eye(3))
+    assert np.isclose(np.linalg.det(rot), 1.0)
+
+
+def test_fk_output_shape(shape):
+    joints = forward_kinematics(shape, HandPose())
+    assert joints.shape == (21, 3)
+
+
+def test_fk_wrist_at_pose_position(shape):
+    pose = HandPose(wrist_position=np.array([0.25, 0.1, -0.05]))
+    joints = forward_kinematics(shape, pose)
+    assert np.allclose(joints[WRIST], [0.25, 0.1, -0.05])
+
+
+def test_fk_preserves_phalange_lengths(shape):
+    """Bone lengths are pose-invariant (rigid phalanges)."""
+    rng = np.random.default_rng(0)
+    angles = np.zeros((5, 4))
+    angles[:, 0] = rng.uniform(0, 1.2, 5)
+    angles[:, 1] = rng.uniform(-0.2, 0.2, 5)
+    angles[:, 2] = rng.uniform(0, 1.4, 5)
+    angles[:, 3] = rng.uniform(0, 0.8, 5)
+    bent = forward_kinematics(shape, HandPose(finger_angles=angles))
+    for finger in FINGERS:
+        chain = FINGER_CHAINS[finger]
+        lengths = shape.phalange_lengths[finger]
+        for seg in range(3):
+            measured = np.linalg.norm(
+                bent[chain[seg + 1]] - bent[chain[seg]]
+            )
+            assert measured == pytest.approx(lengths[seg], rel=1e-9)
+
+
+def test_fk_zero_angles_gives_straight_fingers(shape):
+    joints = forward_kinematics(
+        shape, HandPose(wrist_position=np.zeros(3), orientation=np.eye(3))
+    )
+    for finger in FINGERS:
+        a, b, c, d = FINGER_CHAINS[finger]
+        ab = joints[b] - joints[a]
+        ad = joints[d] - joints[a]
+        cos = ab @ ad / (np.linalg.norm(ab) * np.linalg.norm(ad))
+        assert cos > 0.999999
+
+
+def test_fk_flexion_curls_towards_palm(shape):
+    """Flexing the index finger moves its tip towards the palm (-z in the
+    hand frame)."""
+    straight = forward_kinematics(
+        shape, HandPose(wrist_position=np.zeros(3), orientation=np.eye(3))
+    )
+    angles = np.zeros((5, 4))
+    angles[1] = [1.2, 0.0, 1.4, 0.8]  # index curl
+    bent = forward_kinematics(
+        shape,
+        HandPose(finger_angles=angles, wrist_position=np.zeros(3),
+                 orientation=np.eye(3)),
+    )
+    tip = FINGER_CHAINS["index"][3]
+    assert bent[tip][2] < straight[tip][2] - 0.02
+
+
+def test_fk_orientation_rotates_whole_hand(shape):
+    pose = HandPose(wrist_position=np.zeros(3))
+    joints = forward_kinematics(shape, pose)
+    rot = orientation_from_yaw_pitch(0.5, -0.2)
+    rotated = forward_kinematics(
+        shape, HandPose(wrist_position=np.zeros(3), orientation=rot)
+    )
+    base = forward_kinematics(
+        shape,
+        HandPose(wrist_position=np.zeros(3),
+                 orientation=default_orientation()),
+    )
+    expected = base @ (rot @ default_orientation().T).T
+    assert np.allclose(rotated, expected, atol=1e-9)
+    assert joints.shape == rotated.shape
+
+
+def test_pose_validates_angle_shape():
+    with pytest.raises(KinematicsError):
+        HandPose(finger_angles=np.zeros((4, 4)))
+
+
+def test_pose_validates_angle_limits():
+    angles = np.zeros((5, 4))
+    angles[0, 0] = 5.0
+    with pytest.raises(KinematicsError):
+        HandPose(finger_angles=angles)
+
+
+def test_pose_validates_orientation():
+    with pytest.raises(KinematicsError):
+        HandPose(orientation=np.ones((3, 3)))
+
+
+def test_pose_with_placement_keeps_angles():
+    angles = np.zeros((5, 4))
+    angles[2, 0] = 0.9
+    pose = HandPose(finger_angles=angles)
+    moved = pose.with_placement(np.array([0.5, 0, 0]), default_orientation())
+    assert np.allclose(moved.finger_angles, angles)
+    assert np.allclose(moved.wrist_position, [0.5, 0, 0])
+
+
+def test_phalange_directions_unit_norm(shape):
+    joints = forward_kinematics(shape, HandPose())
+    dirs = phalange_directions(joints)
+    assert dirs.shape == (20, 3)
+    assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+
+def test_phalange_directions_rejects_bad_shape():
+    with pytest.raises(KinematicsError):
+        phalange_directions(np.zeros((20, 3)))

@@ -1,0 +1,81 @@
+"""Tests of hand anthropometry and synthetic subjects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, KinematicsError
+from repro.hand.shape import HandShape
+from repro.hand.subjects import make_subjects
+
+
+def test_default_shape_has_plausible_hand_length():
+    shape = HandShape()
+    assert 0.16 < shape.hand_length_m < 0.22
+
+
+def test_from_scale_scales_lengths_linearly():
+    small = HandShape.from_scale(0.9)
+    large = HandShape.from_scale(1.1)
+    ratio = large.finger_length_m("middle") / small.finger_length_m("middle")
+    assert ratio == pytest.approx(1.1 / 0.9, rel=1e-9)
+
+
+def test_from_scale_rejects_non_positive():
+    with pytest.raises(KinematicsError):
+        HandShape.from_scale(0.0)
+
+
+def test_shape_rejects_missing_finger():
+    lengths = dict(HandShape().phalange_lengths)
+    del lengths["pinky"]
+    with pytest.raises(KinematicsError):
+        HandShape(phalange_lengths=lengths)
+
+
+def test_shape_rejects_non_positive_length():
+    lengths = dict(HandShape().phalange_lengths)
+    lengths["index"] = (0.04, -0.01, 0.02)
+    with pytest.raises(KinematicsError):
+        HandShape(phalange_lengths=lengths)
+
+
+def test_finger_length_unknown_finger():
+    with pytest.raises(KeyError):
+        HandShape().finger_length_m("tail")
+
+
+def test_make_subjects_panel_matches_paper():
+    subjects = make_subjects(10)
+    assert len(subjects) == 10
+    genders = [s.gender for s in subjects]
+    assert genders.count("male") == 5
+    assert genders.count("female") == 5
+    for s in subjects:
+        assert 1.65 <= s.height_m <= 1.85
+        assert 0.88 <= s.hand_scale <= 1.12
+
+
+def test_make_subjects_deterministic():
+    a = make_subjects(5, seed=9)
+    b = make_subjects(5, seed=9)
+    assert all(x == y for x, y in zip(a, b))
+
+
+def test_make_subjects_distinct_across_seeds():
+    a = make_subjects(5, seed=1)
+    b = make_subjects(5, seed=2)
+    assert any(x.height_m != y.height_m for x, y in zip(a, b))
+
+
+def test_make_subjects_validates_count():
+    with pytest.raises(ConfigError):
+        make_subjects(0)
+
+
+def test_subject_hand_shape_scales_with_subject():
+    subjects = make_subjects(10)
+    big = max(subjects, key=lambda s: s.hand_scale)
+    small = min(subjects, key=lambda s: s.hand_scale)
+    assert (
+        big.hand_shape().hand_length_m > small.hand_shape().hand_length_m
+    )

@@ -1,0 +1,98 @@
+"""Tests of wrist trajectory patterns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KinematicsError
+from repro.hand.animation import GestureSequence, Keyframe
+from repro.hand.trajectories import (
+    TRAJECTORY_LIBRARY,
+    apply_trajectory,
+    circle,
+    hold,
+    list_trajectories,
+    push_pull,
+    swipe,
+)
+
+
+def test_library_contents():
+    names = list_trajectories()
+    assert "hold" in names
+    assert "swipe_right" in names
+    assert "push_pull" in names
+    for name in names:
+        trajectory = TRAJECTORY_LIBRARY[name]()
+        offset = trajectory(0.3)
+        assert np.asarray(offset).shape == (3,)
+
+
+def test_hold_is_zero():
+    trajectory = hold()
+    assert np.allclose(trajectory(0.0), 0.0)
+    assert np.allclose(trajectory(5.0), 0.0)
+
+
+def test_swipe_reaches_extent_and_saturates():
+    trajectory = swipe("left", extent_m=0.1, duration_s=0.5)
+    assert np.allclose(trajectory(0.0), 0.0)
+    end = trajectory(0.5)
+    assert end[1] == pytest.approx(0.1)
+    assert np.allclose(trajectory(2.0), end)  # holds after completion
+
+
+def test_swipe_directions_orthogonal():
+    right = swipe("right")(0.8)
+    up = swipe("up")(0.8)
+    assert right[1] < 0 and right[2] == 0
+    assert up[2] > 0 and up[1] == 0
+
+
+def test_swipe_validates():
+    with pytest.raises(KinematicsError):
+        swipe("diagonal")
+    with pytest.raises(KinematicsError):
+        swipe("left", extent_m=0.0)
+
+
+def test_push_pull_periodic_towards_radar():
+    trajectory = push_pull(extent_m=0.08, period_s=1.0)
+    assert np.allclose(trajectory(0.0), 0.0)
+    half = trajectory(0.5)
+    assert half[0] == pytest.approx(-0.08)  # towards the radar
+    assert np.allclose(trajectory(1.0), trajectory(0.0), atol=1e-12)
+
+
+def test_circle_stays_on_radius():
+    trajectory = circle(radius_m=0.05, period_s=1.0)
+    centre = np.array([0.0, -0.05, 0.0])
+    for t in np.linspace(0, 1, 9):
+        offset = trajectory(float(t))
+        assert np.linalg.norm(offset - centre) == pytest.approx(0.05)
+
+
+def test_apply_trajectory_offsets_wrists():
+    sequence = GestureSequence(
+        [Keyframe(0.0, "fist")],
+        base_position=np.array([0.3, 0.0, 0.0]),
+        tremor_amplitude_m=0.0,
+        drift_amplitude_m=0.0,
+    )
+    poses = sequence.sample(0.1, 6)
+    moved = apply_trajectory(poses, swipe("left", 0.1, 0.5), 0.1)
+    assert len(moved) == len(poses)
+    assert np.allclose(moved[0].wrist_position, poses[0].wrist_position)
+    assert moved[5].wrist_position[1] == pytest.approx(
+        poses[5].wrist_position[1] + 0.1
+    )
+    # Originals untouched.
+    assert poses[5].wrist_position[1] == pytest.approx(0.0)
+
+
+def test_apply_trajectory_validates():
+    sequence = GestureSequence([Keyframe(0.0, "fist")])
+    poses = sequence.sample(0.1, 2)
+    with pytest.raises(KinematicsError):
+        apply_trajectory(poses, hold(), 0.0)
+    with pytest.raises(KinematicsError):
+        apply_trajectory(poses, lambda t: np.zeros(2), 0.1)

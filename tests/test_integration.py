@@ -1,0 +1,177 @@
+"""Integration tests: the full system at reduced scale, including the
+experiment runners that power the benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CampaignConfig,
+    DspConfig,
+    ModelConfig,
+    RadarConfig,
+    SystemConfig,
+    TrainConfig,
+)
+from repro.core.mesh_recovery import MeshReconstructor
+from repro.core.pipeline import MmHand
+from repro.core.regressor import HandJointRegressor
+from repro.core.training import Trainer, kfold_by_user
+from repro.data.collection import CampaignGenerator, CaptureOptions
+from repro.eval import experiments
+from repro.hand.subjects import make_subjects
+from repro.radar.clutter import BodyPosition
+
+
+RADAR = RadarConfig(samples_per_chirp=32, chirp_loops=8)
+DSP = DspConfig(
+    range_bins=16, doppler_bins=4, azimuth_bins=8, elevation_bins=8,
+    segment_frames=2,
+)
+MODEL = ModelConfig(
+    base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+    lstm_hidden=16,
+)
+TRAIN = TrainConfig(epochs=2, batch_size=4)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    subjects = make_subjects(4)
+    generator = CampaignGenerator(
+        RADAR, DSP, CampaignConfig(num_users=4, segments_per_user=8)
+    )
+    dataset = generator.generate(subjects=subjects, seed=11)
+    records = kfold_by_user(
+        dataset,
+        make_regressor=lambda: HandJointRegressor(DSP, MODEL),
+        config=TRAIN,
+        num_folds=2,
+    )
+    return subjects, generator, dataset, records
+
+
+def test_cv_records_structure(setup):
+    _, _, dataset, records = setup
+    assert len(records) == 2
+    total_test = sum(len(r["test"]) for r in records)
+    assert total_test == len(dataset)
+
+
+def test_overall_performance_experiment(setup):
+    _, _, _, records = setup
+    result = experiments.overall_performance(records)
+    assert set(result["per_user"]) == {1, 2, 3, 4}
+    assert result["mean_mpjpe_mm"] > 0
+    assert 0 <= result["mean_pck_percent"] <= 100
+    assert result["std_mpjpe_mm"] >= 0
+
+
+def test_pck_curves_experiment(setup):
+    _, _, _, records = setup
+    result = experiments.pck_threshold_curves(records)
+    assert set(result["curves"]) == {"palm", "fingers", "overall"}
+    for curve in result["curves"].values():
+        assert np.all(np.diff(curve) >= 0)
+    for value in result["auc"].values():
+        assert 0 <= value <= 1
+
+
+def test_cdf_experiment(setup):
+    _, _, _, records = setup
+    result = experiments.mpjpe_cdf(records)
+    assert 0 <= result["within_30mm_percent"] <= 100
+    assert result["fractions"][-1] == pytest.approx(1.0)
+
+
+def test_condition_evaluation(setup):
+    subjects, generator, _, records = setup
+    regressor = records[0]["regressor"]
+    result = experiments.evaluate_condition(
+        regressor, generator, subjects[:1],
+        CaptureOptions(environment="lab", glove="silk"),
+        segments_per_user=4,
+    )
+    assert result["mpjpe_mm"] > 0
+    assert result["dataset"].meta[0].condition == "glove:silk"
+
+
+def test_distance_sweep_experiment(setup):
+    subjects, generator, _, records = setup
+    result = experiments.distance_sweep(
+        records[0]["regressor"], generator, subjects[:1],
+        distances_m=(0.3, 0.6), segments_per_user=4,
+    )
+    assert len(result["rows"]) == 2
+    assert result["rows"][0]["distance_m"] == 0.3
+    for row in result["rows"]:
+        assert row["mpjpe_mm"] > 0
+
+
+def test_angle_sweep_experiment(setup):
+    subjects, generator, _, records = setup
+    result = experiments.angle_sweep(
+        records[0]["regressor"], generator, subjects[:1],
+        angle_bins_deg=(-15.0, 15.0), segments_per_user=4,
+    )
+    assert [row["angle_deg"] for row in result["rows"]] == [-15.0, 15.0]
+
+
+def test_body_position_experiment(setup):
+    subjects, generator, _, records = setup
+    result = experiments.body_position_experiment(
+        records[0]["regressor"], generator, subjects[:1],
+        segments_per_user=4,
+    )
+    assert set(result) == {"type1_front", "type2_side"}
+    for entry in result.values():
+        assert entry["mpjpe_mm"] > 0
+
+
+def test_environment_experiment_uses_cv_meta(setup):
+    _, _, _, records = setup
+    result = experiments.environment_experiment(records)
+    assert "overall" in result
+    assert len(result) >= 2  # at least one environment + overall
+
+
+def test_timing_experiment(setup):
+    _, _, dataset, records = setup
+    reconstructor = MeshReconstructor(seed=0)
+    reconstructor.fit(steps=10, batch_size=8)
+    system = MmHand(
+        SystemConfig(radar=RADAR, dsp=DSP, model=MODEL),
+        records[0]["regressor"],
+        reconstructor,
+    )
+    result = experiments.timing_experiment(
+        system, dataset.segments[:3]
+    )
+    assert len(result["skeleton_ms"]) == 3
+    assert result["mean_overall_ms"] == pytest.approx(
+        result["mean_skeleton_ms"] + result["mean_mesh_ms"], rel=1e-6
+    )
+    assert result["p90_overall_ms"] >= 0
+
+
+def test_glove_and_handheld_and_obstacle_experiments(setup):
+    subjects, generator, _, records = setup
+    regressor = records[0]["regressor"]
+    gloves = experiments.glove_experiment(
+        regressor, generator, subjects[:1], segments_per_user=4
+    )
+    assert set(gloves) == {"silk", "cotton", "overall"}
+    objects = experiments.handheld_experiment(
+        regressor, generator, subjects[:1], segments_per_user=4
+    )
+    assert set(objects) == {
+        "table_tennis_ball", "headphone_case", "pen", "power_bank",
+    }
+    obstacles = experiments.obstacle_experiment(
+        regressor, generator, subjects[:1], segments_per_user=4
+    )
+    assert set(obstacles) == {"a4_paper", "cloth", "wood_board"}
+
+
+def test_pooled_requires_records():
+    with pytest.raises(Exception):
+        experiments.overall_performance([])

@@ -1,0 +1,201 @@
+"""Tests of the MANO-style hand model: template, blend shapes, skinning
+and the FK consistency between the model and the hand kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.hand.gestures import gesture_pose, list_gestures
+from repro.hand.joints import NUM_JOINTS
+from repro.hand.kinematics import forward_kinematics
+from repro.hand.shape import HandShape
+from repro.mano.blend import NUM_SHAPE_PARAMS, build_shape_basis, \
+    pose_blend_offsets
+from repro.mano.model import ManoHandModel, pose_to_theta, random_theta
+from repro.mano.skinning import global_transforms, linear_blend_skinning
+from repro.mano.template import TemplateParams, build_template
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ManoHandModel()
+
+
+@pytest.fixture(scope="module")
+def template():
+    return build_template(HandShape())
+
+
+def test_template_basic_invariants(template):
+    assert template.num_vertices > 300
+    assert template.num_faces > 400
+    assert np.allclose(template.weights.sum(axis=1), 1.0)
+    assert template.faces.min() >= 0
+    assert template.faces.max() < template.num_vertices
+
+
+def test_template_rejects_bad_weights(template):
+    bad = template.weights.copy()
+    bad[0] *= 2.0
+    with pytest.raises(MeshError):
+        build_and_replace(template, weights=bad)
+
+
+def build_and_replace(template, **overrides):
+    from repro.mano.template import HandTemplate
+
+    kwargs = dict(
+        vertices=template.vertices,
+        faces=template.faces,
+        weights=template.weights,
+        rest_joints=template.rest_joints,
+    )
+    kwargs.update(overrides)
+    return HandTemplate(**kwargs)
+
+
+def test_template_deterministic():
+    a = build_template(HandShape())
+    b = build_template(HandShape())
+    assert np.array_equal(a.vertices, b.vertices)
+    assert np.array_equal(a.faces, b.faces)
+
+
+def test_template_knobs_preserve_topology():
+    base = build_template(HandShape())
+    params = TemplateParams()
+    for knob in params.knob_names():
+        perturbed = build_template(HandShape(), params.perturbed(knob, 0.1))
+        assert perturbed.num_vertices == base.num_vertices
+        assert np.array_equal(perturbed.faces, base.faces)
+
+
+def test_template_unknown_knob():
+    with pytest.raises(MeshError):
+        TemplateParams().perturbed("wingspan", 0.1)
+
+
+def test_shape_basis_zero_beta_is_base():
+    basis = build_shape_basis(HandShape())
+    beta = np.zeros(NUM_SHAPE_PARAMS)
+    assert np.allclose(basis.shaped_vertices(beta), basis.base.vertices)
+    assert np.allclose(basis.shaped_joints(beta), basis.base.rest_joints)
+
+
+def test_shape_basis_scale_component_grows_hand():
+    basis = build_shape_basis(HandShape())
+    beta = np.zeros(NUM_SHAPE_PARAMS)
+    beta[0] = 1.0  # uniform scale knob
+    grown = basis.shaped_joints(beta)
+    base = basis.base.rest_joints
+    assert np.linalg.norm(grown[12]) > np.linalg.norm(base[12])
+
+
+def test_shape_basis_rejects_bad_beta():
+    basis = build_shape_basis(HandShape())
+    with pytest.raises(MeshError):
+        basis.shaped_vertices(np.zeros(3))
+
+
+def test_pose_blend_offsets_zero_at_rest(template):
+    offsets = pose_blend_offsets(template, np.zeros((21, 3)))
+    assert np.allclose(offsets, 0.0)
+
+
+def test_pose_blend_offsets_bulge_on_bend(template):
+    theta = np.zeros((21, 3))
+    theta[6] = [1.0, 0.0, 0.0]  # bend index PIP
+    offsets = pose_blend_offsets(template, theta)
+    assert np.abs(offsets).max() > 0
+    # Offsets point towards the palm (-z).
+    assert offsets[:, 2].min() < 0
+    assert np.all(offsets[:, 2] <= 0)
+
+
+def test_global_transforms_identity_pose(template):
+    rotations, positions = global_transforms(
+        np.zeros((21, 3)), template.rest_joints
+    )
+    assert np.allclose(rotations, np.eye(3))
+    assert np.allclose(positions, template.rest_joints)
+
+
+def test_lbs_identity_pose_returns_template(template):
+    posed, joints = linear_blend_skinning(
+        template.vertices, template.weights, np.zeros((21, 3)),
+        template.rest_joints,
+    )
+    assert np.allclose(posed, template.vertices)
+    assert np.allclose(joints, template.rest_joints)
+
+
+def test_model_rest_evaluation(model):
+    result = model()
+    assert result.vertices.shape == (model.num_vertices, 3)
+    assert result.joints.shape == (21, 3)
+    assert np.allclose(result.joints, model.rest_joints())
+
+
+def test_model_fk_matches_hand_kinematics(model):
+    """MANO forward kinematics reproduces the hand FK for every gesture
+    in the library -- the key consistency property of the reproduction."""
+    shape = HandShape()
+    for name in list_gestures():
+        pose = gesture_pose(
+            name, wrist_position=np.zeros(3), orientation=np.eye(3)
+        )
+        theta = pose_to_theta(pose)
+        mano_joints = model(theta=theta).joints
+        hand_joints = forward_kinematics(shape, pose)
+        err = np.linalg.norm(mano_joints - hand_joints, axis=1).max()
+        assert err < 1e-9, f"gesture {name}: FK mismatch {err}"
+
+
+def test_model_fk_matches_with_orientation(model):
+    pose = gesture_pose("grab")  # default orientation (palm to radar)
+    pose.wrist_position = np.zeros(3)
+    theta = pose_to_theta(pose)
+    mano_joints = model(theta=theta).joints
+    hand_joints = forward_kinematics(HandShape(), pose)
+    assert np.allclose(mano_joints, hand_joints, atol=1e-9)
+
+
+def test_model_shape_changes_mesh(model):
+    beta = np.zeros(NUM_SHAPE_PARAMS)
+    beta[0] = 2.0
+    big = model(beta=beta)
+    base = model()
+    assert big.vertices[:, 1].max() > base.vertices[:, 1].max()
+
+
+def test_model_rejects_bad_theta(model):
+    with pytest.raises(MeshError):
+        model(theta=np.zeros((20, 3)))
+
+
+def test_mesh_translated(model):
+    mesh = model()
+    moved = mesh.translated(np.array([0.3, 0.0, 0.0]))
+    assert np.allclose(moved.vertices, mesh.vertices + [0.3, 0, 0])
+    assert np.allclose(moved.joints[0], mesh.joints[0] + [0.3, 0, 0])
+    with pytest.raises(MeshError):
+        mesh.translated(np.zeros(2))
+
+
+def test_random_theta_is_plausible(model):
+    rng = np.random.default_rng(5)
+    for _ in range(5):
+        theta = random_theta(rng)
+        result = model(theta=theta)
+        # Mesh stays within a generous bounding box around the wrist.
+        assert np.abs(result.vertices).max() < 0.35
+
+
+def test_pose_blend_can_be_disabled(model):
+    rng = np.random.default_rng(2)
+    theta = random_theta(rng)
+    with_blend = model(theta=theta, use_pose_blend=True)
+    without = model(theta=theta, use_pose_blend=False)
+    assert not np.allclose(with_blend.vertices, without.vertices)
+    # Joints are unaffected by pose blend shapes.
+    assert np.allclose(with_blend.joints, without.joints)

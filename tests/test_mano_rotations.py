@@ -1,0 +1,112 @@
+"""Tests of rotation representation conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mano.rotations import (
+    axis_angle_to_matrix,
+    axis_angle_to_quaternion,
+    matrix_to_axis_angle,
+    matrix_to_quaternion,
+    normalize_quaternion,
+    quaternion_to_axis_angle,
+    quaternion_to_matrix,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def random_axis_angles(rng, n=20):
+    axes = rng.normal(size=(n, 3))
+    axes /= np.linalg.norm(axes, axis=1, keepdims=True)
+    angles = rng.uniform(0.01, np.pi - 0.01, size=(n, 1))
+    return axes * angles
+
+
+def test_axis_angle_matrix_round_trip(rng):
+    aa = random_axis_angles(rng)
+    mats = axis_angle_to_matrix(aa)
+    back = matrix_to_axis_angle(mats)
+    assert np.allclose(back, aa, atol=1e-8)
+
+
+def test_axis_angle_to_matrix_identity():
+    mat = axis_angle_to_matrix(np.zeros(3))
+    assert np.allclose(mat, np.eye(3))
+
+
+def test_matrices_are_orthonormal(rng):
+    mats = axis_angle_to_matrix(random_axis_angles(rng))
+    for mat in mats:
+        assert np.allclose(mat @ mat.T, np.eye(3), atol=1e-10)
+        assert np.isclose(np.linalg.det(mat), 1.0)
+
+
+def test_quaternion_matrix_round_trip(rng):
+    aa = random_axis_angles(rng)
+    quats = axis_angle_to_quaternion(aa)
+    mats = quaternion_to_matrix(quats)
+    back = matrix_to_quaternion(mats)
+    # Canonical sign: w >= 0, so round trip is exact.
+    assert np.allclose(back, quats, atol=1e-8)
+
+
+def test_quaternion_axis_angle_round_trip(rng):
+    aa = random_axis_angles(rng)
+    back = quaternion_to_axis_angle(axis_angle_to_quaternion(aa))
+    assert np.allclose(back, aa, atol=1e-8)
+
+
+def test_quaternion_matrix_agrees_with_axis_angle(rng):
+    aa = random_axis_angles(rng)
+    direct = axis_angle_to_matrix(aa)
+    via_quat = quaternion_to_matrix(axis_angle_to_quaternion(aa))
+    assert np.allclose(direct, via_quat, atol=1e-10)
+
+
+def test_quaternion_sign_invariance(rng):
+    aa = random_axis_angles(rng, 5)
+    quats = axis_angle_to_quaternion(aa)
+    assert np.allclose(
+        quaternion_to_matrix(quats), quaternion_to_matrix(-quats),
+        atol=1e-12,
+    )
+
+
+def test_normalize_quaternion_rejects_zero():
+    with pytest.raises(MeshError):
+        normalize_quaternion(np.zeros(4))
+
+
+def test_axis_angle_identity_quaternion():
+    quat = axis_angle_to_quaternion(np.zeros((2, 3)))
+    assert np.allclose(quat, [[1, 0, 0, 0], [1, 0, 0, 0]])
+
+
+def test_matrix_to_quaternion_trace_branches():
+    """Exercise all four branches of Shepperd's method."""
+    for axis, angle in (
+        ([1, 0, 0], 3.0),
+        ([0, 1, 0], 3.0),
+        ([0, 0, 1], 3.0),
+        ([1, 1, 1], 0.3),
+    ):
+        axis = np.asarray(axis, dtype=float)
+        axis /= np.linalg.norm(axis)
+        aa = axis * angle
+        mat = axis_angle_to_matrix(aa)
+        quat = matrix_to_quaternion(mat)
+        assert np.allclose(quaternion_to_matrix(quat), mat, atol=1e-10)
+
+
+def test_shape_validation():
+    with pytest.raises(MeshError):
+        axis_angle_to_matrix(np.zeros((3, 4)))
+    with pytest.raises(MeshError):
+        quaternion_to_matrix(np.zeros((2, 3)))
+    with pytest.raises(MeshError):
+        matrix_to_quaternion(np.zeros((4, 4)))

@@ -1,0 +1,79 @@
+"""Small cross-cutting tests: error hierarchy, initialisers, public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    DatasetError,
+    EvaluationError,
+    GradientError,
+    KinematicsError,
+    MeshError,
+    ModelError,
+    RadarError,
+    ReproError,
+    SerializationError,
+    SignalProcessingError,
+)
+from repro.nn.init import kaiming_uniform, xavier_uniform
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        ConfigError, KinematicsError, MeshError, RadarError,
+        SignalProcessingError, ModelError, DatasetError, EvaluationError,
+    ):
+        assert issubclass(exc, ReproError)
+    assert issubclass(GradientError, ModelError)
+    assert issubclass(SerializationError, ModelError)
+
+
+def test_catching_base_error_covers_subsystems():
+    with pytest.raises(ReproError):
+        raise RadarError("radar broke")
+    with pytest.raises(ReproError):
+        raise GradientError("graph broke")
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_version_string():
+    major, minor, patch = repro.__version__.split(".")
+    assert int(major) >= 1
+
+
+def test_kaiming_bounds_and_dtype():
+    rng = np.random.default_rng(0)
+    w = kaiming_uniform(rng, (64, 32), fan_in=32)
+    bound = np.sqrt(6.0 / 32)
+    assert w.dtype == np.float32
+    assert w.min() >= -bound
+    assert w.max() <= bound
+    # Fills the range (not degenerate).
+    assert w.std() > bound / 4
+
+
+def test_xavier_bounds():
+    rng = np.random.default_rng(0)
+    w = xavier_uniform(rng, (20, 10), fan_in=10, fan_out=20)
+    bound = np.sqrt(6.0 / 30)
+    assert np.abs(w).max() <= bound
+
+
+def test_initialisers_validate():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ModelError):
+        kaiming_uniform(rng, (2, 2), fan_in=0)
+    with pytest.raises(ModelError):
+        xavier_uniform(rng, (2, 2), fan_in=0, fan_out=2)
+
+
+def test_initialisers_deterministic_per_seed():
+    a = kaiming_uniform(np.random.default_rng(5), (4, 4), 4)
+    b = kaiming_uniform(np.random.default_rng(5), (4, 4), 4)
+    assert np.array_equal(a, b)

@@ -1,0 +1,162 @@
+"""Tests of the auxiliary NN components: GroupNorm, softmax/cross
+entropy, RMSProp, step schedule, early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import functional as F
+from repro.nn.layers import GroupNorm
+from repro.nn.loss import cross_entropy_loss
+from repro.nn.optim import SGD, EarlyStopping, RMSProp, StepSchedule
+from repro.nn.tensor import Tensor
+
+from conftest import numeric_gradient
+
+
+def test_softmax_rows_sum_to_one():
+    x = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+    out = F.softmax(x)
+    assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-6)
+    assert np.all(out.data > 0)
+
+
+def test_softmax_stability_with_large_logits():
+    x = Tensor(np.array([[1000.0, 1001.0, 999.0]]))
+    out = F.softmax(x)
+    assert np.isfinite(out.data).all()
+    assert out.data.argmax() == 1
+
+
+def test_log_softmax_matches_log_of_softmax():
+    x = Tensor(np.random.default_rng(1).normal(size=(3, 5)))
+    a = F.log_softmax(x).data
+    b = np.log(F.softmax(x).data)
+    assert np.allclose(a, b, atol=1e-6)
+
+
+def test_cross_entropy_gradient_numeric():
+    rng = np.random.default_rng(2)
+    logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    targets = np.array([0, 2, 1, 2])
+
+    def loss():
+        logits.grad = None
+        return float(cross_entropy_loss(logits, targets).data)
+
+    cross_entropy_loss(logits, targets).backward()
+    grad = logits.grad.copy()
+    assert np.allclose(
+        grad, numeric_gradient(loss, logits.data), atol=1e-5
+    )
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+    loss = cross_entropy_loss(logits, [0, 1])
+    assert float(loss.data) < 1e-4
+
+
+def test_cross_entropy_validates():
+    logits = Tensor(np.zeros((2, 3)))
+    with pytest.raises(ModelError):
+        cross_entropy_loss(logits, [0])
+    with pytest.raises(ModelError):
+        cross_entropy_loss(logits, [0, 5])
+    with pytest.raises(ModelError):
+        cross_entropy_loss(Tensor(np.zeros(3)), [0])
+
+
+def test_group_norm_normalises_per_group():
+    gn = GroupNorm(2, 4)
+    x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(2, 4, 5, 5)))
+    out = gn(x)
+    grouped = out.data.reshape(2, 2, 2, 5, 5)
+    assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-5)
+    assert np.allclose(grouped.std(axis=(2, 3, 4)), 1.0, atol=1e-2)
+
+
+def test_group_norm_batch_independent():
+    gn = GroupNorm(2, 4)
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(1, 4, 3, 3))
+    b = rng.normal(size=(1, 4, 3, 3))
+    separate = np.concatenate(
+        [gn(Tensor(a)).data, gn(Tensor(b)).data]
+    )
+    together = gn(Tensor(np.concatenate([a, b]))).data
+    assert np.allclose(separate, together, atol=1e-6)
+
+
+def test_group_norm_gradients_flow():
+    gn = GroupNorm(2, 4)
+    x = Tensor(np.random.default_rng(2).normal(size=(2, 4, 3, 3)),
+               requires_grad=True)
+    (gn(x) ** 2).sum().backward()
+    assert x.grad is not None
+    assert gn.gamma.grad is not None
+
+
+def test_group_norm_validates():
+    with pytest.raises(ModelError):
+        GroupNorm(3, 4)
+    gn = GroupNorm(2, 4)
+    with pytest.raises(ModelError):
+        gn(Tensor(np.ones((1, 6, 2, 2))))
+
+
+def test_rmsprop_minimises_quadratic():
+    p = Tensor(np.array([4.0]), requires_grad=True)
+    opt = RMSProp([p], lr=0.05, momentum=0.5)
+    for _ in range(300):
+        loss = (p * p).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    assert abs(float(p.data[0])) < 1e-2
+
+
+def test_rmsprop_validates():
+    p = Tensor(np.array([1.0]), requires_grad=True)
+    with pytest.raises(ModelError):
+        RMSProp([p], decay=1.5)
+    with pytest.raises(ModelError):
+        RMSProp([p], momentum=1.0)
+
+
+def test_step_schedule_halves_lr():
+    p = Tensor(np.array([1.0]), requires_grad=True)
+    opt = SGD([p], lr=1.0)
+    schedule = StepSchedule(opt, lr0=1.0, step_size=10, gamma=0.5)
+    for _ in range(10):
+        schedule.step()
+    assert opt.lr == pytest.approx(0.5)
+    for _ in range(10):
+        schedule.step()
+    assert opt.lr == pytest.approx(0.25)
+    with pytest.raises(ModelError):
+        StepSchedule(opt, lr0=1.0, step_size=0)
+
+
+def test_early_stopping_triggers_after_patience():
+    stopper = EarlyStopping(patience=3)
+    metrics = [1.0, 0.9, 0.91, 0.92, 0.93]
+    decisions = [stopper.update(m) for m in metrics]
+    assert decisions == [False, False, False, False, True]
+    assert stopper.best == 0.9
+
+
+def test_early_stopping_resets_on_improvement():
+    stopper = EarlyStopping(patience=2)
+    assert not stopper.update(1.0)
+    assert not stopper.update(1.1)
+    assert not stopper.update(0.5)  # improvement resets the counter
+    assert not stopper.update(0.6)
+    assert stopper.update(0.7)
+
+
+def test_early_stopping_validates():
+    with pytest.raises(ModelError):
+        EarlyStopping(patience=0)
+    with pytest.raises(ModelError):
+        EarlyStopping(min_delta=-1.0)

@@ -1,0 +1,142 @@
+"""Gradient and shape tests of conv / deconv / pooling / batch norm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from conftest import numeric_gradient
+
+
+def leaf(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+def test_conv2d_matches_scipy():
+    from scipy.signal import correlate2d
+
+    x = leaf((1, 1, 6, 6))
+    w = leaf((1, 1, 3, 3), seed=1)
+    out = F.conv2d(x, w).data[0, 0]
+    expected = correlate2d(x.data[0, 0], w.data[0, 0], mode="valid")
+    assert np.allclose(out, expected, atol=1e-12)
+
+
+def test_conv2d_stride_and_padding_shapes():
+    x = leaf((2, 3, 8, 8))
+    w = leaf((5, 3, 3, 3), seed=1)
+    assert F.conv2d(x, w).shape == (2, 5, 6, 6)
+    assert F.conv2d(x, w, padding=1).shape == (2, 5, 8, 8)
+    assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+
+
+def test_conv2d_gradients_numeric():
+    x = leaf((2, 2, 5, 5))
+    w = leaf((3, 2, 3, 3), seed=1)
+    b = leaf((3,), seed=2)
+
+    def loss():
+        for p in (x, w, b):
+            p.grad = None
+        return float(
+            (F.conv2d(x, w, b, stride=2, padding=1) ** 2).sum().data
+        )
+
+    (F.conv2d(x, w, b, stride=2, padding=1) ** 2).sum().backward()
+    grads = [x.grad.copy(), w.grad.copy(), b.grad.copy()]
+    for p, g in zip((x, w, b), grads):
+        assert np.allclose(
+            g, numeric_gradient(loss, p.data), atol=1e-4
+        )
+
+
+def test_conv2d_validates():
+    x = leaf((2, 3, 8, 8))
+    w = leaf((5, 4, 3, 3))
+    with pytest.raises(ModelError):
+        F.conv2d(x, w)
+    with pytest.raises(ModelError):
+        F.conv2d(leaf((2, 3, 8)), leaf((5, 3, 3, 3)))
+    with pytest.raises(ModelError):
+        F.conv2d(x, leaf((5, 3, 3, 3)), stride=0)
+    with pytest.raises(ModelError):
+        F.conv2d(leaf((1, 3, 2, 2)), leaf((5, 3, 3, 3)))
+
+
+def test_upsample_zeros_pattern():
+    x = leaf((1, 1, 2, 2))
+    y = F.upsample_zeros(x, 2)
+    assert y.shape == (1, 1, 4, 4)
+    assert np.allclose(y.data[0, 0, ::2, ::2], x.data[0, 0])
+    assert np.allclose(y.data[0, 0, 1::2, :], 0.0)
+    y.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+def test_upsample_identity_for_stride_one():
+    x = leaf((1, 1, 2, 2))
+    assert F.upsample_zeros(x, 1) is x
+
+
+def test_deconv_doubles_spatial_size():
+    x = leaf((2, 4, 8, 8))
+    w = leaf((3, 4, 3, 3), seed=1)
+    out = F.conv2d(F.upsample_zeros(x, 2), w, padding=1)
+    assert out.shape == (2, 3, 16, 16)
+
+
+def test_global_pools():
+    x = leaf((2, 3, 4, 5))
+    avg = F.global_avg_pool(x, (2, 3))
+    mx = F.global_max_pool(x, (2, 3))
+    assert avg.shape == (2, 3, 1, 1)
+    assert mx.shape == (2, 3, 1, 1)
+    assert np.allclose(avg.data[..., 0, 0], x.data.mean(axis=(2, 3)))
+    assert np.allclose(mx.data[..., 0, 0], x.data.max(axis=(2, 3)))
+
+
+def test_flatten():
+    x = leaf((2, 3, 4))
+    assert F.flatten(x).shape == (2, 12)
+    assert F.flatten(x, start_axis=2).shape == (2, 3, 4)
+
+
+def test_batch_norm2d_normalises_batch():
+    x = leaf((4, 3, 5, 5))
+    gamma = Tensor(np.ones(3), requires_grad=True)
+    beta = Tensor(np.zeros(3), requires_grad=True)
+    mean = x.data.mean(axis=(0, 2, 3))
+    var = x.data.var(axis=(0, 2, 3))
+    out = F.batch_norm2d(x, gamma, beta, mean, var, 1e-5, batch_stats=True)
+    assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+    assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+
+def test_batch_norm2d_gradients_numeric():
+    x = leaf((2, 2, 3, 3))
+    gamma = Tensor(np.random.default_rng(1).normal(size=2),
+                   requires_grad=True)
+    beta = Tensor(np.random.default_rng(2).normal(size=2),
+                  requires_grad=True)
+    proj = np.random.default_rng(3).normal(size=(2, 2, 3, 3))
+
+    def compute():
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        y = F.batch_norm2d(x, gamma, beta, mean, var, 1e-5,
+                           batch_stats=True)
+        return (y * Tensor(proj) + y * y * 0.1).sum()
+
+    def loss():
+        for p in (x, gamma, beta):
+            p.grad = None
+        return float(compute().data)
+
+    compute().backward()
+    grads = [x.grad.copy(), gamma.grad.copy(), beta.grad.copy()]
+    for p, g in zip((x, gamma, beta), grads):
+        ng = numeric_gradient(loss, p.data, eps=1e-5)
+        assert np.allclose(g, ng, atol=2e-4), p.shape

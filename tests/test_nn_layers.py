@@ -1,0 +1,161 @@
+"""Tests of Module mechanics and the layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.tensor import Tensor
+
+
+def test_module_registers_parameters_and_submodules():
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.fc = Linear(3, 4)
+            self.scale = Tensor(np.ones(1), requires_grad=True)
+
+        def forward(self, x):
+            return self.fc(x) * self.scale
+
+    net = Net()
+    names = dict(net.named_parameters())
+    assert set(names) == {"scale", "fc.weight", "fc.bias"}
+    assert len(net.parameters()) == 3
+
+
+def test_train_eval_propagates():
+    net = Sequential(Linear(2, 2), Dropout(0.5))
+    net.eval()
+    assert all(not m.training for m in net.modules())
+    net.train()
+    assert all(m.training for m in net.modules())
+
+
+def test_state_dict_round_trip():
+    net = Sequential(Linear(3, 4), BatchNorm2d(4))
+    state = net.state_dict()
+    other = Sequential(Linear(3, 4), BatchNorm2d(4))
+    other.load_state_dict(state)
+    for (na, pa), (nb, pb) in zip(
+        net.named_parameters(), other.named_parameters()
+    ):
+        assert na == nb
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_load_state_dict_validates():
+    net = Sequential(Linear(3, 4))
+    state = net.state_dict()
+    state["bogus"] = np.zeros(3)
+    with pytest.raises(ModelError):
+        net.load_state_dict(state)
+    bad = net.state_dict()
+    bad["0.weight"] = np.zeros((2, 2))
+    with pytest.raises(ModelError):
+        net.load_state_dict(bad)
+    missing = net.state_dict()
+    del missing["0.bias"]
+    with pytest.raises(ModelError):
+        net.load_state_dict(missing)
+
+
+def test_linear_shapes_and_validation():
+    fc = Linear(3, 5)
+    out = fc(Tensor(np.ones((2, 3))))
+    assert out.shape == (2, 5)
+    with pytest.raises(ModelError):
+        fc(Tensor(np.ones((2, 4))))
+
+
+def test_linear_no_bias():
+    fc = Linear(3, 5, bias=False)
+    assert fc.bias is None
+    assert len(fc.parameters()) == 1
+
+
+def test_conv2d_layer():
+    conv = Conv2d(3, 6, kernel_size=3, stride=2, padding=1)
+    out = conv(Tensor(np.ones((2, 3, 8, 8))))
+    assert out.shape == (2, 6, 4, 4)
+
+
+def test_conv_transpose_doubles():
+    deconv = ConvTranspose2d(4, 2, kernel_size=3, stride=2)
+    out = deconv(Tensor(np.ones((1, 4, 4, 4))))
+    assert out.shape == (1, 2, 8, 8)
+    with pytest.raises(ModelError):
+        ConvTranspose2d(4, 2, kernel_size=4)
+
+
+def test_batchnorm_updates_running_stats():
+    bn = BatchNorm2d(2, momentum=0.5)
+    x = Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(8, 2, 4, 4)))
+    bn(x)
+    assert not np.allclose(bn.running_mean, 0.0)
+    assert not np.allclose(bn.running_var, 1.0)
+
+
+def test_batchnorm_eval_uses_running_stats():
+    bn = BatchNorm2d(2)
+    bn.eval()
+    x = Tensor(np.random.default_rng(0).normal(size=(4, 2, 3, 3)))
+    out = bn(x)
+    # running stats are (0, 1): eval output equals the input.
+    assert np.allclose(out.data, x.data, atol=1e-4)
+
+
+def test_batchnorm_validates_channels():
+    with pytest.raises(ModelError):
+        BatchNorm2d(2)(Tensor(np.ones((1, 3, 2, 2))))
+
+
+def test_layernorm_normalises_rows():
+    ln = LayerNorm(6)
+    x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(4, 6)))
+    out = ln(x)
+    assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+    assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+    with pytest.raises(ModelError):
+        ln(Tensor(np.ones((2, 5))))
+
+
+def test_activations():
+    x = Tensor(np.array([-1.0, 0.0, 2.0]))
+    assert np.allclose(ReLU()(x).data, [0, 0, 2])
+    assert np.allclose(Sigmoid()(x).data, 1 / (1 + np.exp([1, 0, -2])))
+    assert np.allclose(Tanh()(x).data, np.tanh([-1, 0, 2]))
+
+
+def test_dropout_train_vs_eval():
+    drop = Dropout(0.5, seed=0)
+    x = Tensor(np.ones((100, 10)))
+    out = drop(x)
+    kept = (out.data != 0).mean()
+    assert 0.3 < kept < 0.7
+    assert np.allclose(out.data[out.data != 0], 2.0)
+    drop.eval()
+    assert np.allclose(drop(x).data, 1.0)
+    with pytest.raises(ModelError):
+        Dropout(1.0)
+
+
+def test_sequential_iteration_and_indexing():
+    a, b = Linear(2, 3), ReLU()
+    seq = Sequential(a, b)
+    assert list(seq) == [a, b]
+    assert seq[0] is a
+    out = seq(Tensor(np.ones((1, 2))))
+    assert out.shape == (1, 3)

@@ -1,0 +1,130 @@
+"""Tests of optimizers, LR schedule and weight serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SerializationError
+from repro.nn.layers import Linear, Sequential
+from repro.nn.optim import SGD, Adam, CosineSchedule
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start]), requires_grad=True)
+
+
+def minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+def test_sgd_minimises_quadratic():
+    p = quadratic_param()
+    assert abs(minimise(SGD([p], lr=0.1), p)) < 1e-4
+
+
+def test_sgd_momentum_minimises_quadratic():
+    p = quadratic_param()
+    assert abs(minimise(SGD([p], lr=0.05, momentum=0.9), p)) < 1e-3
+
+
+def test_adam_minimises_quadratic():
+    p = quadratic_param()
+    assert abs(minimise(Adam([p], lr=0.1), p, steps=400)) < 1e-3
+
+
+def test_adam_weight_decay_shrinks_weights():
+    p = Tensor(np.array([1.0]), requires_grad=True)
+    opt = Adam([p], lr=0.01, weight_decay=0.5)
+    for _ in range(50):
+        loss = (p * 0.0).sum()  # zero task gradient
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    assert abs(p.data[0]) < 1.0
+
+
+def test_optimizer_validation():
+    with pytest.raises(ModelError):
+        SGD([], lr=0.1)
+    with pytest.raises(ModelError):
+        SGD([quadratic_param()], lr=-1.0)
+    with pytest.raises(ModelError):
+        SGD([quadratic_param()], lr=0.1, momentum=1.5)
+    with pytest.raises(ModelError):
+        Adam([quadratic_param()], betas=(1.5, 0.9))
+
+
+def test_gradient_clipping():
+    p = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+    opt = SGD([p], lr=0.1)
+    (p * 100.0).sum().backward()
+    norm = opt.clip_gradients(1.0)
+    assert norm == pytest.approx(np.sqrt(2) * 100.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+    with pytest.raises(ModelError):
+        opt.clip_gradients(0.0)
+
+
+def test_skip_params_without_grad():
+    a = quadratic_param()
+    b = quadratic_param()
+    opt = Adam([a, b], lr=0.1)
+    (a * a).sum().backward()
+    before = b.data.copy()
+    opt.step()
+    assert np.array_equal(b.data, before)
+
+
+def test_cosine_schedule_endpoints():
+    p = quadratic_param()
+    opt = SGD([p], lr=1.0)
+    schedule = CosineSchedule(opt, lr0=1.0, total_steps=100, lr_min=0.1)
+    assert schedule.current_lr() == pytest.approx(1.0)
+    for _ in range(100):
+        schedule.step()
+    assert schedule.current_lr() == pytest.approx(0.1)
+    assert opt.lr == pytest.approx(0.1)
+
+
+def test_cosine_schedule_halfway():
+    opt = SGD([quadratic_param()], lr=1.0)
+    schedule = CosineSchedule(opt, lr0=1.0, total_steps=100)
+    for _ in range(50):
+        schedule.step()
+    assert schedule.current_lr() == pytest.approx(0.5, abs=0.02)
+
+
+def test_cosine_schedule_validation():
+    opt = SGD([quadratic_param()], lr=1.0)
+    with pytest.raises(ModelError):
+        CosineSchedule(opt, lr0=1.0, total_steps=0)
+    with pytest.raises(ModelError):
+        CosineSchedule(opt, lr0=1.0, total_steps=10, lr_min=2.0)
+
+
+def test_save_load_round_trip(tmp_path):
+    net = Sequential(Linear(3, 4), Linear(4, 2))
+    path = tmp_path / "weights.npz"
+    save_state(net, path)
+    other = Sequential(Linear(3, 4), Linear(4, 2))
+    load_state(other, path)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+    assert np.allclose(net(x).data, other(x).data)
+
+
+def test_load_missing_file(tmp_path):
+    net = Sequential(Linear(2, 2))
+    with pytest.raises(SerializationError):
+        load_state(net, tmp_path / "missing.npz")
+
+
+def test_save_appends_npz_suffix(tmp_path):
+    net = Sequential(Linear(2, 2))
+    save_state(net, tmp_path / "w.npz")
+    load_state(net, tmp_path / "w")  # suffix added automatically

@@ -1,0 +1,134 @@
+"""Tests of the LSTM and the three attention mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.attention import (
+    FrameAttention,
+    SpatialAttention,
+    VelocityChannelAttention,
+)
+from repro.nn.rnn import LSTM
+from repro.nn.tensor import Tensor
+
+
+def test_lstm_shapes():
+    lstm = LSTM(5, 7)
+    x = Tensor(np.random.default_rng(0).normal(size=(3, 4, 5)))
+    out, (h, c) = lstm(x)
+    assert out.shape == (3, 4, 7)
+    assert h.shape == (3, 7)
+    assert c.shape == (3, 7)
+
+
+def test_lstm_final_output_matches_last_step():
+    lstm = LSTM(5, 7)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 5)))
+    out, (h, _) = lstm(x)
+    assert np.allclose(out.data[:, -1, :], h.data)
+
+
+def test_lstm_state_carries_over():
+    lstm = LSTM(4, 6)
+    rng = np.random.default_rng(1)
+    x = Tensor(rng.normal(size=(2, 6, 4)))
+    full, _ = lstm(x)
+    first, state = lstm(x[:, :3, :])
+    second, _ = lstm(x[:, 3:, :], state=state)
+    assert np.allclose(second.data, full.data[:, 3:, :], atol=1e-5)
+    assert first.shape == (2, 3, 6)
+
+
+def test_lstm_gradients_flow_to_all_parameters():
+    lstm = LSTM(3, 4)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 3)),
+               requires_grad=True)
+    out, _ = lstm(x)
+    (out * out).sum().backward()
+    for param in lstm.parameters():
+        assert param.grad is not None
+        assert np.abs(param.grad).max() > 0
+    assert x.grad is not None
+
+
+def test_lstm_validates_input():
+    lstm = LSTM(3, 4)
+    with pytest.raises(ModelError):
+        lstm(Tensor(np.ones((2, 3, 5))))
+
+
+def test_lstm_forget_bias_initialised_to_one():
+    lstm = LSTM(3, 4)
+    assert np.allclose(lstm.bias.data[4:8], 1.0)
+    assert np.allclose(lstm.bias.data[:4], 0.0)
+
+
+def test_frame_attention_shape_preserved():
+    fa = FrameAttention(4)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 3, 8, 8)))
+    out = fa(x)
+    assert out.shape == x.shape
+
+
+def test_frame_attention_weights_scale_frames():
+    """Output is the input scaled per frame by a factor in (0, 1)."""
+    fa = FrameAttention(4)
+    x = Tensor(np.abs(np.random.default_rng(0).normal(size=(1, 4, 2, 4, 4))))
+    out = fa(x)
+    ratio = out.data / np.where(x.data == 0, 1, x.data)
+    per_frame = ratio.reshape(4, -1)
+    # Constant within each frame.
+    assert np.allclose(per_frame.std(axis=1), 0.0, atol=1e-6)
+    assert np.all(per_frame[:, 0] > 0)
+    assert np.all(per_frame[:, 0] < 1)
+
+
+def test_frame_attention_validates():
+    with pytest.raises(ModelError):
+        FrameAttention(4)(Tensor(np.ones((2, 4, 8, 8))))
+
+
+def test_velocity_attention_scales_channels():
+    va = VelocityChannelAttention(3)
+    x = Tensor(np.abs(np.random.default_rng(0).normal(size=(2, 3, 5, 5))))
+    out = va(x)
+    assert out.shape == x.shape
+    ratio = (out.data / x.data).reshape(2, 3, -1)
+    assert np.allclose(ratio.std(axis=2), 0.0, atol=1e-6)
+
+
+def test_velocity_attention_validates_channels():
+    with pytest.raises(ModelError):
+        VelocityChannelAttention(3)(Tensor(np.ones((2, 4, 5, 5))))
+
+
+def test_spatial_attention_scales_positions():
+    sa = SpatialAttention()
+    x = Tensor(np.abs(np.random.default_rng(0).normal(size=(2, 3, 6, 6))))
+    out = sa(x)
+    assert out.shape == x.shape
+    ratio = (out.data / x.data)
+    # Same weight across channels at each position.
+    assert np.allclose(ratio.std(axis=1), 0.0, atol=1e-6)
+
+
+def test_spatial_attention_validates():
+    with pytest.raises(ModelError):
+        SpatialAttention(kernel_size=4)
+    with pytest.raises(ModelError):
+        SpatialAttention()(Tensor(np.ones((2, 3, 4))))
+
+
+def test_attention_gradients_flow():
+    for module, shape in (
+        (FrameAttention(2), (1, 2, 2, 4, 4)),
+        (VelocityChannelAttention(2), (1, 2, 4, 4)),
+        (SpatialAttention(), (1, 2, 4, 4)),
+    ):
+        x = Tensor(np.random.default_rng(0).normal(size=shape),
+                   requires_grad=True)
+        (module(x) ** 2).sum().backward()
+        assert x.grad is not None
+        for param in module.parameters():
+            assert param.grad is not None

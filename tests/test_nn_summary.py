@@ -1,0 +1,54 @@
+"""Tests of the model summary utilities."""
+
+import numpy as np
+
+from repro.nn.layers import Linear, Sequential
+from repro.nn.summary import (
+    count_parameters,
+    parameter_breakdown,
+    summarize_module,
+)
+
+
+def make_net():
+    return Sequential(Linear(4, 8), Linear(8, 2))
+
+
+def test_count_parameters():
+    net = make_net()
+    # 4*8 + 8 + 8*2 + 2
+    assert count_parameters(net) == 32 + 8 + 16 + 2
+
+
+def test_parameter_breakdown_names():
+    names = dict(parameter_breakdown(make_net()))
+    assert names["0.weight"] == 32
+    assert names["1.bias"] == 2
+
+
+def test_summary_renders():
+    text = summarize_module(make_net())
+    assert "58" in text  # total scalars
+    assert "0.weight" in text
+    assert "%" in text
+
+
+def test_summary_truncates_long_models():
+    net = Sequential(*[Linear(3, 3) for _ in range(10)])
+    text = summarize_module(net, top=4)
+    assert "more tensors" in text
+
+
+def test_summary_of_regressor_counts_everything():
+    from repro.config import DspConfig, ModelConfig
+    from repro.core.regressor import HandJointRegressor
+
+    reg = HandJointRegressor(
+        DspConfig(range_bins=16, doppler_bins=4, azimuth_bins=8,
+                  elevation_bins=8, segment_frames=2),
+        ModelConfig(base_channels=4, hourglass_depth=1, num_blocks=1,
+                    feature_dim=16, lstm_hidden=16),
+    )
+    total = count_parameters(reg)
+    assert total == sum(p.data.size for p in reg.parameters())
+    assert total > 1000

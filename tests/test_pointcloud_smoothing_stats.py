@@ -1,0 +1,281 @@
+"""Tests of point-cloud extraction, skeleton smoothing, significance
+tests and dataset statistics."""
+
+import numpy as np
+import pytest
+
+from repro.config import DspConfig, RadarConfig
+from repro.core.smoothing import (
+    JointKalmanFilter,
+    exponential_smooth,
+    jitter_metric,
+)
+from repro.data.dataset import HandPoseDataset, SegmentMeta
+from repro.data.statistics import (
+    composition,
+    cube_statistics,
+    label_statistics,
+    summarize,
+)
+from repro.dsp.pointcloud import (
+    PointCloud,
+    extract_pointcloud,
+    sequence_pointclouds,
+)
+from repro.dsp.radar_cube import CubeBuilder
+from repro.errors import (
+    DatasetError,
+    EvaluationError,
+    ReproError,
+    SignalProcessingError,
+)
+from repro.eval.significance import (
+    paired_bootstrap,
+    paired_permutation_test,
+)
+from repro.radar.antenna import iwr1443_array
+from repro.radar.chirp import synthesize_frame
+from repro.radar.scene import Scatterers
+
+
+# ----------------------------------------------------------------------
+# Point cloud
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def hand_cube():
+    radar = RadarConfig(noise_std=0.005)
+    dsp = DspConfig()
+    array = iwr1443_array(radar)
+    scatterers = Scatterers(
+        positions=np.array([[0.30, 0.03, 0.02], [0.36, -0.02, 0.05]]),
+        velocities=np.zeros((2, 3)),
+        amplitudes=np.array([1.0, 0.8]),
+    )
+    frames = np.stack(
+        [synthesize_frame(radar, array, scatterers) for _ in range(2)]
+    )
+    return CubeBuilder(radar, dsp).build(frames)
+
+
+def test_pointcloud_detects_targets(hand_cube):
+    cloud = extract_pointcloud(hand_cube)
+    assert len(cloud) >= 1
+    ranges = np.linalg.norm(cloud.positions, axis=1)
+    # Detections near the true scatterer ranges.
+    assert np.any(np.abs(ranges - 0.30) < 0.06) or np.any(
+        np.abs(ranges - 0.36) < 0.06
+    )
+
+
+def test_pointcloud_centroid_near_hand(hand_cube):
+    cloud = extract_pointcloud(hand_cube)
+    centroid = cloud.centroid()
+    assert 0.2 < centroid[0] < 0.5
+
+
+def test_pointcloud_top_k(hand_cube):
+    cloud = extract_pointcloud(hand_cube, max_points=64)
+    if len(cloud) > 1:
+        top = cloud.top_k(1)
+        assert len(top) == 1
+        assert top.intensities[0] == cloud.intensities.max()
+    with pytest.raises(SignalProcessingError):
+        cloud.top_k(0)
+
+
+def test_pointcloud_sequence(hand_cube):
+    clouds = sequence_pointclouds(hand_cube)
+    assert len(clouds) == hand_cube.num_frames
+
+
+def test_pointcloud_frame_validation(hand_cube):
+    with pytest.raises(SignalProcessingError):
+        extract_pointcloud(hand_cube, frame=99)
+
+
+def test_pointcloud_container_validation():
+    with pytest.raises(SignalProcessingError):
+        PointCloud(
+            positions=np.zeros((2, 3)),
+            velocities=np.zeros(1),
+            intensities=np.zeros(2),
+        )
+    empty = PointCloud(
+        positions=np.zeros((0, 3)),
+        velocities=np.zeros(0),
+        intensities=np.zeros(0),
+    )
+    with pytest.raises(SignalProcessingError):
+        empty.centroid()
+
+
+# ----------------------------------------------------------------------
+# Smoothing
+# ----------------------------------------------------------------------
+def noisy_static_stream(n=30, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(0.3, 0.05, size=(21, 3))
+    return base + rng.normal(0, noise, size=(n, 21, 3))
+
+
+def test_kalman_reduces_jitter_on_static_hand():
+    stream = noisy_static_stream()
+    smoothed = JointKalmanFilter().smooth_sequence(stream)
+    assert jitter_metric(smoothed) < 0.7 * jitter_metric(stream)
+
+
+def test_kalman_tracks_moving_hand_without_large_lag():
+    n = 40
+    t = np.linspace(0, 1, n)
+    base = np.zeros((n, 21, 3))
+    base[:, :, 0] = 0.3 + 0.1 * t[:, None]  # steady 0.1 m/s drift
+    smoothed = JointKalmanFilter().smooth_sequence(base)
+    lag = np.abs(smoothed[-1] - base[-1]).max()
+    assert lag < 0.01  # constant-velocity model converges to the motion
+
+
+def test_kalman_first_output_is_observation():
+    stream = noisy_static_stream(3)
+    kf = JointKalmanFilter()
+    first = kf.update(stream[0])
+    assert np.allclose(first, stream[0])
+
+
+def test_kalman_reset():
+    kf = JointKalmanFilter()
+    kf.update(np.zeros((21, 3)))
+    kf.reset()
+    out = kf.update(np.ones((21, 3)))
+    assert np.allclose(out, 1.0)
+
+
+def test_kalman_validation():
+    with pytest.raises(ReproError):
+        JointKalmanFilter(frame_period_s=0)
+    kf = JointKalmanFilter()
+    with pytest.raises(ReproError):
+        kf.update(np.zeros((20, 3)))
+
+
+def test_exponential_smooth_bounds_and_identity():
+    stream = noisy_static_stream(10)
+    assert np.allclose(exponential_smooth(stream, alpha=1.0), stream)
+    smoothed = exponential_smooth(stream, alpha=0.3)
+    assert jitter_metric(smoothed) < jitter_metric(stream)
+    with pytest.raises(ReproError):
+        exponential_smooth(stream, alpha=0.0)
+
+
+def test_jitter_metric_validation():
+    with pytest.raises(ReproError):
+        jitter_metric(np.zeros((1, 21, 3)))
+
+
+# ----------------------------------------------------------------------
+# Significance
+# ----------------------------------------------------------------------
+@pytest.fixture
+def comparison_setup():
+    rng = np.random.default_rng(0)
+    gt = rng.normal(0.3, 0.05, size=(60, 21, 3))
+    good = gt + rng.normal(0, 0.005, size=gt.shape)
+    bad = gt + rng.normal(0, 0.02, size=gt.shape)
+    return good, bad, gt
+
+
+def test_bootstrap_detects_clear_difference(comparison_setup):
+    good, bad, gt = comparison_setup
+    result = paired_bootstrap(bad, good, gt, num_resamples=500)
+    assert result.difference_mm > 0
+    assert result.significant
+    assert result.p_value < 0.05
+
+
+def test_bootstrap_no_difference_for_identical(comparison_setup):
+    good, _, gt = comparison_setup
+    result = paired_bootstrap(good, good, gt, num_resamples=300)
+    assert result.difference_mm == pytest.approx(0.0, abs=1e-9)
+    assert not result.significant
+
+
+def test_bootstrap_validation(comparison_setup):
+    good, bad, gt = comparison_setup
+    with pytest.raises(EvaluationError):
+        paired_bootstrap(good, bad, gt, num_resamples=10)
+    with pytest.raises(EvaluationError):
+        paired_bootstrap(good[:10], bad, gt)
+
+
+def test_permutation_test(comparison_setup):
+    good, bad, gt = comparison_setup
+    diff, p = paired_permutation_test(bad, good, gt,
+                                      num_permutations=500)
+    assert diff > 0
+    assert p < 0.05
+    _, p_same = paired_permutation_test(good, good, gt,
+                                        num_permutations=200)
+    assert p_same > 0.5
+
+
+# ----------------------------------------------------------------------
+# Dataset statistics
+# ----------------------------------------------------------------------
+@pytest.fixture
+def stats_dataset():
+    rng = np.random.default_rng(1)
+    n = 12
+    labels = rng.normal(0.3, 0.03, size=(n, 21, 3)).astype(np.float32)
+    true = labels + rng.normal(0, 0.003, size=labels.shape).astype(
+        np.float32
+    )
+    segments = np.abs(rng.normal(size=(n, 2, 4, 8, 8))).astype(np.float32)
+    meta = [
+        SegmentMeta(
+            user_id=1 + i % 2,
+            environment=("lab", "corridor")[i % 2],
+            gesture=("fist", "point", "grab")[i % 3],
+        )
+        for i in range(n)
+    ]
+    return HandPoseDataset(
+        segments=segments, labels=labels, true_joints=true, meta=meta
+    )
+
+
+def test_composition_counts(stats_dataset):
+    comp = composition(stats_dataset)
+    assert comp["users"] == {"1": 6, "2": 6}
+    assert comp["environments"] == {"lab": 6, "corridor": 6}
+    assert sum(comp["gestures"].values()) == 12
+
+
+def test_label_statistics(stats_dataset):
+    stats = label_statistics(stats_dataset)
+    assert 0.1 < stats["distance_mean_m"] < 1.0
+    assert stats["label_noise_mean_mm"] > 0
+    assert stats["label_noise_p95_mm"] >= stats["label_noise_mean_mm"]
+
+
+def test_cube_statistics(stats_dataset):
+    stats = cube_statistics(stats_dataset)
+    assert stats["cube_max"] > 0
+    assert 0 <= stats["occupancy_percent"] <= 100
+
+
+def test_summarize_renders(stats_dataset):
+    text = summarize(stats_dataset)
+    assert "12 segments" in text
+    assert "users:" in text
+    assert "SNR" in text
+
+
+def test_statistics_reject_empty():
+    empty = HandPoseDataset(
+        segments=np.zeros((0, 2, 4, 8, 8)),
+        labels=np.zeros((0, 21, 3)),
+        true_joints=np.zeros((0, 21, 3)),
+        meta=[],
+    )
+    for fn in (composition, label_statistics, cube_statistics):
+        with pytest.raises(DatasetError):
+            fn(empty)

@@ -1,0 +1,85 @@
+"""Tests of the TDM-MIMO virtual array geometry."""
+
+import numpy as np
+import pytest
+
+from repro.config import RadarConfig
+from repro.errors import RadarError
+from repro.radar.antenna import VirtualArray, iwr1443_array
+
+
+@pytest.fixture
+def array():
+    return iwr1443_array(RadarConfig())
+
+
+def test_virtual_count(array):
+    assert array.num_tx == 3
+    assert array.num_rx == 4
+    assert array.num_virtual == 12
+    assert array.positions.shape == (12, 2)
+
+
+def test_azimuth_row_is_contiguous_ula(array):
+    """TX1 and TX3 virtual elements form 8 contiguous half-wavelength
+    azimuth elements at zero elevation."""
+    positions = array.positions
+    azimuth_row = positions[positions[:, 1] == 0.0]
+    ys = np.sort(azimuth_row[:, 0])
+    assert len(ys) == 8
+    assert np.allclose(np.diff(ys), 0.5)
+
+
+def test_elevated_row_from_tx2(array):
+    positions = array.positions
+    elevated = positions[positions[:, 1] != 0.0]
+    assert len(elevated) == 4
+    assert np.allclose(elevated[:, 1], 0.5)
+
+
+def test_tx_of_virtual(array):
+    tx = array.tx_of_virtual()
+    assert tx.shape == (12,)
+    assert np.array_equal(tx, np.repeat([0, 1, 2], 4))
+
+
+def test_steering_phase_boresight_is_zero(array):
+    phases = array.steering_phases(0.0, 0.0)
+    assert np.allclose(phases, 0.0)
+
+
+def test_steering_phase_increases_along_aperture(array):
+    phases = array.steering_phases(np.radians(20.0), 0.0)
+    azimuth_row = array.positions[:, 1] == 0.0
+    ys = array.positions[azimuth_row, 0]
+    expected = 2 * np.pi * ys * np.sin(np.radians(20.0))
+    assert np.allclose(phases[azimuth_row], expected)
+
+
+def test_steering_phase_broadcasting(array):
+    az = np.linspace(-0.5, 0.5, 7)
+    el = np.zeros(7)
+    phases = array.steering_phases(az, el)
+    assert phases.shape == (7, 12)
+
+
+def test_elevation_phase_only_on_elevated_row(array):
+    phases = array.steering_phases(0.0, np.radians(15.0))
+    elevated = array.positions[:, 1] != 0.0
+    assert np.allclose(phases[~elevated], 0.0)
+    assert np.all(np.abs(phases[elevated]) > 0)
+
+
+def test_generic_fallback_for_other_counts():
+    config = RadarConfig(num_tx=2, num_rx=2)
+    array = iwr1443_array(config)
+    assert array.num_virtual == 4
+    ys = np.sort(array.positions[:, 0])
+    assert np.allclose(np.diff(ys), 0.5)
+
+
+def test_virtual_array_validates_shapes():
+    with pytest.raises(RadarError):
+        VirtualArray(
+            tx_positions=np.zeros((3, 3)), rx_positions=np.zeros((4, 2))
+        )

@@ -1,0 +1,135 @@
+"""Tests of IF-signal synthesis: the radar physics must encode range,
+velocity and angle exactly where the DSP expects them."""
+
+import numpy as np
+import pytest
+
+from repro.config import SPEED_OF_LIGHT, RadarConfig
+from repro.errors import RadarError
+from repro.radar.antenna import iwr1443_array
+from repro.radar.chirp import synthesize_frame
+from repro.radar.radar import RadarSimulator
+from repro.radar.scene import Scatterers, Scene
+
+
+@pytest.fixture
+def config():
+    return RadarConfig(noise_std=0.0)
+
+
+@pytest.fixture
+def array(config):
+    return iwr1443_array(config)
+
+
+def point(position, velocity=(0, 0, 0), amplitude=1.0):
+    return Scatterers(
+        positions=np.array([position], dtype=float),
+        velocities=np.array([velocity], dtype=float),
+        amplitudes=np.array([amplitude]),
+    )
+
+
+def test_output_shape(config, array):
+    data = synthesize_frame(config, array, point([0.4, 0, 0]))
+    assert data.shape == (12, config.chirp_loops, config.samples_per_chirp)
+    assert data.dtype == np.complex128
+
+
+def test_range_encoded_in_beat_frequency(config, array):
+    """The FFT peak along fast time must land on the true range bin."""
+    for true_range in (0.25, 0.5, 0.75):
+        data = synthesize_frame(config, array, point([true_range, 0, 0]))
+        spectrum = np.abs(np.fft.fft(data[0, 0]))
+        peak = np.argmax(spectrum[: config.samples_per_chirp // 2])
+        measured = peak * config.range_resolution_m
+        assert measured == pytest.approx(
+            true_range, abs=config.range_resolution_m
+        )
+
+
+def test_velocity_encoded_in_slow_time_phase(config, array):
+    """Chirp-to-chirp phase advances by 4 pi v T_rep / lambda."""
+    v = 1.0
+    data = synthesize_frame(
+        config, array, point([0.4, 0, 0], velocity=[v, 0, 0])
+    )
+    # Phase difference between consecutive loops on one antenna/sample.
+    phase = np.angle(data[0, 1, 0] * np.conj(data[0, 0, 0]))
+    expected = 4 * np.pi * v * config.chirp_repetition_s / config.wavelength_m
+    expected = (expected + np.pi) % (2 * np.pi) - np.pi
+    assert phase == pytest.approx(expected, abs=1e-6)
+
+
+def test_angle_encoded_in_antenna_phase(config, array):
+    """Adjacent azimuth-row antennas differ by 2 pi d sin(az)."""
+    azimuth = np.radians(15.0)
+    r = 0.5
+    position = [r * np.cos(azimuth), r * np.sin(azimuth), 0.0]
+    data = synthesize_frame(config, array, point(position))
+    # Virtual elements 0 and 1 (TX1, RX0/RX1) sit half a wavelength apart.
+    phase = np.angle(data[1, 0, 0] * np.conj(data[0, 0, 0]))
+    expected = 2 * np.pi * 0.5 * np.sin(azimuth)
+    assert phase == pytest.approx(expected, abs=1e-3)
+
+
+def test_amplitude_falls_with_range_squared(config, array):
+    near = synthesize_frame(config, array, point([0.3, 0, 0]))
+    far = synthesize_frame(config, array, point([0.6, 0, 0]))
+    ratio = np.abs(near).max() / np.abs(far).max()
+    assert ratio == pytest.approx(4.0, rel=0.05)
+
+
+def test_superposition(config, array):
+    a = point([0.3, 0, 0])
+    b = point([0.6, 0.1, 0])
+    both = Scatterers.concatenate([a, b])
+    data_a = synthesize_frame(config, array, a)
+    data_b = synthesize_frame(config, array, b)
+    data_ab = synthesize_frame(config, array, both)
+    assert np.allclose(data_ab, data_a + data_b, atol=1e-12)
+
+
+def test_empty_scene_is_noise_only():
+    config = RadarConfig(noise_std=0.1)
+    array = iwr1443_array(config)
+    data = synthesize_frame(
+        config, array, Scatterers.empty(), np.random.default_rng(0)
+    )
+    assert np.abs(data).max() < 1.0
+    # Circular complex noise: each quadrature has std noise_std/sqrt(2).
+    assert data.real.std() == pytest.approx(0.1 / np.sqrt(2), rel=0.1)
+    assert data.imag.std() == pytest.approx(0.1 / np.sqrt(2), rel=0.1)
+
+
+def test_zero_noise_no_rng_needed(config, array):
+    data = synthesize_frame(config, array, point([0.4, 0, 0]), rng=None)
+    assert np.all(np.isfinite(data))
+
+
+def test_scatterer_at_origin_rejected(config, array):
+    with pytest.raises(RadarError):
+        synthesize_frame(config, array, point([0, 0, 0]))
+
+
+def test_simulator_sequence(config):
+    sim = RadarSimulator(config)
+    scene = Scene(hand=point([0.4, 0, 0]))
+    frames = sim.sequence([scene, scene, scene])
+    assert frames.shape[0] == 3
+    with pytest.raises(RadarError):
+        sim.sequence([])
+
+
+def test_simulator_rejects_mismatched_array(config):
+    other = iwr1443_array(RadarConfig(num_tx=2, num_rx=2))
+    with pytest.raises(RadarError):
+        RadarSimulator(config, array=other)
+
+
+def test_noise_is_reproducible_per_seed(config):
+    config_noisy = RadarConfig(noise_std=0.05)
+    scene = Scene(hand=point([0.4, 0, 0]))
+    a = RadarSimulator(config_noisy, seed=3).frame(scene)
+    b = RadarSimulator(config_noisy, seed=3).frame(scene)
+    assert np.array_equal(a, b)

@@ -1,0 +1,116 @@
+"""Tests of environment clutter, body and occluder models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RadarError
+from repro.radar.clutter import (
+    ENVIRONMENTS,
+    OCCLUDER_MATERIALS,
+    BodyPosition,
+    body_scatterers,
+    environment_scatterers,
+    occluder_scatterers,
+)
+
+
+def test_environment_registry_has_paper_sites():
+    for env in ("playground", "corridor", "classroom"):
+        assert env in ENVIRONMENTS
+
+
+def test_playground_is_sparsest():
+    rng = np.random.default_rng(0)
+    playground = environment_scatterers("playground",
+                                        np.random.default_rng(0))
+    classroom = environment_scatterers("classroom",
+                                       np.random.default_rng(0))
+    assert len(playground) < len(classroom)
+    assert rng is not None
+
+
+def test_unknown_environment_raises():
+    with pytest.raises(RadarError):
+        environment_scatterers("moon", np.random.default_rng(0))
+
+
+def test_static_clutter_fixed_per_seed():
+    a = environment_scatterers("classroom", np.random.default_rng(5),
+                               time_s=0.0)
+    b = environment_scatterers("classroom", np.random.default_rng(5),
+                               time_s=0.0)
+    assert np.allclose(a.positions, b.positions)
+
+
+def test_movers_move_over_time():
+    a = environment_scatterers("classroom", np.random.default_rng(5),
+                               time_s=0.0)
+    b = environment_scatterers("classroom", np.random.default_rng(5),
+                               time_s=1.0)
+    # Static part identical, mover positions differ.
+    n_static = ENVIRONMENTS["classroom"].num_static
+    assert np.allclose(a.positions[:n_static], b.positions[:n_static])
+    assert not np.allclose(a.positions[n_static:], b.positions[n_static:])
+
+
+def test_clutter_is_farther_than_hand():
+    s = environment_scatterers("classroom", np.random.default_rng(1))
+    assert s.positions[:, 0].min() > 1.0
+
+
+def test_body_absent_gives_empty():
+    s = body_scatterers(BodyPosition.ABSENT, np.random.default_rng(0))
+    assert len(s) == 0
+
+
+def test_body_front_behind_hand():
+    s = body_scatterers(
+        BodyPosition.FRONT, np.random.default_rng(0), hand_range_m=0.3
+    )
+    assert len(s) > 0
+    assert s.positions[:, 0].mean() > 0.5
+    assert abs(s.positions[:, 1].mean()) < 0.3
+
+
+def test_body_side_is_offset_in_azimuth():
+    s = body_scatterers(
+        BodyPosition.SIDE, np.random.default_rng(0), hand_range_m=0.3
+    )
+    assert s.positions[:, 1].mean() > 0.2
+
+
+def test_body_rcs_scales_amplitude():
+    small = body_scatterers(
+        BodyPosition.FRONT, np.random.default_rng(0), body_rcs=0.5
+    )
+    large = body_scatterers(
+        BodyPosition.FRONT, np.random.default_rng(0), body_rcs=2.0
+    )
+    assert np.allclose(large.amplitudes, 4.0 * small.amplitudes)
+
+
+def test_occluder_registry_matches_paper():
+    assert set(OCCLUDER_MATERIALS) == {"a4_paper", "cloth", "wood_board"}
+    # The board attenuates most and reflects most.
+    board = OCCLUDER_MATERIALS["wood_board"]
+    paper = OCCLUDER_MATERIALS["a4_paper"]
+    assert board.transmission < paper.transmission
+    assert board.reflection > paper.reflection
+
+
+def test_occluder_scatterers_near_radar():
+    s = occluder_scatterers(
+        OCCLUDER_MATERIALS["wood_board"], np.random.default_rng(0)
+    )
+    assert len(s) > 0
+    # Occluders sit right at the radar, below the hand band's low edge,
+    # so the bandpass removes their own reflection (their effect is the
+    # transmission loss on the hand).
+    assert np.allclose(
+        s.positions[:, 0], OCCLUDER_MATERIALS["wood_board"].range_m
+    )
+    assert OCCLUDER_MATERIALS["wood_board"].range_m < 0.08
+
+
+def test_occluder_none_gives_empty():
+    assert len(occluder_scatterers(None, np.random.default_rng(0))) == 0

@@ -1,0 +1,123 @@
+"""Tests of the multipath / ghost-target model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RadarError
+from repro.radar.multipath import (
+    DESK_SURFACE,
+    SIDE_WALL,
+    ReflectingSurface,
+    ghost_scatterers,
+    with_multipath,
+)
+from repro.radar.scene import Scatterers
+
+
+def scatterers_at(positions, amplitudes=None):
+    positions = np.atleast_2d(np.asarray(positions, dtype=float))
+    n = len(positions)
+    return Scatterers(
+        positions=positions,
+        velocities=np.zeros((n, 3)),
+        amplitudes=np.ones(n) if amplitudes is None
+        else np.asarray(amplitudes, dtype=float),
+    )
+
+
+def test_surface_normal_normalised():
+    surface = ReflectingSurface(
+        point=np.zeros(3), normal=np.array([0.0, 0.0, 5.0])
+    )
+    assert np.allclose(surface.normal, [0, 0, 1])
+
+
+def test_surface_validation():
+    with pytest.raises(RadarError):
+        ReflectingSurface(point=np.zeros(3), normal=np.zeros(3))
+    with pytest.raises(RadarError):
+        ReflectingSurface(
+            point=np.zeros(3), normal=np.array([0, 0, 1.0]),
+            reflectivity=2.0,
+        )
+    with pytest.raises(RadarError):
+        ReflectingSurface(point=np.zeros(2), normal=np.array([0, 0, 1.0]))
+
+
+def test_mirror_points_involution():
+    surface = DESK_SURFACE
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(5, 3))
+    mirrored = surface.mirror_points(points)
+    back = surface.mirror_points(mirrored)
+    assert np.allclose(back, points, atol=1e-12)
+
+
+def test_mirror_point_across_desk():
+    mirrored = DESK_SURFACE.mirror_points(np.array([[0.3, 0.0, 0.0]]))
+    # Desk at z = -0.25 with +z normal: z -> -0.5 - z.
+    assert np.allclose(mirrored, [[0.3, 0.0, -0.5]])
+
+
+def test_mirror_vectors_flip_normal_component():
+    velocity = np.array([[0.1, 0.2, 0.3]])
+    mirrored = DESK_SURFACE.mirror_vectors(velocity)
+    assert np.allclose(mirrored, [[0.1, 0.2, -0.3]])
+
+
+def test_ghosts_farther_than_originals():
+    hand = scatterers_at([[0.3, 0.0, 0.0]])
+    ghosts = ghost_scatterers(hand, [DESK_SURFACE])
+    assert len(ghosts) == 1
+    assert np.linalg.norm(ghosts.positions[0]) > np.linalg.norm(
+        hand.positions[0]
+    )
+
+
+def test_ghost_amplitude_scaled():
+    hand = scatterers_at([[0.3, 0.0, 0.0]], amplitudes=[0.8])
+    ghosts = ghost_scatterers(hand, [DESK_SURFACE])
+    assert ghosts.amplitudes[0] == pytest.approx(
+        0.8 * DESK_SURFACE.reflectivity
+    )
+
+
+def test_weak_ghosts_dropped():
+    hand = scatterers_at([[0.3, 0.0, 0.0]], amplitudes=[1e-4])
+    ghosts = ghost_scatterers(hand, [DESK_SURFACE], min_amplitude=1e-3)
+    assert len(ghosts) == 0
+    with pytest.raises(RadarError):
+        ghost_scatterers(hand, [DESK_SURFACE], min_amplitude=-1.0)
+
+
+def test_multiple_surfaces_stack():
+    hand = scatterers_at([[0.3, 0.0, 0.0], [0.35, 0.02, 0.01]])
+    combined = with_multipath(hand, [DESK_SURFACE, SIDE_WALL])
+    assert len(combined) == 2 + 2 + 2
+
+
+def test_ghosts_integrate_with_synthesis():
+    from repro.config import RadarConfig
+    from repro.radar.antenna import iwr1443_array
+    from repro.radar.chirp import synthesize_frame
+
+    radar = RadarConfig(noise_std=0.0)
+    array = iwr1443_array(radar)
+    hand = scatterers_at([[0.3, 0.0, 0.0]])
+    direct = synthesize_frame(radar, array, hand)
+    combined = synthesize_frame(
+        radar, array, with_multipath(hand, [DESK_SURFACE])
+    )
+    # The ghost adds measurable extra energy at a different beat tone.
+    assert np.abs(combined - direct).max() > 0
+    spectrum = np.abs(np.fft.fft(combined[0, 0]))
+    direct_spec = np.abs(np.fft.fft(direct[0, 0]))
+    # Ghost range = 0.583 m -> a second spectral peak beyond the hand's.
+    hand_bin = int(round(0.3 / radar.range_resolution_m))
+    ghost_bin = int(
+        round(np.linalg.norm([0.3, 0.0, -0.5]) / radar.range_resolution_m)
+    )
+    assert spectrum[ghost_bin] > 3.0 * direct_spec[ghost_bin]
+    assert spectrum[hand_bin] == pytest.approx(
+        direct_spec[hand_bin], rel=0.2
+    )

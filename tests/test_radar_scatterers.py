@@ -1,0 +1,161 @@
+"""Tests of hand-to-scatterer conversion, gloves and handheld objects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RadarError
+from repro.hand.gestures import gesture_pose
+from repro.hand.shape import HandShape
+from repro.radar.scatterers import (
+    GLOVE_MATERIALS,
+    HANDHELD_OBJECTS,
+    GloveSpec,
+    HandheldObjectSpec,
+    hand_scatterers,
+)
+
+
+@pytest.fixture
+def shape():
+    return HandShape()
+
+
+@pytest.fixture
+def pose():
+    return gesture_pose("open_palm", wrist_position=np.array([0.3, 0, 0]))
+
+
+def test_base_scatterer_count(shape, pose):
+    s = hand_scatterers(shape, pose, rng=np.random.default_rng(0))
+    # 21 joints + 20 phalange midpoints + 8 palm points.
+    assert len(s) == 49
+
+
+def test_scatterers_near_hand(shape, pose):
+    s = hand_scatterers(shape, pose, rng=np.random.default_rng(0))
+    dists = np.linalg.norm(s.positions - [0.3, 0, 0], axis=1)
+    assert dists.max() < 0.30
+
+
+def test_zero_velocity_without_prev_pose(shape, pose):
+    s = hand_scatterers(shape, pose, rng=np.random.default_rng(0))
+    assert np.allclose(s.velocities, 0.0)
+
+
+def test_velocities_from_finite_difference(shape):
+    p0 = gesture_pose("fist", wrist_position=np.array([0.3, 0, 0]))
+    p1 = gesture_pose("open_palm", wrist_position=np.array([0.3, 0.01, 0]))
+    s = hand_scatterers(
+        shape, p1, prev_pose=p0, frame_period_s=0.05,
+        rng=np.random.default_rng(0),
+    )
+    speeds = np.linalg.norm(s.velocities, axis=1)
+    assert speeds.max() > 0.1  # fingers moved between frames
+    # Wrist moved 1 cm in 50 ms = 0.2 m/s.
+    assert speeds[0] == pytest.approx(0.2, rel=1e-6)
+
+
+def test_reflectivity_scales_amplitudes(shape, pose):
+    base = hand_scatterers(
+        shape, pose, rng=np.random.default_rng(0), speckle_std=0.0
+    )
+    strong = hand_scatterers(
+        shape, pose, reflectivity=2.0, rng=np.random.default_rng(0),
+        speckle_std=0.0,
+    )
+    assert np.allclose(strong.amplitudes, 2.0 * base.amplitudes)
+
+
+def test_speckle_changes_between_frames(shape, pose):
+    rng = np.random.default_rng(0)
+    a = hand_scatterers(shape, pose, rng=rng)
+    b = hand_scatterers(shape, pose, rng=rng)
+    assert not np.allclose(a.amplitudes, b.amplitudes)
+
+
+def test_glove_adds_scatterers(shape, pose):
+    gloved = hand_scatterers(
+        shape, pose, glove=GLOVE_MATERIALS["cotton"],
+        rng=np.random.default_rng(0),
+    )
+    bare = hand_scatterers(shape, pose, rng=np.random.default_rng(0))
+    assert len(gloved) == 2 * len(bare)
+
+
+def test_glove_attenuates_skin_and_adds_fabric_layer(shape, pose):
+    glove = GLOVE_MATERIALS["silk"]
+    bare = hand_scatterers(
+        shape, pose, rng=np.random.default_rng(0), speckle_std=0.0
+    )
+    gloved = hand_scatterers(
+        shape, pose, glove=glove, rng=np.random.default_rng(0),
+        speckle_std=0.0,
+    )
+    n = len(bare)
+    # Skin return attenuated by the fabric (two-way).
+    assert np.allclose(
+        gloved.amplitudes[:n], bare.amplitudes * glove.skin_attenuation
+    )
+    # Fabric layer scaled by its reflectivity relative to the bare skin.
+    assert np.allclose(
+        gloved.amplitudes[n:], bare.amplitudes * glove.reflectivity
+    )
+    # The fabric layer is spatially displaced (bin-scale diffusion).
+    offsets = np.linalg.norm(
+        gloved.positions[n:] - gloved.positions[:n], axis=1
+    )
+    assert offsets.mean() > 0.02
+
+
+def test_handheld_object_adds_scatterers(shape, pose):
+    obj = HANDHELD_OBJECTS["pen"]
+    s = hand_scatterers(
+        shape, pose, handheld=obj, rng=np.random.default_rng(0)
+    )
+    bare = hand_scatterers(shape, pose, rng=np.random.default_rng(0))
+    assert len(s) == len(bare) + len(obj.offsets_hand_frame)
+
+
+def test_power_bank_shadows_hand(shape, pose):
+    bare = hand_scatterers(
+        shape, pose, rng=np.random.default_rng(0), speckle_std=0.0
+    )
+    covered = hand_scatterers(
+        shape, pose, handheld=HANDHELD_OBJECTS["power_bank"],
+        rng=np.random.default_rng(0), speckle_std=0.0,
+    )
+    n = len(bare)
+    assert covered.amplitudes[:n].sum() < bare.amplitudes.sum()
+
+
+def test_all_registry_objects_work(shape, pose):
+    for name, obj in HANDHELD_OBJECTS.items():
+        s = hand_scatterers(
+            shape, pose, handheld=obj, rng=np.random.default_rng(0)
+        )
+        assert len(s) > 49, name
+    for name, glove in GLOVE_MATERIALS.items():
+        s = hand_scatterers(
+            shape, pose, glove=glove, rng=np.random.default_rng(0)
+        )
+        assert len(s) == 98, name
+
+
+def test_glove_spec_validation():
+    with pytest.raises(RadarError):
+        GloveSpec("bad", thickness_m=-1.0, reflectivity=0.5,
+                  diffusion_m=0.01)
+
+
+def test_object_spec_validation():
+    with pytest.raises(RadarError):
+        HandheldObjectSpec("bad", offsets_hand_frame=np.zeros((2, 2)),
+                           amplitude=0.1)
+    with pytest.raises(RadarError):
+        HandheldObjectSpec("bad", offsets_hand_frame=np.zeros((2, 3)),
+                           amplitude=0.1, finger_shadowing=2.0)
+
+
+def test_frame_period_validation(shape, pose):
+    with pytest.raises(RadarError):
+        hand_scatterers(shape, pose, frame_period_s=0.0)

@@ -1,0 +1,83 @@
+"""Tests of the scatterer/scene containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RadarError
+from repro.radar.scene import Scatterers, Scene
+
+
+def make_scatterers(n=3, amp=1.0):
+    rng = np.random.default_rng(0)
+    return Scatterers(
+        positions=rng.uniform(0.2, 1.0, size=(n, 3)),
+        velocities=np.zeros((n, 3)),
+        amplitudes=np.full(n, amp),
+    )
+
+
+def test_scatterers_shapes_validated():
+    with pytest.raises(RadarError):
+        Scatterers(
+            positions=np.zeros((3, 3)),
+            velocities=np.zeros((2, 3)),
+            amplitudes=np.zeros(3),
+        )
+    with pytest.raises(RadarError):
+        Scatterers(
+            positions=np.zeros((3, 3)),
+            velocities=np.zeros((3, 3)),
+            amplitudes=np.zeros(2),
+        )
+
+
+def test_scatterers_reject_negative_amplitudes():
+    with pytest.raises(RadarError):
+        Scatterers(
+            positions=np.zeros((1, 3)),
+            velocities=np.zeros((1, 3)),
+            amplitudes=np.array([-1.0]),
+        )
+
+
+def test_scaled_multiplies_amplitudes():
+    s = make_scatterers(amp=2.0).scaled(0.5)
+    assert np.allclose(s.amplitudes, 1.0)
+    with pytest.raises(RadarError):
+        make_scatterers().scaled(-1.0)
+
+
+def test_concatenate_merges_and_skips_empty():
+    merged = Scatterers.concatenate(
+        [make_scatterers(2), Scatterers.empty(), make_scatterers(3)]
+    )
+    assert len(merged) == 5
+
+
+def test_concatenate_empty_list_gives_empty():
+    assert len(Scatterers.concatenate([])) == 0
+
+
+def test_single_scatterer_promoted_to_2d():
+    s = Scatterers(
+        positions=np.array([0.3, 0.0, 0.0]),
+        velocities=np.zeros(3),
+        amplitudes=1.0,
+    )
+    assert s.positions.shape == (1, 3)
+    assert len(s) == 1
+
+
+def test_scene_attenuates_hand_only():
+    hand = make_scatterers(2, amp=1.0)
+    background = make_scatterers(3, amp=2.0)
+    scene = Scene(hand=hand, background=background, hand_attenuation=0.5)
+    combined = scene.all_scatterers()
+    assert len(combined) == 5
+    assert np.allclose(combined.amplitudes[:2], 0.5)
+    assert np.allclose(combined.amplitudes[2:], 2.0)
+
+
+def test_scene_validates_attenuation():
+    with pytest.raises(RadarError):
+        Scene(hand=make_scatterers(), hand_attenuation=1.5)

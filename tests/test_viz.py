@@ -1,0 +1,131 @@
+"""Tests of the visualisation module: ASCII renders, SVG export, OBJ."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.hand.gestures import gesture_pose
+from repro.hand.kinematics import forward_kinematics
+from repro.hand.shape import HandShape
+from repro.mano.model import ManoHandModel
+from repro.viz.ascii_render import ascii_range_profile, ascii_skeleton
+from repro.viz.mesh_io import (
+    face_normals,
+    mesh_summary,
+    save_obj,
+    surface_area,
+)
+from repro.viz.svg import mesh_svg, skeleton_svg
+
+
+@pytest.fixture(scope="module")
+def joints():
+    pose = gesture_pose("open_palm", wrist_position=np.zeros(3))
+    return forward_kinematics(HandShape(), pose)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return ManoHandModel()()
+
+
+def test_ascii_skeleton_dimensions(joints):
+    art = ascii_skeleton(joints, width=30, height=12)
+    lines = art.splitlines()
+    assert len(lines) == 12
+    assert all(len(line) == 30 for line in lines)
+
+
+def test_ascii_skeleton_contains_markers(joints):
+    art = ascii_skeleton(joints)
+    assert "W" in art  # wrist
+    for initial in "TIMRP":  # fingertip initials
+        assert initial in art
+
+
+def test_ascii_skeleton_planes(joints):
+    front = ascii_skeleton(joints, plane="yz")
+    top = ascii_skeleton(joints, plane="xy")
+    assert front != top
+    with pytest.raises(ReproError):
+        ascii_skeleton(joints, plane="qq")
+    with pytest.raises(ReproError):
+        ascii_skeleton(joints, width=2)
+    with pytest.raises(ReproError):
+        ascii_skeleton(np.zeros((20, 3)))
+
+
+def test_ascii_range_profile():
+    profile = np.zeros(16)
+    profile[5] = 1.0
+    art = ascii_range_profile(profile, np.arange(16) * 0.0375, height=4)
+    lines = art.splitlines()
+    assert len(lines) == 6  # 4 bars + axis + labels
+    assert "#" in lines[0]
+    assert "(cm)" in lines[-1]
+    with pytest.raises(ReproError):
+        ascii_range_profile(profile, np.arange(8))
+    with pytest.raises(ReproError):
+        ascii_range_profile(profile, np.arange(16) * 0.1, height=1)
+
+
+def test_ascii_range_profile_all_zero():
+    art = ascii_range_profile(np.zeros(16), np.arange(16) * 0.1)
+    assert "#" not in art
+
+
+def test_skeleton_svg_structure(joints, tmp_path):
+    path = tmp_path / "skeleton.svg"
+    document = skeleton_svg(joints, path=str(path))
+    assert document.startswith("<svg")
+    assert document.count("<line") == 20  # one per phalange
+    assert document.count("<circle") == 21
+    assert path.exists()
+    with pytest.raises(ReproError):
+        skeleton_svg(np.zeros((5, 3)))
+
+
+def test_mesh_svg_structure(mesh, tmp_path):
+    path = tmp_path / "mesh.svg"
+    document = mesh_svg(mesh.vertices, mesh.faces, path=str(path))
+    assert document.count("<polygon") == len(mesh.faces)
+    assert path.exists()
+    with pytest.raises(ReproError):
+        mesh_svg(np.zeros((4, 2)), mesh.faces)
+    with pytest.raises(ReproError):
+        mesh_svg(mesh.vertices, np.zeros((4, 2), dtype=int))
+
+
+def test_save_obj_round_trip(mesh, tmp_path):
+    path = tmp_path / "hand.obj"
+    save_obj(mesh, path)
+    text = path.read_text()
+    v_lines = [l for l in text.splitlines() if l.startswith("v ")]
+    f_lines = [l for l in text.splitlines() if l.startswith("f ")]
+    assert len(v_lines) == len(mesh.vertices)
+    assert len(f_lines) == len(mesh.faces)
+    # OBJ is 1-based: no face index may be 0.
+    for line in f_lines:
+        indices = [int(token) for token in line.split()[1:]]
+        assert min(indices) >= 1
+        assert max(indices) <= len(mesh.vertices)
+
+
+def test_face_normals_unit(mesh):
+    normals = face_normals(mesh.vertices, mesh.faces)
+    assert normals.shape == (len(mesh.faces), 3)
+    assert np.allclose(np.linalg.norm(normals, axis=1), 1.0, atol=1e-9)
+
+
+def test_surface_area_plausible(mesh):
+    area = surface_area(mesh.vertices, mesh.faces)
+    # A hand's surface is tens of square centimetres.
+    assert 0.005 < area < 0.2
+
+
+def test_mesh_summary(mesh):
+    summary = mesh_summary(mesh)
+    assert summary["num_vertices"] == len(mesh.vertices)
+    assert summary["num_faces"] == len(mesh.faces)
+    assert 0.1 < summary["bbox_y_m"] < 0.4
+    assert summary["surface_area_m2"] > 0

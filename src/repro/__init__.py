@@ -50,6 +50,7 @@ from repro.core import (
 from repro.data import CampaignGenerator, CaptureOptions, HandPoseDataset
 from repro.eval import metrics
 from repro.core.streaming import StreamingEstimator
+from repro.serving import InferenceServer, ServingConfig
 from repro.apps import GestureClassifier, GestureCommandMapper
 
 __version__ = "1.0.0"
@@ -85,6 +86,8 @@ __all__ = [
     "HandPoseDataset",
     "metrics",
     "StreamingEstimator",
+    "InferenceServer",
+    "ServingConfig",
     "GestureClassifier",
     "GestureCommandMapper",
     "__version__",

@@ -7,6 +7,8 @@ Subcommands cover the common workflows end to end:
 * ``mmhand evaluate`` -- MPJPE / PCK / AUC of a trained model on a dataset;
 * ``mmhand demo`` -- run the full pipeline on a fresh simulated gesture
   sequence and print ASCII skeletons + recognised gestures;
+* ``mmhand serve`` -- run the multi-session inference service over a
+  simulated multi-client feed and print a throughput/latency report;
 * ``mmhand export-mesh`` -- reconstruct a mesh from a gesture and write
   OBJ/SVG files.
 
@@ -215,6 +217,190 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _add_serve(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve",
+        help="run the multi-session inference service over a simulated "
+             "multi-client frame feed and report throughput/latency",
+    )
+    p.add_argument("--weights", default=None,
+                   help="trained weights .npz (random weights if omitted)")
+    p.add_argument("--sessions", type=int, default=4,
+                   help="number of concurrent simulated clients")
+    p.add_argument("--frames", type=int, default=16,
+                   help="raw frames fed per client")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="micro-batch size limit")
+    p.add_argument("--queue-capacity", type=int, default=64)
+    p.add_argument("--policy", default="drop-oldest",
+                   choices=["block", "drop-oldest", "reject"],
+                   help="backpressure policy when the queue fills")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-hash result cache")
+    p.add_argument("--hop", type=int, default=1,
+                   help="frames between emissions per session")
+    p.add_argument("--report-every", type=int, default=0,
+                   help="print a live report every N ticks (0: final only)")
+    p.add_argument("--json", dest="json_path", default=None,
+                   help="write the final stats snapshot to this path")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _simulated_client_frames(
+    radar, sessions: int, frames: int, seed: int
+) -> "np.ndarray":
+    """Raw IF frames for ``sessions`` clients, each playing a gesture
+    sequence with its own subject and random stream.
+
+    Returns an array of shape ``(sessions, frames, antennas, loops,
+    samples)``.
+    """
+    from repro.hand.animation import GestureSequence, Keyframe
+    from repro.hand.gestures import list_gestures
+    from repro.hand.subjects import make_subjects
+    from repro.radar.radar import RadarSimulator
+    from repro.radar.scatterers import hand_scatterers
+    from repro.radar.scene import Scene
+
+    gestures = list_gestures()
+    subjects = make_subjects(sessions)
+    hold = 0.05
+    feeds = []
+    for client in range(sessions):
+        rng = np.random.default_rng(seed + 1000 * client)
+        names = [
+            gestures[(client + i) % len(gestures)] for i in range(2)
+        ]
+        sequence = GestureSequence(
+            [Keyframe(0.5 * i, name) for i, name in enumerate(names)],
+            base_position=np.array([0.3, 0.0, 0.0]),
+            seed=seed + client,
+        )
+        poses = sequence.sample(hold, frames)
+        shape = subjects[client].hand_shape()
+        sim = RadarSimulator(radar, seed=seed + client)
+        raw = []
+        for i, pose in enumerate(poses):
+            prev = poses[i - 1] if i else None
+            raw.append(
+                sim.frame(
+                    Scene(
+                        hand=hand_scatterers(
+                            shape, pose, prev_pose=prev,
+                            frame_period_s=hold, rng=rng,
+                        )
+                    )
+                )
+            )
+        feeds.append(np.stack(raw))
+    return np.stack(feeds)
+
+
+def _print_serve_report(stats, elapsed_s: float, tick: int) -> None:
+    counters = stats["counters"]
+    latency = stats["histograms"].get("latency_s", {})
+    batch = stats["histograms"].get("batch_size", {})
+    poses = counters.get("poses", 0)
+    fps = poses / elapsed_s if elapsed_s > 0 else 0.0
+    line = (
+        f"[tick {tick:4d}] poses {poses:6d} | {fps:8.1f} poses/s | "
+        f"batch mean {batch.get('mean', 0.0):4.1f} | "
+        f"latency p50 {latency.get('p50', 0.0) * 1e3:6.2f} ms "
+        f"p95 {latency.get('p95', 0.0) * 1e3:6.2f} ms "
+        f"p99 {latency.get('p99', 0.0) * 1e3:6.2f} ms | "
+        f"queue {stats['queue']['depth']:3d} | "
+        f"dropped {stats['queue']['dropped']:4d} | "
+        f"rejected {stats['queue']['rejected']:4d}"
+    )
+    if "cache" in stats:
+        line += f" | cache hit-rate {stats['cache']['hit_rate']:.2f}"
+    print(line)
+
+
+def _cmd_serve(args) -> int:
+    import json
+    import time
+
+    from repro.config import DspConfig, ModelConfig, RadarConfig
+    from repro.core.regressor import HandJointRegressor
+    from repro.dsp.radar_cube import CubeBuilder
+    from repro.errors import QueueFullError
+    from repro.serving import InferenceServer, ServingConfig
+
+    if args.sessions < 1:
+        print("--sessions must be >= 1", file=sys.stderr)
+        return 1
+    if args.frames < 1:
+        print("--frames must be >= 1", file=sys.stderr)
+        return 1
+
+    radar = RadarConfig()
+    dsp = DspConfig()
+    regressor = HandJointRegressor(dsp, ModelConfig())
+    if args.weights is not None:
+        from repro.nn.serialization import load_state
+
+        load_state(regressor, args.weights)
+    regressor.eval()
+
+    serving = ServingConfig(
+        max_batch_size=args.batch_size,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        enable_cache=not args.no_cache,
+        hop_frames=args.hop,
+    )
+    server = InferenceServer(
+        CubeBuilder(radar, dsp), regressor, serving
+    )
+
+    print(
+        f"simulating {args.sessions} clients x {args.frames} frames "
+        f"(policy={args.policy}, batch<= {args.batch_size}, "
+        f"cache={'off' if args.no_cache else 'on'})"
+    )
+    feeds = _simulated_client_frames(
+        radar, args.sessions, args.frames, args.seed
+    )
+    session_ids = [server.open_session() for _ in range(args.sessions)]
+
+    start = time.perf_counter()
+    for tick in range(args.frames):
+        for client, session_id in enumerate(session_ids):
+            try:
+                server.submit(session_id, feeds[client, tick])
+            except QueueFullError:
+                # Under the reject policy an overloaded queue refuses
+                # the window; the server counts it, the feed moves on.
+                pass
+        server.step()
+        if args.report_every and (tick + 1) % args.report_every == 0:
+            _print_serve_report(
+                server.stats(), time.perf_counter() - start, tick + 1
+            )
+    server.drain()
+    elapsed = time.perf_counter() - start
+    for session_id in session_ids:
+        server.close_session(session_id)
+
+    stats = server.stats()
+    print("--- final report ---")
+    _print_serve_report(stats, elapsed, args.frames)
+    counters = stats["counters"]
+    print(
+        f"served {counters.get('poses', 0)} poses from "
+        f"{counters.get('frames_in', 0)} frames in {elapsed:.2f}s "
+        f"({counters.get('frames_in', 0) / elapsed:.1f} frames/s) "
+        f"across {counters.get('batches', 0)} micro-batches"
+    )
+    if args.json_path:
+        stats["elapsed_s"] = elapsed
+        with open(args.json_path, "w") as fh:
+            json.dump(stats, fh, indent=2, default=float)
+        print(f"stats -> {args.json_path}")
+    return 0
+
+
 def _add_export_mesh(subparsers) -> None:
     p = subparsers.add_parser(
         "export-mesh",
@@ -268,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(subparsers)
     _add_evaluate(subparsers)
     _add_demo(subparsers)
+    _add_serve(subparsers)
     _add_export_mesh(subparsers)
     return parser
 
@@ -277,6 +464,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "demo": _cmd_demo,
+    "serve": _cmd_serve,
     "export-mesh": _cmd_export_mesh,
 }
 

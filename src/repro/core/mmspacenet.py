@@ -174,9 +174,15 @@ class MmSpaceNet(Module):
         self.head_fc = Linear(self._head_features, model.feature_dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 4:
+            # A single segment (st, V, D, A): promote to a batch of one
+            # so callers can use the same code path for one window or a
+            # serving micro-batch.
+            x = x.reshape(1, *x.shape)
         if x.ndim != 5:
             raise ModelError(
-                f"MmSpaceNet expects (B, st, V, D, A), got {x.shape}"
+                f"MmSpaceNet expects (B, st, V, D, A) or a single "
+                f"(st, V, D, A) segment, got {x.shape}"
             )
         b, st, v, d, a = x.shape
         if st != self.dsp.segment_frames or v != self.dsp.doppler_bins:

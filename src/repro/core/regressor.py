@@ -60,6 +60,10 @@ class HandJointRegressor(Module):
 
     # ------------------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 4:
+            # Promote a single (st, V, D, A) segment to a batch of one;
+            # the serving micro-batcher relies on the batched form.
+            x = x.reshape(1, *x.shape)
         features = self.spatial(x)
         context = self.temporal(features)
         out = self.head(context)
@@ -118,6 +122,11 @@ class HandJointRegressor(Module):
                 f"predict expects (N, st, V, D, A) segments, got "
                 f"{segments.shape}"
             )
+        joints = self.model_config.num_joints
+        if segments.shape[0] == 0:
+            # An empty micro-batch (e.g. every window was served from
+            # the cache) regresses to an empty prediction.
+            return np.zeros((0, joints, 3), dtype=np.float32)
         was_training = self.training
         self.eval()
         outputs = []

@@ -4,23 +4,29 @@ The batch pipeline (:class:`~repro.core.pipeline.MmHand`) processes a
 recorded capture; interactive applications instead receive raw frames
 one at a time. :class:`StreamingEstimator` maintains a sliding window of
 pre-processed frames and emits a skeleton (and optionally a mesh) every
-``hop`` frames once the window is full -- the structure a deployed
-mmHand UI controller would run.
+``hop`` frames once the window is full.
+
+Since the introduction of :mod:`repro.serving`, this class is a thin
+single-session adapter: the window bookkeeping lives in
+:class:`repro.serving.session.FrameWindow`, which the multi-session
+:class:`~repro.serving.server.InferenceServer` shares. Multi-client
+deployments should use the server (micro-batching, backpressure,
+metrics); this estimator remains the simple one-stream API.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.mesh_recovery import MeshReconstructor
 from repro.core.regressor import HandJointRegressor
 from repro.dsp.radar_cube import CubeBuilder
-from repro.errors import ReproError
+from repro.errors import FrameShapeError, ReproError
 from repro.mano.model import MeshResult
+from repro.serving.session import FrameWindow
 
 
 @dataclass
@@ -61,21 +67,17 @@ class StreamingEstimator:
         self.regressor = regressor
         self.reconstructor = reconstructor
         self.hop_frames = hop_frames
-        self._window: Deque[np.ndarray] = deque(
-            maxlen=builder.dsp.segment_frames
+        self._window = FrameWindow(
+            builder.dsp.segment_frames, hop_frames=hop_frames
         )
-        self._since_emit = 0
-        self._frame_index = -1
 
     def reset(self) -> None:
-        self._window.clear()
-        self._since_emit = 0
-        self._frame_index = -1
+        self._window.reset()
 
     @property
     def window_fill(self) -> int:
         """Frames currently buffered (max: segment length)."""
-        return len(self._window)
+        return self._window.fill
 
     def push(self, raw_frame: np.ndarray) -> Optional[StreamOutput]:
         """Feed one raw IF frame ``(antennas, loops, samples)``.
@@ -85,32 +87,32 @@ class StreamingEstimator:
         """
         raw_frame = np.asarray(raw_frame)
         if raw_frame.ndim != 3:
-            raise ReproError(
+            raise FrameShapeError(
                 "push expects a single raw frame "
-                "(antennas, loops, samples)"
+                f"(antennas, loops, samples), got shape {raw_frame.shape}"
             )
-        self._frame_index += 1
         cube = self.builder.build(raw_frame[None])
-        self._window.append(cube.values[0])
-        self._since_emit += 1
-        st = self.builder.dsp.segment_frames
-        if len(self._window) < st or self._since_emit < self.hop_frames:
+        segment = self._window.push(cube.values[0])
+        if segment is None:
             return None
-        self._since_emit = 0
-        segment = np.stack(list(self._window))
         skeleton = self.regressor.predict(segment[None])[0]
         mesh = None
         if self.reconstructor is not None:
             mesh = self.reconstructor.reconstruct(skeleton).mesh
         return StreamOutput(
-            frame_index=self._frame_index, skeleton=skeleton, mesh=mesh
+            frame_index=self._window.frame_index,
+            skeleton=skeleton,
+            mesh=mesh,
         )
 
     def run(self, raw_frames: np.ndarray) -> List[StreamOutput]:
         """Convenience: push a whole (F, antennas, loops, samples) array."""
         raw_frames = np.asarray(raw_frames)
         if raw_frames.ndim != 4:
-            raise ReproError("run expects (F, antennas, loops, samples)")
+            raise FrameShapeError(
+                "run expects (F, antennas, loops, samples), got shape "
+                f"{raw_frames.shape}"
+            )
         outputs = []
         for frame in raw_frames:
             out = self.push(frame)

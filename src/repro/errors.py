@@ -49,3 +49,32 @@ class DatasetError(ReproError):
 
 class EvaluationError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class FrameShapeError(SignalProcessingError):
+    """A streaming/serving entry point received a malformed radar frame.
+
+    Raised instead of a bare :class:`ReproError` so online callers can
+    distinguish "this one frame was garbage" (drop it, keep the session)
+    from configuration-level failures.
+    """
+
+
+class ServingError(ReproError):
+    """Base class for failures inside the inference service runtime
+    (:mod:`repro.serving`): sessions, queueing, batching, caching."""
+
+
+class QueueFullError(ServingError):
+    """The bounded request queue is at capacity and the configured
+    backpressure policy refused to admit the request (``reject``), or a
+    blocking ``put`` timed out before space became available."""
+
+
+class SessionClosedError(ServingError):
+    """A frame was submitted to a session that has already been closed."""
+
+
+class UnknownSessionError(ServingError):
+    """A session id was used that the server never opened (or has
+    evicted)."""

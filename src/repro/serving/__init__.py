@@ -1,0 +1,48 @@
+"""Inference service runtime: many radar sessions, one shared model.
+
+``repro.serving`` multiplexes concurrent client streams through a
+single :class:`~repro.core.regressor.HandJointRegressor`:
+
+* :class:`Session` / :class:`FrameWindow` -- per-client sliding-window
+  state (factored out of the single-session streaming estimator);
+* :class:`RequestQueue` -- bounded admission with explicit backpressure
+  (``block`` / ``drop-oldest`` / ``reject``) and per-session fairness;
+* :class:`MicroBatcher` -- fuses ready windows across sessions into one
+  batched forward pass, with a content-hash LRU :class:`SegmentCache`;
+* :class:`MetricsRegistry` -- counters, gauges, latency histograms and
+  a structured event log, snapshotted by ``InferenceServer.stats()``;
+* :class:`InferenceServer` -- the composition, driven by the
+  ``mmhand serve`` CLI command.
+"""
+
+from repro.serving.batcher import MicroBatcher, PoseResult
+from repro.serving.cache import SegmentCache, segment_key
+from repro.serving.metrics import (
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serving.queue import POLICIES, RequestQueue
+from repro.serving.server import InferenceServer, ServingConfig
+from repro.serving.session import FrameWindow, SegmentRequest, Session
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "FrameWindow",
+    "Gauge",
+    "Histogram",
+    "InferenceServer",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "POLICIES",
+    "PoseResult",
+    "RequestQueue",
+    "SegmentCache",
+    "SegmentRequest",
+    "ServingConfig",
+    "Session",
+    "segment_key",
+]

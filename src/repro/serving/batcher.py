@@ -1,0 +1,140 @@
+"""Micro-batching: one forward pass for many sessions' windows.
+
+Per-session streaming inference runs the network with batch size 1 and
+pays the full python/layer dispatch overhead per frame. The batcher stacks
+every ready window across sessions into a single ``(B, st, V, D, A)``
+tensor and regresses all poses in one call -- the classic serving trick
+that turns per-request overhead into per-batch overhead. An optional
+content-hash cache short-circuits windows the model has already seen.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.regressor import HandJointRegressor
+from repro.errors import ServingError
+from repro.serving.cache import SegmentCache, segment_key
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.session import SegmentRequest
+
+
+@dataclass
+class PoseResult:
+    """One regressed pose, tagged with its origin and serving metadata."""
+
+    session_id: str
+    frame_index: int
+    joints: np.ndarray
+    latency_s: float
+    cached: bool = False
+    batch_size: int = 1
+
+
+class MicroBatcher:
+    """Stacks segment requests and runs them as one batched forward.
+
+    Parameters
+    ----------
+    regressor:
+        The shared joint-regression network (its ``predict`` accepts a
+        leading batch dimension).
+    max_batch_size:
+        Upper bound on the number of windows fused into one forward.
+    cache:
+        Optional :class:`SegmentCache`; byte-identical windows skip the
+        network entirely.
+    metrics:
+        Optional registry receiving batch/latency/cache instruments.
+    """
+
+    def __init__(
+        self,
+        regressor: HandJointRegressor,
+        max_batch_size: int = 16,
+        cache: Optional[SegmentCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        self.regressor = regressor
+        self.max_batch_size = max_batch_size
+        self.cache = cache
+        self.metrics = metrics
+
+    def run(self, requests: Sequence[SegmentRequest]) -> List[PoseResult]:
+        """Serve ``requests`` (at most ``max_batch_size``) in one pass."""
+        if not requests:
+            return []
+        if len(requests) > self.max_batch_size:
+            raise ServingError(
+                f"batch of {len(requests)} exceeds max_batch_size="
+                f"{self.max_batch_size}"
+            )
+        joints_by_slot: List[Optional[np.ndarray]] = [None] * len(requests)
+        cached_flags = [False] * len(requests)
+        miss_slots: List[int] = []
+        keys: List[Optional[str]] = [None] * len(requests)
+        # key -> slots that ride along on the first occurrence's forward
+        # row (within-batch dedup: identical windows run the net once).
+        followers: dict = {}
+
+        if self.cache is not None:
+            for slot, request in enumerate(requests):
+                key = segment_key(request.segment)
+                keys[slot] = key
+                if key in followers:
+                    followers[key].append(slot)
+                    cached_flags[slot] = True
+                    continue
+                hit = self.cache.get(key)
+                if hit is not None:
+                    joints_by_slot[slot] = hit
+                    cached_flags[slot] = True
+                else:
+                    followers[key] = []
+                    miss_slots.append(slot)
+        else:
+            miss_slots = list(range(len(requests)))
+
+        if miss_slots:
+            stacked = np.stack(
+                [requests[slot].segment for slot in miss_slots]
+            )
+            predictions = self.regressor.predict(stacked)
+            for row, slot in enumerate(miss_slots):
+                joints_by_slot[slot] = predictions[row]
+                if self.cache is not None and keys[slot] is not None:
+                    self.cache.put(keys[slot], predictions[row])
+                    for follower in followers.get(keys[slot], ()):
+                        joints_by_slot[follower] = predictions[row]
+
+        now = time.perf_counter()
+        results = [
+            PoseResult(
+                session_id=request.session_id,
+                frame_index=request.frame_index,
+                joints=joints_by_slot[slot],
+                latency_s=now - request.enqueued_at,
+                cached=cached_flags[slot],
+                batch_size=len(requests),
+            )
+            for slot, request in enumerate(requests)
+        ]
+
+        if self.metrics is not None:
+            self.metrics.counter("batches").increment()
+            self.metrics.counter("poses").increment(len(results))
+            self.metrics.counter("cache_hits").increment(
+                sum(cached_flags)
+            )
+            self.metrics.counter("cache_misses").increment(len(miss_slots))
+            self.metrics.histogram("batch_size").observe(len(requests))
+            latency = self.metrics.histogram("latency_s")
+            for result in results:
+                latency.observe(result.latency_s)
+        return results

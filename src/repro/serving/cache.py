@@ -1,0 +1,87 @@
+"""Content-addressed LRU cache for inference results.
+
+Replayed captures and synthetic benchmarks frequently feed the network
+byte-identical preprocessed windows; hashing the radar-cube segment
+lets the server return the previous joints without a forward pass. The
+cache stores *denormalised* joint arrays (metres), i.e. exactly what
+:meth:`HandJointRegressor.predict` would have produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+def segment_key(segment: np.ndarray) -> str:
+    """Content hash of a preprocessed cube segment.
+
+    The key covers dtype and shape as well as the raw bytes so two
+    differently-shaped views of the same buffer never collide.
+    """
+    segment = np.ascontiguousarray(segment)
+    digest = hashlib.sha1()
+    digest.update(str(segment.dtype).encode())
+    digest.update(str(segment.shape).encode())
+    digest.update(segment.tobytes())
+    return digest.hexdigest()
+
+
+class SegmentCache:
+    """LRU cache mapping segment content hashes to joint predictions."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ServingError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The cached joints for ``key``, or ``None`` (counts a miss)."""
+        with self._lock:
+            if key not in self._entries:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return self._entries[key].copy()
+
+    def put(self, key: str, joints: np.ndarray) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = np.asarray(joints).copy()
+                return
+            self._entries[key] = np.asarray(joints).copy()
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+            }

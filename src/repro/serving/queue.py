@@ -1,0 +1,179 @@
+"""Bounded request queue with explicit backpressure and fairness.
+
+The queue sits between the sessions (producers) and the micro-batcher
+(consumer). It is bounded so a slow model cannot buffer unbounded radar
+history, and the policy applied when it fills is explicit:
+
+``block``
+    The producer waits (up to ``block_timeout_s``) for space; a timeout
+    raises :class:`QueueFullError`. The natural choice when producers
+    run on their own threads.
+``drop-oldest``
+    Admit the new request by evicting the oldest *of the same session*
+    when possible (stale pose windows are worthless in an interactive
+    UI), falling back to the globally oldest request.
+``reject``
+    Refuse the new request immediately with :class:`QueueFullError`.
+
+Batches are popped round-robin across sessions so one chatty client
+cannot starve the others.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import QueueFullError, ServingError
+from repro.serving.session import SegmentRequest
+
+POLICIES = ("block", "drop-oldest", "reject")
+
+
+class RequestQueue:
+    """Bounded, session-fair queue of :class:`SegmentRequest`."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        policy: str = "block",
+        block_timeout_s: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ServingError("queue capacity must be >= 1")
+        if policy not in POLICIES:
+            raise ServingError(
+                f"unknown backpressure policy {policy!r}; "
+                f"choose from {', '.join(POLICIES)}"
+            )
+        if block_timeout_s <= 0:
+            raise ServingError("block_timeout_s must be positive")
+        self.capacity = capacity
+        self.policy = policy
+        self.block_timeout_s = block_timeout_s
+        # session id -> FIFO of its pending requests; dict order doubles
+        # as the round-robin order (rotated on every pop_batch).
+        self._pending: "OrderedDict[str, Deque[SegmentRequest]]" = (
+            OrderedDict()
+        )
+        self._size = 0
+        self.dropped = 0
+        self.rejected = 0
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size >= self.capacity
+
+    def depth_by_session(self) -> Dict[str, int]:
+        with self._lock:
+            return {s: len(q) for s, q in self._pending.items() if q}
+
+    # ------------------------------------------------------------------
+    def _admit(self, request: SegmentRequest) -> None:
+        queue = self._pending.get(request.session_id)
+        if queue is None:
+            queue = deque()
+            self._pending[request.session_id] = queue
+        queue.append(request)
+        self._size += 1
+
+    def _evict_oldest(
+        self, prefer_session: Optional[str] = None
+    ) -> SegmentRequest:
+        if prefer_session is not None:
+            queue = self._pending.get(prefer_session)
+            if queue:
+                self._size -= 1
+                return queue.popleft()
+        for queue in self._pending.values():
+            if queue:
+                self._size -= 1
+                return queue.popleft()
+        raise ServingError("internal error: eviction from an empty queue")
+
+    def put(self, request: SegmentRequest) -> Optional[SegmentRequest]:
+        """Admit ``request``, applying the backpressure policy.
+
+        Returns the evicted request under ``drop-oldest`` (``None``
+        otherwise); raises :class:`QueueFullError` under ``reject`` or
+        when a blocking wait times out.
+        """
+        with self._not_full:
+            if self._size < self.capacity:
+                self._admit(request)
+                return None
+            if self.policy == "reject":
+                self.rejected += 1
+                raise QueueFullError(
+                    f"queue at capacity ({self.capacity}); "
+                    f"rejecting request from {request.session_id!r}"
+                )
+            if self.policy == "drop-oldest":
+                evicted = self._evict_oldest(
+                    prefer_session=request.session_id
+                )
+                self.dropped += 1
+                self._admit(request)
+                return evicted
+            # policy == "block": wait for the consumer to make room.
+            deadline_ok = self._not_full.wait_for(
+                lambda: self._size < self.capacity,
+                timeout=self.block_timeout_s,
+            )
+            if not deadline_ok:
+                self.rejected += 1
+                raise QueueFullError(
+                    f"queue stayed full for {self.block_timeout_s:.2f}s; "
+                    f"giving up on request from {request.session_id!r}"
+                )
+            self._admit(request)
+            return None
+
+    def pop_batch(self, max_batch: int) -> List[SegmentRequest]:
+        """Up to ``max_batch`` requests, round-robin across sessions.
+
+        Each pass takes one request per session in rotation order, so a
+        session with a deep backlog gets at most ``ceil`` of its fair
+        share of any batch while others have work pending.
+        """
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        batch: List[SegmentRequest] = []
+        with self._not_full:
+            while len(batch) < max_batch and self._size > 0:
+                for session_id in list(self._pending.keys()):
+                    if len(batch) >= max_batch:
+                        break
+                    queue = self._pending[session_id]
+                    if queue:
+                        batch.append(queue.popleft())
+                        self._size -= 1
+                # Rotate so the next batch starts with a different
+                # session; drop empty per-session queues.
+                for session_id in list(self._pending.keys()):
+                    if not self._pending[session_id]:
+                        del self._pending[session_id]
+                if self._pending:
+                    first, queue = next(iter(self._pending.items()))
+                    self._pending.move_to_end(first)
+            if batch:
+                self._not_full.notify_all()
+        return batch
+
+    def purge_session(self, session_id: str) -> int:
+        """Discard all pending requests of one session (on close)."""
+        with self._not_full:
+            queue = self._pending.pop(session_id, None)
+            if queue is None:
+                return 0
+            count = len(queue)
+            self._size -= count
+            if count:
+                self._not_full.notify_all()
+            return count

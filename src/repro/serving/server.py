@@ -1,0 +1,228 @@
+"""The multi-session inference server.
+
+Ties the serving pieces together::
+
+    client frames -> Session (sliding window, shared CubeBuilder)
+                  -> RequestQueue (bounded, backpressure, fairness)
+                  -> MicroBatcher (one batched forward + LRU cache)
+                  -> PoseResult (+ Metrics / EventLog)
+
+The server is synchronous and single-consumer by design: ``submit``
+admits work, ``step`` serves one micro-batch, ``drain`` serves until the
+queue is empty. Producers may call ``submit`` from other threads (the
+queue is thread-safe and the ``block`` policy waits for the consumer),
+but ``step``/``drain`` are meant to run on one serving loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.regressor import HandJointRegressor
+from repro.dsp.radar_cube import CubeBuilder
+from repro.errors import QueueFullError, ServingError, UnknownSessionError
+from repro.serving.batcher import MicroBatcher, PoseResult
+from repro.serving.cache import SegmentCache
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.queue import RequestQueue
+from repro.serving.session import SegmentRequest, Session
+
+
+@dataclass
+class ServingConfig:
+    """Tunables of the inference service runtime."""
+
+    max_batch_size: int = 16
+    queue_capacity: int = 64
+    policy: str = "block"
+    block_timeout_s: float = 1.0
+    cache_capacity: int = 256
+    enable_cache: bool = True
+    hop_frames: int = 1
+    max_sessions: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        if self.max_sessions < 1:
+            raise ServingError("max_sessions must be >= 1")
+        if self.hop_frames < 1:
+            raise ServingError("hop_frames must be >= 1")
+
+
+class InferenceServer:
+    """Serves many concurrent radar sessions against one shared model."""
+
+    def __init__(
+        self,
+        builder: CubeBuilder,
+        regressor: HandJointRegressor,
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        self.builder = builder
+        self.regressor = regressor
+        self.config = config if config is not None else ServingConfig()
+        self.metrics = MetricsRegistry()
+        self.queue = RequestQueue(
+            capacity=self.config.queue_capacity,
+            policy=self.config.policy,
+            block_timeout_s=self.config.block_timeout_s,
+        )
+        cache = (
+            SegmentCache(self.config.cache_capacity)
+            if self.config.enable_cache
+            else None
+        )
+        self.batcher = MicroBatcher(
+            regressor,
+            max_batch_size=self.config.max_batch_size,
+            cache=cache,
+            metrics=self.metrics,
+        )
+        self._sessions: Dict[str, Session] = {}
+
+    # -- session lifecycle ---------------------------------------------
+    def open_session(self, session_id: Optional[str] = None) -> str:
+        """Register a new client stream; returns its session id."""
+        open_count = sum(
+            1 for s in self._sessions.values() if not s.closed
+        )
+        if open_count >= self.config.max_sessions:
+            raise ServingError(
+                f"session limit reached ({self.config.max_sessions})"
+            )
+        session = Session(
+            self.builder, session_id=session_id,
+            hop_frames=self.config.hop_frames,
+        )
+        if session.session_id in self._sessions:
+            raise ServingError(
+                f"session id {session.session_id!r} already exists"
+            )
+        self._sessions[session.session_id] = session
+        self.metrics.counter("sessions_opened").increment()
+        self.metrics.gauge("open_sessions").add(1)
+        self.metrics.events.emit(
+            "session_open", session_id=session.session_id
+        )
+        return session.session_id
+
+    def close_session(self, session_id: str) -> None:
+        """Close a stream and discard its queued (now stale) windows."""
+        session = self._get(session_id)
+        if session.closed:
+            return
+        session.close()
+        purged = self.queue.purge_session(session_id)
+        session.dropped += purged
+        self.metrics.counter("sessions_closed").increment()
+        self.metrics.gauge("open_sessions").add(-1)
+        self.metrics.events.emit(
+            "session_close", session_id=session_id, purged=purged
+        )
+
+    def _get(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(
+                f"unknown session id {session_id!r}"
+            )
+        return session
+
+    def session_stats(self, session_id: str) -> Dict[str, Any]:
+        return self._get(session_id).stats()
+
+    # -- data path ------------------------------------------------------
+    def submit(self, session_id: str, raw_frame: np.ndarray) -> bool:
+        """Feed one raw IF frame; ``True`` if a window was enqueued."""
+        session = self._get(session_id)
+        request = session.feed(raw_frame)
+        return self._enqueue(session, request)
+
+    def submit_cube(
+        self, session_id: str, cube_frame: np.ndarray
+    ) -> bool:
+        """Feed one already-preprocessed ``(V, D, A)`` cube frame."""
+        session = self._get(session_id)
+        request = session.feed_cube(cube_frame)
+        return self._enqueue(session, request)
+
+    def _enqueue(
+        self, session: Session, request: Optional[SegmentRequest]
+    ) -> bool:
+        self.metrics.counter("frames_in").increment()
+        if request is None:
+            return False
+        if self.policy_is_block and self.queue.full:
+            # Single-threaded block backpressure: the producer *is* the
+            # consumer's thread, so make room by serving a batch now
+            # instead of deadlocking on the condition variable.
+            self.step()
+        try:
+            evicted = self.queue.put(request)
+        except QueueFullError:
+            session.dropped += 1
+            self.metrics.counter("rejected").increment()
+            self.metrics.events.emit(
+                "reject", session_id=session.session_id,
+                frame_index=request.frame_index,
+            )
+            raise
+        if evicted is not None:
+            victim = self._sessions.get(evicted.session_id)
+            if victim is not None:
+                victim.dropped += 1
+            self.metrics.counter("dropped").increment()
+            self.metrics.events.emit(
+                "drop_oldest", session_id=evicted.session_id,
+                frame_index=evicted.frame_index,
+            )
+        self.metrics.gauge("queue_depth").set(len(self.queue))
+        return True
+
+    @property
+    def policy_is_block(self) -> bool:
+        return self.config.policy == "block"
+
+    def step(self) -> List[PoseResult]:
+        """Serve one micro-batch from the queue (may be empty)."""
+        batch = self.queue.pop_batch(self.config.max_batch_size)
+        if not batch:
+            return []
+        results = self.batcher.run(batch)
+        for result in results:
+            session = self._sessions.get(result.session_id)
+            if session is not None:
+                session.results_out += 1
+        self.metrics.gauge("queue_depth").set(len(self.queue))
+        return results
+
+    def drain(self) -> List[PoseResult]:
+        """Serve micro-batches until the queue is empty."""
+        results: List[PoseResult] = []
+        while len(self.queue) > 0:
+            results.extend(self.step())
+        return results
+
+    # -- observability --------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """One snapshot of every counter, gauge, histogram and cache."""
+        snapshot = self.metrics.snapshot()
+        snapshot["queue"] = {
+            "depth": len(self.queue),
+            "capacity": self.queue.capacity,
+            "policy": self.queue.policy,
+            "dropped": self.queue.dropped,
+            "rejected": self.queue.rejected,
+            "by_session": self.queue.depth_by_session(),
+        }
+        if self.batcher.cache is not None:
+            snapshot["cache"] = self.batcher.cache.stats()
+        snapshot["sessions"] = {
+            sid: session.stats()
+            for sid, session in self._sessions.items()
+        }
+        return snapshot

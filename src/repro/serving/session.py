@@ -1,0 +1,174 @@
+"""Per-client session state for the inference service.
+
+:class:`FrameWindow` is the sliding-window bookkeeping that used to live
+inside :class:`~repro.core.streaming.StreamingEstimator`; factoring it
+out lets the server keep one window per connected client while sharing a
+single preprocessing chain and model. :class:`Session` wraps a window
+with identity, lifecycle state and per-session accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from repro.dsp.radar_cube import CubeBuilder
+from repro.errors import FrameShapeError, ServingError, SessionClosedError
+
+
+@dataclass
+class SegmentRequest:
+    """One window of preprocessed frames ready for inference.
+
+    ``segment`` has shape ``(st, V, D, A)``; ``frame_index`` is the index
+    of the newest raw frame in the window (the emission timestamp of the
+    eventual pose); ``enqueued_at`` feeds the latency histograms.
+    """
+
+    session_id: str
+    frame_index: int
+    segment: np.ndarray
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class FrameWindow:
+    """Sliding window over preprocessed cube frames.
+
+    Collects frames of shape ``(V, D, A)`` and yields a stacked segment
+    ``(st, V, D, A)`` every ``hop_frames`` pushes once the window holds
+    ``segment_frames`` entries -- the exact emission schedule of the
+    original streaming estimator.
+    """
+
+    def __init__(self, segment_frames: int, hop_frames: int = 1) -> None:
+        if segment_frames < 1:
+            raise ServingError("segment_frames must be >= 1")
+        if hop_frames < 1:
+            raise ServingError("hop_frames must be >= 1")
+        self.segment_frames = segment_frames
+        self.hop_frames = hop_frames
+        self._frames: Deque[np.ndarray] = deque(maxlen=segment_frames)
+        self._since_emit = 0
+        self._frame_index = -1
+
+    @property
+    def fill(self) -> int:
+        """Frames currently buffered (max: segment length)."""
+        return len(self._frames)
+
+    @property
+    def frame_index(self) -> int:
+        """Index of the most recently pushed frame (-1 before any)."""
+        return self._frame_index
+
+    def reset(self) -> None:
+        self._frames.clear()
+        self._since_emit = 0
+        self._frame_index = -1
+
+    def push(self, cube_frame: np.ndarray) -> Optional[np.ndarray]:
+        """Add one preprocessed frame; return a due segment or ``None``."""
+        cube_frame = np.asarray(cube_frame)
+        if cube_frame.ndim != 3:
+            raise FrameShapeError(
+                f"window expects a preprocessed (V, D, A) frame, got "
+                f"shape {cube_frame.shape}"
+            )
+        self._frame_index += 1
+        self._frames.append(cube_frame)
+        self._since_emit += 1
+        if (
+            len(self._frames) < self.segment_frames
+            or self._since_emit < self.hop_frames
+        ):
+            return None
+        self._since_emit = 0
+        return np.stack(list(self._frames))
+
+
+_session_counter = itertools.count()
+
+
+class Session:
+    """One client's streaming state inside the server.
+
+    Raw IF frames go in through :meth:`feed` (preprocessed through the
+    shared :class:`CubeBuilder`); already-preprocessed cube frames can be
+    fed with :meth:`feed_cube`, which is what replay tooling and the
+    throughput benchmark use to isolate the inference path.
+    """
+
+    def __init__(
+        self,
+        builder: CubeBuilder,
+        session_id: Optional[str] = None,
+        hop_frames: int = 1,
+    ) -> None:
+        self.builder = builder
+        self.session_id = (
+            session_id
+            if session_id is not None
+            else f"session-{next(_session_counter)}"
+        )
+        self.window = FrameWindow(
+            builder.dsp.segment_frames, hop_frames=hop_frames
+        )
+        self.closed = False
+        self.frames_in = 0
+        self.segments_out = 0
+        self.results_out = 0
+        self.dropped = 0
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionClosedError(
+                f"session {self.session_id!r} is closed"
+            )
+
+    def feed(self, raw_frame: np.ndarray) -> Optional[SegmentRequest]:
+        """Preprocess one raw IF frame ``(antennas, loops, samples)``."""
+        self._check_open()
+        raw_frame = np.asarray(raw_frame)
+        if raw_frame.ndim != 3:
+            raise FrameShapeError(
+                "feed expects a single raw frame "
+                f"(antennas, loops, samples), got shape {raw_frame.shape}"
+            )
+        cube = self.builder.build(raw_frame[None])
+        return self.feed_cube(cube.values[0])
+
+    def feed_cube(self, cube_frame: np.ndarray) -> Optional[SegmentRequest]:
+        """Push one preprocessed ``(V, D, A)`` frame into the window."""
+        self._check_open()
+        segment = self.window.push(cube_frame)
+        self.frames_in += 1
+        if segment is None:
+            return None
+        self.segments_out += 1
+        return SegmentRequest(
+            session_id=self.session_id,
+            frame_index=self.window.frame_index,
+            segment=segment,
+        )
+
+    def close(self) -> None:
+        self.closed = True
+
+    def reset(self) -> None:
+        self._check_open()
+        self.window.reset()
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "frames_in": self.frames_in,
+            "segments_out": self.segments_out,
+            "results_out": self.results_out,
+            "dropped": self.dropped,
+            "window_fill": self.window.fill,
+            "closed": self.closed,
+        }

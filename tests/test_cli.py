@@ -131,3 +131,35 @@ def test_export_mesh_unknown_gesture(tmp_path, capsys):
         ["export-mesh", "spock", str(tmp_path / "x")]
     ) == 1
     assert "unknown gesture" in capsys.readouterr().err
+
+
+def test_serve_help(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["serve", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--sessions" in out
+    assert "--policy" in out
+
+
+def test_serve_bounded_run(tmp_path, capsys):
+    """A short multi-client run completes and writes a stats snapshot."""
+    json_path = tmp_path / "serve.json"
+    assert cli.main(
+        [
+            "serve", "--sessions", "2", "--frames", "4",
+            "--batch-size", "2", "--report-every", "2",
+            "--json", str(json_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "final report" in out
+    assert "poses/s" in out
+    import json
+
+    stats = json.loads(json_path.read_text())
+    # 2 clients x 4 frames, window of 2, hop 1 -> 3 poses per client.
+    assert stats["counters"]["frames_in"] == 8
+    assert stats["counters"]["poses"] == 6
+    assert stats["counters"]["sessions_closed"] == 2
+    assert stats["histograms"]["latency_s"]["count"] == 6

@@ -1,0 +1,512 @@
+"""Tests of the multi-session inference service runtime
+(:mod:`repro.serving`): session lifecycle, micro-batch equivalence,
+backpressure policies, cache accounting and metrics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.regressor import HandJointRegressor
+from repro.core.streaming import StreamingEstimator
+from repro.dsp.radar_cube import CubeBuilder
+from repro.errors import (
+    FrameShapeError,
+    QueueFullError,
+    ReproError,
+    ServingError,
+    SessionClosedError,
+    UnknownSessionError,
+)
+from repro.serving import (
+    FrameWindow,
+    Histogram,
+    InferenceServer,
+    MetricsRegistry,
+    MicroBatcher,
+    RequestQueue,
+    SegmentCache,
+    SegmentRequest,
+    ServingConfig,
+    Session,
+    segment_key,
+)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """Shared small builder + (untrained, deterministic) regressor."""
+    from repro.config import DspConfig, ModelConfig, RadarConfig
+
+    radar = RadarConfig(samples_per_chirp=32, chirp_loops=8)
+    dsp = DspConfig(
+        range_bins=16, doppler_bins=4, azimuth_bins=8, elevation_bins=8,
+        segment_frames=2,
+    )
+    model = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16,
+    )
+    builder = CubeBuilder(radar, dsp)
+    regressor = HandJointRegressor(dsp, model, seed=7)
+    regressor.eval()
+    return builder, regressor
+
+
+def _raw_frames(builder, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(
+        size=(
+            count,
+            builder.array.num_virtual,
+            builder.radar.chirp_loops,
+            builder.radar.samples_per_chirp,
+        )
+    )
+
+
+def _request(session_id, frame_index=0, seed=0, shape=(2, 4, 16, 16)):
+    rng = np.random.default_rng(seed)
+    return SegmentRequest(
+        session_id=session_id,
+        frame_index=frame_index,
+        segment=rng.normal(size=shape),
+    )
+
+
+# ----------------------------------------------------------------------
+# FrameWindow / Session lifecycle
+# ----------------------------------------------------------------------
+def test_frame_window_emission_schedule():
+    window = FrameWindow(segment_frames=3, hop_frames=2)
+    frames = [np.full((2, 2, 2), i, dtype=np.float32) for i in range(8)]
+    emitted = [window.push(f) is not None for f in frames]
+    # Window full at index 2, then every 2nd frame -- but the first
+    # emission also waits for the hop counter (2 pushes since start).
+    assert emitted == [False, False, True, False, True, False, True,
+                       False]
+    assert window.fill == 3
+    assert window.frame_index == 7
+    window.reset()
+    assert window.fill == 0
+    assert window.frame_index == -1
+
+
+def test_frame_window_validates():
+    with pytest.raises(ServingError):
+        FrameWindow(segment_frames=0)
+    with pytest.raises(ServingError):
+        FrameWindow(segment_frames=2, hop_frames=0)
+    window = FrameWindow(segment_frames=2)
+    with pytest.raises(FrameShapeError):
+        window.push(np.zeros((2, 2)))
+
+
+def test_session_lifecycle(stack):
+    builder, _ = stack
+    session = Session(builder, session_id="client-a")
+    raw = _raw_frames(builder, 3)
+    assert session.feed(raw[0]) is None
+    request = session.feed(raw[1])
+    assert request is not None
+    assert request.session_id == "client-a"
+    assert request.frame_index == 1
+    assert request.segment.shape == (2, 4, 16, 16)
+    assert session.stats()["frames_in"] == 2
+    session.close()
+    assert session.closed
+    with pytest.raises(SessionClosedError):
+        session.feed(raw[2])
+    with pytest.raises(SessionClosedError):
+        session.reset()
+
+
+def test_session_feed_validates_shape(stack):
+    builder, _ = stack
+    session = Session(builder)
+    with pytest.raises(FrameShapeError):
+        session.feed(np.zeros((4, 4)))
+    with pytest.raises(FrameShapeError):
+        session.feed_cube(np.zeros((4, 4)))
+
+
+def test_server_session_lifecycle(stack):
+    builder, regressor = stack
+    server = InferenceServer(builder, regressor)
+    sid = server.open_session("s-1")
+    assert sid == "s-1"
+    with pytest.raises(ServingError):
+        server.open_session("s-1")  # duplicate id
+    with pytest.raises(UnknownSessionError):
+        server.submit("nope", np.zeros((12, 8, 32)))
+    raw = _raw_frames(builder, 2)
+    assert server.submit(sid, raw[0]) is False  # window not full yet
+    assert server.submit(sid, raw[1]) is True
+    server.close_session(sid)
+    # Closing purges the queued window and later submits fail.
+    assert len(server.queue) == 0
+    with pytest.raises(SessionClosedError):
+        server.submit(sid, raw[0])
+    stats = server.stats()
+    assert stats["counters"]["sessions_opened"] == 1
+    assert stats["counters"]["sessions_closed"] == 1
+    assert stats["sessions"][sid]["dropped"] == 1
+
+
+def test_server_session_limit(stack):
+    builder, regressor = stack
+    server = InferenceServer(
+        builder, regressor, ServingConfig(max_sessions=2)
+    )
+    server.open_session()
+    server.open_session()
+    with pytest.raises(ServingError):
+        server.open_session()
+
+
+# ----------------------------------------------------------------------
+# Micro-batch equivalence
+# ----------------------------------------------------------------------
+def test_batched_predict_matches_per_item(stack):
+    _, regressor = stack
+    rng = np.random.default_rng(3)
+    segments = rng.normal(size=(6, 2, 4, 16, 16))
+    batched = regressor.predict(segments)
+    solo = np.stack([regressor.predict(s[None])[0] for s in segments])
+    np.testing.assert_allclose(batched, solo, atol=1e-6)
+
+
+def test_server_matches_streaming_estimator(stack):
+    """>= 4 concurrent sessions through the micro-batched server agree
+    with independent single-session StreamingEstimator runs."""
+    builder, regressor = stack
+    num_sessions, num_frames = 4, 5
+    feeds = [
+        _raw_frames(builder, num_frames, seed=100 + i)
+        for i in range(num_sessions)
+    ]
+
+    expected = {}
+    for i, feed in enumerate(feeds):
+        estimator = StreamingEstimator(builder, regressor, hop_frames=1)
+        expected[f"c{i}"] = [
+            (o.frame_index, o.skeleton) for o in estimator.run(feed)
+        ]
+
+    server = InferenceServer(
+        builder, regressor,
+        ServingConfig(max_batch_size=num_sessions, enable_cache=False),
+    )
+    for i in range(num_sessions):
+        server.open_session(f"c{i}")
+    results = []
+    for t in range(num_frames):
+        for i in range(num_sessions):
+            server.submit(f"c{i}", feeds[i][t])
+        results.extend(server.step())
+    results.extend(server.drain())
+
+    got = {f"c{i}": [] for i in range(num_sessions)}
+    for result in results:
+        got[result.session_id].append(
+            (result.frame_index, result.joints)
+        )
+    for sid, pairs in expected.items():
+        got[sid].sort(key=lambda p: p[0])
+        assert [p[0] for p in got[sid]] == [p[0] for p in pairs]
+        for (_, joints_got), (_, joints_exp) in zip(got[sid], pairs):
+            np.testing.assert_allclose(
+                joints_got, joints_exp, atol=1e-6
+            )
+    # The server actually batched: fewer forward batches than poses.
+    stats = server.stats()
+    assert stats["counters"]["batches"] < stats["counters"]["poses"]
+    assert stats["histograms"]["batch_size"]["max"] == num_sessions
+
+
+def test_batcher_rejects_oversized_batch(stack):
+    _, regressor = stack
+    batcher = MicroBatcher(regressor, max_batch_size=2)
+    requests = [_request(f"s{i}", seed=i) for i in range(3)]
+    with pytest.raises(ServingError):
+        batcher.run(requests)
+    assert batcher.run([]) == []
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+def test_queue_reject_policy():
+    queue = RequestQueue(capacity=2, policy="reject")
+    queue.put(_request("a", 0))
+    queue.put(_request("a", 1))
+    with pytest.raises(QueueFullError):
+        queue.put(_request("a", 2))
+    assert queue.rejected == 1
+    assert len(queue) == 2
+
+
+def test_queue_drop_oldest_prefers_same_session():
+    queue = RequestQueue(capacity=3, policy="drop-oldest")
+    queue.put(_request("a", 0))
+    queue.put(_request("b", 0))
+    queue.put(_request("a", 1))
+    evicted = queue.put(_request("a", 2))
+    # The stale window of the *submitting* session goes first; the
+    # other session keeps its place.
+    assert evicted.session_id == "a" and evicted.frame_index == 0
+    assert queue.dropped == 1
+    depths = queue.depth_by_session()
+    assert depths == {"a": 2, "b": 1}
+
+
+def test_queue_block_times_out_without_consumer():
+    queue = RequestQueue(
+        capacity=1, policy="block", block_timeout_s=0.05
+    )
+    queue.put(_request("a", 0))
+    start = time.perf_counter()
+    with pytest.raises(QueueFullError):
+        queue.put(_request("a", 1))
+    assert time.perf_counter() - start >= 0.04
+
+
+def test_queue_block_waits_for_consumer():
+    queue = RequestQueue(
+        capacity=1, policy="block", block_timeout_s=2.0
+    )
+    queue.put(_request("a", 0))
+
+    def consume():
+        time.sleep(0.05)
+        queue.pop_batch(1)
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    queue.put(_request("a", 1))  # unblocked by the consumer thread
+    thread.join()
+    assert len(queue) == 1
+
+
+def test_queue_fairness_round_robin():
+    queue = RequestQueue(capacity=16, policy="reject")
+    for i in range(6):
+        queue.put(_request("hog", i))
+    queue.put(_request("quiet", 0))
+    batch = queue.pop_batch(4)
+    sessions = [r.session_id for r in batch]
+    # The quiet session is served within the first batch despite the
+    # hog's six-deep backlog.
+    assert "quiet" in sessions
+    assert sessions.count("hog") == 3
+
+
+def test_queue_validates():
+    with pytest.raises(ServingError):
+        RequestQueue(capacity=0)
+    with pytest.raises(ServingError):
+        RequestQueue(policy="spill")
+    with pytest.raises(ServingError):
+        RequestQueue(block_timeout_s=0.0)
+    with pytest.raises(ServingError):
+        RequestQueue().pop_batch(0)
+
+
+def test_server_drop_oldest_backpressure(stack):
+    builder, regressor = stack
+    server = InferenceServer(
+        builder, regressor,
+        ServingConfig(
+            max_batch_size=2, queue_capacity=2, policy="drop-oldest",
+            enable_cache=False,
+        ),
+    )
+    sid = server.open_session()
+    raw = _raw_frames(builder, 6)
+    for frame in raw:
+        server.submit(sid, frame)  # never stepping: queue overflows
+    assert len(server.queue) == 2
+    stats = server.stats()
+    assert stats["queue"]["dropped"] == 3
+    assert stats["sessions"][sid]["dropped"] == 3
+    # The retained windows are the newest two.
+    results = server.drain()
+    assert [r.frame_index for r in results] == [4, 5]
+
+
+def test_server_block_policy_serves_inline(stack):
+    """Single-threaded block policy: a full queue triggers an inline
+    step instead of deadlocking the producer."""
+    builder, regressor = stack
+    server = InferenceServer(
+        builder, regressor,
+        ServingConfig(
+            max_batch_size=2, queue_capacity=2, policy="block",
+            block_timeout_s=0.2, enable_cache=False,
+        ),
+    )
+    sid = server.open_session()
+    raw = _raw_frames(builder, 6)
+    for frame in raw:
+        server.submit(sid, frame)
+    results = server.drain()
+    total = server.stats()["sessions"][sid]["results_out"]
+    # Every emitted window was served; nothing dropped or rejected.
+    assert total == 5
+    assert server.stats()["queue"]["dropped"] == 0
+    assert server.stats()["queue"]["rejected"] == 0
+    assert len(results) <= total
+
+
+def test_server_reject_policy_raises(stack):
+    builder, regressor = stack
+    server = InferenceServer(
+        builder, regressor,
+        ServingConfig(
+            max_batch_size=2, queue_capacity=1, policy="reject",
+            enable_cache=False,
+        ),
+    )
+    sid = server.open_session()
+    raw = _raw_frames(builder, 3)
+    server.submit(sid, raw[0])
+    server.submit(sid, raw[1])  # fills the queue
+    with pytest.raises(QueueFullError):
+        server.submit(sid, raw[2])
+    assert server.stats()["counters"]["rejected"] == 1
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+def test_segment_cache_lru_and_accounting():
+    cache = SegmentCache(capacity=2)
+    a, b, c = (np.full((2, 2), v) for v in (1.0, 2.0, 3.0))
+    ka, kb, kc = segment_key(a), segment_key(b), segment_key(c)
+    assert ka != kb != kc
+    assert cache.get(ka) is None  # miss
+    cache.put(ka, np.zeros((21, 3)))
+    cache.put(kb, np.ones((21, 3)))
+    assert cache.get(ka) is not None  # hit; refreshes recency
+    cache.put(kc, np.ones((21, 3)))  # evicts b (least recent)
+    assert cache.get(kb) is None
+    assert cache.get(kc) is not None
+    stats = cache.stats()
+    assert stats["hits"] == 2
+    assert stats["misses"] == 2
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_segment_key_covers_shape_and_dtype():
+    flat = np.arange(4.0)
+    assert segment_key(flat) != segment_key(flat.reshape(2, 2))
+    assert segment_key(flat) != segment_key(flat.astype(np.float32))
+
+
+def test_server_cache_skips_network(stack):
+    builder, regressor = stack
+    server = InferenceServer(
+        builder, regressor,
+        ServingConfig(max_batch_size=4, enable_cache=True),
+    )
+    a = server.open_session("a")
+    b = server.open_session("b")
+    raw = _raw_frames(builder, 2)
+    # Both sessions replay the identical capture.
+    for frame in raw:
+        server.submit(a, frame)
+        server.submit(b, frame)
+    results = server.drain()
+    by_session = {r.session_id: r for r in results}
+    # The duplicate window rode along on the first one's forward row
+    # (within-batch dedup counts as a cache hit).
+    assert by_session["b"].cached or by_session["a"].cached
+    np.testing.assert_allclose(
+        by_session["a"].joints, by_session["b"].joints, atol=1e-6
+    )
+    stats = server.stats()
+    assert stats["counters"]["cache_hits"] == 1
+    assert stats["counters"]["cache_misses"] == 1
+    # A third client replaying the same capture is served entirely from
+    # the populated cache -- no forward pass at all.
+    c = server.open_session("c")
+    batches_before = server.stats()["counters"]["batches"]
+    for frame in raw:
+        server.submit(c, frame)
+    repeat = server.drain()
+    assert len(repeat) == 1
+    assert all(r.cached for r in repeat)
+    np.testing.assert_allclose(
+        repeat[0].joints, by_session["a"].joints, atol=1e-6
+    )
+    stats = server.stats()
+    assert stats["cache"]["hit_rate"] == pytest.approx(0.5)
+    # The all-cached batch still counts as a batch but runs no forward.
+    assert stats["counters"]["batches"] == batches_before + 1
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_histogram_percentiles():
+    hist = Histogram("latency")
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.count == 100
+    assert hist.percentile(50) == pytest.approx(50.5)
+    assert hist.percentile(95) == pytest.approx(95.05)
+    summary = hist.summary()
+    assert summary["count"] == 100
+    assert summary["mean"] == pytest.approx(50.5)
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p95"] == pytest.approx(95.05)
+    assert summary["p99"] == pytest.approx(99.01)
+    assert summary["max"] == 100.0
+
+
+def test_histogram_sliding_reservoir():
+    hist = Histogram("latency", capacity=10)
+    for value in range(100):
+        hist.observe(float(value))
+    # Only the newest 10 samples survive; count keeps the full total.
+    assert hist.count == 100
+    assert hist.summary()["p50"] == pytest.approx(94.5)
+
+
+def test_metrics_registry_snapshot_and_events():
+    registry = MetricsRegistry(event_capacity=4)
+    registry.counter("served").increment(3)
+    registry.gauge("depth").set(2)
+    registry.gauge("depth").add(-1)
+    registry.histogram("lat").observe(1.0)
+    for i in range(6):
+        registry.events.emit("tick", index=i)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["served"] == 3
+    assert snapshot["gauges"]["depth"] == 1
+    assert snapshot["histograms"]["lat"]["count"] == 1
+    # Event log is bounded; sequence numbers keep increasing.
+    tail = registry.events.tail(2)
+    assert len(registry.events) == 4
+    assert [e["index"] for e in tail] == [4, 5]
+    assert tail[-1]["seq"] == 5
+    with pytest.raises(ServingError):
+        registry.counter("served").increment(-1)
+
+
+# ----------------------------------------------------------------------
+# StreamingEstimator adapter
+# ----------------------------------------------------------------------
+def test_streaming_estimator_raises_typed_errors(stack):
+    builder, regressor = stack
+    estimator = StreamingEstimator(builder, regressor)
+    with pytest.raises(FrameShapeError):
+        estimator.push(np.zeros((8, 32)))
+    with pytest.raises(FrameShapeError):
+        estimator.run(np.zeros((2, 8, 32)))
+    # FrameShapeError stays inside the ReproError hierarchy.
+    assert issubclass(FrameShapeError, ReproError)
+    assert issubclass(QueueFullError, ServingError)

@@ -1,0 +1,49 @@
+"""Pipeline benchmark entry point (thin wrapper over ``repro.perf``).
+
+Times the batched DSP hot path -- cube building, radar synthesis, CFAR
+and the simulate+preprocess chain -- against the kept per-frame
+reference implementations, and records the equivalence error of every
+fast path next to its timing.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --json \
+        BENCH_pipeline.json
+
+Equivalent to ``mmhand bench``; ``--smoke`` shrinks the workload for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.perf import (
+    print_pipeline_report,
+    run_pipeline_bench,
+    write_bench_json,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI regression checks")
+    parser.add_argument("--json", dest="json_path",
+                        default="BENCH_pipeline.json")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N timing repeats")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    summary = run_pipeline_bench(
+        smoke=args.smoke, repeats=args.repeats, seed=args.seed
+    )
+    print_pipeline_report(summary)
+    write_bench_json(args.json_path, summary)
+    print(f"summary -> {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

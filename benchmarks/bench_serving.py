@@ -18,7 +18,6 @@ acceptance target is >= 2x for 8 batched sessions.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 from typing import List, Optional
@@ -28,6 +27,7 @@ import numpy as np
 from repro.config import DspConfig, ModelConfig, RadarConfig
 from repro.core.regressor import HandJointRegressor
 from repro.dsp.radar_cube import CubeBuilder
+from repro.perf import write_bench_json
 from repro.serving import FrameWindow, InferenceServer, ServingConfig
 
 
@@ -180,9 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print(f"speedup:    {speedup:.2f}x")
 
-    os.makedirs(os.path.dirname(args.json_path), exist_ok=True)
-    with open(args.json_path, "w") as fh:
-        json.dump(summary, fh, indent=2)
+    write_bench_json(args.json_path, summary)
     print(f"summary -> {args.json_path}")
     return 0
 

@@ -9,6 +9,8 @@ Subcommands cover the common workflows end to end:
   sequence and print ASCII skeletons + recognised gestures;
 * ``mmhand serve`` -- run the multi-session inference service over a
   simulated multi-client feed and print a throughput/latency report;
+* ``mmhand bench`` -- benchmark the DSP hot path against its reference
+  implementations and write a ``BENCH_pipeline.json`` summary;
 * ``mmhand export-mesh`` -- reconstruct a mesh from a gesture and write
   OBJ/SVG files.
 
@@ -401,6 +403,41 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _add_bench(subparsers) -> None:
+    p = subparsers.add_parser(
+        "bench",
+        help="benchmark the DSP hot path (cube build, simulator, CFAR) "
+             "and write a BENCH_pipeline.json regression summary",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny workload for CI regression checks")
+    p.add_argument("--json", dest="json_path",
+                   default="BENCH_pipeline.json",
+                   help="summary output path (default: BENCH_pipeline.json)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="take the best of N timing repeats")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_bench(args) -> int:
+    from repro.perf import (
+        print_pipeline_report,
+        run_pipeline_bench,
+        write_bench_json,
+    )
+
+    if args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 1
+    summary = run_pipeline_bench(
+        smoke=args.smoke, repeats=args.repeats, seed=args.seed
+    )
+    print_pipeline_report(summary)
+    write_bench_json(args.json_path, summary)
+    print(f"summary -> {args.json_path}")
+    return 0
+
+
 def _add_export_mesh(subparsers) -> None:
     p = subparsers.add_parser(
         "export-mesh",
@@ -455,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(subparsers)
     _add_demo(subparsers)
     _add_serve(subparsers)
+    _add_bench(subparsers)
     _add_export_mesh(subparsers)
     return parser
 
@@ -465,6 +503,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "demo": _cmd_demo,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
     "export-mesh": _cmd_export_mesh,
 }
 

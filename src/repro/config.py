@@ -112,6 +112,12 @@ class DspConfig:
     that keeps the hand's range band, then runs range-FFT, Doppler-FFT and
     angle-FFT, using zoom-FFT with a refinement factor of 2 restricted to
     +/-30 degrees for both azimuth and elevation.
+
+    ``precision`` selects the arithmetic of the whole DSP chain:
+    ``"exact"`` (default) runs in complex128/float64; ``"fast"`` runs in
+    complex64/float32, roughly halving memory bandwidth at the cost of
+    ~1e-5 relative error on cube values -- far below the noise floor of
+    the joint-error metrics (see DESIGN.md "Performance").
     """
 
     butterworth_order: int = 8
@@ -125,8 +131,14 @@ class DspConfig:
     segment_frames: int = 4
     range_window: str = "hann"
     doppler_window: str = "hann"
+    precision: str = "exact"
 
     def __post_init__(self) -> None:
+        if self.precision not in ("exact", "fast"):
+            raise ConfigError(
+                "precision must be 'exact' or 'fast', got "
+                f"{self.precision!r}"
+            )
         lo, hi = self.hand_band_m
         if not 0 <= lo < hi:
             raise ConfigError("hand_band_m must satisfy 0 <= lo < hi")
@@ -151,6 +163,16 @@ class DspConfig:
     @property
     def angle_span_rad(self) -> float:
         return math.radians(self.angle_span_deg)
+
+    @property
+    def complex_dtype(self) -> str:
+        """Complex dtype name of the DSP chain under ``precision``."""
+        return "complex64" if self.precision == "fast" else "complex128"
+
+    @property
+    def float_dtype(self) -> str:
+        """Real dtype name of cube values under ``precision``."""
+        return "float32" if self.precision == "fast" else "float64"
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,13 @@ producing the 4-D Radar Cube ``RC in R^{F x V x D x A}`` the network
 consumes.
 """
 
+from repro.dsp.plans import (
+    PLAN_CACHE,
+    PlanCache,
+    butterworth_bandpass_sos,
+    freeze,
+    zoom_kernel,
+)
 from repro.dsp.windows import get_window
 from repro.dsp.filters import hand_bandpass, band_to_if_hz
 from repro.dsp.fft import (
@@ -23,6 +30,7 @@ from repro.dsp.radar_cube import (
 from repro.dsp.cfar import (
     CfarConfig,
     ca_cfar,
+    ca_cfar_reference,
     detect_peaks,
     locate_hand,
     adaptive_hand_band,
@@ -39,6 +47,11 @@ from repro.dsp.pointcloud import (
 )
 
 __all__ = [
+    "PLAN_CACHE",
+    "PlanCache",
+    "butterworth_bandpass_sos",
+    "freeze",
+    "zoom_kernel",
     "get_window",
     "hand_bandpass",
     "band_to_if_hz",
@@ -51,6 +64,7 @@ __all__ = [
     "segment_cube",
     "CfarConfig",
     "ca_cfar",
+    "ca_cfar_reference",
     "detect_peaks",
     "locate_hand",
     "adaptive_hand_band",

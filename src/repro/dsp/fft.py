@@ -17,9 +17,24 @@ from typing import Tuple
 import numpy as np
 
 from repro.config import DspConfig, RadarConfig
+from repro.dsp.plans import PLAN_CACHE, freeze, zoom_kernel
 from repro.dsp.windows import get_window
 from repro.errors import SignalProcessingError
 from repro.radar.antenna import VirtualArray
+
+
+def _window_dtype(dsp: DspConfig) -> np.dtype:
+    """Window dtype that avoids upcasting the configured DSP precision."""
+    return np.dtype(
+        np.float32 if dsp.precision == "fast" else np.float64
+    )
+
+
+def _cast_spectrum(spectrum: np.ndarray, dsp: DspConfig) -> np.ndarray:
+    """Hold the chain in complex64 under the fast dtype policy."""
+    if dsp.precision == "fast":
+        return spectrum.astype(np.complex64, copy=False)
+    return spectrum
 
 
 def range_fft(
@@ -40,9 +55,9 @@ def range_fft(
         raise SignalProcessingError(
             "range_bins cannot exceed samples_per_chirp"
         )
-    window = get_window(dsp.range_window, n)
+    window = get_window(dsp.range_window, n, dtype=_window_dtype(dsp))
     spectrum = np.fft.fft(data * window, axis=-1)
-    return spectrum[..., : dsp.range_bins]
+    return _cast_spectrum(spectrum[..., : dsp.range_bins], dsp)
 
 
 def doppler_fft(
@@ -65,14 +80,16 @@ def doppler_fft(
         raise SignalProcessingError("doppler_bins cannot exceed chirp_loops")
     window_shape = [1] * data.ndim
     window_shape[axis] = loops
-    window = get_window(dsp.doppler_window, loops).reshape(window_shape)
+    window = get_window(
+        dsp.doppler_window, loops, dtype=_window_dtype(dsp)
+    ).reshape(window_shape)
     spectrum = np.fft.fftshift(np.fft.fft(data * window, axis=axis), axes=axis)
     centre = loops // 2
     lo = centre - dsp.doppler_bins // 2
     hi = lo + dsp.doppler_bins
     index = [slice(None)] * data.ndim
     index[axis] = slice(lo, hi)
-    return spectrum[tuple(index)]
+    return _cast_spectrum(spectrum[tuple(index)], dsp)
 
 
 def zoom_fft(
@@ -92,10 +109,7 @@ def zoom_fft(
     data = np.asarray(data)
     data = np.moveaxis(data, axis, -1)
     n = data.shape[-1]
-    freqs = np.linspace(lo, hi, bins)
-    kernel = np.exp(
-        -2j * np.pi * freqs[:, None] * np.arange(n)[None, :]
-    )
+    kernel = zoom_kernel(lo, hi, bins, n)
     out = data @ kernel.T
     return np.moveaxis(out, -1, axis)
 
@@ -118,11 +132,33 @@ class AngleProcessor:
         span = dsp.angle_span_rad
         self.azimuth_grid = np.linspace(-span, span, az_eval)
         self.elevation_grid = np.linspace(-span, span, el_eval)
-        az2d, el2d = np.meshgrid(
-            self.azimuth_grid, self.elevation_grid, indexing="ij"
+        # The steering matrix only depends on array geometry and the
+        # angle-grid config, so share it across AngleProcessor instances
+        # (one per CubeBuilder, of which serving stacks create many).
+        plan_key = (
+            array.positions.tobytes(),
+            az_eval,
+            el_eval,
+            float(span),
         )
-        phases = array.steering_phases(az2d, el2d)  # (az, el, V)
-        self._steering = np.exp(-1j * phases) / np.sqrt(array.num_virtual)
+
+        def build_steering() -> np.ndarray:
+            az2d, el2d = np.meshgrid(
+                self.azimuth_grid, self.elevation_grid, indexing="ij"
+            )
+            phases = array.steering_phases(az2d, el2d)  # (az, el, V)
+            return freeze(
+                np.exp(-1j * phases) / np.sqrt(array.num_virtual)
+            )
+
+        self._steering = PLAN_CACHE.get(
+            "steering", plan_key, build_steering
+        )
+        self._steering_c64 = PLAN_CACHE.get(
+            "steering",
+            plan_key + ("complex64",),
+            lambda: freeze(self._steering.astype(np.complex64)),
+        )
         self._az_eval = az_eval
         self._el_eval = el_eval
 
@@ -171,11 +207,30 @@ class AngleProcessor:
                 f"antennas, got {data.shape[0]}"
             )
         flat = data.reshape(data.shape[0], -1)
-        # (az, el, V) @ (V, M) -> (az, el, M)
-        beamformed = np.tensordot(self._steering, flat, axes=([2], [0]))
-        power = np.abs(beamformed)
-        azimuth = power.mean(axis=1)
-        elevation = power.mean(axis=0)
+        # (az*el, V) @ (V, M) per column chunk; complex64 inputs use the
+        # single-precision steering copy so the product stays complex64.
+        single = flat.dtype == np.complex64
+        steering = self._steering_c64 if single else self._steering
+        smat = steering.reshape(-1, steering.shape[-1])
+        az_eval, el_eval = self._az_eval, self._el_eval
+        m = flat.shape[1]
+        real_dtype = np.float32 if single else np.float64
+        azimuth = np.empty((az_eval, m), dtype=real_dtype)
+        elevation = np.empty((el_eval, m), dtype=real_dtype)
+        # Chunk the beamformed (az*el, M) intermediate to ~1 MiB so it
+        # stays cache-resident; one giant matmul is bandwidth-bound and
+        # measurably slower than this blocked sweep.
+        chunk = max(
+            1,
+            (1 << 20) // (az_eval * el_eval * flat.dtype.itemsize),
+        )
+        for start in range(0, m, chunk):
+            block = flat[:, start : start + chunk]
+            power = np.abs(smat @ block).reshape(
+                az_eval, el_eval, block.shape[1]
+            )
+            azimuth[:, start : start + chunk] = power.mean(axis=1)
+            elevation[:, start : start + chunk] = power.mean(axis=0)
         azimuth = self._upsample(azimuth, self.dsp.azimuth_bins)
         elevation = self._upsample(elevation, self.dsp.elevation_bins)
         tail = data.shape[1:]

@@ -9,8 +9,9 @@ Azimuth and elevation spectra share the angle axis by concatenation
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +61,11 @@ class CubeBuilder:
     """Runs the full pre-processing chain on raw IF frames.
 
     filter -> range-FFT -> Doppler-FFT -> angle spectra -> log magnitude.
+
+    The angle stage processes all frames in one batched beamforming
+    tensordot (antennas first, every frame in the tail axes) instead of
+    a per-frame Python loop; :meth:`build_reference` keeps the original
+    frame-by-frame path for equivalence tests and benchmarking.
     """
 
     def __init__(
@@ -78,6 +84,64 @@ class CubeBuilder:
 
         Accepts a single frame ``(V_ant, L, N)`` as well.
         """
+        cube, _ = self.build_timed(raw_frames)
+        return cube
+
+    def build_timed(
+        self, raw_frames: np.ndarray
+    ) -> Tuple[RadarCube, Dict[str, float]]:
+        """Like :meth:`build`, also returning per-stage wall-clock times.
+
+        The timing dict maps ``bandpass`` / ``range_fft`` /
+        ``doppler_fft`` / ``angle`` to seconds; the serving layer feeds
+        these into its ``preprocess_*`` histograms.
+        """
+        raw = self._validate_raw(raw_frames)
+        timings: Dict[str, float] = {}
+        tic = time.perf_counter()
+        filtered = hand_bandpass(raw, self.radar, self.dsp)
+        timings["bandpass"] = time.perf_counter() - tic
+        tic = time.perf_counter()
+        ranged = range_fft(filtered, self.radar, self.dsp)  # (F,V_ant,L,D)
+        timings["range_fft"] = time.perf_counter() - tic
+        tic = time.perf_counter()
+        doppler = doppler_fft(ranged, self.radar, self.dsp, axis=2)
+        timings["doppler_fft"] = time.perf_counter() - tic
+        # -> (F, V_ant, Vdopp, D); angle processing wants antennas first,
+        # and handles all frames at once through its tail axes.
+        tic = time.perf_counter()
+        azimuth, elevation = self._angle.spectra(
+            np.moveaxis(doppler, 1, 0)
+        )
+        # (A_az, F, Vd, D) and (A_el, F, Vd, D) -> (F, Vd, D, A)
+        combined = np.concatenate([azimuth, elevation], axis=0)
+        values = np.log1p(np.moveaxis(combined, 0, -1))
+        timings["angle"] = time.perf_counter() - tic
+        return self._assemble(values), timings
+
+    def build_reference(self, raw_frames: np.ndarray) -> RadarCube:
+        """Frame-by-frame reference implementation of :meth:`build`.
+
+        This is the pre-batching code path: scipy's sample-by-sample
+        ``sosfiltfilt`` and one angle-spectra call per frame. Kept for
+        equivalence tests (`build` must match it to <= 1e-9) and as the
+        benchmark baseline.
+        """
+        raw = self._validate_raw(raw_frames)
+        filtered = hand_bandpass(
+            raw, self.radar, self.dsp, method="sosfiltfilt"
+        )
+        ranged = range_fft(filtered, self.radar, self.dsp)
+        doppler = doppler_fft(ranged, self.radar, self.dsp, axis=2)
+        frames = []
+        for f in range(doppler.shape[0]):
+            azimuth, elevation = self._angle.spectra(doppler[f])
+            combined = np.concatenate([azimuth, elevation], axis=0)
+            frames.append(np.moveaxis(combined, 0, -1))
+        values = np.log1p(np.stack(frames))
+        return self._assemble(values)
+
+    def _validate_raw(self, raw_frames: np.ndarray) -> np.ndarray:
         raw = np.asarray(raw_frames)
         if raw.ndim == 3:
             raw = raw[None]
@@ -90,17 +154,9 @@ class CubeBuilder:
                 f"expected {self.array.num_virtual} virtual antennas, "
                 f"got {raw.shape[1]}"
             )
-        filtered = hand_bandpass(raw, self.radar, self.dsp)
-        ranged = range_fft(filtered, self.radar, self.dsp)  # (F,V_ant,L,D)
-        doppler = doppler_fft(ranged, self.radar, self.dsp, axis=2)
-        # -> (F, V_ant, Vdopp, D); angle processing wants antennas first.
-        frames = []
-        for f in range(doppler.shape[0]):
-            azimuth, elevation = self._angle.spectra(doppler[f])
-            # (A_az, Vd, D) and (A_el, Vd, D) -> (Vd, D, A)
-            combined = np.concatenate([azimuth, elevation], axis=0)
-            frames.append(np.moveaxis(combined, 0, -1))
-        values = np.log1p(np.stack(frames))
+        return raw
+
+    def _assemble(self, values: np.ndarray) -> RadarCube:
         return RadarCube(
             values=values,
             range_axis_m=self.range_axis_m(),

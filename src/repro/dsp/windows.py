@@ -2,13 +2,16 @@
 
 Kept minimal and dependency-light: the radar DSP only needs a few
 classical tapers, applied along fast-time (range) and slow-time (Doppler)
-axes to control spectral leakage.
+axes to control spectral leakage. Windows are served from the shared
+:data:`~repro.dsp.plans.PLAN_CACHE` as read-only arrays so the FFT hot
+path never recomputes a taper and no caller can corrupt the shared copy.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.dsp.plans import PLAN_CACHE, freeze
 from repro.errors import SignalProcessingError
 
 _WINDOWS = {}
@@ -53,10 +56,16 @@ def _blackman(n: int) -> np.ndarray:
     )
 
 
-def get_window(name: str, length: int) -> np.ndarray:
+def get_window(
+    name: str, length: int, dtype: np.dtype = np.float64
+) -> np.ndarray:
     """Return the named window of the given length.
 
     Supported names: ``rect``, ``hann``, ``hamming``, ``blackman``.
+    The result is a cached, **read-only** array shared between callers
+    (one cache entry per ``(name, length, dtype)``); copy it before
+    mutating. ``dtype=np.float32`` serves the fast-precision DSP path
+    without upcasting its operands.
     """
     if length < 1:
         raise SignalProcessingError("window length must be >= 1")
@@ -66,4 +75,9 @@ def get_window(name: str, length: int) -> np.ndarray:
         raise SignalProcessingError(
             f"unknown window {name!r}; available: {sorted(_WINDOWS)}"
         ) from None
-    return fn(length)
+    dtype = np.dtype(dtype)
+    return PLAN_CACHE.get(
+        "window",
+        (name, int(length), dtype.str),
+        lambda: freeze(fn(length).astype(dtype, copy=False)),
+    )

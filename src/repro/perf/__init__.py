@@ -1,0 +1,22 @@
+"""Performance measurement harness.
+
+:func:`run_pipeline_bench` times every stage the PR's vectorisation work
+touched -- cube building, radar synthesis, CFAR -- against the kept
+reference implementations, records the equivalence error of each fast
+path, and snapshots the plan-cache counters. :func:`write_bench_json`
+is the single JSON writer shared by all benchmark entry points
+(``mmhand bench``, ``benchmarks/bench_pipeline.py``,
+``benchmarks/bench_serving.py``).
+"""
+
+from repro.perf.bench import (
+    print_pipeline_report,
+    run_pipeline_bench,
+    write_bench_json,
+)
+
+__all__ = [
+    "print_pipeline_report",
+    "run_pipeline_bench",
+    "write_bench_json",
+]

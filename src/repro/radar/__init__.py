@@ -8,7 +8,7 @@ runs unchanged on simulated data.
 """
 
 from repro.radar.antenna import VirtualArray, iwr1443_array
-from repro.radar.chirp import synthesize_frame
+from repro.radar.chirp import synthesize_frame, synthesize_sequence
 from repro.radar.scatterers import (
     GloveSpec,
     HandheldObjectSpec,
@@ -25,12 +25,14 @@ from repro.radar.clutter import (
     environment_scatterers,
 )
 from repro.radar.scene import Scatterers, Scene
-from repro.radar.radar import RadarSimulator
+from repro.radar.radar import RadarSimulator, simulate_sequences
 
 __all__ = [
     "VirtualArray",
     "iwr1443_array",
     "synthesize_frame",
+    "synthesize_sequence",
+    "simulate_sequences",
     "GloveSpec",
     "HandheldObjectSpec",
     "hand_scatterers",

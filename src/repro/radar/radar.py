@@ -8,6 +8,7 @@ DCA1000EVM capture card.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -15,7 +16,7 @@ import numpy as np
 from repro.config import RadarConfig
 from repro.errors import RadarError
 from repro.radar.antenna import VirtualArray, iwr1443_array
-from repro.radar.chirp import synthesize_frame
+from repro.radar.chirp import synthesize_frame, synthesize_sequence
 from repro.radar.scene import Scene
 
 
@@ -52,8 +53,77 @@ class RadarSimulator:
         )
 
     def sequence(self, scenes: Sequence[Scene]) -> np.ndarray:
-        """Raw IF cubes for consecutive frames, shape ``(F, V, L, N)``."""
+        """Raw IF cubes for consecutive frames, shape ``(F, V, L, N)``.
+
+        Batched: the TDM phase tensors of every frame feed one
+        optimised einsum contraction and the noise stream is drawn in a
+        single call that consumes the generator exactly like per-frame
+        draws -- the noise is bit-identical to stacking :meth:`frame`
+        calls and the deterministic part matches to ~1e-13 relative.
+        """
+        if not scenes:
+            raise RadarError("at least one scene is required")
+        return synthesize_sequence(
+            self.config,
+            self.array,
+            [scene.all_scatterers() for scene in scenes],
+            self._rng,
+        )
+
+    def sequence_reference(self, scenes: Sequence[Scene]) -> np.ndarray:
+        """Frame-by-frame reference path of :meth:`sequence`.
+
+        Kept for equivalence tests and as the benchmark baseline.
+        """
         if not scenes:
             raise RadarError("at least one scene is required")
         frames: List[np.ndarray] = [self.frame(scene) for scene in scenes]
         return np.stack(frames)
+
+
+def _simulate_one(
+    config: RadarConfig,
+    array: Optional[VirtualArray],
+    scenes: Sequence[Scene],
+    seed: int,
+) -> np.ndarray:
+    """Top-level worker (picklable for process pools)."""
+    return RadarSimulator(config, array, seed=seed).sequence(scenes)
+
+
+def simulate_sequences(
+    config: Optional[RadarConfig],
+    scene_lists: Sequence[Sequence[Scene]],
+    seeds: Sequence[int],
+    array: Optional[VirtualArray] = None,
+    workers: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Synthesise several independent sequences, optionally in parallel.
+
+    Each entry of ``scene_lists`` is simulated by its own
+    :class:`RadarSimulator` seeded from the matching entry of ``seeds``,
+    so results do not depend on scheduling order or worker count.
+    ``workers`` > 1 fans the sequences out over a
+    ``ProcessPoolExecutor`` (useful for dataset generation on multicore
+    machines); ``None`` picks ``min(len(scene_lists), cpu_count)`` and
+    anything <= 1 -- including single-core hosts -- runs serially in
+    this process.
+    """
+    if len(scene_lists) != len(seeds):
+        raise RadarError("need exactly one seed per scene list")
+    config = config if config is not None else RadarConfig()
+    if workers is None:
+        workers = min(len(scene_lists), os.cpu_count() or 1)
+    if workers > 1 and len(scene_lists) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_simulate_one, config, array, scenes, seed)
+                for scenes, seed in zip(scene_lists, seeds)
+            ]
+            return [future.result() for future in futures]
+    return [
+        _simulate_one(config, array, scenes, seed)
+        for scenes, seed in zip(scene_lists, seeds)
+    ]

@@ -97,6 +97,7 @@ class InferenceServer:
         session = Session(
             self.builder, session_id=session_id,
             hop_frames=self.config.hop_frames,
+            metrics=self.metrics,
         )
         if session.session_id in self._sessions:
             raise ServingError(

@@ -13,12 +13,15 @@ import itertools
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 import numpy as np
 
 from repro.dsp.radar_cube import CubeBuilder
 from repro.errors import FrameShapeError, ServingError, SessionClosedError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.serving.metrics import MetricsRegistry
 
 
 @dataclass
@@ -108,8 +111,10 @@ class Session:
         builder: CubeBuilder,
         session_id: Optional[str] = None,
         hop_frames: int = 1,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.builder = builder
+        self.metrics = metrics
         self.session_id = (
             session_id
             if session_id is not None
@@ -139,7 +144,17 @@ class Session:
                 "feed expects a single raw frame "
                 f"(antennas, loops, samples), got shape {raw_frame.shape}"
             )
-        cube = self.builder.build(raw_frame[None])
+        cube, timings = self.builder.build_timed(raw_frame[None])
+        if self.metrics is not None:
+            # Per-stage preprocessing cost, visible in server stats()
+            # next to the queue/batch latencies it trades off against.
+            self.metrics.histogram("preprocess_s").observe(
+                sum(timings.values())
+            )
+            for stage, seconds in timings.items():
+                self.metrics.histogram(
+                    f"preprocess_{stage}_s"
+                ).observe(seconds)
         return self.feed_cube(cube.values[0])
 
     def feed_cube(self, cube_frame: np.ndarray) -> Optional[SegmentRequest]:

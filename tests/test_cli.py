@@ -163,3 +163,27 @@ def test_serve_bounded_run(tmp_path, capsys):
     assert stats["counters"]["poses"] == 6
     assert stats["counters"]["sessions_closed"] == 2
     assert stats["histograms"]["latency_s"]["count"] == 6
+
+
+def test_bench_smoke(tmp_path, capsys):
+    """The bench subcommand runs the smoke workload and writes JSON."""
+    json_path = tmp_path / "bench.json"
+    assert cli.main(
+        ["bench", "--smoke", "--json", str(json_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cube build" in out
+    assert "plan cache" in out
+    import json
+
+    summary = json.loads(json_path.read_text())
+    assert summary["smoke"] is True
+    assert summary["cube_build"]["batched_exact"][
+        "max_abs_diff_vs_reference"
+    ] <= 1e-9
+    assert summary["cfar"]["vectorized"]["mask_identical"] is True
+
+
+def test_bench_rejects_bad_repeats(capsys):
+    assert cli.main(["bench", "--smoke", "--repeats", "0"]) == 1
+    assert "--repeats" in capsys.readouterr().err

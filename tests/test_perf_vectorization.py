@@ -1,0 +1,337 @@
+"""Tests of the vectorized DSP hot path: plan caching, batched cube
+building, batched radar synthesis, the fast dtype policy, the
+cumulative-sum CFAR and the benchmark harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigError, DspConfig, RadarConfig
+from repro.dsp import (
+    PLAN_CACHE,
+    CfarConfig,
+    PlanCache,
+    butterworth_bandpass_sos,
+    ca_cfar,
+    ca_cfar_reference,
+    get_window,
+    zoom_kernel,
+)
+from repro.dsp.filters import hand_bandpass
+from repro.dsp.plans import filtfilt_operator
+from repro.dsp.radar_cube import CubeBuilder
+from repro.errors import SignalProcessingError
+from repro.radar import RadarSimulator, simulate_sequences
+from repro.radar.chirp import synthesize_frame, synthesize_sequence
+from repro.radar.antenna import iwr1443_array
+from repro.radar.scene import Scatterers, Scene
+
+
+@pytest.fixture
+def small_raw(small_radar, rng):
+    array = iwr1443_array(small_radar)
+    shape = (
+        6,
+        array.num_virtual,
+        small_radar.chirp_loops,
+        small_radar.samples_per_chirp,
+    )
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+def _scenes(rng, frames, scatterers=8):
+    scenes = []
+    for _ in range(frames):
+        n = scatterers
+        scenes.append(
+            Scene(
+                hand=Scatterers(
+                    positions=rng.uniform(
+                        [0.15, -0.1, -0.1], [0.4, 0.1, 0.1], size=(n, 3)
+                    ),
+                    velocities=rng.normal(0.0, 0.3, size=(n, 3)),
+                    amplitudes=rng.uniform(0.5, 1.5, size=n),
+                )
+            )
+        )
+    return scenes
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+def test_plan_cache_counts_hits_and_misses():
+    cache = PlanCache()
+    built = []
+
+    def build():
+        built.append(1)
+        return np.zeros(3)
+
+    a = cache.get("window", ("hann", 8), build)
+    b = cache.get("window", ("hann", 8), build)
+    assert a is b
+    assert len(built) == 1
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["by_kind"]["window"]["entries"] == 1
+
+
+def test_plan_cache_disabled_rebuilds():
+    cache = PlanCache()
+    calls = []
+    cache.get("k", 1, lambda: calls.append(1))
+    with cache.disabled():
+        cache.get("k", 1, lambda: calls.append(1))
+        cache.get("k", 1, lambda: calls.append(1))
+    cache.get("k", 1, lambda: calls.append(1))
+    # one miss, two pass-through rebuilds, one hit
+    assert len(calls) == 3
+
+
+def test_plan_cache_evicts_lru():
+    cache = PlanCache(maxsize=2)
+    cache.get("k", 1, lambda: "a")
+    cache.get("k", 2, lambda: "b")
+    cache.get("k", 1, lambda: "a")  # touch 1 so 2 is the LRU entry
+    cache.get("k", 3, lambda: "c")
+    assert len(cache) == 2
+    rebuilt = []
+    cache.get("k", 2, lambda: rebuilt.append(1))
+    assert rebuilt  # 2 was evicted
+
+
+def test_windows_cached_and_read_only():
+    w1 = get_window("hann", 33)
+    w2 = get_window("hann", 33)
+    assert w1 is w2
+    assert not w1.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        w1[0] = 5.0
+    # distinct dtypes are distinct plans
+    w32 = get_window("hann", 33, dtype=np.float32)
+    assert w32.dtype == np.float32
+    assert w32 is not w1
+
+
+def test_cached_sos_and_zoom_kernel_frozen():
+    sos = butterworth_bandpass_sos(4, 0.1, 0.4)
+    assert not sos.flags.writeable
+    assert sos is butterworth_bandpass_sos(4, 0.1, 0.4)
+    kernel = zoom_kernel(-0.25, 0.25, 16, 8)
+    assert not kernel.flags.writeable
+    assert kernel is zoom_kernel(-0.25, 0.25, 16, 8)
+
+
+def test_steering_matrix_shared_across_builders(small_radar, small_dsp):
+    a = CubeBuilder(small_radar, small_dsp)
+    b = CubeBuilder(small_radar, small_dsp)
+    assert a._angle._steering is b._angle._steering
+
+
+# ----------------------------------------------------------------------
+# Dense filtfilt operator / bandpass equivalence
+# ----------------------------------------------------------------------
+def test_filtfilt_operator_matches_sosfiltfilt(small_radar, rng):
+    dsp = DspConfig()
+    data = rng.normal(
+        size=(3, 4, small_radar.samples_per_chirp)
+    ) + 1j * rng.normal(size=(3, 4, small_radar.samples_per_chirp))
+    via_operator = hand_bandpass(data, small_radar, dsp, method="operator")
+    via_scipy = hand_bandpass(data, small_radar, dsp, method="sosfiltfilt")
+    scale = np.abs(via_scipy).max()
+    assert np.abs(via_operator - via_scipy).max() / scale < 1e-12
+
+
+def test_hand_bandpass_rejects_unknown_method(small_radar):
+    data = np.zeros((2, small_radar.samples_per_chirp))
+    with pytest.raises(SignalProcessingError):
+        hand_bandpass(data, small_radar, DspConfig(), method="nope")
+
+
+def test_filtfilt_operator_is_frozen():
+    op = filtfilt_operator(4, 0.1, 0.4, 32, 9)
+    assert not op.flags.writeable
+    assert op.shape == (32, 32)
+
+
+# ----------------------------------------------------------------------
+# Precision policy
+# ----------------------------------------------------------------------
+def test_precision_validation():
+    assert DspConfig(precision="fast").complex_dtype == "complex64"
+    assert DspConfig().float_dtype == "float64"
+    with pytest.raises(ConfigError):
+        DspConfig(precision="half")
+
+
+def test_fast_precision_cube_dtype_and_tolerance(
+    small_radar, small_dsp, small_raw
+):
+    import dataclasses
+
+    exact = CubeBuilder(small_radar, small_dsp).build(small_raw)
+    fast = CubeBuilder(
+        small_radar, dataclasses.replace(small_dsp, precision="fast")
+    ).build(small_raw)
+    assert fast.values.dtype == np.float32
+    assert exact.values.dtype == np.float64
+    scale = np.abs(exact.values).max()
+    assert np.abs(fast.values - exact.values).max() / scale < 1e-5
+
+
+def test_fast_precision_joint_outputs_close(
+    small_radar, small_dsp, small_model, small_raw
+):
+    import dataclasses
+
+    from repro.core.regressor import HandJointRegressor
+    from repro.dsp.radar_cube import segment_cube
+
+    exact = CubeBuilder(small_radar, small_dsp).build(small_raw)
+    fast = CubeBuilder(
+        small_radar, dataclasses.replace(small_dsp, precision="fast")
+    ).build(small_raw)
+    regressor = HandJointRegressor(small_dsp, small_model, seed=3)
+    regressor.eval()
+    seg_exact = np.stack(
+        segment_cube(exact.values, small_dsp.segment_frames)
+    )
+    seg_fast = np.stack(
+        segment_cube(
+            fast.values.astype(np.float64), small_dsp.segment_frames
+        )
+    )
+    joints_exact = regressor.predict(seg_exact)
+    joints_fast = regressor.predict(seg_fast)
+    # documented tolerance: fast preprocessing moves predicted joints
+    # by well under a millimetre
+    assert np.abs(joints_fast - joints_exact).max() < 1e-3
+
+
+# ----------------------------------------------------------------------
+# Batched cube building
+# ----------------------------------------------------------------------
+def test_batched_build_matches_reference(small_radar, small_dsp, small_raw):
+    builder = CubeBuilder(small_radar, small_dsp)
+    batched = builder.build(small_raw)
+    reference = builder.build_reference(small_raw)
+    assert np.abs(batched.values - reference.values).max() <= 1e-9
+    assert batched.values.shape == reference.values.shape
+
+
+def test_build_timed_reports_all_stages(small_radar, small_dsp, small_raw):
+    builder = CubeBuilder(small_radar, small_dsp)
+    cube, timings = builder.build_timed(small_raw)
+    assert set(timings) == {
+        "bandpass", "range_fft", "doppler_fft", "angle",
+    }
+    assert all(t >= 0.0 for t in timings.values())
+    assert cube.num_frames == small_raw.shape[0]
+
+
+# ----------------------------------------------------------------------
+# Batched radar synthesis
+# ----------------------------------------------------------------------
+def test_batched_sequence_noise_stream_identical(small_radar):
+    # Pure-noise scenes: batched and per-frame draws must consume the
+    # generator identically, making the outputs bit-identical.
+    scenes = [Scene(hand=Scatterers.empty()) for _ in range(5)]
+    a = RadarSimulator(small_radar, seed=11).sequence(scenes)
+    b = RadarSimulator(small_radar, seed=11).sequence_reference(scenes)
+    assert np.array_equal(a, b)
+
+
+def test_batched_sequence_matches_reference(small_radar, rng):
+    scenes = _scenes(rng, 4)
+    a = RadarSimulator(small_radar, seed=2).sequence(scenes)
+    b = RadarSimulator(small_radar, seed=2).sequence_reference(scenes)
+    assert np.abs(a - b).max() / np.abs(b).max() < 1e-12
+
+
+def test_batched_sequence_variable_scatterer_counts(small_radar, rng):
+    scenes = _scenes(rng, 2, scatterers=3)
+    scenes += [Scene(hand=Scatterers.empty())]
+    scenes += _scenes(rng, 1, scatterers=6)
+    a = RadarSimulator(small_radar, seed=5).sequence(scenes)
+    b = RadarSimulator(small_radar, seed=5).sequence_reference(scenes)
+    assert np.abs(a - b).max() / np.abs(b).max() < 1e-12
+
+
+def test_synthesize_sequence_matches_frames(small_radar, rng):
+    array = iwr1443_array(small_radar)
+    frames = [s.all_scatterers() for s in _scenes(rng, 3)]
+    rng_a = np.random.default_rng(9)
+    rng_b = np.random.default_rng(9)
+    batched = synthesize_sequence(small_radar, array, frames, rng_a)
+    stacked = np.stack(
+        [synthesize_frame(small_radar, array, f, rng_b) for f in frames]
+    )
+    assert np.abs(batched - stacked).max() / np.abs(stacked).max() < 1e-12
+
+
+def test_simulate_sequences_deterministic_per_seed(small_radar, rng):
+    lists = [_scenes(rng, 2), _scenes(rng, 3)]
+    serial = simulate_sequences(
+        small_radar, lists, seeds=[1, 2], workers=1
+    )
+    again = simulate_sequences(
+        small_radar, lists, seeds=[1, 2], workers=1
+    )
+    assert len(serial) == 2
+    assert serial[0].shape[0] == 2 and serial[1].shape[0] == 3
+    for a, b in zip(serial, again):
+        assert np.array_equal(a, b)
+
+
+def test_simulate_sequences_requires_matching_seeds(small_radar, rng):
+    from repro.errors import RadarError
+
+    with pytest.raises(RadarError):
+        simulate_sequences(small_radar, [_scenes(rng, 2)], seeds=[1, 2])
+
+
+# ----------------------------------------------------------------------
+# Vectorized CFAR
+# ----------------------------------------------------------------------
+def test_ca_cfar_matches_reference_on_random_profiles(rng):
+    for _ in range(50):
+        n = int(rng.integers(17, 200))
+        guard = int(rng.integers(0, 4))
+        train = int(rng.integers(1, 7))
+        if n < 2 * (guard + train) + 1:
+            continue
+        profile = rng.exponential(1.0, size=n)
+        profile[int(rng.integers(0, n))] *= 30.0
+        config = CfarConfig(guard_cells=guard, training_cells=train)
+        assert np.array_equal(
+            ca_cfar(profile, config), ca_cfar_reference(profile, config)
+        )
+
+
+def test_ca_cfar_reference_validation():
+    with pytest.raises(SignalProcessingError):
+        ca_cfar_reference(np.ones(5), CfarConfig())
+    with pytest.raises(SignalProcessingError):
+        ca_cfar(-np.ones(64), CfarConfig())
+
+
+# ----------------------------------------------------------------------
+# Benchmark harness
+# ----------------------------------------------------------------------
+def test_run_pipeline_bench_smoke(tmp_path):
+    from repro.perf import run_pipeline_bench, write_bench_json
+
+    summary = run_pipeline_bench(smoke=True, seed=0)
+    assert summary["smoke"] is True
+    cube = summary["cube_build"]
+    assert cube["batched_exact"]["max_abs_diff_vs_reference"] <= 1e-9
+    assert cube["batched_fast"]["max_rel_diff_vs_reference"] < 1e-5
+    assert summary["cfar"]["vectorized"]["mask_identical"] is True
+    assert summary["simulator"]["batched"]["max_rel_diff_vs_reference"] < 1e-12
+    assert summary["plan_cache"]["hits"] >= 0
+    path = write_bench_json(str(tmp_path / "out" / "bench.json"), summary)
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded["cube_build"]["frames"] == cube["frames"]

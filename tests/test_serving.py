@@ -510,3 +510,30 @@ def test_streaming_estimator_raises_typed_errors(stack):
     # FrameShapeError stays inside the ReproError hierarchy.
     assert issubclass(FrameShapeError, ReproError)
     assert issubclass(QueueFullError, ServingError)
+
+
+# ----------------------------------------------------------------------
+# Per-stage preprocess timing
+# ----------------------------------------------------------------------
+def test_preprocess_timings_in_server_stats(stack):
+    builder, regressor = stack
+    server = InferenceServer(
+        builder, regressor, ServingConfig(max_batch_size=2)
+    )
+    session_id = server.open_session()
+    for frame in _raw_frames(builder, 3, seed=21):
+        server.submit(session_id, frame)
+    server.drain()
+    histograms = server.stats()["histograms"]
+    assert histograms["preprocess_s"]["count"] == 3
+    assert histograms["preprocess_s"]["mean"] > 0.0
+    for stage in ("bandpass", "range_fft", "doppler_fft", "angle"):
+        assert histograms[f"preprocess_{stage}_s"]["count"] == 3
+
+
+def test_session_without_metrics_has_no_histograms(stack):
+    builder, _ = stack
+    session = Session(builder)
+    frame = _raw_frames(builder, 1, seed=22)[0]
+    assert session.feed(frame) is None  # window not yet full
+    assert session.frames_in == 1

@@ -12,9 +12,13 @@ Subcommands cover the common workflows end to end:
 * ``mmhand bench`` -- benchmark the DSP hot path against its reference
   implementations and write a ``BENCH_pipeline.json`` summary;
 * ``mmhand export-mesh`` -- reconstruct a mesh from a gesture and write
-  OBJ/SVG files.
+  OBJ/SVG files;
+* ``mmhand trace <cmd> ...`` -- run any other subcommand under the span
+  tracer, print a span summary, and export a Chrome trace.
 
-Every command is deterministic given ``--seed``.
+``serve``, ``train`` and ``bench`` additionally accept ``--trace-out``
+(Chrome trace-event JSON of the run) and ``--metrics-json`` (metrics
+registry snapshot). Every command is deterministic given ``--seed``.
 """
 
 from __future__ import annotations
@@ -24,6 +28,40 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _add_obs_flags(p) -> None:
+    """Shared observability flags for the long-running subcommands."""
+    p.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON of this run "
+             "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--metrics-json", dest="metrics_json", default=None,
+        metavar="PATH",
+        help="write a metrics-registry snapshot JSON of this run",
+    )
+
+
+def _export_observability(args, registry=None) -> None:
+    """Honour ``--trace-out`` / ``--metrics-json`` at command exit."""
+    import json
+
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    if getattr(args, "trace_out", None):
+        path = obs_trace.export_chrome(args.trace_out)
+        print(f"trace -> {path}")
+    if getattr(args, "metrics_json", None):
+        target = (
+            registry if registry is not None
+            else obs_metrics.get_registry()
+        )
+        with open(args.metrics_json, "w") as fh:
+            json.dump(target.snapshot(), fh, indent=2, default=float)
+        print(f"metrics -> {args.metrics_json}")
 
 
 def _add_generate(subparsers) -> None:
@@ -81,6 +119,7 @@ def _add_train(subparsers) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--holdout-user", type=int, default=None,
                    help="exclude one user from training for evaluation")
+    _add_obs_flags(p)
 
 
 def _cmd_train(args) -> int:
@@ -111,6 +150,7 @@ def _cmd_train(args) -> int:
         f"trained {result.epochs} epochs in {result.elapsed_s:.0f}s, "
         f"final loss {result.final_loss:.4f}; weights -> {args.weights}"
     )
+    _export_observability(args)
     return 0
 
 
@@ -246,6 +286,7 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--json", dest="json_path", default=None,
                    help="write the final stats snapshot to this path")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p)
 
 
 def _simulated_client_frames(
@@ -298,25 +339,31 @@ def _simulated_client_frames(
     return np.stack(feeds)
 
 
-def _print_serve_report(stats, elapsed_s: float, tick: int) -> None:
+def _print_serve_report(
+    stats, elapsed_s: float, tick: int, event: str = "report"
+) -> None:
+    """Emit one structured (logfmt) serving report line."""
+    from repro.obs.logging import get_logger
+
     counters = stats["counters"]
     latency = stats["histograms"].get("latency_s", {})
     batch = stats["histograms"].get("batch_size", {})
     poses = counters.get("poses", 0)
-    fps = poses / elapsed_s if elapsed_s > 0 else 0.0
-    line = (
-        f"[tick {tick:4d}] poses {poses:6d} | {fps:8.1f} poses/s | "
-        f"batch mean {batch.get('mean', 0.0):4.1f} | "
-        f"latency p50 {latency.get('p50', 0.0) * 1e3:6.2f} ms "
-        f"p95 {latency.get('p95', 0.0) * 1e3:6.2f} ms "
-        f"p99 {latency.get('p99', 0.0) * 1e3:6.2f} ms | "
-        f"queue {stats['queue']['depth']:3d} | "
-        f"dropped {stats['queue']['dropped']:4d} | "
-        f"rejected {stats['queue']['rejected']:4d}"
-    )
+    fields = {
+        "tick": tick,
+        "poses": poses,
+        "poses_per_s": poses / elapsed_s if elapsed_s > 0 else 0.0,
+        "batch_mean": batch.get("mean", 0.0),
+        "latency_p50_ms": latency.get("p50", 0.0) * 1e3,
+        "latency_p95_ms": latency.get("p95", 0.0) * 1e3,
+        "latency_p99_ms": latency.get("p99", 0.0) * 1e3,
+        "queue_depth": stats["queue"]["depth"],
+        "dropped": stats["queue"]["dropped"],
+        "rejected": stats["queue"]["rejected"],
+    }
     if "cache" in stats:
-        line += f" | cache hit-rate {stats['cache']['hit_rate']:.2f}"
-    print(line)
+        fields["cache_hit_rate"] = stats["cache"]["hit_rate"]
+    get_logger("serve").info(event, **fields)
 
 
 def _cmd_serve(args) -> int:
@@ -327,7 +374,12 @@ def _cmd_serve(args) -> int:
     from repro.core.regressor import HandJointRegressor
     from repro.dsp.radar_cube import CubeBuilder
     from repro.errors import QueueFullError
+    from repro.obs.logging import configure, get_logger
     from repro.serving import InferenceServer, ServingConfig
+
+    # Serving reports are logfmt lines on stdout, next to the plain
+    # human-readable framing prints.
+    configure(stream=sys.stdout)
 
     if args.sessions < 1:
         print("--sessions must be >= 1", file=sys.stderr)
@@ -387,19 +439,30 @@ def _cmd_serve(args) -> int:
 
     stats = server.stats()
     print("--- final report ---")
-    _print_serve_report(stats, elapsed, args.frames)
+    _print_serve_report(stats, elapsed, args.frames, event="final_report")
+    logger = get_logger("serve")
     counters = stats["counters"]
-    print(
-        f"served {counters.get('poses', 0)} poses from "
-        f"{counters.get('frames_in', 0)} frames in {elapsed:.2f}s "
-        f"({counters.get('frames_in', 0) / elapsed:.1f} frames/s) "
-        f"across {counters.get('batches', 0)} micro-batches"
+    logger.info(
+        "served",
+        poses=counters.get("poses", 0),
+        frames_in=counters.get("frames_in", 0),
+        elapsed_s=elapsed,
+        frames_per_s=counters.get("frames_in", 0) / elapsed,
+        batches=counters.get("batches", 0),
+    )
+    plan = stats["plan_cache"]
+    logger.info(
+        "plan_cache",
+        hits=plan["hits"],
+        misses=plan["misses"],
+        entries=plan["entries"],
     )
     if args.json_path:
         stats["elapsed_s"] = elapsed
         with open(args.json_path, "w") as fh:
             json.dump(stats, fh, indent=2, default=float)
         print(f"stats -> {args.json_path}")
+    _export_observability(args, registry=server.metrics)
     return 0
 
 
@@ -417,6 +480,7 @@ def _add_bench(subparsers) -> None:
     p.add_argument("--repeats", type=int, default=3,
                    help="take the best of N timing repeats")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p)
 
 
 def _cmd_bench(args) -> int:
@@ -435,6 +499,7 @@ def _cmd_bench(args) -> int:
     print_pipeline_report(summary)
     write_bench_json(args.json_path, summary)
     print(f"summary -> {args.json_path}")
+    _export_observability(args)
     return 0
 
 
@@ -481,6 +546,53 @@ def _cmd_export_mesh(args) -> int:
     return 0
 
 
+def _add_trace(subparsers) -> None:
+    p = subparsers.add_parser(
+        "trace",
+        help="run another mmhand command under the span tracer, print "
+             "a span summary, and export a Chrome trace",
+    )
+    p.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="command",
+        help="the wrapped command line, e.g. "
+             "'bench --smoke --trace-out trace.json'",
+    )
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import trace as obs_trace
+
+    rest = list(args.rest)
+    if not rest:
+        print("trace: missing command to run", file=sys.stderr)
+        return 1
+    if rest[0] == "trace":
+        print("trace: cannot nest the trace wrapper", file=sys.stderr)
+        return 1
+    tracer = obs_trace.get_tracer()
+    tracer.clear()
+    code = main(rest)
+    summary = tracer.summary()
+    if summary:
+        print("--- span summary ---")
+        width = max(len(name) for name in summary)
+        for name in sorted(summary):
+            row = summary[name]
+            line = (
+                f"{name:<{width}s} x{row['count']:<6.0f} "
+                f"total {row['total_s'] * 1e3:9.2f} ms  "
+                f"mean {row['mean_s'] * 1e3:8.3f} ms  "
+                f"max {row['max_s'] * 1e3:8.3f} ms"
+            )
+            if row["errors"]:
+                line += f"  errors {row['errors']:.0f}"
+            print(line)
+    if "--trace-out" not in rest:
+        path = obs_trace.export_chrome("TRACE.json")
+        print(f"trace -> {path}")
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mmhand",
@@ -494,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(subparsers)
     _add_bench(subparsers)
     _add_export_mesh(subparsers)
+    _add_trace(subparsers)
     return parser
 
 
@@ -505,6 +618,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bench": _cmd_bench,
     "export-mesh": _cmd_export_mesh,
+    "trace": _cmd_trace,
 }
 
 

@@ -36,6 +36,8 @@ from repro.mano.rotations import (
 from repro.nn.layers import LayerNorm, Linear, Module, ReLU, Sequential
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 
 
 def _fc_block(
@@ -236,10 +238,12 @@ class MeshReconstructor:
         skeleton's wrist position.
         """
         start = time.perf_counter()
-        beta, theta = self.infer_parameters(joints)
-        mesh = self.hand_model(beta=beta, theta=theta)
-        mesh = mesh.translated(np.asarray(joints[0], dtype=float))
+        with trace.span("mano.recover"):
+            beta, theta = self.infer_parameters(joints)
+            mesh = self.hand_model(beta=beta, theta=theta)
+            mesh = mesh.translated(np.asarray(joints[0], dtype=float))
         elapsed = time.perf_counter() - start
+        obs_metrics.histogram("mano.recover_s").observe(elapsed)
         return MeshRecoveryResult(
             beta=beta, theta=theta, mesh=mesh, elapsed_s=elapsed
         )

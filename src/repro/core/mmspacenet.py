@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.config import DspConfig, ModelConfig
 from repro.errors import ModelError
+from repro.obs import trace
 from repro.nn.attention import (
     FrameAttention,
     SpatialAttention,
@@ -191,16 +192,17 @@ class MmSpaceNet(Module):
                 f"got st={st}, V={v}; expected "
                 f"st={self.dsp.segment_frames}, V={self.dsp.doppler_bins}"
             )
-        if self.frame_attention is not None:
-            x = self.frame_attention(x)
-        frames = x.reshape(b * st, v, d, a)
-        if self.input_velocity_attention is not None:
-            frames = self.input_velocity_attention(frames)
-        if self.input_spatial_attention is not None:
-            frames = self.input_spatial_attention(frames)
-        features = self.stem(frames)
-        features = self.blocks(features)
-        features = self.head_convs(features)
-        flat = features.reshape(b * st, self._head_features)
-        out = self.head_fc(flat).relu()
-        return out.reshape(b, st, self.model_config.feature_dim)
+        with trace.span("model.spatial.forward", batch=b):
+            if self.frame_attention is not None:
+                x = self.frame_attention(x)
+            frames = x.reshape(b * st, v, d, a)
+            if self.input_velocity_attention is not None:
+                frames = self.input_velocity_attention(frames)
+            if self.input_spatial_attention is not None:
+                frames = self.input_spatial_attention(frames)
+            features = self.stem(frames)
+            features = self.blocks(features)
+            features = self.head_convs(features)
+            flat = features.reshape(b * st, self._head_features)
+            out = self.head_fc(flat).relu()
+            return out.reshape(b, st, self.model_config.feature_dim)

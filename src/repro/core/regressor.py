@@ -16,6 +16,7 @@ from repro.config import DspConfig, ModelConfig
 from repro.core.mmspacenet import MmSpaceNet
 from repro.core.temporal import TemporalModel
 from repro.errors import ModelError
+from repro.obs import trace
 from repro.nn.layers import Linear, Module, ReLU, Sequential
 from repro.nn.tensor import Tensor, no_grad
 
@@ -64,11 +65,12 @@ class HandJointRegressor(Module):
             # Promote a single (st, V, D, A) segment to a batch of one;
             # the serving micro-batcher relies on the batched form.
             x = x.reshape(1, *x.shape)
-        features = self.spatial(x)
-        context = self.temporal(features)
-        out = self.head(context)
-        joints = self.model_config.num_joints
-        return out.reshape(out.shape[0], joints, 3)
+        with trace.span("model.forward", batch=x.shape[0]):
+            features = self.spatial(x)
+            context = self.temporal(features)
+            out = self.head(context)
+            joints = self.model_config.num_joints
+            return out.reshape(out.shape[0], joints, 3)
 
     # ------------------------------------------------------------------
     def set_normalization(
@@ -131,7 +133,9 @@ class HandJointRegressor(Module):
         self.eval()
         outputs = []
         try:
-            with no_grad():
+            with no_grad(), trace.span(
+                "model.predict", segments=len(segments)
+            ):
                 for start in range(0, len(segments), batch_size):
                     batch = self.normalize_inputs(
                         segments[start : start + batch_size]

@@ -15,6 +15,7 @@ import numpy as np
 from repro.config import ModelConfig
 from repro.errors import ModelError
 from repro.nn.layers import Module
+from repro.obs import trace
 from repro.nn.rnn import LSTM
 from repro.nn.tensor import Tensor
 
@@ -41,5 +42,6 @@ class TemporalModel(Module):
                 f"TemporalModel expects (B, st, {self.model_config.feature_dim}), "
                 f"got {x.shape}"
             )
-        _, (hidden, _) = self.lstm(x)
-        return hidden
+        with trace.span("model.temporal.lstm", batch=x.shape[0]):
+            _, (hidden, _) = self.lstm(x)
+            return hidden

@@ -22,23 +22,41 @@ from repro.data.splits import kfold_user_splits
 from repro.errors import DatasetError
 from repro.nn.optim import Adam, CosineSchedule
 from repro.nn.tensor import Tensor
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.logging import get_logger
 
 
 @dataclass
 class TrainResult:
-    """Loss history and timing of one training run."""
+    """Loss history and timing of one training run.
+
+    ``epoch_stats`` keeps one record per epoch -- mean loss, final-step
+    gradient norm, throughput -- mirroring the ``train.epoch.*``
+    instruments published to the global metrics registry.
+    """
 
     total_loss: List[float] = field(default_factory=list)
     l3d: List[float] = field(default_factory=list)
     lkine: List[float] = field(default_factory=list)
     epochs: int = 0
     elapsed_s: float = 0.0
+    epoch_stats: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
         if not self.total_loss:
             raise DatasetError("no training steps recorded")
         return self.total_loss[-1]
+
+
+def _global_grad_norm(parameters) -> float:
+    """Global L2 norm across every parameter gradient (0 if none)."""
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float(np.sum(param.grad ** 2))
+    return float(np.sqrt(total))
 
 
 class Trainer:
@@ -98,44 +116,101 @@ class Trainer:
         )
         rng = np.random.default_rng(cfg.seed)
         result = TrainResult()
+        logger = get_logger("train")
         start = time.perf_counter()
         self.regressor.train()
         step = 0
-        for epoch in range(cfg.epochs):
-            order = rng.permutation(len(dataset))
-            for b in range(batches_per_epoch):
-                idx = order[b * cfg.batch_size : (b + 1) * cfg.batch_size]
-                if self.augmentation is not None:
-                    from repro.data.augmentation import augment_batch
+        with trace.span(
+            "train.fit", epochs=cfg.epochs, segments=len(dataset)
+        ):
+            for epoch in range(cfg.epochs):
+                epoch_start = time.perf_counter()
+                grad_norm = 0.0
+                order = rng.permutation(len(dataset))
+                with trace.span("train.epoch", epoch=epoch + 1):
+                    for b in range(batches_per_epoch):
+                        idx = order[
+                            b * cfg.batch_size : (b + 1) * cfg.batch_size
+                        ]
+                        if self.augmentation is not None:
+                            from repro.data.augmentation import augment_batch
 
-                    batch_x, batch_y = augment_batch(
-                        raw_x[idx], y[idx], aug_rng, self.augmentation
+                            batch_x, batch_y = augment_batch(
+                                raw_x[idx], y[idx], aug_rng,
+                                self.augmentation,
+                            )
+                            batch_x = self.regressor.normalize_inputs(
+                                batch_x
+                            )
+                        else:
+                            batch_x, batch_y = x[idx], y[idx]
+                        pred_norm = self.regressor(Tensor(batch_x))
+                        pred_m = pred_norm * label_std + label_mean
+                        total, l3d, lkine = combined_loss(
+                            pred_m, batch_y, cfg
+                        )
+                        optimizer.zero_grad()
+                        total.backward()
+                        if cfg.grad_clip > 0:
+                            grad_norm = optimizer.clip_gradients(
+                                cfg.grad_clip
+                            )
+                        else:
+                            grad_norm = _global_grad_norm(
+                                optimizer.parameters
+                            )
+                        optimizer.step()
+                        schedule.step()
+                        result.total_loss.append(float(total.data))
+                        result.l3d.append(float(l3d.data))
+                        result.lkine.append(float(lkine.data))
+                        step += 1
+                        if verbose and step % cfg.log_every == 0:
+                            logger.info(
+                                "train_step",
+                                epoch=epoch + 1,
+                                epochs=cfg.epochs,
+                                step=step,
+                                loss=result.total_loss[-1],
+                                l3d=result.l3d[-1],
+                                lkine=result.lkine[-1],
+                                lr=schedule.current_lr(),
+                            )
+                result.epochs = epoch + 1
+                epoch_s = time.perf_counter() - epoch_start
+                segments = batches_per_epoch * cfg.batch_size
+                epoch_loss = float(
+                    np.mean(result.total_loss[-batches_per_epoch:])
+                )
+                throughput = segments / epoch_s if epoch_s > 0 else 0.0
+                result.epoch_stats.append(
+                    {
+                        "epoch": epoch + 1,
+                        "loss": epoch_loss,
+                        "grad_norm": float(grad_norm),
+                        "segments_per_s": throughput,
+                        "elapsed_s": epoch_s,
+                    }
+                )
+                obs_metrics.histogram("train.epoch.loss").observe(
+                    epoch_loss
+                )
+                obs_metrics.histogram("train.epoch.grad_norm").observe(
+                    float(grad_norm)
+                )
+                obs_metrics.histogram(
+                    "train.epoch.segments_per_s"
+                ).observe(throughput)
+                obs_metrics.gauge("train.epoch.last_loss").set(epoch_loss)
+                if verbose:
+                    logger.info(
+                        "train_epoch",
+                        epoch=epoch + 1,
+                        epochs=cfg.epochs,
+                        loss=epoch_loss,
+                        grad_norm=float(grad_norm),
+                        segments_per_s=throughput,
                     )
-                    batch_x = self.regressor.normalize_inputs(batch_x)
-                else:
-                    batch_x, batch_y = x[idx], y[idx]
-                pred_norm = self.regressor(Tensor(batch_x))
-                pred_m = pred_norm * label_std + label_mean
-                total, l3d, lkine = combined_loss(pred_m, batch_y, cfg)
-                optimizer.zero_grad()
-                total.backward()
-                if cfg.grad_clip > 0:
-                    optimizer.clip_gradients(cfg.grad_clip)
-                optimizer.step()
-                schedule.step()
-                result.total_loss.append(float(total.data))
-                result.l3d.append(float(l3d.data))
-                result.lkine.append(float(lkine.data))
-                step += 1
-                if verbose and step % cfg.log_every == 0:
-                    print(
-                        f"[train] epoch {epoch + 1}/{cfg.epochs} "
-                        f"step {step} loss={result.total_loss[-1]:.4f} "
-                        f"l3d={result.l3d[-1]:.4f} "
-                        f"lkine={result.lkine[-1]:.4f} "
-                        f"lr={schedule.current_lr():.2e}"
-                    )
-            result.epochs = epoch + 1
         result.elapsed_s = time.perf_counter() - start
         self.regressor.eval()
         return result
@@ -179,8 +254,10 @@ def kfold_by_user(
             }
         )
         if verbose:
-            print(
-                f"[kfold] fold {fold_id} users {test_users} "
-                f"final loss {train_result.final_loss:.4f}"
+            get_logger("train").info(
+                "kfold_fold",
+                fold=fold_id,
+                test_users=test_users,
+                final_loss=train_result.final_loss,
             )
     return records

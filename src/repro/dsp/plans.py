@@ -31,6 +31,7 @@ import numpy as np
 from scipy import signal
 
 from repro.errors import SignalProcessingError
+from repro.obs import metrics as obs_metrics
 
 
 def freeze(array: np.ndarray) -> np.ndarray:
@@ -144,6 +145,30 @@ class PlanCache:
 
 PLAN_CACHE = PlanCache()
 """The process-wide plan cache used by the whole DSP chain."""
+
+
+def publish_plan_cache_metrics(registry) -> None:
+    """Collector publishing :data:`PLAN_CACHE` counters to ``registry``.
+
+    Designed for :meth:`repro.obs.metrics.MetricsRegistry.register_collector`:
+    hit/miss totals become first-class monotonic counters
+    (``dsp.plan_cache.hits`` / ``dsp.plan_cache.misses``, advanced by
+    delta so repeated collection never double-counts) and the entry
+    count a gauge, making the cache visible in ``snapshot()`` and the
+    Prometheus exposition of any registry that registers this.
+    """
+    stats = PLAN_CACHE.stats()
+    for key in ("hits", "misses"):
+        instrument = registry.counter(f"dsp.plan_cache.{key}")
+        delta = stats[key] - instrument.value
+        if delta > 0:
+            instrument.increment(delta)
+    registry.gauge("dsp.plan_cache.entries").set(stats["entries"])
+
+
+# The global registry always sees the plan cache; private registries
+# (e.g. one per InferenceServer) opt in with the same collector.
+obs_metrics.get_registry().register_collector(publish_plan_cache_metrics)
 
 
 def butterworth_bandpass_sos(

@@ -19,6 +19,8 @@ from repro.config import DspConfig, RadarConfig
 from repro.dsp.fft import AngleProcessor, doppler_fft, range_fft
 from repro.dsp.filters import hand_bandpass
 from repro.errors import SignalProcessingError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.radar.antenna import VirtualArray, iwr1443_array
 
 
@@ -94,29 +96,39 @@ class CubeBuilder:
 
         The timing dict maps ``bandpass`` / ``range_fft`` /
         ``doppler_fft`` / ``angle`` to seconds; the serving layer feeds
-        these into its ``preprocess_*`` histograms.
+        these into its ``preprocess_*`` histograms. Each stage is also
+        traced as a ``dsp.<stage>`` span and observed in the global
+        ``dsp.cube.<stage>_s`` histograms.
         """
         raw = self._validate_raw(raw_frames)
         timings: Dict[str, float] = {}
-        tic = time.perf_counter()
-        filtered = hand_bandpass(raw, self.radar, self.dsp)
-        timings["bandpass"] = time.perf_counter() - tic
-        tic = time.perf_counter()
-        ranged = range_fft(filtered, self.radar, self.dsp)  # (F,V_ant,L,D)
-        timings["range_fft"] = time.perf_counter() - tic
-        tic = time.perf_counter()
-        doppler = doppler_fft(ranged, self.radar, self.dsp, axis=2)
-        timings["doppler_fft"] = time.perf_counter() - tic
-        # -> (F, V_ant, Vdopp, D); angle processing wants antennas first,
-        # and handles all frames at once through its tail axes.
-        tic = time.perf_counter()
-        azimuth, elevation = self._angle.spectra(
-            np.moveaxis(doppler, 1, 0)
-        )
-        # (A_az, F, Vd, D) and (A_el, F, Vd, D) -> (F, Vd, D, A)
-        combined = np.concatenate([azimuth, elevation], axis=0)
-        values = np.log1p(np.moveaxis(combined, 0, -1))
-        timings["angle"] = time.perf_counter() - tic
+        with trace.span("dsp.cube.build", frames=raw.shape[0]):
+            tic = time.perf_counter()
+            with trace.span("dsp.bandpass"):
+                filtered = hand_bandpass(raw, self.radar, self.dsp)
+            timings["bandpass"] = time.perf_counter() - tic
+            tic = time.perf_counter()
+            with trace.span("dsp.range_fft"):
+                # -> (F, V_ant, L, D)
+                ranged = range_fft(filtered, self.radar, self.dsp)
+            timings["range_fft"] = time.perf_counter() - tic
+            tic = time.perf_counter()
+            with trace.span("dsp.doppler_fft"):
+                doppler = doppler_fft(ranged, self.radar, self.dsp, axis=2)
+            timings["doppler_fft"] = time.perf_counter() - tic
+            # -> (F, V_ant, Vdopp, D); angle processing wants antennas
+            # first, and handles all frames at once through its tail axes.
+            tic = time.perf_counter()
+            with trace.span("dsp.angle"):
+                azimuth, elevation = self._angle.spectra(
+                    np.moveaxis(doppler, 1, 0)
+                )
+                # (A_az, F, Vd, D) and (A_el, F, Vd, D) -> (F, Vd, D, A)
+                combined = np.concatenate([azimuth, elevation], axis=0)
+                values = np.log1p(np.moveaxis(combined, 0, -1))
+            timings["angle"] = time.perf_counter() - tic
+        for stage, seconds in timings.items():
+            obs_metrics.histogram(f"dsp.cube.{stage}_s").observe(seconds)
         return self._assemble(values), timings
 
     def build_reference(self, raw_frames: np.ndarray) -> RadarCube:

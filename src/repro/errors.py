@@ -60,6 +60,11 @@ class FrameShapeError(SignalProcessingError):
     """
 
 
+class ObservabilityError(ReproError):
+    """The observability subsystem (:mod:`repro.obs`) was misused:
+    invalid tracer/log configuration or a malformed exporter target."""
+
+
 class ServingError(ReproError):
     """Base class for failures inside the inference service runtime
     (:mod:`repro.serving`): sessions, queueing, batching, caching."""

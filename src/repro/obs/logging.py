@@ -1,0 +1,199 @@
+"""Structured logging: logfmt / JSON lines with trace correlation.
+
+Replaces bare ``print`` calls in the CLI and serving report paths with
+machine-parseable records. Each record carries a UTC timestamp, level,
+logger name, an ``event`` label and arbitrary key/value fields; when a
+trace span or correlation id is active on the emitting thread (see
+:mod:`repro.obs.trace`) its ids are attached automatically, so a log
+line can be joined against the span timeline it was emitted from.
+
+Loggers are cheap named handles over one process-global configuration
+(:func:`configure`): output format (``logfmt`` or ``json``), stream,
+minimum level, and an optional token-bucket rate limit that keeps a
+misbehaving hot loop from flooding the console -- suppressed records
+are counted and reported on the next emitted line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional, TextIO
+
+from repro.errors import ObservabilityError
+from repro.obs import trace
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _Config:
+    """Process-global logging configuration (one per interpreter)."""
+
+    def __init__(self) -> None:
+        self.fmt = "logfmt"
+        self.stream: Optional[TextIO] = None  # None -> sys.stderr at emit
+        self.level = LEVELS["info"]
+        self.rate_limit_hz: Optional[float] = None
+        self.burst = 10
+
+
+_CONFIG = _Config()
+_LOGGERS: Dict[str, "StructuredLogger"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def configure(
+    fmt: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    level: Optional[str] = None,
+    rate_limit_hz: Optional[float] = None,
+    burst: Optional[int] = None,
+) -> None:
+    """Adjust the global logging configuration.
+
+    Only the arguments passed are changed. ``fmt`` is ``"logfmt"`` or
+    ``"json"``; ``rate_limit_hz`` of ``0``/``None`` disables limiting.
+    """
+    if fmt is not None:
+        if fmt not in ("logfmt", "json"):
+            raise ObservabilityError(
+                f"log format must be 'logfmt' or 'json', got {fmt!r}"
+            )
+        _CONFIG.fmt = fmt
+    if stream is not None:
+        _CONFIG.stream = stream
+    if level is not None:
+        if level not in LEVELS:
+            raise ObservabilityError(
+                f"unknown log level {level!r}; choose from "
+                f"{sorted(LEVELS)}"
+            )
+        _CONFIG.level = LEVELS[level]
+    if rate_limit_hz is not None:
+        _CONFIG.rate_limit_hz = rate_limit_hz or None
+        with _REGISTRY_LOCK:
+            for logger in _LOGGERS.values():
+                logger._limiter.reset(_CONFIG.rate_limit_hz, _CONFIG.burst)
+    if burst is not None:
+        _CONFIG.burst = burst
+
+
+class _TokenBucket:
+    """Thread-safe token bucket; ``None`` rate means unlimited."""
+
+    def __init__(self, rate_hz: Optional[float], burst: int) -> None:
+        self._lock = threading.Lock()
+        self.reset(rate_hz, burst)
+
+    def reset(self, rate_hz: Optional[float], burst: int) -> None:
+        with self._lock:
+            self.rate_hz = rate_hz
+            self.burst = max(1, burst)
+            self._tokens = float(self.burst)
+            self._last = time.monotonic()
+            self.suppressed = 0
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self.rate_hz is None:
+                return True
+            now = time.monotonic()
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._last) * self.rate_hz,
+            )
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self.suppressed += 1
+            return False
+
+    def drain_suppressed(self) -> int:
+        with self._lock:
+            count, self.suppressed = self.suppressed, 0
+            return count
+
+
+def _logfmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    text = str(value)
+    if text == "" or any(c in text for c in ' "=\n'):
+        return json.dumps(text)
+    return text
+
+
+class StructuredLogger:
+    """Named emitter of structured records; get one via
+    :func:`get_logger`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._limiter = _TokenBucket(_CONFIG.rate_limit_hz, _CONFIG.burst)
+        self._lock = threading.Lock()
+
+    def debug(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("error", event, **fields)
+
+    def log(self, level: str, event: str, **fields: Any) -> Optional[str]:
+        """Emit one record; returns the rendered line or ``None`` when
+        filtered by level or rate limit."""
+        if LEVELS.get(level, 0) < _CONFIG.level:
+            return None
+        if not self._limiter.allow():
+            return None
+        record: Dict[str, Any] = {
+            "ts": datetime.now(timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        correlation_id = trace.get_correlation()
+        span = trace.current()
+        if span is not None:
+            record["span"] = span.name
+            record["span_id"] = span.span_id
+            if correlation_id is None:
+                correlation_id = span.correlation_id
+        if correlation_id is not None:
+            record["corr_id"] = correlation_id
+        suppressed = self._limiter.drain_suppressed()
+        if suppressed:
+            record["suppressed"] = suppressed
+        record.update(fields)
+        if _CONFIG.fmt == "json":
+            line = json.dumps(record, default=str)
+        else:
+            line = " ".join(
+                f"{key}={_logfmt_value(value)}"
+                for key, value in record.items()
+            )
+        stream = _CONFIG.stream if _CONFIG.stream is not None else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+        return line
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Get (or create) the logger registered under ``name``."""
+    with _REGISTRY_LOCK:
+        if name not in _LOGGERS:
+            _LOGGERS[name] = StructuredLogger(name)
+        return _LOGGERS[name]

@@ -1,0 +1,329 @@
+"""Unified metrics for every layer of the pipeline.
+
+This module is the promoted home of what used to be
+``repro.serving.metrics`` (that path remains a re-export shim): a
+deliberately small, dependency-free registry in the spirit of Prometheus
+client libraries -- counters (monotonic), gauges (set/sample), latency
+histograms with streaming percentile summaries, and a bounded
+structured event log. Everything is thread-safe.
+
+Beyond the original serving registry it adds:
+
+* **collectors** -- callbacks run at snapshot/exposition time that pull
+  third-party state (the DSP plan cache, queue depths) into first-class
+  instruments, so derived metrics are never stale;
+* **Prometheus text exposition** (:meth:`MetricsRegistry.to_prometheus`)
+  alongside the plain-dict :meth:`MetricsRegistry.snapshot`;
+* a **process-global registry** (:func:`get_registry` and the
+  module-level :func:`counter`/:func:`gauge`/:func:`histogram` facade)
+  shared by the DSP, radar, model and training layers.
+
+Metric names follow ``layer.component.unit`` (``dsp.plan_cache.hits``,
+``train.epoch.loss``); the Prometheus renderer sanitises them to
+``mmhand_layer_component_unit``. Serving keeps its historical bare
+names (``poses``, ``latency_s``) for snapshot compatibility.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ServingError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, open sessions)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Reservoir of observations with percentile summaries.
+
+    Keeps the most recent ``capacity`` observations (sliding reservoir);
+    for serving latencies this biases the percentiles toward current
+    behaviour, which is what a live dashboard wants. Lifetime ``count``,
+    ``sum`` and ``mean`` cover every observation ever made;
+    ``window_mean`` is the mean of the retained window only.
+    """
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ServingError("histogram capacity must be >= 1")
+        self.name = name
+        self._samples: Deque[float] = deque(maxlen=capacity)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+            self._count += 1
+            self._total += float(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Lifetime sum of every observed value."""
+        with self._lock:
+            return self._total
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the retained samples."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return float(np.percentile(np.asarray(self._samples), q))
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            if not self._samples:
+                return {
+                    "count": self._count, "sum": 0.0, "mean": 0.0,
+                    "window_mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+                }
+            arr = np.asarray(self._samples)
+            p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+            return {
+                "count": self._count,
+                "sum": self._total,
+                "mean": self._total / self._count,
+                "window_mean": float(arr.mean()),
+                "p50": float(p50),
+                "p95": float(p95),
+                "p99": float(p99),
+                "max": float(arr.max()),
+            }
+
+
+class EventLog:
+    """Bounded structured event log.
+
+    Events are plain dicts with a monotonically increasing sequence
+    number and a relative timestamp; the log keeps the most recent
+    ``capacity`` entries.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ServingError("event log capacity must be >= 1")
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self._start = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        with self._lock:
+            event = {
+                "seq": self._seq,
+                "t_s": time.perf_counter() - self._start,
+                "kind": kind,
+                **fields,
+            }
+            self._seq += 1
+            self._events.append(event)
+            return event
+
+    def tail(self, count: Optional[int] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            events = list(self._events)
+        if count is None:
+            return events
+        return events[-count:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def _prometheus_name(name: str, prefix: str = "mmhand") -> str:
+    """Sanitise a ``layer.component.unit`` name for Prometheus."""
+    sanitised = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    sanitised = re.sub(r"_+", "_", sanitised).strip("_")
+    return f"{prefix}_{sanitised}"
+
+
+class MetricsRegistry:
+    """Namespace of counters, gauges and histograms plus the event log.
+
+    Instruments are created on first use so call sites never need to
+    pre-declare them; :meth:`snapshot` renders everything to plain
+    python values for ``server.stats()`` and JSON reports, and
+    :meth:`to_prometheus` renders the text exposition format.
+    Registered collectors are invoked before either rendering so
+    derived instruments (plan-cache counters, queue depth) are fresh.
+    """
+
+    def __init__(self, histogram_capacity: int = 4096,
+                 event_capacity: int = 1024) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._histogram_capacity = histogram_capacity
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self.events = EventLog(event_capacity)
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    name, self._histogram_capacity
+                )
+            return self._histograms[name]
+
+    def register_collector(
+        self, collect: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Register a callback that refreshes derived instruments.
+
+        Collectors run (in registration order) at the start of
+        :meth:`snapshot` and :meth:`to_prometheus`. Registering the
+        same callable twice is a no-op.
+        """
+        with self._lock:
+            if collect not in self._collectors:
+                self._collectors.append(collect)
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collect in collectors:
+            collect(self)
+
+    def snapshot(self) -> Dict[str, Any]:
+        self._run_collectors()
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in counters.items()},
+            "gauges": {n: g.value for n, g in gauges.items()},
+            "histograms": {n: h.summary() for n, h in histograms.items()},
+            "events": len(self.events),
+        }
+
+    def to_prometheus(self, prefix: str = "mmhand") -> str:
+        """Render the registry in Prometheus text exposition format.
+
+        Counters become ``<prefix>_<name>_total``, gauges
+        ``<prefix>_<name>``, and histograms Prometheus *summaries*
+        (quantile-labelled series plus ``_sum``/``_count``).
+        """
+        self._run_collectors()
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        lines: List[str] = []
+        for name in sorted(counters):
+            metric = _prometheus_name(name, prefix)
+            if not metric.endswith("_total"):
+                metric += "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counters[name].value}")
+        for name in sorted(gauges):
+            metric = _prometheus_name(name, prefix)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauges[name].value}")
+        for name in sorted(histograms):
+            metric = _prometheus_name(name, prefix)
+            summary = histograms[name].summary()
+            lines.append(f"# TYPE {metric} summary")
+            for label, key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} {summary[key]}'
+                )
+            lines.append(f"{metric}_sum {summary['sum']}")
+            lines.append(f"{metric}_count {summary['count']}")
+        return "\n".join(lines) + "\n"
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry shared by the pipeline layers."""
+    return _GLOBAL
+
+
+def counter(name: str) -> Counter:
+    """``metrics.counter("dsp.plan_cache.hits")`` on the global registry."""
+    return _GLOBAL.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _GLOBAL.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _GLOBAL.histogram(name)
+
+
+def emit(kind: str, **fields: Any) -> Dict[str, Any]:
+    """Emit a structured event into the global registry's event log."""
+    return _GLOBAL.events.emit(kind, **fields)

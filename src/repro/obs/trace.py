@@ -1,0 +1,315 @@
+"""Hierarchical trace spans for the whole pipeline.
+
+A span measures one named unit of work (``dsp.range_fft``,
+``model.forward``, ``serving.batch``) with wall-clock start/duration,
+the identity of its parent span on the same thread, and arbitrary
+key/value fields. Spans nest through a thread-local stack, so
+concurrent sessions and worker threads each get a coherent ancestry
+without any coordination; finished spans land in one bounded,
+process-wide buffer.
+
+Two exporters cover the common workflows:
+
+* :meth:`Tracer.export_jsonl` -- one JSON object per line, trivially
+  greppable and diffable;
+* :meth:`Tracer.export_chrome` -- the Chrome trace-event format, load
+  the file in ``chrome://tracing`` (or https://ui.perfetto.dev) to see
+  the nested timeline per thread.
+
+The module-level functions operate on the process-global tracer so
+instrumented library code only needs ``from repro.obs import trace``
+and ``with trace.span("dsp.range_fft", frames=n): ...``. Tracing is
+enabled by default; the per-span cost is two ``perf_counter`` calls and
+one dict, and the buffer is bounded, so leaving it on in production is
+deliberate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from repro.errors import ObservabilityError
+
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One unit of traced work; created by :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "correlation_id", "start_s",
+        "end_s", "fields", "status", "error", "thread_id", "thread_name",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        parent_id: Optional[int],
+        correlation_id: Optional[str],
+        start_s: float,
+        fields: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.correlation_id = correlation_id
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.fields = fields
+        self.status = "ok"
+        self.error: Optional[str] = None
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **fields: Any) -> None:
+        """Attach extra fields to a live span."""
+        self.fields.update(fields)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+        }
+        if self.correlation_id is not None:
+            record["correlation_id"] = self.correlation_id
+        if self.error is not None:
+            record["error"] = self.error
+        if self.fields:
+            record["fields"] = dict(self.fields)
+        return record
+
+
+class Tracer:
+    """Bounded collector of finished spans with thread-local nesting."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ObservabilityError("tracer capacity must be >= 1")
+        self.enabled = enabled
+        self._finished: Deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+
+    # -- thread-local context ------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost live span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def get_correlation(self) -> Optional[str]:
+        return getattr(self._local, "correlation_id", None)
+
+    def set_correlation(self, correlation_id: Optional[str]) -> None:
+        """Set this thread's correlation id; inherited by new spans."""
+        self._local.correlation_id = correlation_id
+
+    @contextmanager
+    def correlation(self, correlation_id: str) -> Iterator[None]:
+        """Scope a correlation id over a block (restores the previous)."""
+        previous = self.get_correlation()
+        self.set_correlation(correlation_id)
+        try:
+            yield
+        finally:
+            self.set_correlation(previous)
+
+    # -- span lifecycle -------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[Optional[Span]]:
+        """Trace a block as one span; exception-safe and re-raising.
+
+        Yields the live :class:`Span` (or ``None`` when tracing is
+        disabled) so callers can :meth:`Span.set` result fields.
+        """
+        if not self.enabled:
+            yield None
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name,
+            parent.span_id if parent is not None else None,
+            self.get_correlation(),
+            time.perf_counter() - self._epoch,
+            fields,
+        )
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = type(exc).__name__
+            raise
+        finally:
+            span.end_s = time.perf_counter() - self._epoch
+            stack.pop()
+            with self._lock:
+                self._finished.append(span)
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """Finished spans, oldest first, as plain dicts."""
+        with self._lock:
+            return [span.to_dict() for span in self._finished]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Temporarily disable tracing (benchmark baselines, tests)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate finished spans by name: count / total / mean / max."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for record in self.spans():
+            entry = totals.setdefault(
+                record["name"],
+                {"count": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0,
+                 "errors": 0},
+            )
+            entry["count"] += 1
+            entry["total_s"] += record["duration_s"]
+            entry["max_s"] = max(entry["max_s"], record["duration_s"])
+            if record["status"] != "ok":
+                entry["errors"] += 1
+        for entry in totals.values():
+            entry["mean_s"] = entry["total_s"] / entry["count"]
+        return totals
+
+    # -- exporters ------------------------------------------------------
+    def export_jsonl(self, path: str) -> str:
+        """Write finished spans as JSON lines; returns ``path``."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            for record in self.spans():
+                fh.write(json.dumps(record, default=str) + "\n")
+        return path
+
+    def export_chrome(self, path: str) -> str:
+        """Write finished spans in Chrome trace-event format.
+
+        Emits complete ("ph": "X") events with microsecond timestamps;
+        nesting is reconstructed by the viewer from the per-thread
+        ts/dur stacking. Load in ``chrome://tracing`` or Perfetto.
+        """
+        events = []
+        for record in sorted(self.spans(), key=lambda r: r["start_s"]):
+            args: Dict[str, Any] = {
+                "span_id": record["span_id"],
+                "parent_id": record["parent_id"],
+                "status": record["status"],
+            }
+            if "correlation_id" in record:
+                args["correlation_id"] = record["correlation_id"]
+            if "error" in record:
+                args["error"] = record["error"]
+            args.update(record.get("fields", {}))
+            events.append(
+                {
+                    "name": record["name"],
+                    "cat": record["name"].split(".", 1)[0],
+                    "ph": "X",
+                    "ts": record["start_s"] * 1e6,
+                    "dur": record["duration_s"] * 1e6,
+                    "pid": os.getpid(),
+                    "tid": record["thread_id"],
+                    "args": args,
+                }
+            )
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(
+                {"traceEvents": events, "displayTimeUnit": "ms"},
+                fh, default=str,
+            )
+        return path
+
+
+_GLOBAL = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer used by the instrumented library."""
+    return _GLOBAL
+
+
+def span(name: str, **fields: Any):
+    """``with trace.span("dsp.range_fft", frames=n):`` on the global
+    tracer."""
+    return _GLOBAL.span(name, **fields)
+
+
+def current() -> Optional[Span]:
+    return _GLOBAL.current()
+
+
+def correlation(correlation_id: str):
+    return _GLOBAL.correlation(correlation_id)
+
+
+def set_correlation(correlation_id: Optional[str]) -> None:
+    _GLOBAL.set_correlation(correlation_id)
+
+
+def get_correlation() -> Optional[str]:
+    return _GLOBAL.get_correlation()
+
+
+def export_chrome(path: str) -> str:
+    return _GLOBAL.export_chrome(path)
+
+
+def export_jsonl(path: str) -> str:
+    return _GLOBAL.export_jsonl(path)
+
+
+def clear() -> None:
+    _GLOBAL.clear()
+
+
+def summary() -> Dict[str, Dict[str, float]]:
+    return _GLOBAL.summary()

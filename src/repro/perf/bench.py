@@ -19,9 +19,13 @@ the same JSON. ``smoke=True`` shrinks sizes and repeats for CI.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
@@ -33,12 +37,63 @@ from repro.radar import RadarSimulator
 from repro.radar.scene import Scatterers, Scene
 
 
+def _git_sha() -> str:
+    """Current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip()
+
+
+def _config_hash(summary: Dict[str, Any]) -> str:
+    """Short digest of the summary's top-level scalar knobs.
+
+    Two runs with the same hash measured the same workload shape
+    (smoke/repeats/seed/...), so their numbers are comparable.
+    """
+    scalars = {
+        key: value
+        for key, value in summary.items()
+        if isinstance(value, (str, int, float, bool))
+    }
+    payload = json.dumps(scalars, sort_keys=True, default=float)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def bench_provenance(summary: Dict[str, Any]) -> Dict[str, Any]:
+    """Reproducibility metadata embedded into every benchmark JSON."""
+    return {
+        "git_sha": _git_sha(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "config_hash": _config_hash(summary),
+    }
+
+
 def write_bench_json(path: str, summary: Dict[str, Any]) -> str:
     """Write a benchmark summary to ``path`` as indented JSON.
 
     Shared by every benchmark entry point so the output format (and the
-    directory handling) stays uniform. Returns ``path``.
+    directory handling) stays uniform. A ``provenance`` block (git SHA,
+    platform, numpy version, UTC timestamp, config hash) is added unless
+    the summary already carries one. Returns ``path``.
     """
+    if "provenance" not in summary:
+        summary = dict(summary)
+        summary["provenance"] = bench_provenance(summary)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -207,6 +262,46 @@ def run_pipeline_bench(
         },
     }
 
+    # -- model forward: batched joint regression over built cubes ------
+    from repro.config import ModelConfig
+    from repro.core.regressor import HandJointRegressor
+
+    regressor = HandJointRegressor(dsp_exact, ModelConfig(), seed=seed)
+    regressor.eval()
+    # Segment shape comes from the regressor's own DSP config (it may
+    # differ from dsp_exact when tests shrink the default model); feed
+    # it the real built cubes when they fit, synthetic ones otherwise.
+    rdsp = regressor.dsp
+    st = rdsp.segment_frames
+    frame_shape = (
+        rdsp.doppler_bins,
+        rdsp.range_bins,
+        rdsp.azimuth_bins + rdsp.elevation_bins,
+    )
+    num_segments = max(frames // st, 1)
+    if (
+        batched.values.shape[1:] == frame_shape
+        and batched.values.shape[0] >= num_segments * st
+    ):
+        segments = (
+            batched.values[: num_segments * st]
+            .reshape(num_segments, st, *frame_shape)
+            .astype(np.float32)
+        )
+    else:
+        segments = rng.normal(
+            size=(num_segments, st) + frame_shape
+        ).astype(np.float32)
+    regressor.predict(segments)  # warm-up: first-call allocations
+    t_forward = _best_of(lambda: regressor.predict(segments), repeats)
+    model_bench = {
+        "segments": num_segments,
+        "batch_forward": {
+            "elapsed_s": t_forward,
+            "segments_per_s": num_segments / t_forward,
+        },
+    }
+
     # -- end to end: simulate + preprocess -----------------------------
     def end_to_end_baseline() -> None:
         raw_seq = sim.sequence_reference(scenes)
@@ -239,6 +334,7 @@ def run_pipeline_bench(
         "cube_build": cube_bench,
         "simulator": sim_bench,
         "cfar": cfar_bench,
+        "model_forward": model_bench,
         "end_to_end": e2e_bench,
         "plan_cache": PLAN_CACHE.stats(),
     }
@@ -278,6 +374,13 @@ def print_pipeline_report(summary: Dict[str, Any]) -> None:
         f"({cfar['vectorized']['speedup']:.1f}x, mask identical: "
         f"{cfar['vectorized']['mask_identical']})"
     )
+    if "model_forward" in summary:
+        model = summary["model_forward"]
+        print(
+            f"model forward ({model['segments']} segments): "
+            f"{model['batch_forward']['segments_per_s']:8.1f} segments/s "
+            f"({model['batch_forward']['elapsed_s'] * 1e3:.1f} ms/batch)"
+        )
     e2e = summary["end_to_end"]
     print(
         f"end-to-end ({e2e['frames']} frames): baseline "

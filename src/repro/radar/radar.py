@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.config import RadarConfig
 from repro.errors import RadarError
+from repro.obs import trace
 from repro.radar.antenna import VirtualArray, iwr1443_array
 from repro.radar.chirp import synthesize_frame, synthesize_sequence
 from repro.radar.scene import Scene
@@ -48,9 +49,10 @@ class RadarSimulator:
     def frame(self, scene: Scene) -> np.ndarray:
         """Raw IF cube ``(virtual_antennas, chirp_loops, samples)`` for
         one frame."""
-        return synthesize_frame(
-            self.config, self.array, scene.all_scatterers(), self._rng
-        )
+        with trace.span("radar.synthesize.frame"):
+            return synthesize_frame(
+                self.config, self.array, scene.all_scatterers(), self._rng
+            )
 
     def sequence(self, scenes: Sequence[Scene]) -> np.ndarray:
         """Raw IF cubes for consecutive frames, shape ``(F, V, L, N)``.
@@ -63,12 +65,13 @@ class RadarSimulator:
         """
         if not scenes:
             raise RadarError("at least one scene is required")
-        return synthesize_sequence(
-            self.config,
-            self.array,
-            [scene.all_scatterers() for scene in scenes],
-            self._rng,
-        )
+        with trace.span("radar.synthesize.sequence", frames=len(scenes)):
+            return synthesize_sequence(
+                self.config,
+                self.array,
+                [scene.all_scatterers() for scene in scenes],
+                self._rng,
+            )
 
     def sequence_reference(self, scenes: Sequence[Scene]) -> np.ndarray:
         """Frame-by-frame reference path of :meth:`sequence`.

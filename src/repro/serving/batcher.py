@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.regressor import HandJointRegressor
 from repro.errors import ServingError
+from repro.obs import trace
 from repro.serving.cache import SegmentCache, segment_key
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.session import SegmentRequest
@@ -33,6 +34,7 @@ class PoseResult:
     latency_s: float
     cached: bool = False
     batch_size: int = 1
+    corr_id: str = ""
 
 
 class MicroBatcher:
@@ -102,10 +104,13 @@ class MicroBatcher:
             miss_slots = list(range(len(requests)))
 
         if miss_slots:
-            stacked = np.stack(
-                [requests[slot].segment for slot in miss_slots]
-            )
-            predictions = self.regressor.predict(stacked)
+            with trace.span(
+                "serving.batch.forward", batch=len(miss_slots)
+            ):
+                stacked = np.stack(
+                    [requests[slot].segment for slot in miss_slots]
+                )
+                predictions = self.regressor.predict(stacked)
             for row, slot in enumerate(miss_slots):
                 joints_by_slot[slot] = predictions[row]
                 if self.cache is not None and keys[slot] is not None:
@@ -122,6 +127,7 @@ class MicroBatcher:
                 latency_s=now - request.enqueued_at,
                 cached=cached_flags[slot],
                 batch_size=len(requests),
+                corr_id=request.corr_id,
             )
             for slot, request in enumerate(requests)
         ]
@@ -137,4 +143,10 @@ class MicroBatcher:
             latency = self.metrics.histogram("latency_s")
             for result in results:
                 latency.observe(result.latency_s)
+            self.metrics.events.emit(
+                "batch_served",
+                batch_size=len(requests),
+                cached=sum(cached_flags),
+                corr_ids=[result.corr_id for result in results],
+            )
         return results

@@ -1,204 +1,25 @@
-"""Operational metrics for the inference service runtime.
+"""Re-export shim: the serving metrics moved to :mod:`repro.obs.metrics`.
 
-A deliberately small, dependency-free registry in the spirit of
-Prometheus client libraries: counters (monotonic), gauges (set/sample),
-and latency histograms with streaming percentile summaries, plus a
-bounded structured event log. Everything is thread-safe because the
-:class:`~repro.serving.queue.RequestQueue` supports blocking producers
-on other threads.
+The registry started life here as a private fixture of the inference
+server; it is now the unified, pipeline-wide registry in
+:mod:`repro.obs.metrics` (with collectors, Prometheus exposition and a
+process-global facade). This module keeps every historical import path
+-- ``from repro.serving.metrics import MetricsRegistry`` and friends --
+working unchanged.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
-import threading
-import time
-from collections import deque
-from typing import Any, Deque, Dict, List, Optional
-
-import numpy as np
-
-from repro.errors import ServingError
-
-
-class Counter:
-    """A monotonically increasing counter."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def increment(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ServingError(
-                f"counter {self.name!r} cannot decrease (amount={amount})"
-            )
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-
-class Gauge:
-    """A value that can move both ways (queue depth, open sessions)."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0.0
-        self._lock = threading.Lock()
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = float(value)
-
-    def add(self, delta: float) -> None:
-        with self._lock:
-            self._value += float(delta)
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-
-class Histogram:
-    """Reservoir of observations with percentile summaries.
-
-    Keeps the most recent ``capacity`` observations (sliding reservoir);
-    for serving latencies this biases the summary toward current
-    behaviour, which is what a live dashboard wants.
-    """
-
-    def __init__(self, name: str, capacity: int = 4096) -> None:
-        if capacity < 1:
-            raise ServingError("histogram capacity must be >= 1")
-        self.name = name
-        self._samples: Deque[float] = deque(maxlen=capacity)
-        self._count = 0
-        self._total = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._samples.append(float(value))
-            self._count += 1
-            self._total += float(value)
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) of the retained samples."""
-        with self._lock:
-            if not self._samples:
-                return 0.0
-            return float(np.percentile(np.asarray(self._samples), q))
-
-    def summary(self) -> Dict[str, float]:
-        with self._lock:
-            if not self._samples:
-                return {
-                    "count": self._count, "mean": 0.0,
-                    "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
-                }
-            arr = np.asarray(self._samples)
-            p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
-            return {
-                "count": self._count,
-                "mean": float(arr.mean()),
-                "p50": float(p50),
-                "p95": float(p95),
-                "p99": float(p99),
-                "max": float(arr.max()),
-            }
-
-
-class EventLog:
-    """Bounded structured event log.
-
-    Events are plain dicts with a monotonically increasing sequence
-    number and a relative timestamp; the log keeps the most recent
-    ``capacity`` entries.
-    """
-
-    def __init__(self, capacity: int = 1024) -> None:
-        if capacity < 1:
-            raise ServingError("event log capacity must be >= 1")
-        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
-        self._seq = 0
-        self._start = time.perf_counter()
-        self._lock = threading.Lock()
-
-    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
-        with self._lock:
-            event = {
-                "seq": self._seq,
-                "t_s": time.perf_counter() - self._start,
-                "kind": kind,
-                **fields,
-            }
-            self._seq += 1
-            self._events.append(event)
-            return event
-
-    def tail(self, count: Optional[int] = None) -> List[Dict[str, Any]]:
-        with self._lock:
-            events = list(self._events)
-        if count is None:
-            return events
-        return events[-count:]
-
-    def __len__(self) -> int:
-        return len(self._events)
-
-
-class MetricsRegistry:
-    """Namespace of counters, gauges and histograms plus the event log.
-
-    Instruments are created on first use so call sites never need to
-    pre-declare them; :meth:`snapshot` renders everything to plain
-    python values for ``server.stats()`` and JSON reports.
-    """
-
-    def __init__(self, histogram_capacity: int = 4096,
-                 event_capacity: int = 1024) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._histogram_capacity = histogram_capacity
-        self.events = EventLog(event_capacity)
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
-
-    def gauge(self, name: str) -> Gauge:
-        with self._lock:
-            if name not in self._gauges:
-                self._gauges[name] = Gauge(name)
-            return self._gauges[name]
-
-    def histogram(self, name: str) -> Histogram:
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(
-                    name, self._histogram_capacity
-                )
-            return self._histograms[name]
-
-    def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {n: c.value for n, c in counters.items()},
-            "gauges": {n: g.value for n, g in gauges.items()},
-            "histograms": {n: h.summary() for n, h in histograms.items()},
-            "events": len(self.events),
-        }
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

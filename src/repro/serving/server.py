@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.core.regressor import HandJointRegressor
+from repro.dsp.plans import PLAN_CACHE, publish_plan_cache_metrics
 from repro.dsp.radar_cube import CubeBuilder
 from repro.errors import QueueFullError, ServingError, UnknownSessionError
 from repro.serving.batcher import MicroBatcher, PoseResult
@@ -66,6 +67,10 @@ class InferenceServer:
         self.regressor = regressor
         self.config = config if config is not None else ServingConfig()
         self.metrics = MetricsRegistry()
+        # The shared FFT plan cache sits below the serving layer; pull
+        # its hit/miss/entry counts into this server's registry at every
+        # snapshot so stats() and prometheus() agree with PLAN_CACHE.
+        self.metrics.register_collector(publish_plan_cache_metrics)
         self.queue = RequestQueue(
             capacity=self.config.queue_capacity,
             policy=self.config.policy,
@@ -222,8 +227,13 @@ class InferenceServer:
         }
         if self.batcher.cache is not None:
             snapshot["cache"] = self.batcher.cache.stats()
+        snapshot["plan_cache"] = PLAN_CACHE.stats()
         snapshot["sessions"] = {
             sid: session.stats()
             for sid, session in self._sessions.items()
         }
         return snapshot
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of this server's registry."""
+        return self.metrics.to_prometheus()

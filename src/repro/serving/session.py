@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.dsp.radar_cube import CubeBuilder
 from repro.errors import FrameShapeError, ServingError, SessionClosedError
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.serving.metrics import MetricsRegistry
@@ -31,12 +32,15 @@ class SegmentRequest:
     ``segment`` has shape ``(st, V, D, A)``; ``frame_index`` is the index
     of the newest raw frame in the window (the emission timestamp of the
     eventual pose); ``enqueued_at`` feeds the latency histograms.
+    ``corr_id`` (``<session_id>#<frame_index>``) correlates the request
+    across trace spans, the event log and structured log lines.
     """
 
     session_id: str
     frame_index: int
     segment: np.ndarray
     enqueued_at: float = field(default_factory=time.perf_counter)
+    corr_id: str = ""
 
 
 class FrameWindow:
@@ -144,7 +148,10 @@ class Session:
                 "feed expects a single raw frame "
                 f"(antennas, loops, samples), got shape {raw_frame.shape}"
             )
-        cube, timings = self.builder.build_timed(raw_frame[None])
+        # DSP spans emitted while preprocessing carry this session's id
+        # as their correlation id.
+        with trace.correlation(self.session_id):
+            cube, timings = self.builder.build_timed(raw_frame[None])
         if self.metrics is not None:
             # Per-stage preprocessing cost, visible in server stats()
             # next to the queue/batch latencies it trades off against.
@@ -169,6 +176,7 @@ class Session:
             session_id=self.session_id,
             frame_index=self.window.frame_index,
             segment=segment,
+            corr_id=f"{self.session_id}#{self.window.frame_index}",
         )
 
     def close(self) -> None:

@@ -154,7 +154,9 @@ def test_serve_bounded_run(tmp_path, capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "final report" in out
-    assert "poses/s" in out
+    assert "event=final_report" in out
+    assert "poses_per_s=" in out
+    assert "event=plan_cache" in out
     import json
 
     stats = json.loads(json_path.read_text())
@@ -163,6 +165,7 @@ def test_serve_bounded_run(tmp_path, capsys):
     assert stats["counters"]["poses"] == 6
     assert stats["counters"]["sessions_closed"] == 2
     assert stats["histograms"]["latency_s"]["count"] == 6
+    assert stats["plan_cache"]["misses"] >= 1
 
 
 def test_bench_smoke(tmp_path, capsys):
@@ -187,3 +190,59 @@ def test_bench_smoke(tmp_path, capsys):
 def test_bench_rejects_bad_repeats(capsys):
     assert cli.main(["bench", "--smoke", "--repeats", "0"]) == 1
     assert "--repeats" in capsys.readouterr().err
+
+
+def test_trace_wrapper_runs_bench(tmp_path, capsys):
+    """``mmhand trace bench --smoke --trace-out`` produces a span
+    summary and a Chrome-loadable trace with nested spans covering
+    radar synthesis, the DSP stages, and the model forward."""
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    json_path = tmp_path / "bench.json"
+    assert cli.main(
+        [
+            "trace", "bench", "--smoke",
+            "--json", str(json_path),
+            "--trace-out", str(trace_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "span summary" in out
+
+    doc = json.loads(trace_path.read_text())
+    events = doc["traceEvents"]
+    names = {event["name"] for event in events}
+    assert "radar.synthesize.sequence" in names
+    dsp_stages = {
+        n for n in names
+        if n in ("dsp.bandpass", "dsp.range_fft", "dsp.doppler_fft",
+                 "dsp.angle")
+    }
+    assert len(dsp_stages) >= 3
+    assert "model.forward" in names
+    assert any(event["args"].get("parent_id") for event in events)
+    assert all(
+        event["ph"] == "X" and "ts" in event and "dur" in event
+        for event in events
+    )
+
+
+def test_trace_wrapper_requires_command(capsys):
+    assert cli.main(["trace"]) == 1
+    assert "missing command" in capsys.readouterr().err
+
+
+def test_bench_provenance(tmp_path, capsys):
+    """Every bench JSON embeds reproducibility provenance."""
+    import json
+
+    json_path = tmp_path / "bench.json"
+    assert cli.main(
+        ["bench", "--smoke", "--json", str(json_path)]
+    ) == 0
+    summary = json.loads(json_path.read_text())
+    provenance = summary["provenance"]
+    for key in ("git_sha", "platform", "python", "numpy",
+                "timestamp_utc", "config_hash"):
+        assert provenance[key]

@@ -281,6 +281,9 @@ def _add_serve(subparsers) -> None:
                    help="disable the content-hash result cache")
     p.add_argument("--hop", type=int, default=1,
                    help="frames between emissions per session")
+    p.add_argument("--shard-threads", type=int, default=0,
+                   help="split each compiled micro-batch across N worker "
+                        "threads (0: single-threaded)")
     p.add_argument("--report-every", type=int, default=0,
                    help="print a live report every N ticks (0: final only)")
     p.add_argument("--json", dest="json_path", default=None,
@@ -397,12 +400,16 @@ def _cmd_serve(args) -> int:
         load_state(regressor, args.weights)
     regressor.eval()
 
+    if args.shard_threads < 0:
+        print("--shard-threads must be >= 0", file=sys.stderr)
+        return 1
     serving = ServingConfig(
         max_batch_size=args.batch_size,
         queue_capacity=args.queue_capacity,
         policy=args.policy,
         enable_cache=not args.no_cache,
         hop_frames=args.hop,
+        shard_threads=args.shard_threads,
     )
     server = InferenceServer(
         CubeBuilder(radar, dsp), regressor, serving
@@ -470,13 +477,20 @@ def _add_bench(subparsers) -> None:
     p = subparsers.add_parser(
         "bench",
         help="benchmark the DSP hot path (cube build, simulator, CFAR) "
-             "and write a BENCH_pipeline.json regression summary",
+             "and the compiled model forward; writes BENCH_pipeline.json "
+             "and BENCH_model.json regression summaries",
     )
     p.add_argument("--smoke", action="store_true",
                    help="tiny workload for CI regression checks")
     p.add_argument("--json", dest="json_path",
                    default="BENCH_pipeline.json",
                    help="summary output path (default: BENCH_pipeline.json)")
+    p.add_argument("--model-json", dest="model_json_path",
+                   default="BENCH_model.json",
+                   help="model bench output path (default: BENCH_model.json)")
+    p.add_argument("--model-only", action="store_true",
+                   help="skip the DSP stages; run only the compiled-vs-"
+                        "eager model forward bench")
     p.add_argument("--repeats", type=int, default=3,
                    help="take the best of N timing repeats")
     p.add_argument("--seed", type=int, default=0)
@@ -485,7 +499,9 @@ def _add_bench(subparsers) -> None:
 
 def _cmd_bench(args) -> int:
     from repro.perf import (
+        print_model_report,
         print_pipeline_report,
+        run_model_bench,
         run_pipeline_bench,
         write_bench_json,
     )
@@ -493,13 +509,28 @@ def _cmd_bench(args) -> int:
     if args.repeats < 1:
         print("--repeats must be >= 1", file=sys.stderr)
         return 1
-    summary = run_pipeline_bench(
+    if not args.model_only:
+        summary = run_pipeline_bench(
+            smoke=args.smoke, repeats=args.repeats, seed=args.seed
+        )
+        print_pipeline_report(summary)
+        write_bench_json(args.json_path, summary)
+        print(f"summary -> {args.json_path}")
+    model_summary = run_model_bench(
         smoke=args.smoke, repeats=args.repeats, seed=args.seed
     )
-    print_pipeline_report(summary)
-    write_bench_json(args.json_path, summary)
-    print(f"summary -> {args.json_path}")
+    print_model_report(model_summary)
+    write_bench_json(args.model_json_path, model_summary)
+    print(f"model summary -> {args.model_json_path}")
     _export_observability(args)
+    if not model_summary["within_tolerance"]:
+        print(
+            "compiled forward diverged from eager beyond "
+            f"{model_summary['tolerance']:.0e} "
+            f"(max |diff| {model_summary['max_abs_diff']:.2e})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -15,8 +15,9 @@ import numpy as np
 from repro.config import DspConfig, ModelConfig
 from repro.core.mmspacenet import MmSpaceNet
 from repro.core.temporal import TemporalModel
-from repro.errors import ModelError
+from repro.errors import InferenceCompileError, ModelError
 from repro.obs import trace
+from repro.nn.inference import CompiledModel, compile_model
 from repro.nn.layers import Linear, Module, ReLU, Sequential
 from repro.nn.tensor import Tensor, no_grad
 
@@ -73,6 +74,40 @@ class HandJointRegressor(Module):
             return out.reshape(out.shape[0], joints, 3)
 
     # ------------------------------------------------------------------
+    def compile_plan(self, builder, reg: int) -> int:
+        """Append the whole network to a :mod:`repro.nn.inference` plan."""
+
+        def promote(shape):
+            return (1, *shape) if len(shape) == 4 else shape
+
+        reg = builder.reshape(reg, promote)
+        reg = self.spatial.compile_plan(builder, reg)
+        reg = self.temporal.compile_plan(builder, reg)
+        reg = builder.sequential(reg, self.head)
+        joints = self.model_config.num_joints
+        return builder.reshape(reg, lambda s: (s[0], joints, 3))
+
+    def compiled(self) -> Optional[CompiledModel]:
+        """The cached autograd-free plan for this network (or ``None``).
+
+        Compiled lazily on first use; a model the compiler cannot handle
+        is remembered as uncompilable so every later call falls straight
+        through to the eager forward.
+        """
+        cached = getattr(self, "_compiled_plan", None)
+        if cached is not None:
+            return cached
+        if getattr(self, "_compile_failed", False):
+            return None
+        try:
+            plan = compile_model(self)
+        except InferenceCompileError:
+            object.__setattr__(self, "_compile_failed", True)
+            return None
+        object.__setattr__(self, "_compiled_plan", plan)
+        return plan
+
+    # ------------------------------------------------------------------
     def set_normalization(
         self,
         input_mean: float,
@@ -111,10 +146,20 @@ class HandJointRegressor(Module):
         return normalised * self.label_std + self.label_mean
 
     # ------------------------------------------------------------------
-    def predict(self, segments: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    def predict(
+        self,
+        segments: np.ndarray,
+        batch_size: int = 64,
+        use_compiled: bool = True,
+        shards: Optional[int] = None,
+    ) -> np.ndarray:
         """Joints in metres for raw cube segments ``(N, st, V, D, A)``.
 
-        Runs in eval mode without recording gradients.
+        Runs in eval mode without recording gradients. By default each
+        batch executes the compiled autograd-free plan
+        (:mod:`repro.nn.inference`); ``use_compiled=False`` forces the
+        eager forward, and ``shards`` splits each compiled batch across
+        that many worker threads (useful for large serving batches).
         """
         segments = np.asarray(segments, dtype=np.float32)
         if segments.ndim == 4:
@@ -129,19 +174,24 @@ class HandJointRegressor(Module):
             # An empty micro-batch (e.g. every window was served from
             # the cache) regresses to an empty prediction.
             return np.zeros((0, joints, 3), dtype=np.float32)
+        plan = self.compiled() if use_compiled else None
         was_training = self.training
         self.eval()
         outputs = []
         try:
             with no_grad(), trace.span(
-                "model.predict", segments=len(segments)
+                "model.predict", segments=len(segments),
+                compiled=plan is not None,
             ):
                 for start in range(0, len(segments), batch_size):
                     batch = self.normalize_inputs(
                         segments[start : start + batch_size]
                     )
-                    pred = self.forward(Tensor(batch))
-                    outputs.append(self.denormalize_labels(pred.data))
+                    if plan is not None:
+                        pred = plan.run(batch, shards=shards)
+                    else:
+                        pred = self.forward(Tensor(batch)).data
+                    outputs.append(self.denormalize_labels(pred))
         finally:
             if was_training:
                 self.train()

@@ -21,7 +21,7 @@ from repro.data.dataset import HandPoseDataset
 from repro.data.splits import kfold_user_splits
 from repro.errors import DatasetError
 from repro.nn.optim import Adam, CosineSchedule
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.obs.logging import get_logger
@@ -88,10 +88,56 @@ class Trainer:
             label_std=labels.std(axis=0) + 1e-6,
         )
 
+    def evaluate(self, dataset: HandPoseDataset) -> float:
+        """Mean combined loss over ``dataset`` (no gradients recorded).
+
+        Runs the regressor in eval mode under
+        :func:`~repro.nn.tensor.no_grad`, so no autograd graph is built
+        and batch norm uses its running statistics; the previous
+        train/eval mode is restored afterwards.
+        """
+        if len(dataset) == 0:
+            raise DatasetError("cannot evaluate on an empty dataset")
+        cfg = self.config
+        x = self.regressor.normalize_inputs(dataset.segments)
+        y = dataset.labels.astype(np.float32)
+        label_mean = Tensor(self.regressor.label_mean)
+        label_std = Tensor(self.regressor.label_std)
+        was_training = self.regressor.training
+        self.regressor.eval()
+        losses: List[float] = []
+        weights: List[int] = []
+        try:
+            with no_grad(), trace.span(
+                "train.evaluate", segments=len(dataset)
+            ):
+                for start in range(0, len(dataset), cfg.batch_size):
+                    batch_x = x[start : start + cfg.batch_size]
+                    batch_y = y[start : start + cfg.batch_size]
+                    pred_m = (
+                        self.regressor(Tensor(batch_x)) * label_std
+                        + label_mean
+                    )
+                    total, _, _ = combined_loss(pred_m, batch_y, cfg)
+                    losses.append(float(total.data))
+                    weights.append(len(batch_x))
+        finally:
+            if was_training:
+                self.regressor.train()
+        return float(np.average(losses, weights=weights))
+
     def fit(
-        self, dataset: HandPoseDataset, verbose: bool = False
+        self,
+        dataset: HandPoseDataset,
+        verbose: bool = False,
+        val_dataset: Optional[HandPoseDataset] = None,
     ) -> TrainResult:
-        """Train on ``dataset`` for the configured number of epochs."""
+        """Train on ``dataset`` for the configured number of epochs.
+
+        ``val_dataset`` enables a per-epoch validation pass: its mean
+        combined loss is recorded as ``val_loss`` in ``epoch_stats`` and
+        observed on the ``train.epoch.val_loss`` histogram.
+        """
         if len(dataset) < self.config.batch_size:
             raise DatasetError(
                 f"dataset ({len(dataset)} segments) smaller than one batch"
@@ -183,15 +229,20 @@ class Trainer:
                     np.mean(result.total_loss[-batches_per_epoch:])
                 )
                 throughput = segments / epoch_s if epoch_s > 0 else 0.0
-                result.epoch_stats.append(
-                    {
-                        "epoch": epoch + 1,
-                        "loss": epoch_loss,
-                        "grad_norm": float(grad_norm),
-                        "segments_per_s": throughput,
-                        "elapsed_s": epoch_s,
-                    }
-                )
+                stats = {
+                    "epoch": epoch + 1,
+                    "loss": epoch_loss,
+                    "grad_norm": float(grad_norm),
+                    "segments_per_s": throughput,
+                    "elapsed_s": epoch_s,
+                }
+                if val_dataset is not None:
+                    val_loss = self.evaluate(val_dataset)
+                    stats["val_loss"] = val_loss
+                    obs_metrics.histogram("train.epoch.val_loss").observe(
+                        val_loss
+                    )
+                result.epoch_stats.append(stats)
                 obs_metrics.histogram("train.epoch.loss").observe(
                     epoch_loss
                 )
@@ -210,6 +261,11 @@ class Trainer:
                         loss=epoch_loss,
                         grad_norm=float(grad_norm),
                         segments_per_s=throughput,
+                        **(
+                            {"val_loss": stats["val_loss"]}
+                            if val_dataset is not None
+                            else {}
+                        ),
                     )
         result.elapsed_s = time.perf_counter() - start
         self.regressor.eval()

@@ -39,6 +39,12 @@ class GradientError(ModelError):
     """Backpropagation encountered an invalid graph state."""
 
 
+class InferenceCompileError(ModelError):
+    """A module could not be compiled into an inference plan
+    (:mod:`repro.nn.inference`). Callers fall back to the eager
+    autograd forward under ``no_grad()``."""
+
+
 class SerializationError(ModelError):
     """Weights could not be saved or restored."""
 

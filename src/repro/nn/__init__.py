@@ -32,6 +32,13 @@ from repro.nn.attention import (
 from repro.nn.optim import SGD, Adam, CosineSchedule
 from repro.nn.loss import mse_loss, l2_joint_loss
 from repro.nn.serialization import save_state, load_state
+from repro.nn.inference import (
+    BufferArena,
+    CompiledModel,
+    ForwardPlan,
+    PlanBuilder,
+    compile_model,
+)
 
 __all__ = [
     "Tensor",
@@ -61,4 +68,9 @@ __all__ = [
     "l2_joint_loss",
     "save_state",
     "load_state",
+    "BufferArena",
+    "CompiledModel",
+    "ForwardPlan",
+    "PlanBuilder",
+    "compile_model",
 ]

@@ -14,13 +14,18 @@ from repro.nn.tensor import Tensor
 
 
 def _im2col(
-    data: np.ndarray, kh: int, kw: int, stride: int
+    data: np.ndarray, kh: int, kw: int, stride: int,
+    out: np.ndarray = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Extract sliding (kh, kw) patches of an NCHW array.
 
     Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
     ``(C*kh*kw, N*out_h*out_w)`` -- the batch folded into the spatial
-    axis so a single BLAS GEMM performs the whole convolution.
+    axis so a single BLAS GEMM performs the whole convolution. When
+    ``out`` (a contiguous ``(C*kh*kw, N*out_h*out_w)`` buffer) is
+    given, the patches are copied into it instead of a fresh
+    allocation -- the compiled inference plans reuse one scratch
+    buffer per conv across calls.
     """
     n, c, h, w = data.shape
     out_h = (h - kh) // stride + 1
@@ -35,6 +40,9 @@ def _im2col(
         data.strides[3] * stride,
     )
     patches = np.lib.stride_tricks.as_strided(data, shape, strides)
+    if out is not None:
+        np.copyto(out.reshape(shape), patches)
+        return out, out_h, out_w
     cols = np.ascontiguousarray(patches).reshape(
         c * kh * kw, n * out_h * out_w
     )

@@ -1,0 +1,823 @@
+"""Compiled autograd-free inference plans.
+
+:func:`compile_model` traces a :class:`~repro.nn.layers.Module` into a
+flat :class:`ForwardPlan` of raw-ndarray ops -- no per-op ``Tensor``
+allocation, no parent tuples, no backward closures. The compiler applies
+the classic serving-side optimisations:
+
+* **Conv+BN folding** -- an eval-mode ``BatchNorm2d`` following a
+  ``Conv2d`` / ``ConvTranspose2d`` collapses into the conv's weights and
+  bias (``W' = W * gamma/sqrt(var+eps)``, ``b' = (b-mean)*scale+beta``);
+* **ReLU/sigmoid fusion** -- activations run in place on the GEMM output
+  instead of allocating a fresh array per op;
+* **pre-flattened weights** -- conv kernels are stored as contiguous
+  ``(O, C*kh*kw)`` GEMM operands and linear/LSTM weights pre-transposed;
+* **buffer arenas** -- every op reuses per-plan scratch (im2col columns,
+  padded inputs, GEMM outputs) keyed by op id, so steady-state serving
+  with a stable batch shape does near-zero allocation;
+* **parallel batch sharding** -- :meth:`CompiledModel.run` optionally
+  splits a large fused batch across a thread pool, one buffer arena per
+  shard (rows are independent in eval mode, so outputs are unchanged).
+
+Folded weights are memoized against the sum of the source parameters'
+:attr:`~repro.nn.tensor.Tensor.version` counters (bumped by optimizer
+steps and ``load_state_dict``), so a live trainer and a serving plan can
+share one module: the next compiled call after a weight update refolds.
+
+Composite modules (the mmSpaceNet residual blocks, the regressor, ...)
+participate by defining ``compile_plan(self, builder, reg) -> reg``;
+anything the compiler cannot handle raises
+:class:`~repro.errors.InferenceCompileError` and callers fall back to
+the eager forward under :func:`~repro.nn.tensor.no_grad`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InferenceCompileError, ModelError
+from repro.nn.attention import (
+    FrameAttention,
+    SpatialAttention,
+    VelocityChannelAttention,
+)
+from repro.nn.functional import _im2col
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Dropout,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.rnn import LSTM
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+
+
+def _sigmoid_inplace(x: np.ndarray) -> np.ndarray:
+    """``1 / (1 + exp(-x))`` computed in place (eager's exact formula)."""
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += 1.0
+    np.reciprocal(x, out=x)
+    return x
+
+
+class BufferArena:
+    """Per-execution scratch buffers keyed by ``(op id, tag)``.
+
+    A buffer is reallocated only when its requested shape or dtype
+    changes, so a serving loop with a stable batch shape reuses every
+    intermediate. ``zero=True`` buffers are zero-filled once at
+    allocation; ops relying on it only ever write the same positions
+    (padding interiors, upsample lattices), so the zeros persist.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple, np.ndarray] = {}
+
+    def get(
+        self, key: Tuple, shape: Tuple[int, ...], dtype,
+        zero: bool = False,
+    ) -> np.ndarray:
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+            buf = (
+                np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            )
+            self._buffers[key] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+# ----------------------------------------------------------------------
+# Plan ops
+# ----------------------------------------------------------------------
+class PlanOp:
+    """One flat step of a forward plan: read ``src`` regs, write ``dst``."""
+
+    name = "op"
+
+    def __init__(self, op_id: int, src: int, dst: int) -> None:
+        self.op_id = op_id
+        self.src = src
+        self.dst = dst
+
+    def refold(self) -> None:
+        """Recompute folded weights from the live source parameters."""
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        raise NotImplementedError
+
+
+def _conv_gemm(
+    x: np.ndarray,
+    w_flat: np.ndarray,
+    bias_col: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    arena: BufferArena,
+    key: Tuple,
+    relu: bool = False,
+    sigmoid: bool = False,
+) -> np.ndarray:
+    """Shared conv kernel: pad -> im2col -> GEMM -> epilogue -> NCHW.
+
+    Every intermediate lives in the arena under ``key``-derived slots;
+    the returned ``(N, O, out_h, out_w)`` array is an arena buffer too
+    (valid until this op runs again in the same arena).
+    """
+    n, c, h, w = x.shape
+    if padding:
+        ph, pw = h + 2 * padding, w + 2 * padding
+        padded = arena.get(key + ("pad",), (n, c, ph, pw), x.dtype,
+                           zero=True)
+        padded[:, :, padding:padding + h, padding:padding + w] = x
+        x, h, w = padded, ph, pw
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    o = w_flat.shape[0]
+    m = n * out_h * out_w
+    dtype = np.result_type(x.dtype, w_flat.dtype)
+    cols = arena.get(key + ("cols",), (c * kh * kw, m), x.dtype)
+    _im2col(x, kh, kw, stride, out=cols)
+    out_flat = arena.get(key + ("gemm",), (o, m), dtype)
+    np.matmul(w_flat, cols, out=out_flat)
+    if bias_col is not None:
+        out_flat += bias_col
+    if relu:
+        np.maximum(out_flat, 0.0, out=out_flat)
+    if sigmoid:
+        _sigmoid_inplace(out_flat)
+    out = arena.get(key + ("out",), (n, o, out_h, out_w), dtype)
+    np.copyto(
+        out, out_flat.reshape(o, n, out_h, out_w).transpose(1, 0, 2, 3)
+    )
+    return out
+
+
+def _fold_conv(
+    conv: Conv2d, bn: Optional[BatchNorm2d]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pre-flattened GEMM weight and bias column, with BN folded in."""
+    w = conv.weight.data
+    o = w.shape[0]
+    b = (
+        conv.bias.data
+        if conv.bias is not None
+        else np.zeros(o, dtype=w.dtype)
+    )
+    if bn is not None:
+        scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+        w = w * scale[:, None, None, None]
+        b = (b - bn.running_mean) * scale + bn.beta.data
+    w_flat = np.ascontiguousarray(w.reshape(o, -1))
+    return w_flat, np.ascontiguousarray(b.reshape(o, 1))
+
+
+class ConvOp(PlanOp):
+    """Conv2d with pre-flattened weights, folded BN, fused activation."""
+
+    name = "conv2d"
+
+    def __init__(
+        self,
+        op_id: int,
+        src: int,
+        dst: int,
+        conv: Conv2d,
+        bn: Optional[BatchNorm2d] = None,
+        relu: bool = False,
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.conv = conv
+        self.bn = bn
+        self.relu = relu
+        self.kh, self.kw = conv.weight.data.shape[2:]
+        self.refold()
+
+    def refold(self) -> None:
+        self.w_flat, self.bias_col = _fold_conv(self.conv, self.bn)
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        regs[self.dst] = _conv_gemm(
+            regs[self.src], self.w_flat, self.bias_col, self.kh, self.kw,
+            self.conv.stride, self.conv.padding, arena, (self.op_id,),
+            relu=self.relu,
+        )
+
+
+class UpsampleZerosOp(PlanOp):
+    """Zero-stuffing upsample (the expand half of ConvTranspose2d)."""
+
+    name = "upsample_zeros"
+
+    def __init__(self, op_id: int, src: int, dst: int, stride: int) -> None:
+        super().__init__(op_id, src, dst)
+        self.stride = stride
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        n, c, h, w = x.shape
+        s = self.stride
+        out = arena.get(
+            (self.op_id, "out"), (n, c, h * s, w * s), x.dtype, zero=True
+        )
+        out[:, :, ::s, ::s] = x
+        regs[self.dst] = out
+
+
+class BatchNormOp(PlanOp):
+    """Standalone eval-mode BatchNorm2d (only when no conv precedes it)."""
+
+    name = "batch_norm2d"
+
+    def __init__(
+        self, op_id: int, src: int, dst: int, bn: BatchNorm2d,
+        relu: bool = False,
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.bn = bn
+        self.relu = relu
+        self.refold()
+
+    def refold(self) -> None:
+        bn = self.bn
+        inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+        self.scale = (bn.gamma.data * inv_std).reshape(1, -1, 1, 1)
+        self.shift = (
+            bn.beta.data - bn.running_mean * bn.gamma.data * inv_std
+        ).reshape(1, -1, 1, 1)
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        dtype = np.result_type(x.dtype, self.scale.dtype)
+        out = arena.get((self.op_id, "out"), x.shape, dtype)
+        np.multiply(x, self.scale, out=out)
+        out += self.shift
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        regs[self.dst] = out
+
+
+class ActivationOp(PlanOp):
+    """Standalone relu / sigmoid / tanh when fusion was not possible."""
+
+    name = "activation"
+
+    def __init__(self, op_id: int, src: int, dst: int, kind: str) -> None:
+        super().__init__(op_id, src, dst)
+        self.kind = kind
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        out = arena.get((self.op_id, "out"), x.shape, x.dtype)
+        if self.kind == "relu":
+            np.maximum(x, 0.0, out=out)
+        elif self.kind == "sigmoid":
+            np.copyto(out, x)
+            _sigmoid_inplace(out)
+        else:  # tanh
+            np.tanh(x, out=out)
+        regs[self.dst] = out
+
+
+class AddReluOp(PlanOp):
+    """``relu(a + b)`` -- the residual merge of the hourglass blocks."""
+
+    name = "add_relu"
+
+    def __init__(self, op_id: int, src: int, other: int, dst: int) -> None:
+        super().__init__(op_id, src, dst)
+        self.other = other
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        a, b = regs[self.src], regs[self.other]
+        out = arena.get(
+            (self.op_id, "out"), a.shape, np.result_type(a.dtype, b.dtype)
+        )
+        np.add(a, b, out=out)
+        np.maximum(out, 0.0, out=out)
+        regs[self.dst] = out
+
+
+class LinearOp(PlanOp):
+    """GEMM with pre-transposed weight and fused activation epilogue."""
+
+    name = "linear"
+
+    def __init__(
+        self, op_id: int, src: int, dst: int, linear: Linear,
+        relu: bool = False,
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.linear = linear
+        self.relu = relu
+        self.refold()
+
+    def refold(self) -> None:
+        self.w_t = np.ascontiguousarray(self.linear.weight.data.T)
+        self.bias = (
+            self.linear.bias.data if self.linear.bias is not None else None
+        )
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        dtype = np.result_type(x.dtype, self.w_t.dtype)
+        out = arena.get(
+            (self.op_id, "out"), (x.shape[0], self.w_t.shape[1]), dtype
+        )
+        np.matmul(x, self.w_t, out=out)
+        if self.bias is not None:
+            out += self.bias
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        regs[self.dst] = out
+
+
+class ReshapeOp(PlanOp):
+    """View reshape; ``shape_fn`` maps the input shape to the new one."""
+
+    name = "reshape"
+
+    def __init__(
+        self, op_id: int, src: int, dst: int,
+        shape_fn: Callable[[Tuple[int, ...]], Tuple[int, ...]],
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.shape_fn = shape_fn
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        regs[self.dst] = x.reshape(self.shape_fn(x.shape))
+
+
+class CheckShapeOp(PlanOp):
+    """Input validation matching the eager module's error messages."""
+
+    name = "check_shape"
+
+    def __init__(
+        self, op_id: int, src: int,
+        check_fn: Callable[[Tuple[int, ...]], None],
+    ) -> None:
+        super().__init__(op_id, src, src)
+        self.check_fn = check_fn
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        self.check_fn(regs[self.src].shape)
+
+
+class FrameAttentionOp(PlanOp):
+    """Eq. 2-3: per-frame weights from TGAP+TGMP through two tiny convs."""
+
+    name = "frame_attention"
+
+    def __init__(
+        self, op_id: int, src: int, dst: int, module: FrameAttention
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.module = module
+        self.refold()
+
+    def refold(self) -> None:
+        self.w1, self.b1 = _fold_conv(self.module.conv1, None)
+        self.w2, self.b2 = _fold_conv(self.module.conv2, None)
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        b, st = x.shape[:2]
+        pooled = x.mean(axis=(2, 3, 4)) + x.max(axis=(2, 3, 4))  # (B, st)
+        seq = pooled.reshape(b, 1, 1, st)
+        hidden = _conv_gemm(
+            seq, self.w1, self.b1, 3, 3, 1, 1, arena,
+            (self.op_id, "c1"), relu=True,
+        )
+        weights = _conv_gemm(
+            hidden, self.w2, self.b2, 3, 3, 1, 1, arena,
+            (self.op_id, "c2"), sigmoid=True,
+        )
+        out = arena.get((self.op_id, "out"), x.shape, x.dtype)
+        np.multiply(x, weights.reshape(b, st, 1, 1, 1), out=out)
+        regs[self.dst] = out
+
+
+class VelocityChannelAttentionOp(PlanOp):
+    """Eq. 4-5: per-channel weights from GAP||GMP through one FC."""
+
+    name = "velocity_channel_attention"
+
+    def __init__(
+        self, op_id: int, src: int, dst: int,
+        module: VelocityChannelAttention,
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.module = module
+        self.refold()
+
+    def refold(self) -> None:
+        self.w_t = np.ascontiguousarray(self.module.fc.weight.data.T)
+        self.bias = self.module.fc.bias.data
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        n, c = x.shape[:2]
+        dtype = np.result_type(x.dtype, self.w_t.dtype)
+        features = arena.get((self.op_id, "feat"), (n, 2 * c), x.dtype)
+        np.mean(x, axis=(2, 3), out=features[:, :c])
+        np.max(x, axis=(2, 3), out=features[:, c:])
+        weights = arena.get(
+            (self.op_id, "w"), (n, self.w_t.shape[1]), dtype
+        )
+        np.matmul(features, self.w_t, out=weights)
+        weights += self.bias
+        _sigmoid_inplace(weights)
+        out = arena.get((self.op_id, "out"), x.shape, dtype)
+        np.multiply(x, weights.reshape(n, c, 1, 1), out=out)
+        regs[self.dst] = out
+
+
+class SpatialAttentionOp(PlanOp):
+    """Eq. 6-7: range-angle weights from channel mean/max maps."""
+
+    name = "spatial_attention"
+
+    def __init__(
+        self, op_id: int, src: int, dst: int, module: SpatialAttention
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.module = module
+        self.refold()
+
+    def refold(self) -> None:
+        self.w_flat, self.bias_col = _fold_conv(self.module.conv, None)
+        k = self.module.conv.weight.data.shape[2]
+        self.kernel = k
+        self.padding = self.module.conv.padding
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        n, _, d, a = x.shape
+        maps = arena.get((self.op_id, "maps"), (n, 2, d, a), x.dtype)
+        np.mean(x, axis=1, out=maps[:, 0])
+        np.max(x, axis=1, out=maps[:, 1])
+        weights = _conv_gemm(
+            maps, self.w_flat, self.bias_col, self.kernel, self.kernel,
+            1, self.padding, arena, (self.op_id, "conv"), sigmoid=True,
+        )
+        out = arena.get(
+            (self.op_id, "out"), x.shape,
+            np.result_type(x.dtype, weights.dtype),
+        )
+        np.multiply(x, weights, out=out)
+        regs[self.dst] = out
+
+
+class LSTMOp(PlanOp):
+    """Single-layer LSTM returning the final hidden state ``(B, H)``.
+
+    The input projection for *all* timesteps runs as one GEMM up front
+    (``(B*T, in) @ (in, 4H)``); the recurrence then only pays the small
+    ``(B, H) @ (H, 4H)`` GEMM and in-place gate math per step.
+    """
+
+    name = "lstm"
+
+    def __init__(
+        self, op_id: int, src: int, dst: int, lstm: LSTM
+    ) -> None:
+        super().__init__(op_id, src, dst)
+        self.lstm = lstm
+        self.refold()
+
+    def refold(self) -> None:
+        self.w_ih_t = np.ascontiguousarray(self.lstm.w_ih.data.T)
+        self.w_hh_t = np.ascontiguousarray(self.lstm.w_hh.data.T)
+        self.bias = self.lstm.bias.data
+
+    def run(self, regs: List, arena: BufferArena) -> None:
+        x = regs[self.src]
+        b, steps, _ = x.shape
+        h_dim = self.lstm.hidden_size
+        gates_dim = 4 * h_dim
+        dtype = np.result_type(x.dtype, self.w_ih_t.dtype)
+        key = (self.op_id,)
+        xw = arena.get(key + ("xw",), (b * steps, gates_dim), dtype)
+        np.matmul(x.reshape(b * steps, -1), self.w_ih_t, out=xw)
+        xw3 = xw.reshape(b, steps, gates_dim)
+        h = arena.get(key + ("h",), (b, h_dim), dtype)
+        c = arena.get(key + ("c",), (b, h_dim), dtype)
+        h.fill(0.0)
+        c.fill(0.0)
+        gates = arena.get(key + ("gates",), (b, gates_dim), dtype)
+        tmp = arena.get(key + ("tmp",), (b, h_dim), dtype)
+        for t in range(steps):
+            np.matmul(h, self.w_hh_t, out=gates)
+            gates += xw3[:, t]
+            gates += self.bias
+            i_gate = _sigmoid_inplace(gates[:, 0:h_dim])
+            f_gate = _sigmoid_inplace(gates[:, h_dim:2 * h_dim])
+            g_gate = np.tanh(
+                gates[:, 2 * h_dim:3 * h_dim],
+                out=gates[:, 2 * h_dim:3 * h_dim],
+            )
+            o_gate = _sigmoid_inplace(gates[:, 3 * h_dim:4 * h_dim])
+            np.multiply(f_gate, c, out=c)
+            np.multiply(i_gate, g_gate, out=tmp)
+            c += tmp
+            np.tanh(c, out=tmp)
+            np.multiply(o_gate, tmp, out=h)
+        regs[self.dst] = h
+
+
+# ----------------------------------------------------------------------
+# Plan builder / compiler
+# ----------------------------------------------------------------------
+class PlanBuilder:
+    """Accumulates the flat op list while the module tree is walked.
+
+    Composite modules call back into the builder from their
+    ``compile_plan(builder, reg)`` hooks; the emit helpers return the
+    output register index of the op they appended.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[PlanOp] = []
+        self.num_regs = 1  # register 0 is the plan input
+
+    def _new_reg(self) -> int:
+        reg = self.num_regs
+        self.num_regs += 1
+        return reg
+
+    def _emit(self, make_op) -> int:
+        dst = self._new_reg()
+        self.ops.append(make_op(len(self.ops), dst))
+        return dst
+
+    # -- emit helpers ---------------------------------------------------
+    def conv(
+        self, reg: int, conv: Conv2d, bn: Optional[BatchNorm2d] = None,
+        relu: bool = False,
+    ) -> int:
+        return self._emit(lambda i, d: ConvOp(i, reg, d, conv, bn, relu))
+
+    def upsample_zeros(self, reg: int, stride: int) -> int:
+        if stride == 1:
+            return reg
+        return self._emit(lambda i, d: UpsampleZerosOp(i, reg, d, stride))
+
+    def batch_norm(
+        self, reg: int, bn: BatchNorm2d, relu: bool = False
+    ) -> int:
+        return self._emit(lambda i, d: BatchNormOp(i, reg, d, bn, relu))
+
+    def activation(self, reg: int, kind: str) -> int:
+        return self._emit(lambda i, d: ActivationOp(i, reg, d, kind))
+
+    def add_relu(self, reg: int, other: int) -> int:
+        return self._emit(lambda i, d: AddReluOp(i, reg, other, d))
+
+    def linear(self, reg: int, linear: Linear, relu: bool = False) -> int:
+        return self._emit(lambda i, d: LinearOp(i, reg, d, linear, relu))
+
+    def reshape(self, reg: int, shape_fn) -> int:
+        return self._emit(lambda i, d: ReshapeOp(i, reg, d, shape_fn))
+
+    def check_shape(self, reg: int, check_fn) -> int:
+        self.ops.append(CheckShapeOp(len(self.ops), reg, check_fn))
+        return reg
+
+    def lstm(self, reg: int, lstm: LSTM) -> int:
+        return self._emit(lambda i, d: LSTMOp(i, reg, d, lstm))
+
+    # -- module walk ----------------------------------------------------
+    def module(self, reg: int, module: Module) -> int:
+        """Compile one module (dispatch by type / ``compile_plan`` hook)."""
+        hook = getattr(module, "compile_plan", None)
+        if hook is not None:
+            return hook(self, reg)
+        if isinstance(module, Sequential):
+            return self.sequential(reg, module)
+        if isinstance(module, Conv2d):
+            return self.conv(reg, module)
+        if isinstance(module, ConvTranspose2d):
+            return self.conv(
+                self.upsample_zeros(reg, module.stride), module.conv
+            )
+        if isinstance(module, BatchNorm2d):
+            return self.batch_norm(reg, module)
+        if isinstance(module, Linear):
+            return self.linear(reg, module)
+        if isinstance(module, ReLU):
+            return self.activation(reg, "relu")
+        if isinstance(module, Sigmoid):
+            return self.activation(reg, "sigmoid")
+        if isinstance(module, Tanh):
+            return self.activation(reg, "tanh")
+        if isinstance(module, Dropout):
+            return reg  # identity in eval mode
+        if isinstance(module, FrameAttention):
+            return self._emit(
+                lambda i, d: FrameAttentionOp(i, reg, d, module)
+            )
+        if isinstance(module, VelocityChannelAttention):
+            return self._emit(
+                lambda i, d: VelocityChannelAttentionOp(i, reg, d, module)
+            )
+        if isinstance(module, SpatialAttention):
+            return self._emit(
+                lambda i, d: SpatialAttentionOp(i, reg, d, module)
+            )
+        raise InferenceCompileError(
+            f"cannot compile module of type {type(module).__name__}; "
+            "define compile_plan(builder, reg) on it or run eagerly"
+        )
+
+    def sequential(self, reg: int, seq: Sequential) -> int:
+        """Compile a Sequential, fusing Conv->BN->ReLU / Linear->ReLU."""
+        layers = list(seq.layers)
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            if isinstance(layer, (Conv2d, ConvTranspose2d)):
+                bn = None
+                j = i + 1
+                if j < len(layers) and isinstance(layers[j], BatchNorm2d):
+                    bn = layers[j]
+                    j += 1
+                relu = j < len(layers) and isinstance(layers[j], ReLU)
+                if relu:
+                    j += 1
+                if isinstance(layer, ConvTranspose2d):
+                    reg = self.upsample_zeros(reg, layer.stride)
+                    conv = layer.conv
+                else:
+                    conv = layer
+                reg = self.conv(reg, conv, bn=bn, relu=relu)
+                i = j
+            elif isinstance(layer, Linear):
+                relu = i + 1 < len(layers) and isinstance(
+                    layers[i + 1], ReLU
+                )
+                reg = self.linear(reg, layer, relu=relu)
+                i += 2 if relu else 1
+            elif isinstance(layer, BatchNorm2d):
+                relu = i + 1 < len(layers) and isinstance(
+                    layers[i + 1], ReLU
+                )
+                reg = self.batch_norm(reg, layer, relu=relu)
+                i += 2 if relu else 1
+            else:
+                reg = self.module(reg, layer)
+                i += 1
+        return reg
+
+
+class ForwardPlan:
+    """The flat op list plus its register-file size and output slot."""
+
+    def __init__(
+        self, ops: List[PlanOp], num_regs: int, out_reg: int
+    ) -> None:
+        self.ops = ops
+        self.num_regs = num_regs
+        self.out_reg = out_reg
+
+    def execute(self, x: np.ndarray, arena: BufferArena) -> np.ndarray:
+        regs: List[Optional[np.ndarray]] = [None] * self.num_regs
+        regs[0] = x
+        for op in self.ops:
+            op.run(regs, arena)
+        return regs[self.out_reg]
+
+    def refold(self) -> None:
+        for op in self.ops:
+            op.refold()
+
+
+class CompiledModel:
+    """A module compiled to a :class:`ForwardPlan`, ready to serve.
+
+    ``run`` takes and returns plain ndarrays. The folded weights are
+    revalidated against the source parameters' version counters on
+    every call; a bumped version (optimizer step, ``load_state_dict``)
+    triggers a cheap refold, so training and serving coexist on one
+    module. With ``shards > 1`` the batch is split across a persistent
+    thread pool, one :class:`BufferArena` per shard -- eval-mode rows
+    are independent, so the fused output is unchanged.
+    """
+
+    def __init__(self, module: Module, plan: ForwardPlan) -> None:
+        self.module = module
+        self.plan = plan
+        self._params = [p for _, p in module.named_parameters()]
+        self._version = self._param_version()
+        self._arena = BufferArena()
+        self._shard_arenas: List[BufferArena] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _param_version(self) -> int:
+        return sum(getattr(p, "_version", 0) for p in self._params)
+
+    def _refresh(self) -> None:
+        version = self._param_version()
+        if version == self._version:
+            return
+        with self._lock:
+            if version != self._version:
+                self.plan.refold()
+                self._version = version
+                obs_metrics.counter("model.plan.refolds").increment()
+
+    def _shard_slots(self, shards: int):
+        with self._lock:
+            while len(self._shard_arenas) < shards:
+                self._shard_arenas.append(BufferArena())
+            if (
+                self._executor is None
+                or self._executor._max_workers < shards
+            ):
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=shards,
+                    thread_name_prefix="repro-infer",
+                )
+            return self._executor, self._shard_arenas
+
+    def run(
+        self, x: np.ndarray, shards: Optional[int] = None
+    ) -> np.ndarray:
+        """Execute the plan on ``x``; returns a fresh output array."""
+        x = np.asarray(x)
+        self._refresh()
+        obs_metrics.counter("model.plan.executes").increment()
+        with trace.span(
+            "model.forward.compiled", batch=int(x.shape[0]),
+            ops=len(self.plan.ops), shards=int(shards or 1),
+        ):
+            if not shards or shards <= 1 or x.shape[0] < 2 * shards:
+                # The arena buffers (including the output register) are
+                # reused by the next call, so hand back a copy.
+                return self.plan.execute(x, self._arena).copy()
+            executor, arenas = self._shard_slots(shards)
+            chunks = np.array_split(x, shards)
+            futures = [
+                executor.submit(self.plan.execute, chunk, arenas[i])
+                for i, chunk in enumerate(chunks)
+            ]
+            # Concatenate copies the shard outputs out of their arenas.
+            return np.concatenate([f.result() for f in futures], axis=0)
+
+    __call__ = run
+
+    def stats(self) -> Dict[str, Any]:
+        """Plan shape and arena footprint for observability surfaces."""
+        return {
+            "ops": len(self.plan.ops),
+            "params": len(self._params),
+            "param_version": self._version,
+            "arena_buffers": len(self._arena),
+            "arena_bytes": self._arena.nbytes,
+            "shard_arenas": len(self._shard_arenas),
+        }
+
+
+def compile_model(module: Module) -> CompiledModel:
+    """Compile ``module`` into an autograd-free :class:`CompiledModel`.
+
+    The plan always has eval semantics: batch norm uses running
+    statistics and dropout is the identity, exactly like the eager
+    forward after ``module.eval()``. Raises
+    :class:`~repro.errors.InferenceCompileError` when the module tree
+    contains something the compiler does not understand.
+    """
+    builder = PlanBuilder()
+    try:
+        out_reg = builder.module(0, module)
+    except InferenceCompileError:
+        raise
+    except ModelError as exc:  # structural assumptions violated
+        raise InferenceCompileError(str(exc)) from exc
+    plan = ForwardPlan(builder.ops, builder.num_regs, out_reg)
+    obs_metrics.counter("model.plan.compiles").increment()
+    return CompiledModel(module, plan)

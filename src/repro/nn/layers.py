@@ -101,6 +101,9 @@ class Module:
                         f"{params[key].data.shape} vs {value.shape}"
                     )
                 params[key].data = value.astype(params[key].data.dtype)
+                # Invalidate any compiled inference plan folded from the
+                # previous weights (repro.nn.inference memoizes on this).
+                params[key].bump_version()
         missing = set(params) - {
             k for k in state if not k.startswith("buffer:")
         }

@@ -76,6 +76,7 @@ class SGD(Optimizer):
             else:
                 update = param.grad
             param.data = param.data - self.lr * update
+            param.bump_version()
 
 
 class Adam(Optimizer):
@@ -119,6 +120,7 @@ class Adam(Optimizer):
             if self.weight_decay:
                 update = update + self.weight_decay * param.data
             param.data = param.data - self.lr * update
+            param.bump_version()
 
 
 class RMSProp(Optimizer):
@@ -156,6 +158,7 @@ class RMSProp(Optimizer):
                 vel += update
                 update = vel
             param.data = param.data - self.lr * update
+            param.bump_version()
 
 
 class StepSchedule:

@@ -62,7 +62,10 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array with reverse-mode automatic differentiation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents",
+        "_version",
+    )
 
     def __init__(
         self,
@@ -124,6 +127,25 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    @property
+    def version(self) -> int:
+        """Mutation counter for in-place parameter updates.
+
+        Optimizer steps and :meth:`Module.load_state_dict` call
+        :meth:`bump_version` after rewriting ``.data``; compiled
+        inference plans (:mod:`repro.nn.inference`) memoize folded
+        weights against the sum of their source parameters' versions
+        and refold when it changes. The slot is lazily initialised so
+        the autograd hot path pays nothing for it.
+        """
+        return getattr(self, "_version", 0)
+
+    def bump_version(self) -> int:
+        """Record an in-place ``.data`` mutation; returns the new version."""
+        version = getattr(self, "_version", 0) + 1
+        self._version = version
+        return version
 
     # ------------------------------------------------------------------
     # Graph construction

@@ -3,10 +3,12 @@
 :func:`run_pipeline_bench` times every stage the PR's vectorisation work
 touched -- cube building, radar synthesis, CFAR -- against the kept
 reference implementations, records the equivalence error of each fast
-path, and snapshots the plan-cache counters. :func:`write_bench_json`
-is the single JSON writer shared by all benchmark entry points
-(``mmhand bench``, ``benchmarks/bench_pipeline.py``,
-``benchmarks/bench_serving.py``).
+path, and snapshots the plan-cache counters. :func:`run_model_bench`
+times the compiled inference engine (:mod:`repro.nn.inference`) against
+the eager autograd and ``no_grad`` forwards and records the compiled
+outputs' deviation from eager. :func:`write_bench_json` is the single
+JSON writer shared by all benchmark entry points (``mmhand bench``,
+``benchmarks/bench_pipeline.py``, ``benchmarks/bench_serving.py``).
 """
 
 from repro.perf.bench import (
@@ -14,9 +16,15 @@ from repro.perf.bench import (
     run_pipeline_bench,
     write_bench_json,
 )
+from repro.perf.model_bench import (
+    print_model_report,
+    run_model_bench,
+)
 
 __all__ = [
     "print_pipeline_report",
+    "print_model_report",
     "run_pipeline_bench",
+    "run_model_bench",
     "write_bench_json",
 ]

@@ -52,6 +52,10 @@ class MicroBatcher:
         network entirely.
     metrics:
         Optional registry receiving batch/latency/cache instruments.
+    shards:
+        Optional thread count for sharded compiled execution: each
+        fused batch is split across this many workers inside
+        ``predict`` (``None``/``0``/``1`` keeps it single-threaded).
     """
 
     def __init__(
@@ -60,13 +64,17 @@ class MicroBatcher:
         max_batch_size: int = 16,
         cache: Optional[SegmentCache] = None,
         metrics: Optional[MetricsRegistry] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ServingError("max_batch_size must be >= 1")
+        if shards is not None and shards < 0:
+            raise ServingError("shards must be >= 0")
         self.regressor = regressor
         self.max_batch_size = max_batch_size
         self.cache = cache
         self.metrics = metrics
+        self.shards = shards or None
 
     def run(self, requests: Sequence[SegmentRequest]) -> List[PoseResult]:
         """Serve ``requests`` (at most ``max_batch_size``) in one pass."""
@@ -110,7 +118,9 @@ class MicroBatcher:
                 stacked = np.stack(
                     [requests[slot].segment for slot in miss_slots]
                 )
-                predictions = self.regressor.predict(stacked)
+                predictions = self.regressor.predict(
+                    stacked, shards=self.shards
+                )
             for row, slot in enumerate(miss_slots):
                 joints_by_slot[slot] = predictions[row]
                 if self.cache is not None and keys[slot] is not None:

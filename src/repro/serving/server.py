@@ -44,6 +44,7 @@ class ServingConfig:
     enable_cache: bool = True
     hop_frames: int = 1
     max_sessions: int = 1024
+    shard_threads: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -52,6 +53,8 @@ class ServingConfig:
             raise ServingError("max_sessions must be >= 1")
         if self.hop_frames < 1:
             raise ServingError("hop_frames must be >= 1")
+        if self.shard_threads < 0:
+            raise ServingError("shard_threads must be >= 0")
 
 
 class InferenceServer:
@@ -65,6 +68,12 @@ class InferenceServer:
     ) -> None:
         self.builder = builder
         self.regressor = regressor
+        # Serving must use inference semantics: running batch-norm
+        # statistics and dropout as identity. A regressor handed over
+        # straight from a trainer may still be in training mode, which
+        # would make served outputs batch-dependent and perturb the
+        # running statistics on every forward.
+        self.regressor.eval()
         self.config = config if config is not None else ServingConfig()
         self.metrics = MetricsRegistry()
         # The shared FFT plan cache sits below the serving layer; pull
@@ -86,6 +95,7 @@ class InferenceServer:
             max_batch_size=self.config.max_batch_size,
             cache=cache,
             metrics=self.metrics,
+            shards=self.config.shard_threads,
         )
         self._sessions: Dict[str, Session] = {}
 

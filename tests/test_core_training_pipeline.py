@@ -157,3 +157,31 @@ def test_pipeline_defaults_construct():
     system = MmHand()
     assert system.regressor is not None
     assert system.reconstructor is not None
+
+
+def test_trainer_validation_pass_records_val_loss(small_setup):
+    _, dsp, model, _, dataset = small_setup
+    regressor = HandJointRegressor(dsp, model)
+    trainer = Trainer(
+        regressor, TrainConfig(epochs=2, batch_size=4, seed=0)
+    )
+    val = dataset.subset(np.arange(4))
+    result = trainer.fit(dataset, val_dataset=val)
+    assert len(result.epoch_stats) == 2
+    assert all("val_loss" in s for s in result.epoch_stats)
+    assert all(np.isfinite(s["val_loss"]) for s in result.epoch_stats)
+
+
+def test_trainer_evaluate_is_gradient_free_and_restores_mode(small_setup):
+    _, dsp, model, _, dataset = small_setup
+    regressor = HandJointRegressor(dsp, model)
+    trainer = Trainer(regressor, TrainConfig(epochs=1, batch_size=4))
+    trainer._fit_normalization(dataset)
+    regressor.train()
+    loss_a = trainer.evaluate(dataset)
+    loss_b = trainer.evaluate(dataset)
+    assert np.isfinite(loss_a) and loss_a == loss_b
+    assert all(p.grad is None for p in regressor.parameters())
+    assert regressor.training  # previous mode restored
+    with pytest.raises(DatasetError):
+        trainer.evaluate(dataset.subset(np.array([], dtype=int)))

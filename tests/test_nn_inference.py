@@ -1,0 +1,245 @@
+"""Tests of the compiled inference engine (repro.nn.inference)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regressor import HandJointRegressor
+from repro.errors import InferenceCompileError
+from repro.nn.inference import BufferArena, compile_model
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture
+def regressor(small_dsp, small_model):
+    return HandJointRegressor(small_dsp, small_model, seed=3)
+
+
+def _segments(rng, dsp, batch=5):
+    return rng.normal(
+        size=(
+            batch, dsp.segment_frames, dsp.doppler_bins,
+            dsp.range_bins, dsp.angle_bins_total,
+        )
+    ).astype(np.float32)
+
+
+def test_compiled_predict_matches_eager(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp)
+    eager = regressor.predict(x, use_compiled=False)
+    compiled = regressor.predict(x, use_compiled=True)
+    assert compiled.shape == eager.shape
+    assert float(np.abs(compiled - eager).max()) <= 1e-5
+
+
+def test_compiled_run_matches_forward(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp, batch=3)
+    regressor.eval()
+    plan = compile_model(regressor)
+    eager = regressor.forward(Tensor(x)).data
+    out = plan.run(x)
+    assert float(np.abs(out - eager).max()) <= 1e-5
+
+
+def test_compiled_run_returns_fresh_copy(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp, batch=2)
+    plan = regressor.compiled()
+    first = plan.run(x)
+    snapshot = first.copy()
+    first.fill(123.0)  # clobbering the caller's array must be harmless
+    second = plan.run(x)
+    assert np.array_equal(second, snapshot)
+
+
+def test_sharded_execution_matches_single_thread(
+    regressor, small_dsp, rng
+):
+    x = _segments(rng, small_dsp, batch=7)
+    single = regressor.predict(x)
+    sharded = regressor.predict(x, shards=3)
+    assert float(np.abs(sharded - single).max()) <= 1e-5
+    # Batches too small to split fall back to the single-arena path.
+    tiny = regressor.predict(x[:1], shards=4)
+    assert np.allclose(tiny, single[:1], atol=1e-5)
+
+
+def _conv_bn_relu(dtype, rng):
+    """A Conv+BN+ReLU stack with non-trivial statistics in ``dtype``."""
+    seq = Sequential(
+        Conv2d(3, 5, kernel_size=3, padding=1,
+               rng=np.random.default_rng(7)),
+        BatchNorm2d(5),
+        ReLU(),
+    )
+    bn = seq.layers[1]
+    bn._buffers["running_mean"] = rng.normal(size=5).astype(dtype)
+    bn._buffers["running_var"] = rng.uniform(0.5, 2.0, size=5).astype(dtype)
+    object.__setattr__(bn, "running_mean", bn._buffers["running_mean"])
+    object.__setattr__(bn, "running_var", bn._buffers["running_var"])
+    bn.gamma.data = rng.normal(size=5).astype(dtype)
+    bn.beta.data = rng.normal(size=5).astype(dtype)
+    for param in seq.parameters():
+        param.data = param.data.astype(dtype)
+    return seq.eval()
+
+
+@pytest.mark.parametrize(
+    "dtype,rel_tol",
+    [(np.float32, 1e-6), (np.float64, 1e-12)],
+)
+def test_conv_bn_folding_matches_eager(dtype, rel_tol, rng):
+    seq = _conv_bn_relu(dtype, rng)
+    x = rng.normal(size=(2, 3, 8, 8)).astype(dtype)
+    eager = seq(Tensor(x)).data
+    compiled = compile_model(seq)
+    assert len(compiled.plan.ops) == 1  # conv, bn and relu fused
+    out = compiled.run(x)
+    assert out.dtype == np.dtype(dtype)
+    scale = float(np.abs(eager).max())
+    assert float(np.abs(out - eager).max()) / scale <= rel_tol
+
+
+def test_conv_transpose_bn_folding_matches_eager(rng):
+    seq = Sequential(
+        ConvTranspose2d(4, 3, kernel_size=3, stride=2,
+                        rng=np.random.default_rng(5)),
+        BatchNorm2d(3),
+        ReLU(),
+    ).eval()
+    x = rng.normal(size=(2, 4, 6, 6)).astype(np.float32)
+    eager = seq(Tensor(x)).data
+    out = compile_model(seq).run(x)
+    assert out.shape == eager.shape
+    assert float(np.abs(out - eager).max()) <= 1e-5
+
+
+def test_optimizer_step_invalidates_folded_weights(
+    regressor, small_dsp, rng
+):
+    x = _segments(rng, small_dsp, batch=2)
+    plan = regressor.compiled()
+    before = plan.run(x)
+    opt = Adam(regressor.parameters(), lr=5e-2)
+    loss = (regressor.forward(Tensor(regressor.normalize_inputs(x)))
+            * Tensor(np.float32(1.0))).sum()
+    loss.backward()
+    opt.step()
+    after = plan.run(x)
+    eager_after = regressor.predict(x, use_compiled=False)
+    compiled_after = regressor.predict(x)
+    assert not np.allclose(before, after)
+    assert float(np.abs(compiled_after - eager_after).max()) <= 1e-5
+
+
+def test_load_state_dict_invalidates_folded_weights(
+    small_dsp, small_model, rng
+):
+    a = HandJointRegressor(small_dsp, small_model, seed=1)
+    b = HandJointRegressor(small_dsp, small_model, seed=2)
+    x = _segments(rng, small_dsp, batch=2)
+    pred_b_initial = b.predict(x)  # compiles b's plan from seed-2 weights
+    b.load_state_dict(a.state_dict())
+    assert np.allclose(b.predict(x), a.predict(x), atol=1e-6)
+    assert not np.allclose(b.predict(x), pred_b_initial)
+
+
+def test_unsupported_module_raises_and_predict_falls_back(
+    regressor, small_dsp, small_model, rng
+):
+    hidden = small_model.lstm_hidden
+    regressor.head = Sequential(
+        Linear(hidden, hidden),
+        LayerNorm(hidden),  # the compiler has no lowering for this
+        Linear(hidden, small_model.num_joints * 3),
+    )
+    with pytest.raises(InferenceCompileError):
+        compile_model(regressor)
+    assert regressor.compiled() is None
+    x = _segments(rng, small_dsp, batch=2)
+    eager = regressor.predict(x, use_compiled=False)
+    fallback = regressor.predict(x)  # must not raise
+    assert np.allclose(fallback, eager)
+
+
+def test_dropout_compiles_to_identity(rng):
+    seq = Sequential(Linear(6, 6), Dropout(0.5), Linear(6, 2)).eval()
+    x = rng.normal(size=(4, 6)).astype(np.float32)
+    eager = seq(Tensor(x)).data
+    out = compile_model(seq).run(x)
+    assert np.allclose(out, eager, atol=1e-6)
+
+
+def test_compile_rejects_unknown_custom_module():
+    class Strange(Module):
+        def forward(self, x):
+            return x
+
+    with pytest.raises(InferenceCompileError):
+        compile_model(Sequential(Linear(3, 3), Strange()))
+
+
+def test_plan_counters_flow_through_obs(regressor, small_dsp, rng):
+    compiles = obs_metrics.counter("model.plan.compiles").value
+    executes = obs_metrics.counter("model.plan.executes").value
+    x = _segments(rng, small_dsp, batch=2)
+    regressor.predict(x)
+    regressor.predict(x)
+    assert obs_metrics.counter("model.plan.compiles").value == compiles + 1
+    assert obs_metrics.counter("model.plan.executes").value == executes + 2
+
+
+def test_refold_counter_increments_on_weight_change(
+    regressor, small_dsp, rng
+):
+    x = _segments(rng, small_dsp, batch=2)
+    regressor.predict(x)
+    refolds = obs_metrics.counter("model.plan.refolds").value
+    regressor.load_state_dict(regressor.state_dict())
+    regressor.predict(x)
+    assert obs_metrics.counter("model.plan.refolds").value == refolds + 1
+
+
+def test_buffer_arena_reuses_until_shape_changes():
+    arena = BufferArena()
+    a = arena.get(("op", "buf"), (4, 4), np.float32)
+    b = arena.get(("op", "buf"), (4, 4), np.float32)
+    assert a is b
+    c = arena.get(("op", "buf"), (2, 4), np.float32)
+    assert c is not a and c.shape == (2, 4)
+    d = arena.get(("op", "zero"), (3,), np.float32, zero=True)
+    assert np.all(d == 0.0)
+    assert len(arena) == 2 and arena.nbytes == c.nbytes + d.nbytes
+
+
+def test_plan_validates_input_shape(regressor, small_dsp, rng):
+    from repro.errors import ModelError
+
+    bad = rng.normal(
+        size=(2, small_dsp.segment_frames + 1, small_dsp.doppler_bins,
+              small_dsp.range_bins, small_dsp.angle_bins_total)
+    ).astype(np.float32)
+    plan = regressor.compiled()
+    with pytest.raises(ModelError):
+        plan.run(bad)
+
+
+def test_single_segment_promotion_matches_batched(
+    regressor, small_dsp, rng
+):
+    x = _segments(rng, small_dsp, batch=1)
+    plan = regressor.compiled()
+    batched = plan.run(x)
+    promoted = plan.run(x[0])  # (st, V, D, A) promoted to batch of one
+    assert np.array_equal(batched, promoted)

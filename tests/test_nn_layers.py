@@ -159,3 +159,26 @@ def test_sequential_iteration_and_indexing():
     assert seq[0] is a
     out = seq(Tensor(np.ones((1, 2))))
     assert out.shape == (1, 3)
+
+
+def test_conv_transpose_gradients_match_numeric():
+    from conftest import numeric_gradient
+
+    rng = np.random.default_rng(0)
+    deconv = ConvTranspose2d(2, 3, kernel_size=3, stride=2)
+    for param in deconv.parameters():
+        param.data = param.data.astype(np.float64)
+    x = Tensor(
+        rng.normal(size=(2, 2, 3, 3)), requires_grad=True
+    )
+    params = [x] + deconv.parameters()
+
+    def loss():
+        for p in params:
+            p.grad = None
+        return float((deconv(x) ** 2).sum().data)
+
+    (deconv(x) ** 2).sum().backward()
+    grads = [p.grad.copy() for p in params]
+    for p, g in zip(params, grads):
+        assert np.allclose(g, numeric_gradient(loss, p.data), atol=1e-4)

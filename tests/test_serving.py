@@ -537,3 +537,60 @@ def test_session_without_metrics_has_no_histograms(stack):
     frame = _raw_frames(builder, 1, seed=22)[0]
     assert session.feed(frame) is None  # window not yet full
     assert session.frames_in == 1
+
+
+def test_server_forces_eval_mode_for_deterministic_serving(stack):
+    """Regression: a regressor handed over straight from a trainer (still
+    in training mode) must serve inference-mode outputs -- dropout as
+    identity, batch norm on (unchanging) running statistics."""
+    from repro.config import DspConfig, ModelConfig
+    from repro.nn.layers import Dropout, Linear, ReLU, Sequential
+
+    builder, _ = stack
+    dsp = DspConfig(
+        range_bins=16, doppler_bins=4, azimuth_bins=8, elevation_bins=8,
+        segment_frames=2,
+    )
+    model = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16,
+    )
+    regressor = HandJointRegressor(dsp, model, seed=11)
+    # A dropout head makes training-mode forwards stochastic, so any
+    # mode leak would show up as non-deterministic serving output.
+    regressor.head = Sequential(
+        Linear(16, 16), ReLU(), Dropout(0.5),
+        Linear(16, model.num_joints * 3),
+    )
+    regressor.train()
+    stats_before = {
+        name: buf.copy() for name, buf in regressor.named_buffers()
+    }
+    server = InferenceServer(
+        builder, regressor, ServingConfig(enable_cache=False)
+    )
+    assert regressor.training is False
+
+    first = server.batcher.run([_request("s", 0, seed=3)])[0].joints
+    second = server.batcher.run([_request("s", 1, seed=3)])[0].joints
+    assert np.array_equal(first, second)
+    for name, buf in regressor.named_buffers():
+        assert np.array_equal(buf, stats_before[name]), name
+
+
+def test_batcher_sharded_predict_matches_unsharded(stack):
+    builder, regressor = stack
+    requests = [_request("s", i, seed=i) for i in range(6)]
+    plain = MicroBatcher(regressor, max_batch_size=8).run(requests)
+    sharded = MicroBatcher(
+        regressor, max_batch_size=8, shards=3
+    ).run(requests)
+    for a, b in zip(plain, sharded):
+        assert np.allclose(a.joints, b.joints, atol=1e-5)
+    with pytest.raises(ServingError):
+        MicroBatcher(regressor, shards=-1)
+
+
+def test_serving_config_validates_shard_threads():
+    with pytest.raises(ServingError):
+        ServingConfig(shard_threads=-1)

@@ -119,6 +119,13 @@ def _add_train(subparsers) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--holdout-user", type=int, default=None,
                    help="exclude one user from training for evaluation")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="write an atomic crash-safe checkpoint every "
+                        "--checkpoint-every epochs")
+    p.add_argument("--checkpoint-every", type=int, default=1)
+    p.add_argument("--resume-from", default=None, metavar="PATH",
+                   help="resume from a checkpoint (or 'auto' to pick "
+                        "the newest one in --checkpoint-dir)")
     _add_obs_flags(p)
 
 
@@ -128,11 +135,26 @@ def _cmd_train(args) -> int:
     from repro.core.training import Trainer
     from repro.data.dataset import HandPoseDataset
     from repro.nn.serialization import save_state
+    from repro.resilience import latest_checkpoint
 
     dataset = HandPoseDataset.load(args.dataset)
     if args.holdout_user is not None:
         keep = np.nonzero(dataset.user_ids != args.holdout_user)[0]
         dataset = dataset.subset(keep)
+    resume_from = args.resume_from
+    if resume_from == "auto":
+        if args.checkpoint_dir is None:
+            print(
+                "--resume-from auto requires --checkpoint-dir",
+                file=sys.stderr,
+            )
+            return 1
+        resume_from = latest_checkpoint(args.checkpoint_dir)
+        if resume_from is None:
+            print(f"no checkpoint found in {args.checkpoint_dir}; "
+                  "starting fresh")
+        else:
+            print(f"resuming from {resume_from}")
     regressor = HandJointRegressor(seed=args.seed)
     trainer = Trainer(
         regressor,
@@ -144,7 +166,12 @@ def _cmd_train(args) -> int:
             seed=args.seed,
         ),
     )
-    result = trainer.fit(dataset, verbose=True)
+    result = trainer.fit(
+        dataset, verbose=True,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=resume_from,
+    )
     save_state(regressor, args.weights)
     print(
         f"trained {result.epochs} epochs in {result.elapsed_s:.0f}s, "
@@ -289,6 +316,25 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--json", dest="json_path", default=None,
                    help="write the final stats snapshot to this path")
     p.add_argument("--seed", type=int, default=0)
+    chaos = p.add_argument_group(
+        "chaos", "deterministic fault injection for resilience drills"
+    )
+    chaos.add_argument("--chaos", action="store_true",
+                       help="enable the fault injector on the feed and "
+                            "forward paths")
+    chaos.add_argument("--chaos-frame-rate", type=float, default=0.1,
+                       help="fraction of fed frames corrupted "
+                            "(NaN/Inf/wrong shape/dropped)")
+    chaos.add_argument("--chaos-forward-rate", type=float, default=0.05,
+                       help="fraction of forward passes that raise an "
+                            "injected fault")
+    chaos.add_argument("--chaos-compile-fail", action="store_true",
+                       help="force every compiled-plan attempt to fail "
+                            "(trips the breaker to the eager path)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="fault injector RNG seed")
+    chaos.add_argument("--dead-letter-log", default=None, metavar="PATH",
+                       help="write quarantined requests as JSONL")
     _add_obs_flags(p)
 
 
@@ -411,14 +457,26 @@ def _cmd_serve(args) -> int:
         hop_frames=args.hop,
         shard_threads=args.shard_threads,
     )
+    injector = None
+    if args.chaos:
+        from repro.resilience import FaultInjector
+
+        injector = FaultInjector(
+            frame_corrupt_rate=args.chaos_frame_rate,
+            forward_fail_rate=args.chaos_forward_rate,
+            compile_fail=args.chaos_compile_fail,
+            seed=args.chaos_seed,
+        )
     server = InferenceServer(
-        CubeBuilder(radar, dsp), regressor, serving
+        CubeBuilder(radar, dsp), regressor, serving,
+        fault_injector=injector,
     )
 
     print(
         f"simulating {args.sessions} clients x {args.frames} frames "
         f"(policy={args.policy}, batch<= {args.batch_size}, "
-        f"cache={'off' if args.no_cache else 'on'})"
+        f"cache={'off' if args.no_cache else 'on'}"
+        f"{', chaos=on' if injector is not None else ''})"
     )
     feeds = _simulated_client_frames(
         radar, args.sessions, args.frames, args.seed
@@ -428,8 +486,13 @@ def _cmd_serve(args) -> int:
     start = time.perf_counter()
     for tick in range(args.frames):
         for client, session_id in enumerate(session_ids):
+            frame = feeds[client, tick]
+            if injector is not None:
+                frame, _ = injector.corrupt_frame(frame)
+                if frame is None:  # injected frame drop
+                    continue
             try:
-                server.submit(session_id, feeds[client, tick])
+                server.submit(session_id, frame)
             except QueueFullError:
                 # Under the reject policy an overloaded queue refuses
                 # the window; the server counts it, the feed moves on.
@@ -464,6 +527,23 @@ def _cmd_serve(args) -> int:
         misses=plan["misses"],
         entries=plan["entries"],
     )
+    logger.info(
+        "resilience",
+        health=stats["health"],
+        breaker=stats["breaker"]["state"],
+        quarantined=counters.get("frames_quarantined", 0)
+        + counters.get("quarantined", 0),
+        dead_letters=stats["dead_letters"]["total"],
+        compiled_fallbacks=counters.get("compiled_fallbacks", 0),
+    )
+    if injector is not None:
+        logger.info("chaos", **injector.stats())
+    if args.dead_letter_log:
+        server.dead_letters.to_jsonl(args.dead_letter_log)
+        print(
+            f"dead letters ({len(server.dead_letters)}) -> "
+            f"{args.dead_letter_log}"
+        )
     if args.json_path:
         stats["elapsed_s"] = elapsed
         with open(args.json_path, "w") as fh:

@@ -19,12 +19,17 @@ from repro.core.losses import combined_loss
 from repro.core.regressor import HandJointRegressor
 from repro.data.dataset import HandPoseDataset
 from repro.data.splits import kfold_user_splits
-from repro.errors import DatasetError
+from repro.errors import CheckpointError, DatasetError
 from repro.nn.optim import Adam, CosineSchedule
 from repro.nn.tensor import Tensor, no_grad
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.obs.logging import get_logger
+from repro.resilience.checkpoint import (
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 
 @dataclass
@@ -131,25 +136,35 @@ class Trainer:
         dataset: HandPoseDataset,
         verbose: bool = False,
         val_dataset: Optional[HandPoseDataset] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
+        fault_injector=None,
     ) -> TrainResult:
         """Train on ``dataset`` for the configured number of epochs.
 
         ``val_dataset`` enables a per-epoch validation pass: its mean
         combined loss is recorded as ``val_loss`` in ``epoch_stats`` and
         observed on the ``train.epoch.val_loss`` histogram.
+
+        ``checkpoint_dir`` enables crash-safe checkpoints: every
+        ``checkpoint_every`` epochs (and always after the final one) an
+        atomic ``ckpt-epochNNNN.npz`` archive captures the model,
+        optimizer, schedule, RNG states and loss history.
+        ``resume_from`` restores such an archive and continues from the
+        next epoch with bit-identical loss trajectories versus an
+        uninterrupted run of the same seed. ``fault_injector``
+        optionally injects batch kills
+        (:class:`~repro.resilience.FaultInjector`, chaos tests only).
         """
         if len(dataset) < self.config.batch_size:
             raise DatasetError(
                 f"dataset ({len(dataset)} segments) smaller than one batch"
             )
+        if checkpoint_every < 1:
+            raise CheckpointError("checkpoint_every must be >= 1")
         cfg = self.config
         self._fit_normalization(dataset)
-        raw_x = dataset.segments
-        x = self.regressor.normalize_inputs(raw_x)
-        y = dataset.labels.astype(np.float32)
-        aug_rng = np.random.default_rng(cfg.seed + 1)
-        label_mean = Tensor(self.regressor.label_mean)
-        label_std = Tensor(self.regressor.label_std)
 
         optimizer = Adam(
             self.regressor.parameters(),
@@ -161,20 +176,35 @@ class Trainer:
             optimizer, cfg.learning_rate, cfg.epochs * batches_per_epoch
         )
         rng = np.random.default_rng(cfg.seed)
+        aug_rng = np.random.default_rng(cfg.seed + 1)
         result = TrainResult()
+        step = 0
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch, step = self._restore_checkpoint(
+                resume_from, optimizer, schedule, rng, aug_rng, result
+            )
+
+        raw_x = dataset.segments
+        x = self.regressor.normalize_inputs(raw_x)
+        y = dataset.labels.astype(np.float32)
+        label_mean = Tensor(self.regressor.label_mean)
+        label_std = Tensor(self.regressor.label_std)
+
         logger = get_logger("train")
         start = time.perf_counter()
         self.regressor.train()
-        step = 0
         with trace.span(
             "train.fit", epochs=cfg.epochs, segments=len(dataset)
         ):
-            for epoch in range(cfg.epochs):
+            for epoch in range(start_epoch, cfg.epochs):
                 epoch_start = time.perf_counter()
                 grad_norm = 0.0
                 order = rng.permutation(len(dataset))
                 with trace.span("train.epoch", epoch=epoch + 1):
                     for b in range(batches_per_epoch):
+                        if fault_injector is not None:
+                            fault_injector.maybe_kill_batch()
                         idx = order[
                             b * cfg.batch_size : (b + 1) * cfg.batch_size
                         ]
@@ -253,6 +283,14 @@ class Trainer:
                     "train.epoch.segments_per_s"
                 ).observe(throughput)
                 obs_metrics.gauge("train.epoch.last_loss").set(epoch_loss)
+                if checkpoint_dir is not None and (
+                    (epoch + 1) % checkpoint_every == 0
+                    or epoch + 1 == cfg.epochs
+                ):
+                    self._write_checkpoint(
+                        checkpoint_dir, epoch + 1, optimizer, schedule,
+                        rng, aug_rng, result, step,
+                    )
                 if verbose:
                     logger.info(
                         "train_epoch",
@@ -270,6 +308,72 @@ class Trainer:
         result.elapsed_s = time.perf_counter() - start
         self.regressor.eval()
         return result
+
+    # -- crash-safe checkpoints ----------------------------------------
+    def _write_checkpoint(
+        self, directory, epoch, optimizer, schedule, rng, aug_rng,
+        result, step,
+    ) -> str:
+        """Atomically persist everything :meth:`fit` needs to resume."""
+        extra = {
+            "epoch": int(epoch),
+            "step": int(step),
+            "schedule_step": int(schedule._step),
+            "rng_state": rng.bit_generator.state,
+            "aug_rng_state": aug_rng.bit_generator.state,
+            "total_loss": result.total_loss,
+            "l3d": result.l3d,
+            "lkine": result.lkine,
+            "epoch_stats": result.epoch_stats,
+            "seed": int(self.config.seed),
+        }
+        path = checkpoint_path(directory, epoch)
+        save_checkpoint(
+            path,
+            self.regressor.state_dict(),
+            optimizer.state_dict(),
+            extra,
+        )
+        obs_metrics.counter("train.checkpoints").increment()
+        obs_metrics.emit("checkpoint", epoch=int(epoch), path=path)
+        return path
+
+    def _restore_checkpoint(
+        self, resume_from, optimizer, schedule, rng, aug_rng, result
+    ):
+        """Load a checkpoint into the live training state.
+
+        Returns ``(start_epoch, step)``; the caller continues the epoch
+        loop from there with the exact RNG streams the interrupted run
+        would have used.
+        """
+        payload = load_checkpoint(resume_from)
+        extra = payload["extra"]
+        for key in (
+            "epoch", "step", "schedule_step", "rng_state", "aug_rng_state",
+        ):
+            if key not in extra:
+                raise CheckpointError(
+                    f"checkpoint {resume_from} lacks {key!r}; "
+                    "was it written by Trainer.fit?"
+                )
+        if extra.get("seed") != self.config.seed:
+            raise CheckpointError(
+                f"checkpoint was trained with seed {extra.get('seed')}, "
+                f"trainer is configured with seed {self.config.seed}"
+            )
+        self.regressor.load_state_dict(payload["model"])
+        if payload["optimizer"] is not None:
+            optimizer.load_state_dict(payload["optimizer"])
+        schedule._step = int(extra["schedule_step"])
+        rng.bit_generator.state = extra["rng_state"]
+        aug_rng.bit_generator.state = extra["aug_rng_state"]
+        result.total_loss = [float(v) for v in extra.get("total_loss", [])]
+        result.l3d = [float(v) for v in extra.get("l3d", [])]
+        result.lkine = [float(v) for v in extra.get("lkine", [])]
+        result.epoch_stats = list(extra.get("epoch_stats", []))
+        result.epochs = int(extra["epoch"])
+        return int(extra["epoch"]), int(extra["step"])
 
     def predict(self, dataset: HandPoseDataset) -> np.ndarray:
         """Predicted joints (metres) for every segment of ``dataset``."""

@@ -71,6 +71,34 @@ class ObservabilityError(ReproError):
     invalid tracer/log configuration or a malformed exporter target."""
 
 
+class ResilienceError(ReproError):
+    """Base class for failures raised by the resilience layer
+    (:mod:`repro.resilience`): retry policies, circuit breakers, fault
+    injection and crash-safe checkpoints."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A :class:`~repro.resilience.RetryPolicy` gave up: every attempt
+    failed, or the next backoff sleep would have crossed the deadline.
+    The last underlying exception is chained as ``__cause__``."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was refused because its
+    :class:`~repro.resilience.CircuitBreaker` is open (the protected
+    dependency failed repeatedly and has not yet proven recovery)."""
+
+
+class InjectedFaultError(ResilienceError):
+    """A deliberate failure raised by the
+    :class:`~repro.resilience.FaultInjector` during chaos testing.
+    Production code must treat it exactly like a real transient fault."""
+
+
+class CheckpointError(ResilienceError):
+    """A training checkpoint could not be written, read or validated."""
+
+
 class ServingError(ReproError):
     """Base class for failures inside the inference service runtime
     (:mod:`repro.serving`): sessions, queueing, batching, caching."""

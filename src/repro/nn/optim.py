@@ -52,6 +52,51 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- checkpointing --------------------------------------------------
+    def _state_entries(self) -> dict:
+        """Subclass hook: slot arrays / scalars beyond ``lr``."""
+        return {}
+
+    def _load_state_entries(self, state: dict) -> None:
+        pass
+
+    def state_dict(self) -> dict:
+        """Full optimizer state for crash-safe checkpoints
+        (:mod:`repro.resilience.checkpoint`): the learning rate plus
+        every per-parameter slot array."""
+        return {
+            "type": type(self).__name__,
+            "lr": self.lr,
+            **self._state_entries(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        if state.get("type") != type(self).__name__:
+            raise ModelError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"not {type(self).__name__}"
+            )
+        self.lr = float(state["lr"])
+        self._load_state_entries(state)
+
+    @staticmethod
+    def _restore_slots(target, source) -> None:
+        """Copy checkpointed slot arrays over live ones, shape-checked."""
+        if len(source) != len(target):
+            raise ModelError(
+                f"optimizer state has {len(source)} slot arrays, "
+                f"expected {len(target)}"
+            )
+        for slot, saved in zip(target, source):
+            saved = np.asarray(saved)
+            if slot.shape != saved.shape:
+                raise ModelError(
+                    f"optimizer slot shape mismatch: "
+                    f"{saved.shape} vs {slot.shape}"
+                )
+            slot[...] = saved
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -77,6 +122,13 @@ class SGD(Optimizer):
                 update = param.grad
             param.data = param.data - self.lr * update
             param.bump_version()
+
+    def _state_entries(self) -> dict:
+        return {"momentum": self.momentum, "velocity": list(self._velocity)}
+
+    def _load_state_entries(self, state: dict) -> None:
+        self.momentum = float(state["momentum"])
+        self._restore_slots(self._velocity, state["velocity"])
 
 
 class Adam(Optimizer):
@@ -122,6 +174,20 @@ class Adam(Optimizer):
             param.data = param.data - self.lr * update
             param.bump_version()
 
+    def _state_entries(self) -> dict:
+        return {
+            "t": self._t,
+            "weight_decay": self.weight_decay,
+            "m": list(self._m),
+            "v": list(self._v),
+        }
+
+    def _load_state_entries(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self.weight_decay = float(state["weight_decay"])
+        self._restore_slots(self._m, state["m"])
+        self._restore_slots(self._v, state["v"])
+
 
 class RMSProp(Optimizer):
     """RMSProp with optional momentum."""
@@ -159,6 +225,20 @@ class RMSProp(Optimizer):
                 update = vel
             param.data = param.data - self.lr * update
             param.bump_version()
+
+    def _state_entries(self) -> dict:
+        return {
+            "decay": self.decay,
+            "momentum": self.momentum,
+            "sq": list(self._sq),
+            "vel": list(self._vel),
+        }
+
+    def _load_state_entries(self, state: dict) -> None:
+        self.decay = float(state["decay"])
+        self.momentum = float(state["momentum"])
+        self._restore_slots(self._sq, state["sq"])
+        self._restore_slots(self._vel, state["vel"])
 
 
 class StepSchedule:

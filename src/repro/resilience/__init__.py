@@ -1,0 +1,54 @@
+"""Resilience layer: survive faults instead of crashing on them.
+
+``repro.resilience`` supplies the failure-handling primitives the rest
+of the pipeline composes (see DESIGN.md "Resilience"):
+
+* :class:`RetryPolicy` -- deadline-aware exponential backoff with
+  seeded jitter;
+* :class:`CircuitBreaker` -- closed/open/half-open guard that stops
+  calling a dependency which keeps failing (the serving layer wraps
+  the compiled inference plan with one and degrades to the eager
+  forward);
+* :class:`FaultInjector` -- deterministic, seed-driven chaos: corrupt
+  or drop frames, delay/fail forward passes, force compile failures,
+  kill training batches (``mmhand serve --chaos`` and the
+  ``fault_injector`` pytest fixture);
+* :class:`ErrorBudget` / :class:`HealthState` -- sliding-window error
+  ratios mapped onto the healthy/degraded/unhealthy ladder;
+* :class:`DeadLetterLog` -- bounded quarantine for requests the
+  pipeline refused to serve, exportable as JSONL;
+* :mod:`~repro.resilience.checkpoint` -- crash-safe (atomic
+  write-tmp+fsync+rename) training checkpoints with full RNG and
+  optimizer state, consumed by ``Trainer.fit(checkpoint_dir=...,
+  resume_from=...)``.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.checkpoint import (
+    atomic_write_bytes,
+    checkpoint_path,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.deadletter import DeadLetter, DeadLetterLog
+from repro.resilience.faults import FRAME_MODES, FaultConfig, FaultInjector
+from repro.resilience.health import ErrorBudget, HealthState
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLetterLog",
+    "ErrorBudget",
+    "FRAME_MODES",
+    "FaultConfig",
+    "FaultInjector",
+    "HealthState",
+    "RetryPolicy",
+    "atomic_write_bytes",
+    "checkpoint_path",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,181 @@
+"""Circuit breaker: stop hammering a dependency that keeps failing.
+
+The classic three-state machine:
+
+``closed``
+    Calls flow through; consecutive failures are counted and
+    ``failure_threshold`` of them trips the breaker open.
+``open``
+    Calls are refused outright until ``reset_timeout_s`` has elapsed.
+``half-open``
+    Exactly **one** probe call is admitted (even under concurrent
+    callers); its success closes the breaker, its failure re-opens it
+    and restarts the timeout.
+
+State changes are published to an optional metrics registry so the
+serving layer's Prometheus exposition shows breaker health.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import CircuitOpenError, ResilienceError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+# Numeric encoding for the state gauge (higher is worse).
+_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker around a dependency.
+
+    ``allow()`` asks for admission, ``record_success()`` /
+    ``record_failure()`` report the outcome, and :meth:`call` bundles
+    the three for the common case. ``clock`` is injectable so tests can
+    step time explicitly.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        name: str = "breaker",
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ResilienceError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ResilienceError("reset_timeout_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.name = name
+        self.metrics = metrics
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opened_total = 0
+        self.refused_total = 0
+        self.probes_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        """Current state, accounting for an elapsed open-timeout
+        (callers hold the lock)."""
+        if (
+            self._state == OPEN
+            and self.clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            return HALF_OPEN
+        return self._state
+
+    def _publish(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(f"{self.name}.state").set(
+                _STATE_CODES[self._state]
+            )
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        if state == OPEN:
+            self.opened_total += 1
+            self._opened_at = self.clock()
+            if self.metrics is not None:
+                self.metrics.counter(f"{self.name}.opened").increment()
+                self.metrics.events.emit(
+                    "breaker_open", breaker=self.name,
+                    failures=self._consecutive_failures,
+                )
+        self._publish()
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """``True`` if a call may proceed right now.
+
+        In half-open state at most one caller gets ``True`` until that
+        probe's outcome is reported.
+        """
+        with self._lock:
+            state = self._peek_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN:
+                self._transition(HALF_OPEN)
+                if self._probe_in_flight:
+                    self.refused_total += 1
+                    return False
+                self._probe_in_flight = True
+                self.probes_total += 1
+                return True
+            self.refused_total += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._peek_state()
+            self._consecutive_failures += 1
+            if state == HALF_OPEN:
+                # The probe failed: back to open, restart the timeout.
+                self._probe_in_flight = False
+                self._state = HALF_OPEN  # force the OPEN transition below
+                self._transition(OPEN)
+            elif (
+                state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Guarded invocation: refuse when open, report the outcome."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open "
+                f"(failed {self._consecutive_failures} time(s) in a row)"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Force the breaker back to closed (operator override)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._transition(CLOSED)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self._peek_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "opened_total": self.opened_total,
+                "refused_total": self.refused_total,
+                "probes_total": self.probes_total,
+            }

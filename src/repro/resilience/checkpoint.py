@@ -1,0 +1,193 @@
+"""Crash-safe training checkpoints (write-tmp + fsync + rename).
+
+A checkpoint is one ``.npz`` archive holding the model's full
+``state_dict`` (parameters *and* buffers, so normalisation statistics
+and batch-norm running stats survive), the optimizer state, and a JSON
+metadata blob (epoch/step counters, RNG states, loss history). The
+archive is serialised to memory first and published with the classic
+atomic-rename dance, so a crash mid-write can never leave a truncated
+checkpoint where the resume path would find it — the worst case is a
+stale ``*.tmp`` file that :func:`latest_checkpoint` ignores.
+
+No pickle anywhere: arrays travel as plain npz entries and everything
+else as JSON, so a checkpoint from an untrusted disk cannot execute
+code when loaded.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+import tempfile
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+FORMAT_VERSION = 1
+
+_CKPT_PATTERN = re.compile(r"^ckpt-epoch(\d+)\.npz$")
+
+PathLike = Union[str, os.PathLike]
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> str:
+    """Durably publish ``payload`` at ``path`` via tmp+fsync+rename."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    # Flush the rename itself so the new directory entry survives a
+    # power cut (best-effort: not every platform lets you fsync a dir).
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return path
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def checkpoint_path(directory: PathLike, epoch: int) -> str:
+    """Canonical checkpoint file name for one completed epoch."""
+    return os.path.join(os.fspath(directory), f"ckpt-epoch{epoch:04d}.npz")
+
+
+def latest_checkpoint(directory: PathLike) -> Optional[str]:
+    """The newest ``ckpt-epoch*.npz`` in ``directory`` (``None`` if
+    none); stale ``*.tmp`` leftovers from interrupted writes are
+    ignored."""
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return None
+    best_epoch = -1
+    best_name = None
+    for name in os.listdir(directory):
+        match = _CKPT_PATTERN.match(name)
+        if match and int(match.group(1)) > best_epoch:
+            best_epoch = int(match.group(1))
+            best_name = name
+    if best_name is None:
+        return None
+    return os.path.join(directory, best_name)
+
+
+def save_checkpoint(
+    path: PathLike,
+    model_state: Dict[str, np.ndarray],
+    optimizer_state: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Atomically write one checkpoint archive.
+
+    ``model_state`` is a ``Module.state_dict()``; ``optimizer_state``
+    is an ``Optimizer.state_dict()`` (lists of arrays are flattened
+    into indexed npz entries, scalars ride in the JSON metadata);
+    ``extra`` must be JSON-serialisable.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for key, value in model_state.items():
+        arrays[f"model:{key}"] = np.asarray(value)
+    opt_meta: Dict[str, Any] = {}
+    if optimizer_state is not None:
+        for key, value in optimizer_state.items():
+            if isinstance(value, (list, tuple)) and all(
+                isinstance(item, np.ndarray) for item in value
+            ):
+                opt_meta[f"__slots__:{key}"] = len(value)
+                for index, item in enumerate(value):
+                    arrays[f"opt:{key}:{index:04d}"] = item
+            elif isinstance(value, np.ndarray):
+                arrays[f"opt:{key}"] = value
+            else:
+                opt_meta[key] = value
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "optimizer": opt_meta if optimizer_state is not None else None,
+        "extra": extra if extra is not None else {},
+    }
+    try:
+        meta_json = json.dumps(meta)
+    except TypeError as error:
+        raise CheckpointError(
+            f"checkpoint metadata is not JSON-serialisable: {error}"
+        ) from error
+    arrays["__meta__"] = np.array(meta_json)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue())
+
+
+def load_checkpoint(path: PathLike) -> Dict[str, Any]:
+    """Read a checkpoint archive back into its three sections.
+
+    Returns ``{"model": {...}, "optimizer": {... or None}, "extra":
+    {...}}``; raises :class:`CheckpointError` on a missing file or an
+    archive that is not a checkpoint.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            entries = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as error:
+        raise CheckpointError(
+            f"could not read checkpoint {path}: {error}"
+        ) from error
+    if "__meta__" not in entries:
+        raise CheckpointError(
+            f"{path} is not a checkpoint archive (missing metadata)"
+        )
+    meta = json.loads(str(entries.pop("__meta__")))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format "
+            f"{meta.get('format_version')!r} in {path}"
+        )
+    model_state: Dict[str, np.ndarray] = {}
+    opt_arrays: Dict[str, Any] = {}
+    for key, value in entries.items():
+        if key.startswith("model:"):
+            model_state[key[len("model:"):]] = value
+        elif key.startswith("opt:"):
+            opt_arrays[key[len("opt:"):]] = value
+    optimizer_state: Optional[Dict[str, Any]] = None
+    opt_meta = meta.get("optimizer")
+    if opt_meta is not None:
+        optimizer_state = {}
+        for key, value in opt_meta.items():
+            if key.startswith("__slots__:"):
+                name = key[len("__slots__:"):]
+                count = int(value)
+                optimizer_state[name] = [
+                    opt_arrays[f"{name}:{index:04d}"]
+                    for index in range(count)
+                ]
+            else:
+                optimizer_state[key] = value
+        for key, value in opt_arrays.items():
+            if ":" not in key:
+                optimizer_state[key] = value
+    return {
+        "model": model_state,
+        "optimizer": optimizer_state,
+        "extra": meta.get("extra", {}),
+    }

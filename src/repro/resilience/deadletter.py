@@ -1,0 +1,95 @@
+"""Quarantine for requests the pipeline refused to serve.
+
+Instead of failing a whole micro-batch (or silently discarding the
+offender), invalid frames and requests that exhausted their retries are
+recorded here: a bounded, thread-safe ring of structured records that
+operators can tail from ``InferenceServer.stats()`` or export as JSONL
+(the chaos CI job uploads that file as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from repro.errors import ResilienceError
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined request: who, where in the pipeline, and why."""
+
+    session_id: str
+    frame_index: int
+    stage: str
+    reason: str
+    corr_id: str = ""
+    ts: float = field(default_factory=time.time)
+
+
+class DeadLetterLog:
+    """Bounded ring buffer of :class:`DeadLetter` records."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ResilienceError("dead-letter capacity must be >= 1")
+        self.capacity = capacity
+        self._records: Deque[DeadLetter] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def record(
+        self,
+        session_id: str,
+        frame_index: int,
+        stage: str,
+        reason: str,
+        corr_id: str = "",
+    ) -> DeadLetter:
+        letter = DeadLetter(
+            session_id=session_id,
+            frame_index=frame_index,
+            stage=stage,
+            reason=reason,
+            corr_id=corr_id,
+        )
+        with self._lock:
+            self._records.append(letter)
+            self.total += 1
+        return letter
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def tail(self, count: Optional[int] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            records = list(self._records)
+        if count is not None:
+            records = records[-count:]
+        return [asdict(r) for r in records]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": len(self._records),
+                "total": self.total,
+                "capacity": self.capacity,
+            }
+
+    def to_jsonl(self, path: Union[str, os.PathLike]) -> str:
+        """Write every retained record as one JSON object per line."""
+        records = self.tail()
+        with open(path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        return str(path)

@@ -1,0 +1,176 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+The :class:`FaultInjector` draws every decision from one seeded
+``numpy`` generator, so a chaos run is exactly reproducible: the same
+seed corrupts the same frames and fails the same forward passes. It
+knows three fault surfaces:
+
+* **frames** -- :meth:`corrupt_frame` returns a NaN-poisoned,
+  Inf-poisoned, wrong-shaped or dropped variant of an input frame;
+* **forward passes** -- :meth:`maybe_delay_forward` /
+  :meth:`maybe_fail_forward` stall or abort a model invocation with
+  :class:`~repro.errors.InjectedFaultError`, and
+  :meth:`maybe_fail_compile` forces the compiled inference plan to
+  look broken (:class:`~repro.errors.InferenceCompileError`) so the
+  circuit breaker's eager fallback can be exercised;
+* **batches** -- :meth:`maybe_kill_batch` aborts a training step,
+  simulating a mid-epoch crash for checkpoint/resume tests.
+
+Exposed to operators via ``mmhand serve --chaos`` and to tests via the
+``fault_injector`` fixture in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    InferenceCompileError,
+    InjectedFaultError,
+    ResilienceError,
+)
+
+FRAME_MODES = ("nan", "inf", "wrong-shape", "drop")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and shapes of the injected faults (all off by default)."""
+
+    frame_corrupt_rate: float = 0.0
+    frame_modes: Tuple[str, ...] = FRAME_MODES
+    forward_fail_rate: float = 0.0
+    forward_delay_rate: float = 0.0
+    forward_delay_s: float = 0.0
+    batch_kill_rate: float = 0.0
+    compile_fail: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "frame_corrupt_rate", "forward_fail_rate",
+            "forward_delay_rate", "batch_kill_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ResilienceError(f"{name} must lie in [0, 1]")
+        if self.forward_delay_s < 0:
+            raise ResilienceError("forward_delay_s must be >= 0")
+        if not self.frame_modes:
+            raise ResilienceError("frame_modes must not be empty")
+        for mode in self.frame_modes:
+            if mode not in FRAME_MODES:
+                raise ResilienceError(
+                    f"unknown frame mode {mode!r}; "
+                    f"choose from {', '.join(FRAME_MODES)}"
+                )
+
+
+class FaultInjector:
+    """Seed-driven source of deliberate failures.
+
+    One injector instance has one random stream; interleaving calls
+    from several threads is safe but changes which call sees which
+    draw, so deterministic experiments should drive it from a single
+    thread (the serving loop and the trainer both do).
+    """
+
+    def __init__(self, config: Optional[FaultConfig] = None, **overrides):
+        if config is None:
+            config = FaultConfig(**overrides)
+        elif overrides:
+            raise ResilienceError(
+                "pass either a FaultConfig or keyword overrides, not both"
+            )
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.injected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def reset(self) -> None:
+        """Rewind the random stream and forget the fault counts."""
+        self._rng = np.random.default_rng(self.config.seed)
+        self.injected = {}
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self.injected)
+
+    # -- frame corruption ----------------------------------------------
+    def corrupt_frame(
+        self, frame: np.ndarray
+    ) -> Tuple[Optional[np.ndarray], Optional[str]]:
+        """Maybe corrupt one frame.
+
+        Returns ``(frame, None)`` untouched most of the time; with
+        probability ``frame_corrupt_rate`` returns a corrupted copy and
+        the fault kind, or ``(None, "drop")`` for a dropped frame.
+        """
+        if self._rng.random() >= self.config.frame_corrupt_rate:
+            return frame, None
+        mode = str(
+            self.config.frame_modes[
+                self._rng.integers(len(self.config.frame_modes))
+            ]
+        )
+        self._count(f"frame.{mode}")
+        if mode == "drop":
+            return None, mode
+        corrupted = np.array(frame, copy=True)
+        if not np.issubdtype(corrupted.dtype, np.inexact):
+            # Integer frames cannot hold NaN/Inf; complex ones can.
+            corrupted = corrupted.astype(float)
+        if mode == "wrong-shape":
+            return corrupted.reshape(-1), mode
+        flat = corrupted.reshape(-1)
+        # Poison a handful of entries; one is enough to fail a
+        # finiteness check, several make the corruption obvious in dumps.
+        count = max(1, flat.size // 64)
+        index = self._rng.integers(flat.size, size=count)
+        flat[index] = np.nan if mode == "nan" else np.inf
+        return corrupted, mode
+
+    # -- forward-pass faults -------------------------------------------
+    def maybe_delay_forward(self, sleep=time.sleep) -> float:
+        """Stall the forward path; returns the injected delay."""
+        if (
+            self.config.forward_delay_rate > 0
+            and self._rng.random() < self.config.forward_delay_rate
+        ):
+            self._count("forward.delay")
+            if self.config.forward_delay_s > 0:
+                sleep(self.config.forward_delay_s)
+            return self.config.forward_delay_s
+        return 0.0
+
+    def maybe_fail_forward(self) -> None:
+        """Abort the forward path with an :class:`InjectedFaultError`."""
+        if (
+            self.config.forward_fail_rate > 0
+            and self._rng.random() < self.config.forward_fail_rate
+        ):
+            self._count("forward.fail")
+            raise InjectedFaultError("injected forward-pass failure")
+
+    def maybe_fail_compile(self) -> None:
+        """Make the compiled plan look broken (deterministic, not
+        rate-driven: a broken plan stays broken)."""
+        if self.config.compile_fail:
+            self._count("compile.fail")
+            raise InferenceCompileError("injected compile failure")
+
+    # -- batch kills ----------------------------------------------------
+    def maybe_kill_batch(self) -> None:
+        """Abort a training batch, simulating a mid-epoch crash."""
+        if (
+            self.config.batch_kill_rate > 0
+            and self._rng.random() < self.config.batch_kill_rate
+        ):
+            self._count("batch.kill")
+            raise InjectedFaultError("injected batch kill")

@@ -1,0 +1,111 @@
+"""Error budgets and the healthy/degraded/unhealthy ladder.
+
+An :class:`ErrorBudget` watches a sliding window of recent outcomes and
+maps the observed failure ratio onto a :class:`HealthState`. The
+serving layer keeps one budget per session (quarantined frames and
+failed forwards burn it) plus the server-wide aggregate; both are
+surfaced in ``InferenceServer.stats()`` and as a Prometheus gauge.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Any, Deque, Dict
+
+from repro.errors import ResilienceError
+
+
+class HealthState(enum.Enum):
+    """The degradation ladder, ordered from best to worst."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    UNHEALTHY = "unhealthy"
+
+    @property
+    def code(self) -> int:
+        """Numeric encoding for gauges (0 healthy, 1 degraded, 2 not)."""
+        return _CODES[self]
+
+    @staticmethod
+    def worst(*states: "HealthState") -> "HealthState":
+        return max(states, key=lambda s: s.code, default=HealthState.HEALTHY)
+
+
+_CODES = {
+    HealthState.HEALTHY: 0,
+    HealthState.DEGRADED: 1,
+    HealthState.UNHEALTHY: 2,
+}
+
+
+class ErrorBudget:
+    """Sliding-window failure ratio with health thresholds.
+
+    ``min_events`` keeps a single early failure from flapping the state:
+    until the window has seen that many outcomes the budget reports
+    healthy.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        degraded_ratio: float = 0.05,
+        unhealthy_ratio: float = 0.25,
+        min_events: int = 4,
+    ) -> None:
+        if window < 1:
+            raise ResilienceError("window must be >= 1")
+        if not 0.0 < degraded_ratio <= unhealthy_ratio <= 1.0:
+            raise ResilienceError(
+                "require 0 < degraded_ratio <= unhealthy_ratio <= 1"
+            )
+        if min_events < 1:
+            raise ResilienceError("min_events must be >= 1")
+        self.degraded_ratio = degraded_ratio
+        self.unhealthy_ratio = unhealthy_ratio
+        self.min_events = min_events
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self.successes_total = 0
+        self.failures_total = 0
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._outcomes.append(True)
+            self.successes_total += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._outcomes.append(False)
+            self.failures_total += 1
+
+    def ratio(self) -> float:
+        """Failure ratio over the current window (0 when empty)."""
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            failures = sum(1 for ok in self._outcomes if not ok)
+            return failures / len(self._outcomes)
+
+    def health(self) -> HealthState:
+        with self._lock:
+            if len(self._outcomes) < self.min_events:
+                return HealthState.HEALTHY
+            failures = sum(1 for ok in self._outcomes if not ok)
+            ratio = failures / len(self._outcomes)
+        if ratio >= self.unhealthy_ratio:
+            return HealthState.UNHEALTHY
+        if ratio >= self.degraded_ratio:
+            return HealthState.DEGRADED
+        return HealthState.HEALTHY
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "health": self.health().value,
+            "error_ratio": self.ratio(),
+            "successes_total": self.successes_total,
+            "failures_total": self.failures_total,
+        }

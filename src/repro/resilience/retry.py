@@ -1,0 +1,132 @@
+"""Deadline-aware retry with exponential backoff and seeded jitter.
+
+:class:`RetryPolicy` is a frozen value object describing *how* to retry
+(attempt count, backoff curve, jitter fraction, overall deadline); the
+actual execution lives in :meth:`RetryPolicy.call` so one policy can be
+shared by many call sites. Jitter is drawn from a caller-supplied
+``numpy`` generator, which keeps chaos experiments deterministic, and
+the clock/sleep functions are injectable so tests can prove the
+deadline invariant without real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.errors import ResilienceError, RetryExhaustedError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a flaky call.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` means no
+    retries. Backoff before attempt ``k`` (0-based retry index) is
+    ``base_delay_s * multiplier**k`` capped at ``max_delay_s``, then
+    jittered uniformly in ``[delay * (1 - jitter), delay * (1 + jitter)]``.
+    ``deadline_s``, when set, bounds the *total* time spent inside
+    :meth:`call`: a backoff sleep is truncated so it never crosses the
+    deadline, and once the deadline is reached no further attempt starts.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError("max_attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise ResilienceError("base_delay_s must be >= 0")
+        if self.max_delay_s < self.base_delay_s:
+            raise ResilienceError("max_delay_s must be >= base_delay_s")
+        if self.multiplier < 1.0:
+            raise ResilienceError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError("jitter must lie in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ResilienceError("deadline_s must be positive")
+
+    # ------------------------------------------------------------------
+    def backoff_s(
+        self, retry_index: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Jittered sleep before the ``retry_index``-th retry (0-based)."""
+        if retry_index < 0:
+            raise ResilienceError("retry_index must be >= 0")
+        delay = min(
+            self.base_delay_s * self.multiplier ** retry_index,
+            self.max_delay_s,
+        )
+        if self.jitter > 0 and rng is not None and delay > 0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return float(delay)
+
+    def delays(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> Iterator[float]:
+        """The full backoff schedule (``max_attempts - 1`` sleeps)."""
+        for retry_index in range(self.max_attempts - 1):
+            yield self.backoff_s(retry_index, rng)
+
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        rng: Optional[np.random.Generator] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        **kwargs,
+    ):
+        """Run ``fn(*args, **kwargs)``, retrying on ``retry_on``.
+
+        Returns the first successful result. Raises
+        :class:`RetryExhaustedError` (with the last failure chained)
+        once attempts or the deadline run out; exceptions outside
+        ``retry_on`` propagate immediately.
+        """
+        start = clock()
+        deadline = (
+            start + self.deadline_s if self.deadline_s is not None else None
+        )
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as error:  # noqa: PERF203 - retry loop
+                last_error = error
+                if on_retry is not None:
+                    on_retry(attempt, error)
+            if attempt == self.max_attempts - 1:
+                break
+            delay = self.backoff_s(attempt, rng)
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    raise RetryExhaustedError(
+                        f"deadline of {self.deadline_s:.3f}s reached "
+                        f"after {attempt + 1} attempt(s)"
+                    ) from last_error
+                # Never sleep past the deadline; a truncated sleep still
+                # grants the final attempt whatever time is left.
+                delay = min(delay, remaining)
+            if delay > 0:
+                sleep(delay)
+            if deadline is not None and clock() >= deadline:
+                raise RetryExhaustedError(
+                    f"deadline of {self.deadline_s:.3f}s reached "
+                    f"after {attempt + 1} attempt(s)"
+                ) from last_error
+        raise RetryExhaustedError(
+            f"all {self.max_attempts} attempt(s) failed"
+        ) from last_error

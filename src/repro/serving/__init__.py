@@ -13,6 +13,15 @@ single :class:`~repro.core.regressor.HandJointRegressor`:
   a structured event log, snapshotted by ``InferenceServer.stats()``;
 * :class:`InferenceServer` -- the composition, driven by the
   ``mmhand serve`` CLI command.
+
+Failures degrade instead of crashing (see DESIGN.md "Resilience"):
+malformed frames are quarantined into the server's
+:class:`~repro.resilience.DeadLetterLog`, the compiled inference plan
+runs behind a :class:`~repro.resilience.CircuitBreaker` that falls
+back to the eager forward, and per-session
+:class:`~repro.resilience.ErrorBudget` objects drive the
+healthy/degraded/unhealthy ladder reported by
+``InferenceServer.health()`` / ``stats()`` / Prometheus.
 """
 
 from repro.serving.batcher import MicroBatcher, PoseResult

@@ -39,6 +39,7 @@ class RequestQueue:
         capacity: int = 64,
         policy: str = "block",
         block_timeout_s: float = 1.0,
+        metrics=None,
     ) -> None:
         if capacity < 1:
             raise ServingError("queue capacity must be >= 1")
@@ -52,6 +53,9 @@ class RequestQueue:
         self.capacity = capacity
         self.policy = policy
         self.block_timeout_s = block_timeout_s
+        # Optional MetricsRegistry: drops/rejections become visible
+        # counters + events instead of silent losses.
+        self.metrics = metrics
         # session id -> FIFO of its pending requests; dict order doubles
         # as the round-robin order (rotated on every pop_batch).
         self._pending: "OrderedDict[str, Deque[SegmentRequest]]" = (
@@ -75,6 +79,19 @@ class RequestQueue:
             return {s: len(q) for s, q in self._pending.items() if q}
 
     # ------------------------------------------------------------------
+    def _note_loss(self, counter: str, request: SegmentRequest) -> None:
+        """Account one lost request (drop-oldest eviction or rejection)
+        on the attached registry so the loss is observable."""
+        if self.metrics is None:
+            return
+        self.metrics.counter(counter).increment()
+        self.metrics.events.emit(
+            counter.rsplit(".", 1)[-1] + "_request",
+            session_id=request.session_id,
+            frame_index=request.frame_index,
+            corr_id=request.corr_id,
+        )
+
     def _admit(self, request: SegmentRequest) -> None:
         queue = self._pending.get(request.session_id)
         if queue is None:
@@ -110,6 +127,7 @@ class RequestQueue:
                 return None
             if self.policy == "reject":
                 self.rejected += 1
+                self._note_loss("serving.queue.rejected", request)
                 raise QueueFullError(
                     f"queue at capacity ({self.capacity}); "
                     f"rejecting request from {request.session_id!r}"
@@ -119,6 +137,7 @@ class RequestQueue:
                     prefer_session=request.session_id
                 )
                 self.dropped += 1
+                self._note_loss("serving.queue.dropped", evicted)
                 self._admit(request)
                 return evicted
             # policy == "block": wait for the consumer to make room.
@@ -128,6 +147,7 @@ class RequestQueue:
             )
             if not deadline_ok:
                 self.rejected += 1
+                self._note_loss("serving.queue.rejected", request)
                 raise QueueFullError(
                     f"queue stayed full for {self.block_timeout_s:.2f}s; "
                     f"giving up on request from {request.session_id!r}"

@@ -24,7 +24,19 @@ import numpy as np
 from repro.core.regressor import HandJointRegressor
 from repro.dsp.plans import PLAN_CACHE, publish_plan_cache_metrics
 from repro.dsp.radar_cube import CubeBuilder
-from repro.errors import QueueFullError, ServingError, UnknownSessionError
+from repro.errors import (
+    FrameShapeError,
+    QueueFullError,
+    ServingError,
+    UnknownSessionError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    DeadLetterLog,
+    ErrorBudget,
+    FaultInjector,
+    HealthState,
+)
 from repro.serving.batcher import MicroBatcher, PoseResult
 from repro.serving.cache import SegmentCache
 from repro.serving.metrics import MetricsRegistry
@@ -34,7 +46,15 @@ from repro.serving.session import SegmentRequest, Session
 
 @dataclass
 class ServingConfig:
-    """Tunables of the inference service runtime."""
+    """Tunables of the inference service runtime.
+
+    The resilience knobs: ``strict_frames=False`` quarantines malformed
+    frames at :meth:`InferenceServer.submit` (dead-letter log + error
+    budget) instead of raising; the ``breaker_*`` fields govern the
+    circuit breaker in front of the compiled inference plan; the
+    ``budget_*``/``*_ratio`` fields shape each session's error budget
+    and thus the healthy/degraded/unhealthy ladder.
+    """
 
     max_batch_size: int = 16
     queue_capacity: int = 64
@@ -45,6 +65,14 @@ class ServingConfig:
     hop_frames: int = 1
     max_sessions: int = 1024
     shard_threads: int = 0
+    strict_frames: bool = False
+    breaker_failure_threshold: int = 3
+    breaker_reset_s: float = 30.0
+    budget_window: int = 64
+    budget_min_events: int = 4
+    degraded_ratio: float = 0.05
+    unhealthy_ratio: float = 0.25
+    dead_letter_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -55,6 +83,10 @@ class ServingConfig:
             raise ServingError("hop_frames must be >= 1")
         if self.shard_threads < 0:
             raise ServingError("shard_threads must be >= 0")
+        if self.breaker_failure_threshold < 1:
+            raise ServingError("breaker_failure_threshold must be >= 1")
+        if self.dead_letter_capacity < 1:
+            raise ServingError("dead_letter_capacity must be >= 1")
 
 
 class InferenceServer:
@@ -65,6 +97,7 @@ class InferenceServer:
         builder: CubeBuilder,
         regressor: HandJointRegressor,
         config: Optional[ServingConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.builder = builder
         self.regressor = regressor
@@ -75,20 +108,34 @@ class InferenceServer:
         # running statistics on every forward.
         self.regressor.eval()
         self.config = config if config is not None else ServingConfig()
+        self.fault_injector = fault_injector
         self.metrics = MetricsRegistry()
         # The shared FFT plan cache sits below the serving layer; pull
         # its hit/miss/entry counts into this server's registry at every
         # snapshot so stats() and prometheus() agree with PLAN_CACHE.
         self.metrics.register_collector(publish_plan_cache_metrics)
+        # Aggregate health is derived state: refresh the gauge whenever
+        # the registry is snapshotted or scraped.
+        self.metrics.register_collector(self._publish_health)
         self.queue = RequestQueue(
             capacity=self.config.queue_capacity,
             policy=self.config.policy,
             block_timeout_s=self.config.block_timeout_s,
+            metrics=self.metrics,
         )
         cache = (
             SegmentCache(self.config.cache_capacity)
             if self.config.enable_cache
             else None
+        )
+        self.dead_letters = DeadLetterLog(
+            capacity=self.config.dead_letter_capacity
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+            name="serving.compiled",
+            metrics=self.metrics,
         )
         self.batcher = MicroBatcher(
             regressor,
@@ -96,6 +143,9 @@ class InferenceServer:
             cache=cache,
             metrics=self.metrics,
             shards=self.config.shard_threads,
+            breaker=self.breaker,
+            dead_letters=self.dead_letters,
+            fault_injector=fault_injector,
         )
         self._sessions: Dict[str, Session] = {}
 
@@ -113,6 +163,12 @@ class InferenceServer:
             self.builder, session_id=session_id,
             hop_frames=self.config.hop_frames,
             metrics=self.metrics,
+            budget=ErrorBudget(
+                window=self.config.budget_window,
+                degraded_ratio=self.config.degraded_ratio,
+                unhealthy_ratio=self.config.unhealthy_ratio,
+                min_events=self.config.budget_min_events,
+            ),
         )
         if session.session_id in self._sessions:
             raise ServingError(
@@ -153,9 +209,19 @@ class InferenceServer:
 
     # -- data path ------------------------------------------------------
     def submit(self, session_id: str, raw_frame: np.ndarray) -> bool:
-        """Feed one raw IF frame; ``True`` if a window was enqueued."""
+        """Feed one raw IF frame; ``True`` if a window was enqueued.
+
+        A malformed frame (wrong shape, NaN/Inf, non-numeric dtype) is
+        quarantined into the dead-letter log and burns the session's
+        error budget instead of raising, unless
+        ``ServingConfig.strict_frames`` asks for the exception.
+        """
         session = self._get(session_id)
-        request = session.feed(raw_frame)
+        try:
+            request = session.feed(raw_frame)
+        except FrameShapeError as error:
+            self._quarantine_frame(session, error)
+            return False
         return self._enqueue(session, request)
 
     def submit_cube(
@@ -163,8 +229,33 @@ class InferenceServer:
     ) -> bool:
         """Feed one already-preprocessed ``(V, D, A)`` cube frame."""
         session = self._get(session_id)
-        request = session.feed_cube(cube_frame)
+        try:
+            request = session.feed_cube(cube_frame)
+        except FrameShapeError as error:
+            self._quarantine_frame(session, error)
+            return False
         return self._enqueue(session, request)
+
+    def _quarantine_frame(
+        self, session: Session, error: FrameShapeError
+    ) -> None:
+        """Dead-letter one rejected ingest frame; re-raise when strict."""
+        session.quarantined += 1
+        session.budget.record_failure()
+        self.dead_letters.record(
+            session_id=session.session_id,
+            frame_index=session.window.frame_index + 1,
+            stage="ingest",
+            reason=str(error),
+        )
+        self.metrics.counter("frames_quarantined").increment()
+        self.metrics.events.emit(
+            "frame_quarantined",
+            session_id=session.session_id,
+            reason=str(error),
+        )
+        if self.config.strict_frames:
+            raise error
 
     def _enqueue(
         self, session: Session, request: Optional[SegmentRequest]
@@ -204,15 +295,30 @@ class InferenceServer:
         return self.config.policy == "block"
 
     def step(self) -> List[PoseResult]:
-        """Serve one micro-batch from the queue (may be empty)."""
+        """Serve one micro-batch from the queue (may be empty).
+
+        Requests the batcher had to quarantine (invalid window, forward
+        that exhausted its retries) are missing from the results; their
+        sessions' error budgets are charged here so per-session health
+        reflects them.
+        """
         batch = self.queue.pop_batch(self.config.max_batch_size)
         if not batch:
             return []
         results = self.batcher.run(batch)
+        served = {(r.session_id, r.frame_index) for r in results}
         for result in results:
             session = self._sessions.get(result.session_id)
             if session is not None:
                 session.results_out += 1
+                session.budget.record_success()
+        for request in batch:
+            if (request.session_id, request.frame_index) in served:
+                continue
+            session = self._sessions.get(request.session_id)
+            if session is not None:
+                session.quarantined += 1
+                session.budget.record_failure()
         self.metrics.gauge("queue_depth").set(len(self.queue))
         return results
 
@@ -222,6 +328,24 @@ class InferenceServer:
         while len(self.queue) > 0:
             results.extend(self.step())
         return results
+
+    # -- health ---------------------------------------------------------
+    def health(self) -> HealthState:
+        """Worst health across open sessions and the compiled-path
+        breaker (an open/half-open breaker means the service is serving
+        degraded eager results, never better than ``DEGRADED``)."""
+        states = [
+            session.health()
+            for session in self._sessions.values()
+            if not session.closed
+        ]
+        overall = HealthState.worst(*states)
+        if self.breaker.state != "closed":
+            overall = HealthState.worst(overall, HealthState.DEGRADED)
+        return overall
+
+    def _publish_health(self, registry: MetricsRegistry) -> None:
+        registry.gauge("serving.health").set(self.health().code)
 
     # -- observability --------------------------------------------------
     def stats(self) -> Dict[str, Any]:
@@ -238,6 +362,12 @@ class InferenceServer:
         if self.batcher.cache is not None:
             snapshot["cache"] = self.batcher.cache.stats()
         snapshot["plan_cache"] = PLAN_CACHE.stats()
+        snapshot["health"] = self.health().value
+        snapshot["breaker"] = self.breaker.stats()
+        snapshot["dead_letters"] = {
+            **self.dead_letters.stats(),
+            "tail": self.dead_letters.tail(5),
+        }
         snapshot["sessions"] = {
             sid: session.stats()
             for sid, session in self._sessions.items()

@@ -20,6 +20,7 @@ import numpy as np
 from repro.dsp.radar_cube import CubeBuilder
 from repro.errors import FrameShapeError, ServingError, SessionClosedError
 from repro.obs import trace
+from repro.resilience.health import ErrorBudget, HealthState
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.serving.metrics import MetricsRegistry
@@ -116,6 +117,7 @@ class Session:
         session_id: Optional[str] = None,
         hop_frames: int = 1,
         metrics: Optional["MetricsRegistry"] = None,
+        budget: Optional[ErrorBudget] = None,
     ) -> None:
         self.builder = builder
         self.metrics = metrics
@@ -132,11 +134,40 @@ class Session:
         self.segments_out = 0
         self.results_out = 0
         self.dropped = 0
+        self.quarantined = 0
+        # Per-session error budget: quarantined frames and failed
+        # forwards burn it, served results replenish it; the resulting
+        # HealthState drives the server's degradation ladder.
+        self.budget = budget if budget is not None else ErrorBudget()
 
     def _check_open(self) -> None:
         if self.closed:
             raise SessionClosedError(
                 f"session {self.session_id!r} is closed"
+            )
+
+    def _validate_frame(self, frame: np.ndarray, what: str) -> None:
+        """Reject garbage at the ingest boundary with full context.
+
+        NaN/Inf or non-numeric payloads must not reach the window/
+        batcher: a single poisoned frame would silently corrupt every
+        segment (and batch) it participates in. The error names the
+        session and incoming frame index so operators can trace the
+        offending client.
+        """
+        where = (
+            f"session {self.session_id!r} frame "
+            f"{self.window.frame_index + 1}"
+        )
+        if not np.issubdtype(frame.dtype, np.number):
+            raise FrameShapeError(
+                f"{where}: {what} has non-numeric dtype {frame.dtype}"
+            )
+        if not np.all(np.isfinite(frame)):
+            bad = int(np.size(frame) - np.count_nonzero(np.isfinite(frame)))
+            raise FrameShapeError(
+                f"{where}: {what} contains {bad} non-finite "
+                "value(s) (NaN/Inf)"
             )
 
     def feed(self, raw_frame: np.ndarray) -> Optional[SegmentRequest]:
@@ -145,9 +176,12 @@ class Session:
         raw_frame = np.asarray(raw_frame)
         if raw_frame.ndim != 3:
             raise FrameShapeError(
-                "feed expects a single raw frame "
-                f"(antennas, loops, samples), got shape {raw_frame.shape}"
+                f"session {self.session_id!r} frame "
+                f"{self.window.frame_index + 1}: feed expects a single "
+                "raw frame (antennas, loops, samples), got shape "
+                f"{raw_frame.shape}"
             )
+        self._validate_frame(raw_frame, "raw IF frame")
         # DSP spans emitted while preprocessing carry this session's id
         # as their correlation id.
         with trace.correlation(self.session_id):
@@ -167,6 +201,8 @@ class Session:
     def feed_cube(self, cube_frame: np.ndarray) -> Optional[SegmentRequest]:
         """Push one preprocessed ``(V, D, A)`` frame into the window."""
         self._check_open()
+        cube_frame = np.asarray(cube_frame)
+        self._validate_frame(cube_frame, "cube frame")
         segment = self.window.push(cube_frame)
         self.frames_in += 1
         if segment is None:
@@ -186,12 +222,18 @@ class Session:
         self._check_open()
         self.window.reset()
 
+    def health(self) -> HealthState:
+        return self.budget.health()
+
     def stats(self) -> Dict[str, float]:
         return {
             "frames_in": self.frames_in,
             "segments_out": self.segments_out,
             "results_out": self.results_out,
             "dropped": self.dropped,
+            "quarantined": self.quarantined,
             "window_fill": self.window.fill,
             "closed": self.closed,
+            "health": self.budget.health().value,
+            "error_ratio": self.budget.ratio(),
         }

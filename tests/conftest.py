@@ -57,6 +57,23 @@ def small_campaign():
     return CampaignConfig(num_users=2, segments_per_user=4)
 
 
+@pytest.fixture
+def fault_injector():
+    """Factory for seeded :class:`~repro.resilience.FaultInjector`\\ s.
+
+    Usage: ``injector = fault_injector(frame_corrupt_rate=0.1, seed=3)``.
+    Every injector is deterministic; re-running a test replays the same
+    fault schedule.
+    """
+    from repro.resilience import FaultInjector
+
+    def make(**overrides):
+        overrides.setdefault("seed", 0)
+        return FaultInjector(**overrides)
+
+    return make
+
+
 def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     """Central finite-difference gradient of scalar ``fn`` w.r.t. ``array``
     (mutated in place and restored)."""

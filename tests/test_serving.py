@@ -594,3 +594,100 @@ def test_batcher_sharded_predict_matches_unsharded(stack):
 def test_serving_config_validates_shard_threads():
     with pytest.raises(ServingError):
         ServingConfig(shard_threads=-1)
+
+
+def test_queue_drop_oldest_emits_counter_and_event():
+    registry = MetricsRegistry()
+    queue = RequestQueue(
+        capacity=1, policy="drop-oldest", metrics=registry
+    )
+    queue.put(_request("a", 0))
+    evicted = queue.put(_request("a", 1))
+    assert evicted.frame_index == 0
+    assert queue.dropped == 1
+    assert registry.counter("serving.queue.dropped").value == 1
+    events = [
+        event for event in registry.events.tail()
+        if event["kind"] == "dropped_request"
+    ]
+    assert len(events) == 1
+    assert events[0]["session_id"] == "a"
+    assert events[0]["frame_index"] == 0
+
+
+def test_queue_reject_emits_counter_and_event():
+    registry = MetricsRegistry()
+    queue = RequestQueue(capacity=1, policy="reject", metrics=registry)
+    queue.put(_request("a", 0))
+    with pytest.raises(QueueFullError):
+        queue.put(_request("a", 1))
+    assert registry.counter("serving.queue.rejected").value == 1
+    assert any(
+        event["kind"] == "rejected_request"
+        for event in registry.events.tail()
+    )
+
+
+def test_session_feed_rejects_nonfinite_with_context(stack):
+    builder, _ = stack
+    session = Session(builder, session_id="client-9")
+    frame = np.zeros(
+        (
+            builder.array.num_virtual,
+            builder.radar.chirp_loops,
+            builder.radar.samples_per_chirp,
+        )
+    )
+    frame[0, 0, 0] = np.nan
+    with pytest.raises(FrameShapeError) as excinfo:
+        session.feed(frame)
+    message = str(excinfo.value)
+    assert "client-9" in message
+    assert "frame 0" in message
+    assert "non-finite" in message
+    with pytest.raises(FrameShapeError):
+        session.feed_cube(np.full((4, 8, 8), np.inf))
+    with pytest.raises(FrameShapeError):
+        session.feed_cube(np.array([["a"] * 8] * 4).reshape(4, 8, -1))
+
+
+def test_server_quarantines_malformed_frames(stack):
+    builder, regressor = stack
+    server = InferenceServer(builder, regressor)
+    session_id = server.open_session()
+    frames = _raw_frames(builder, 3, seed=5)
+    poisoned = frames[1].copy()
+    poisoned[0, 0, 0] = np.inf
+
+    assert server.submit(session_id, frames[0]) is False  # filling
+    assert server.submit(session_id, poisoned) is False   # quarantined
+    assert server.submit(session_id, frames[2]) is True   # window full
+
+    stats = server.session_stats(session_id)
+    assert stats["quarantined"] == 1
+    assert stats["frames_in"] == 2  # the poisoned frame never landed
+    assert len(server.dead_letters) == 1
+    letter = server.dead_letters.tail(1)[0]
+    assert letter["stage"] == "ingest"
+    assert letter["session_id"] == session_id
+    snapshot = server.stats()
+    assert snapshot["counters"]["frames_quarantined"] == 1
+    assert snapshot["dead_letters"]["total"] == 1
+
+    results = server.step()
+    assert len(results) == 1 and results[0].session_id == session_id
+
+
+def test_server_strict_frames_raises(stack):
+    builder, regressor = stack
+    server = InferenceServer(
+        builder, regressor, ServingConfig(strict_frames=True)
+    )
+    session_id = server.open_session()
+    poisoned = _raw_frames(builder, 1, seed=5)[0].copy()
+    poisoned[0, 0, 0] = np.nan
+    with pytest.raises(FrameShapeError):
+        server.submit(session_id, poisoned)
+    # Even in strict mode the failure is accounted before raising.
+    assert server.session_stats(session_id)["quarantined"] == 1
+    assert len(server.dead_letters) == 1

@@ -8,7 +8,10 @@ Subcommands cover the common workflows end to end:
 * ``mmhand demo`` -- run the full pipeline on a fresh simulated gesture
   sequence and print ASCII skeletons + recognised gestures;
 * ``mmhand serve`` -- run the multi-session inference service over a
-  simulated multi-client feed and print a throughput/latency report;
+  simulated multi-client feed and print a throughput/latency report
+  (``--workers N`` serves through the multi-process gateway instead);
+* ``mmhand gateway-bench`` -- sweep the gateway across worker counts
+  with the open-loop load generator and write ``BENCH_serving.json``;
 * ``mmhand bench`` -- benchmark the DSP hot path against its reference
   implementations and write a ``BENCH_pipeline.json`` summary;
 * ``mmhand export-mesh`` -- reconstruct a mesh from a gesture and write
@@ -311,6 +314,10 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--shard-threads", type=int, default=0,
                    help="split each compiled micro-batch across N worker "
                         "threads (0: single-threaded)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="serve through the multi-process gateway with N "
+                        "worker processes and zero-copy shared-memory "
+                        "ingest (0: single in-process server)")
     p.add_argument("--report-every", type=int, default=0,
                    help="print a live report every N ticks (0: final only)")
     p.add_argument("--json", dest="json_path", default=None,
@@ -436,6 +443,11 @@ def _cmd_serve(args) -> int:
     if args.frames < 1:
         print("--frames must be >= 1", file=sys.stderr)
         return 1
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 1
+    if args.workers > 0:
+        return _cmd_serve_gateway(args)
 
     radar = RadarConfig()
     dsp = DspConfig()
@@ -550,6 +562,166 @@ def _cmd_serve(args) -> int:
             json.dump(stats, fh, indent=2, default=float)
         print(f"stats -> {args.json_path}")
     _export_observability(args, registry=server.metrics)
+    return 0
+
+
+def _cmd_serve_gateway(args) -> int:
+    """``mmhand serve --workers N``: the same simulated multi-client
+    feed, served through the multi-process gateway."""
+    import json
+    import time
+
+    from repro.config import DspConfig, ModelConfig, RadarConfig
+    from repro.errors import QueueFullError
+    from repro.gateway import Gateway, GatewayConfig
+    from repro.obs.logging import configure, get_logger
+    from repro.serving import ServingConfig
+
+    configure(stream=sys.stdout)
+    radar = RadarConfig()
+    dsp = DspConfig()
+    config = GatewayConfig(
+        workers=args.workers,
+        serving=ServingConfig(
+            max_batch_size=args.batch_size,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            enable_cache=not args.no_cache,
+            hop_frames=args.hop,
+            shard_threads=args.shard_threads,
+        ),
+        seed=args.seed,
+        weights_path=args.weights,
+        chaos_frame_rate=args.chaos_frame_rate if args.chaos else 0.0,
+        chaos_forward_rate=(
+            args.chaos_forward_rate if args.chaos else 0.0
+        ),
+        chaos_compile_fail=args.chaos and args.chaos_compile_fail,
+        chaos_seed=args.chaos_seed,
+    )
+    print(
+        f"simulating {args.sessions} clients x {args.frames} frames "
+        f"through {args.workers} gateway workers (batch<= "
+        f"{args.batch_size}{', chaos=on' if args.chaos else ''})"
+    )
+    feeds = _simulated_client_frames(
+        radar, args.sessions, args.frames, args.seed
+    )
+    results = []
+    start = time.perf_counter()
+    with Gateway(radar, dsp, ModelConfig(), config) as gateway:
+        session_ids = [
+            gateway.open_session() for _ in range(args.sessions)
+        ]
+        for tick in range(args.frames):
+            for client, session_id in enumerate(session_ids):
+                frame = feeds[client, tick]
+                while True:
+                    try:
+                        gateway.submit(session_id, frame)
+                        break
+                    except QueueFullError:
+                        results.extend(gateway.pump())
+                        time.sleep(0.0005)
+            results.extend(gateway.pump())
+        results.extend(gateway.drain())
+        elapsed = time.perf_counter() - start
+        for session_id in session_ids:
+            gateway.close_session(session_id)
+        gateway.pump()
+        stats = gateway.stats()
+
+    counters = stats["counters"]
+    latency = stats["histograms"].get("gateway.latency_s", {})
+    logger = get_logger("serve")
+    logger.info(
+        "gateway_report",
+        workers=args.workers,
+        poses=len(results),
+        frames_forwarded=counters.get("gateway.frames_forwarded", 0),
+        acks=counters.get("gateway.acks", 0),
+        elapsed_s=elapsed,
+        poses_per_s=len(results) / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=latency.get("p50", 0.0) * 1e3,
+        latency_p99_ms=latency.get("p99", 0.0) * 1e3,
+        quarantined=counters.get("gateway.frames_quarantined", 0),
+        dead_letters=stats["dead_letters"]["total"],
+        worker_restarts=counters.get("gateway.worker_restarts", 0),
+        health=stats["health"],
+    )
+    if args.json_path:
+        stats["elapsed_s"] = elapsed
+        with open(args.json_path, "w") as fh:
+            json.dump(stats, fh, indent=2, default=float)
+        print(f"stats -> {args.json_path}")
+    _export_observability(args)
+    return 0
+
+
+def _add_gateway_bench(subparsers) -> None:
+    p = subparsers.add_parser(
+        "gateway-bench",
+        help="drive the open-loop load generator against the gateway "
+             "at several worker counts and write a BENCH_serving.json "
+             "scaling summary",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="short CI run (2 workers, small population); "
+                        "exit code gates on zero lost clean frames")
+    p.add_argument("--workers", default=None, metavar="N[,N...]",
+                   help="comma-separated worker counts to sweep "
+                        "(default: 1,2,4; smoke default: 2)")
+    p.add_argument("--sessions", type=int, default=None,
+                   help="simulated client sessions per run")
+    p.add_argument("--frames", type=int, default=None,
+                   help="frames fed per session")
+    p.add_argument("--json", dest="json_path",
+                   default="BENCH_serving.json",
+                   help="summary output path (default: BENCH_serving.json)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_gateway_bench(args) -> int:
+    from repro.gateway.loadgen import (
+        print_gateway_report,
+        run_gateway_bench,
+    )
+    from repro.perf import write_bench_json
+
+    if args.workers is not None:
+        try:
+            worker_counts = tuple(
+                int(part) for part in args.workers.split(",") if part
+            )
+        except ValueError:
+            print(f"bad --workers list {args.workers!r}", file=sys.stderr)
+            return 1
+        if not worker_counts or min(worker_counts) < 1:
+            print("--workers needs positive counts", file=sys.stderr)
+            return 1
+    elif args.smoke:
+        worker_counts = (2,)
+    else:
+        worker_counts = (1, 2, 4)
+
+    summary = run_gateway_bench(
+        worker_counts=worker_counts,
+        smoke=args.smoke,
+        seed=args.seed,
+        sessions=args.sessions,
+        frames_per_session=args.frames,
+    )
+    print_gateway_report(summary)
+    write_bench_json(args.json_path, summary)
+    print(f"summary -> {args.json_path}")
+    lost = summary["lost_clean_frames"]
+    if lost:
+        print(
+            f"{lost} clean frames were neither answered nor "
+            "dead-lettered",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -715,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_evaluate(subparsers)
     _add_demo(subparsers)
     _add_serve(subparsers)
+    _add_gateway_bench(subparsers)
     _add_bench(subparsers)
     _add_export_mesh(subparsers)
     _add_trace(subparsers)
@@ -727,6 +900,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "demo": _cmd_demo,
     "serve": _cmd_serve,
+    "gateway-bench": _cmd_gateway_bench,
     "bench": _cmd_bench,
     "export-mesh": _cmd_export_mesh,
     "trace": _cmd_trace,

@@ -117,3 +117,20 @@ class SessionClosedError(ServingError):
 class UnknownSessionError(ServingError):
     """A session id was used that the server never opened (or has
     evicted)."""
+
+
+class GatewayError(ServingError):
+    """Base class for failures inside the multi-process serving tier
+    (:mod:`repro.gateway`): shared-memory rings, worker processes and
+    the dispatcher."""
+
+
+class RingLayoutError(GatewayError):
+    """A shared-memory ring was created or attached with an impossible
+    geometry (slot too small for the payload, session id too long,
+    corrupt slot header)."""
+
+
+class WorkerCrashedError(GatewayError):
+    """A gateway worker process died (non-zero exit code or stale
+    heartbeat) and could not be restarted."""

@@ -1,0 +1,46 @@
+"""Multi-process serving tier with zero-copy shared-memory ingest.
+
+``repro.gateway`` scales the single-process
+:class:`~repro.serving.InferenceServer` past the GIL: a front-end
+:class:`Gateway` dispatcher admits client sessions and moves radar
+frames into N worker processes through fixed-slot
+``multiprocessing.shared_memory`` ring buffers (:class:`ShmRing`).
+Array payloads cross the process boundary as a single ``memcpy`` into
+the shared segment -- nothing on the ingest path is pickled; only small
+headers (sequence, session id, frame id, dtype/shape tag) and control
+metadata move through other channels.
+
+* :class:`ShmRing` -- SPSC shared-memory ring with a per-slot header
+  and zero-copy payload views;
+* :class:`Gateway` / :class:`GatewayConfig` -- the dispatcher: sticky
+  session->worker affinity (each session's FrameWindow stays
+  worker-local), heartbeat + exitcode crash detection, restart with
+  in-order replay of unacked frames and dead-lettering of
+  acked-but-unanswered ones, merged ``health()`` /
+  ``stats()`` / Prometheus across the pool;
+* :mod:`repro.gateway.worker` -- the per-process serving stack (the
+  unchanged compiled-plan + breaker + quarantine + error-budget
+  pipeline from :mod:`repro.serving`);
+* :mod:`repro.gateway.loadgen` -- open-loop Poisson load generator and
+  the ``mmhand gateway-bench`` harness behind ``BENCH_serving.json``.
+"""
+
+from repro.gateway.dispatcher import Gateway, GatewayConfig
+from repro.gateway.loadgen import (
+    LoadgenConfig,
+    run_gateway_bench,
+    run_loadgen,
+)
+from repro.gateway.ring import RingMessage, ShmRing
+from repro.gateway.worker import WorkerConfig
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "LoadgenConfig",
+    "RingMessage",
+    "ShmRing",
+    "WorkerConfig",
+    "run_gateway_bench",
+    "run_loadgen",
+]

@@ -1,0 +1,296 @@
+"""The gateway worker process: one full serving stack per core.
+
+Each worker attaches to its two shared-memory rings, builds the
+*existing* serving stack (CubeBuilder + HandJointRegressor behind the
+compiled-plan circuit breaker, quarantine, per-session error budgets --
+an unmodified :class:`~repro.serving.InferenceServer`) and loops:
+
+* pull frames off the request ring (the payload was memcpy'd into
+  shared memory by the dispatcher -- nothing was pickled),
+* feed them into worker-local sessions (sticky session->worker affinity
+  means a session's :class:`~repro.serving.FrameWindow` lives entirely
+  in one worker),
+* acknowledge **every** frame on the response ring (absorbed /
+  enqueued / quarantined), and ship each regressed pose back with the
+  dispatcher's frame id,
+* bump a heartbeat slot and answer control-pipe requests (stats
+  snapshots, shutdown).
+
+The control pipe carries only small picklable metadata (stats dicts,
+shutdown commands); array payloads move exclusively through the rings.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DspConfig, ModelConfig, RadarConfig
+from repro.gateway.ring import (
+    ACK_ENQUEUED,
+    ACK_QUARANTINED,
+    ACK_WINDOW,
+    KIND_ACK,
+    KIND_CLOSE,
+    KIND_CLOSED,
+    KIND_FRAME_CUBE,
+    KIND_FRAME_RAW,
+    KIND_POSE,
+    KIND_UNSERVED,
+    ShmRing,
+)
+from repro.serving import ServingConfig
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker needs to rebuild the serving stack.
+
+    Must stay picklable (it crosses the process boundary at spawn
+    time); holds only configs and scalars, never arrays or live
+    objects.
+    """
+
+    radar: RadarConfig = field(default_factory=RadarConfig)
+    dsp: DspConfig = field(default_factory=DspConfig)
+    model: ModelConfig = field(default_factory=ModelConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    seed: int = 0
+    weights_path: Optional[str] = None
+    heartbeat_interval_s: float = 0.05
+    idle_sleep_s: float = 0.0005
+    # Chaos knobs (forwarded to a worker-local FaultInjector).
+    chaos_frame_rate: float = 0.0
+    chaos_forward_rate: float = 0.0
+    chaos_compile_fail: bool = False
+    chaos_seed: int = 0
+
+    def wants_chaos(self) -> bool:
+        return (
+            self.chaos_frame_rate > 0
+            or self.chaos_forward_rate > 0
+            or self.chaos_compile_fail
+        )
+
+
+def _build_server(config: WorkerConfig):
+    import dataclasses
+
+    from repro.core.regressor import HandJointRegressor
+    from repro.dsp.radar_cube import CubeBuilder
+    from repro.resilience import FaultInjector
+    from repro.serving import InferenceServer
+
+    serving = config.serving
+    # Workers always run the block policy: the serving loop drains the
+    # queue before it can fill, so no request admitted to a worker is
+    # ever dropped there -- backpressure is the request ring filling up,
+    # which the dispatcher surfaces to its callers.
+    if serving.policy != "block":
+        serving = dataclasses.replace(serving, policy="block")
+    if serving.queue_capacity <= serving.max_batch_size:
+        serving = dataclasses.replace(
+            serving, queue_capacity=2 * serving.max_batch_size
+        )
+    config = dataclasses.replace(config, serving=serving)
+    regressor = HandJointRegressor(
+        config.dsp, config.model, seed=config.seed
+    )
+    if config.weights_path is not None:
+        from repro.nn.serialization import load_state
+
+        load_state(regressor, config.weights_path)
+    regressor.eval()
+    injector = None
+    if config.wants_chaos():
+        injector = FaultInjector(
+            frame_corrupt_rate=config.chaos_frame_rate,
+            forward_fail_rate=config.chaos_forward_rate,
+            compile_fail=config.chaos_compile_fail,
+            seed=config.chaos_seed,
+        )
+    builder = CubeBuilder(config.radar, config.dsp)
+    return InferenceServer(
+        builder, regressor, config.serving, fault_injector=injector
+    )
+
+
+def _push_blocking(
+    ring: ShmRing, kind, session_id, frame_id, payload=None, flags=0,
+    deadline_s: float = 5.0,
+) -> bool:
+    """Push a response, briefly yielding while the dispatcher drains.
+
+    Gives up (dropping the message) after ``deadline_s`` so a dead
+    dispatcher cannot wedge the worker; the dispatcher notices the gap
+    through its in-flight accounting.
+    """
+    deadline = time.perf_counter() + deadline_s
+    while not ring.push(kind, session_id, frame_id, payload, flags):
+        if time.perf_counter() >= deadline:
+            return False
+        time.sleep(0.0002)
+    return True
+
+
+def worker_main(
+    worker_index: int,
+    request_ring_name: str,
+    response_ring_name: str,
+    heartbeat_name: str,
+    conn,
+    config: WorkerConfig,
+) -> None:
+    """Entry point run inside each gateway worker process."""
+    request_ring = ShmRing.attach(request_ring_name)
+    response_ring = ShmRing.attach(response_ring_name)
+    heartbeat_shm = None
+    heartbeat = None
+    try:
+        from multiprocessing import shared_memory
+
+        # Attaching re-registers the name with the tracker shared with
+        # the dispatcher -- a set-add no-op; see ShmRing.attach.
+        heartbeat_shm = shared_memory.SharedMemory(name=heartbeat_name)
+        heartbeat = np.ndarray(
+            (max(worker_index + 1, 1),),
+            dtype=np.float64,
+            buffer=heartbeat_shm.buf,
+        )
+    except FileNotFoundError:  # pragma: no cover - heartbeat optional
+        heartbeat = None
+
+    server = _build_server(config)
+    serving = config.serving
+    opened: Dict[str, bool] = {}
+    # Worker-local frame counter per session: Session.feed_cube labels
+    # segments with the *worker's* frame index (frames the window
+    # actually absorbed); this maps those back to dispatcher frame ids.
+    local_index: Dict[str, int] = {}
+    pose_ids: Dict[Tuple[str, int], int] = {}
+    last_beat = 0.0
+    running = True
+
+    def beat() -> None:
+        nonlocal last_beat
+        now = time.time()
+        if heartbeat is not None and (
+            now - last_beat >= config.heartbeat_interval_s
+        ):
+            heartbeat[worker_index] = now
+            last_beat = now
+
+    def flush_results() -> None:
+        for result in server.step():
+            frame_id = pose_ids.pop(
+                (result.session_id, result.frame_index),
+                result.frame_index,
+            )
+            _push_blocking(
+                response_ring, KIND_POSE, result.session_id, frame_id,
+                np.ascontiguousarray(result.joints),
+            )
+        for session_id, frame_index in server.last_unserved:
+            frame_id = pose_ids.pop(
+                (session_id, frame_index), frame_index
+            )
+            _push_blocking(
+                response_ring, KIND_UNSERVED, session_id, frame_id
+            )
+
+    beat()
+    while running:
+        progress = False
+        message = request_ring.pop()
+        if message is not None:
+            progress = True
+            sid = message.session_id
+            if message.kind == KIND_CLOSE:
+                if sid in opened:
+                    server.close_session(sid)
+                    opened.pop(sid, None)
+                    local_index.pop(sid, None)
+                _push_blocking(
+                    response_ring, KIND_CLOSED, sid, message.frame_id
+                )
+            elif message.kind in (KIND_FRAME_RAW, KIND_FRAME_CUBE):
+                if sid not in opened:
+                    server.open_session(sid)
+                    opened[sid] = True
+                    local_index.setdefault(sid, -1)
+                # Keep the queue below the inline-step threshold so
+                # every pose comes out of flush_results() with its
+                # dispatcher frame id attached.
+                if len(server.queue) >= serving.max_batch_size:
+                    flush_results()
+                before = server.session_stats(sid)["quarantined"]
+                if message.kind == KIND_FRAME_RAW:
+                    enqueued = server.submit(sid, message.payload)
+                else:
+                    enqueued = server.submit_cube(sid, message.payload)
+                if server.session_stats(sid)["quarantined"] > before:
+                    flag = ACK_QUARANTINED
+                else:
+                    local_index[sid] += 1
+                    if enqueued:
+                        flag = ACK_ENQUEUED
+                        pose_ids[(sid, local_index[sid])] = (
+                            message.frame_id
+                        )
+                    else:
+                        flag = ACK_WINDOW
+                _push_blocking(
+                    response_ring, KIND_ACK, sid, message.frame_id,
+                    flags=flag,
+                )
+        if len(server.queue) >= serving.max_batch_size or (
+            message is None and len(server.queue) > 0
+        ):
+            flush_results()
+            progress = True
+
+        beat()
+        # Control pipe: stats requests and shutdown. Never blocks.
+        while conn.poll(0):
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                running = False
+                break
+            if command == "shutdown":
+                running = False
+            elif command == "stats":
+                stats = server.stats()
+                stats["worker"] = {
+                    "index": worker_index,
+                    "pid": os.getpid(),
+                    "request_ring": request_ring.stats(),
+                    "response_ring": response_ring.stats(),
+                }
+                try:
+                    conn.send(("stats", worker_index, stats))
+                except (BrokenPipeError, OSError):
+                    running = False
+        if os.getppid() == 1:
+            # The dispatcher died and we were re-parented to init;
+            # there is nobody left to serve.
+            running = False
+        if not progress and running:
+            time.sleep(config.idle_sleep_s)
+
+    # Drain what is already queued so acked frames get answered even on
+    # a graceful shutdown.
+    flush_results()
+    try:
+        conn.send(("bye", worker_index, None))
+    except (BrokenPipeError, OSError):  # pragma: no cover
+        pass
+    request_ring.close()
+    response_ring.close()
+    if heartbeat_shm is not None:
+        heartbeat = None
+        heartbeat_shm.close()

@@ -26,7 +26,7 @@ healthy/degraded/unhealthy ladder reported by
 
 from repro.serving.batcher import MicroBatcher, PoseResult
 from repro.serving.cache import SegmentCache, segment_key
-from repro.serving.metrics import (
+from repro.obs.metrics import (
     Counter,
     EventLog,
     Gauge,

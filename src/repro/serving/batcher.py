@@ -41,7 +41,7 @@ from repro.resilience import (
     RetryPolicy,
 )
 from repro.serving.cache import SegmentCache, segment_key
-from repro.serving.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.session import SegmentRequest
 
 # Exceptions a batched forward may raise that warrant salvaging the

@@ -5,10 +5,20 @@ server; it is now the unified, pipeline-wide registry in
 :mod:`repro.obs.metrics` (with collectors, Prometheus exposition and a
 process-global facade). This module keeps every historical import path
 -- ``from repro.serving.metrics import MetricsRegistry`` and friends --
-working unchanged.
+working unchanged, but warns: import from :mod:`repro.obs.metrics`
+(nothing inside the repo imports this path any more).
 """
 
-from repro.obs.metrics import (
+import warnings
+
+warnings.warn(
+    "repro.serving.metrics is deprecated; import from "
+    "repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.obs.metrics import (  # noqa: E402
     Counter,
     EventLog,
     Gauge,

@@ -39,7 +39,7 @@ from repro.resilience import (
 )
 from repro.serving.batcher import MicroBatcher, PoseResult
 from repro.serving.cache import SegmentCache
-from repro.serving.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.queue import RequestQueue
 from repro.serving.session import SegmentRequest, Session
 
@@ -148,6 +148,11 @@ class InferenceServer:
             fault_injector=fault_injector,
         )
         self._sessions: Dict[str, Session] = {}
+        # (session_id, frame_index) pairs of the most recent step()'s
+        # requests that were quarantined instead of served. The gateway
+        # worker reads this to answer every in-flight frame explicitly
+        # (an UNSERVED message) instead of leaving its client waiting.
+        self.last_unserved: List[tuple] = []
 
     # -- session lifecycle ---------------------------------------------
     def open_session(self, session_id: Optional[str] = None) -> str:
@@ -304,9 +309,11 @@ class InferenceServer:
         """
         batch = self.queue.pop_batch(self.config.max_batch_size)
         if not batch:
+            self.last_unserved = []
             return []
         results = self.batcher.run(batch)
         served = {(r.session_id, r.frame_index) for r in results}
+        unserved: List[tuple] = []
         for result in results:
             session = self._sessions.get(result.session_id)
             if session is not None:
@@ -315,10 +322,12 @@ class InferenceServer:
         for request in batch:
             if (request.session_id, request.frame_index) in served:
                 continue
+            unserved.append((request.session_id, request.frame_index))
             session = self._sessions.get(request.session_id)
             if session is not None:
                 session.quarantined += 1
                 session.budget.record_failure()
+        self.last_unserved = unserved
         self.metrics.gauge("queue_depth").set(len(self.queue))
         return results
 

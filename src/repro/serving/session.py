@@ -23,7 +23,7 @@ from repro.obs import trace
 from repro.resilience.health import ErrorBudget, HealthState
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
-    from repro.serving.metrics import MetricsRegistry
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass

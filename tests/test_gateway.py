@@ -1,0 +1,433 @@
+"""Tests of the multi-process serving gateway (:mod:`repro.gateway`):
+shared-memory ring semantics, the zero-copy ingest guarantee, pose
+parity with the in-process server, sticky session affinity, frame
+accounting under load, and SIGKILL crash recovery."""
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import DspConfig, ModelConfig, RadarConfig
+from repro.errors import (
+    GatewayError,
+    QueueFullError,
+    RingLayoutError,
+    UnknownSessionError,
+)
+from repro.gateway import (
+    Gateway,
+    GatewayConfig,
+    LoadgenConfig,
+    ShmRing,
+    run_loadgen,
+)
+from repro.gateway.ring import (
+    KIND_FRAME_CUBE,
+    KIND_POSE,
+    SLOT_HEADER_BYTES,
+)
+from repro.resilience import HealthState
+from repro.serving import ServingConfig
+
+
+@pytest.fixture(scope="module")
+def configs():
+    """Small-but-real stack: every frame does model work."""
+    radar = RadarConfig(samples_per_chirp=32, chirp_loops=8)
+    dsp = DspConfig(
+        range_bins=16, doppler_bins=4, azimuth_bins=8, elevation_bins=8,
+        segment_frames=2,
+    )
+    model = ModelConfig(
+        base_channels=4, hourglass_depth=1, num_blocks=1, feature_dim=16,
+        lstm_hidden=16,
+    )
+    return radar, dsp, model
+
+
+def _cube_frames(dsp, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.abs(
+        rng.normal(
+            size=(
+                count,
+                dsp.doppler_bins,
+                dsp.range_bins,
+                dsp.angle_bins_total,
+            )
+        )
+    ).astype(np.float32)
+
+
+def _gateway_config(workers=1, **kwargs):
+    kwargs.setdefault("ring_slots", 32)
+    kwargs.setdefault(
+        "serving",
+        ServingConfig(
+            max_batch_size=8, queue_capacity=32, policy="block"
+        ),
+    )
+    kwargs.setdefault("seed", 7)
+    return GatewayConfig(workers=workers, **kwargs)
+
+
+def _feed_all(gateway, session_ids, frames):
+    """Feed every frame to every session, pumping through backpressure."""
+    results = []
+    sent = 0
+    for frame in frames:
+        for sid in session_ids:
+            for _ in range(500):
+                try:
+                    gateway.submit_cube(sid, frame)
+                    sent += 1
+                    break
+                except QueueFullError:
+                    results.extend(gateway.pump())
+                    time.sleep(0.001)
+            else:  # pragma: no cover - only on a wedged gateway
+                pytest.fail("gateway refused a frame for 0.5s")
+        results.extend(gateway.pump())
+    return sent, results
+
+
+# ----------------------------------------------------------------------
+# ShmRing semantics
+# ----------------------------------------------------------------------
+
+
+def test_ring_roundtrip_and_wraparound():
+    ring = ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES + 1024)
+    try:
+        payloads = [
+            np.arange(12, dtype=np.float32).reshape(3, 4) + i
+            for i in range(11)  # > 2 full wraps of a 4-slot ring
+        ]
+        for i, payload in enumerate(payloads):
+            assert ring.push(
+                KIND_FRAME_CUBE, "sess", i, payload, flags=i % 3
+            )
+            message = ring.pop()
+            assert message is not None
+            assert message.kind == KIND_FRAME_CUBE
+            assert message.session_id == "sess"
+            assert message.frame_id == i
+            assert message.flags == i % 3
+            np.testing.assert_array_equal(message.payload, payload)
+        assert ring.pop() is None
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_full_rejects_then_recovers():
+    ring = ShmRing.create(slots=2, slot_bytes=SLOT_HEADER_BYTES + 64)
+    try:
+        assert ring.push(KIND_POSE, "s", 0, np.zeros(3, np.float64))
+        assert ring.push(KIND_POSE, "s", 1, np.zeros(3, np.float64))
+        assert ring.full
+        assert not ring.push(KIND_POSE, "s", 2, np.zeros(3, np.float64))
+        assert ring.stats()["full_rejects"] == 1
+        assert ring.pop().frame_id == 0
+        assert ring.push(KIND_POSE, "s", 2, np.zeros(3, np.float64))
+        assert [ring.pop().frame_id, ring.pop().frame_id] == [1, 2]
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_cross_attach_sees_payload():
+    ring = ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES + 256)
+    try:
+        other = ShmRing.attach(ring.name)
+        payload = np.linspace(0, 1, 32, dtype=np.float32)
+        ring.push(KIND_FRAME_CUBE, "abc", 9, payload)
+        message = other.pop()
+        assert message.frame_id == 9
+        np.testing.assert_array_equal(message.payload, payload)
+        other.close()
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_validates_layout_and_ids():
+    with pytest.raises(RingLayoutError):
+        ShmRing.create(slots=1, slot_bytes=SLOT_HEADER_BYTES + 8)
+    with pytest.raises(RingLayoutError):
+        ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES)
+    ring = ShmRing.create(slots=2, slot_bytes=SLOT_HEADER_BYTES + 64)
+    try:
+        with pytest.raises(RingLayoutError):
+            ring.push(KIND_POSE, "x" * 33, 0)  # session id too wide
+        with pytest.raises(RingLayoutError):
+            ring.push(
+                KIND_POSE, "s", 0, np.zeros(4, dtype=np.float16)
+            )  # unsupported payload dtype
+        with pytest.raises(RingLayoutError):
+            ring.push(
+                KIND_POSE, "s", 0, np.zeros(1024, dtype=np.float64)
+            )  # payload larger than the slot
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+# ----------------------------------------------------------------------
+# The zero-copy guarantee
+# ----------------------------------------------------------------------
+
+
+def test_ring_payload_lives_in_shared_memory():
+    """peek() maps the payload in place: its data pointer must lie
+    inside the shared segment, not in a private heap copy."""
+    ring = ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES + 1024)
+    try:
+        segment = np.frombuffer(ring._shm.buf, dtype=np.uint8)
+        base = segment.__array_interface__["data"][0]
+        payload = np.arange(64, dtype=np.float32)
+        ring.push(KIND_FRAME_CUBE, "s", 0, payload)
+        message = ring.peek()
+        address = message.payload.__array_interface__["data"][0]
+        assert base <= address < base + ring._shm.size
+        np.testing.assert_array_equal(message.payload, payload)
+        ring.commit()
+        del message, segment
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_ingest_never_pickles(monkeypatch):
+    """Tripwire: pushing/popping array payloads must not touch any
+    pickling entry point (payloads cross as one memcpy)."""
+    from multiprocessing import reduction
+
+    def _bomb(*args, **kwargs):  # pragma: no cover - should never run
+        raise AssertionError("array payload hit a pickle path")
+
+    monkeypatch.setattr(pickle, "dumps", _bomb)
+    monkeypatch.setattr(pickle, "dump", _bomb)
+    # The C-level pickle.Pickler type is immutable; the module-level
+    # entry points plus multiprocessing's ForkingPickler (the route a
+    # pickled IPC payload would actually take) cover the ingest path.
+    monkeypatch.setattr(
+        reduction.ForkingPickler, "dumps", classmethod(_bomb)
+    )
+    ring = ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES + 4096)
+    try:
+        frames = _cube_frames(
+            DspConfig(
+                range_bins=4, doppler_bins=2, azimuth_bins=2,
+                elevation_bins=2,
+            ),
+            3,
+        )
+        for i, frame in enumerate(frames):
+            assert ring.push(KIND_FRAME_CUBE, "s", i, frame)
+            message = ring.pop()
+            np.testing.assert_array_equal(message.payload, frame)
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+# ----------------------------------------------------------------------
+# Gateway end-to-end
+# ----------------------------------------------------------------------
+
+
+def test_gateway_matches_in_process_server(configs):
+    """One worker behind the rings produces bit-comparable poses to the
+    same stack run in process (same seed => same weights)."""
+    from repro.core.regressor import HandJointRegressor
+    from repro.dsp.radar_cube import CubeBuilder
+
+    radar, dsp, model = configs
+    frames = _cube_frames(dsp, 6, seed=3)
+
+    serving = ServingConfig(
+        max_batch_size=8, queue_capacity=32, policy="block"
+    )
+    regressor = HandJointRegressor(dsp, model, seed=7)
+    regressor.eval()
+    from repro.serving import InferenceServer
+
+    reference = InferenceServer(
+        CubeBuilder(radar, dsp), regressor, serving
+    )
+    sid = reference.open_session("client-0")
+    expected = []
+    for frame in frames:
+        reference.submit_cube(sid, frame)
+        expected.extend(reference.step())
+    expected.extend(reference.drain())
+    assert expected  # sanity: the reference produced poses
+
+    with Gateway(
+        radar, dsp, model, _gateway_config(workers=1)
+    ) as gateway:
+        sid = gateway.open_session("client-0")
+        sent, results = _feed_all(gateway, [sid], frames)
+        results.extend(gateway.drain(timeout_s=30))
+
+    assert sent == len(frames)
+    got = {r.frame_index: r.joints for r in results}
+    want = {r.frame_index: r.joints for r in expected}
+    assert got.keys() == want.keys()
+    for frame_index, joints in want.items():
+        np.testing.assert_allclose(
+            got[frame_index], joints, rtol=1e-6, atol=1e-7
+        )
+
+
+def test_gateway_sticky_affinity_and_balance(configs):
+    radar, dsp, model = configs
+    with Gateway(
+        radar, dsp, model, _gateway_config(workers=2)
+    ) as gateway:
+        sids = [gateway.open_session() for _ in range(6)]
+        assignment = gateway.session_to_worker()
+        # Least-loaded admission balances 6 sessions 3/3 across 2 workers.
+        per_worker = [0, 0]
+        for sid in sids:
+            per_worker[assignment[sid]] += 1
+        assert per_worker == [3, 3]
+
+        frames = _cube_frames(dsp, 4, seed=1)
+        _feed_all(gateway, sids, frames)
+        gateway.drain(timeout_s=30)
+        # Affinity is sticky: the assignment never moved.
+        assert gateway.session_to_worker() == assignment
+
+        with pytest.raises(UnknownSessionError):
+            gateway.submit_cube("never-opened", frames[0])
+
+
+def test_gateway_requires_start(configs):
+    radar, dsp, model = configs
+    gateway = Gateway(radar, dsp, model, _gateway_config(workers=1))
+    with pytest.raises(GatewayError):
+        gateway.open_session()
+
+
+def test_gateway_loadgen_accounts_every_frame(configs):
+    """Open-loop load run: every submitted frame is acked and every
+    expected pose arrives; nothing is silently lost."""
+    radar, dsp, model = configs
+    with Gateway(
+        radar, dsp, model, _gateway_config(workers=2)
+    ) as gateway:
+        summary = run_loadgen(
+            gateway,
+            LoadgenConfig(sessions=8, frames_per_session=5, seed=0),
+        )
+    assert summary["frames_sent"] == 8 * 5
+    assert summary["frames_acked"] == summary["frames_sent"]
+    assert summary["lost_clean_frames"] == 0
+    assert summary["dead_letters"] == 0
+    # segment_frames=2 -> (frames - 1) poses per session.
+    assert summary["poses"] == 8 * 4
+    assert summary["sessions_completed"] == 8
+    assert summary["latency_p99_ms"] >= summary["latency_p50_ms"] > 0
+
+
+def test_gateway_merged_health_and_prometheus(configs):
+    radar, dsp, model = configs
+    with Gateway(
+        radar, dsp, model, _gateway_config(workers=2)
+    ) as gateway:
+        sid = gateway.open_session()
+        _feed_all(gateway, [sid], _cube_frames(dsp, 3, seed=2))
+        gateway.drain(timeout_s=30)
+        assert gateway.health() is HealthState.HEALTHY
+        stats = gateway.stats()
+        assert set(stats["workers"]) == {0, 1}
+        assert all(
+            entry["alive"] for entry in stats["workers"].values()
+        )
+        text = gateway.prometheus()
+        assert "gateway_health" in text
+        assert "gateway_worker_alive_w0" in text
+        # Worker-side serving counters surface in the merged exposition.
+        assert "workers_poses" in text
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+
+
+def test_gateway_sigkill_recovery_accounts_all_frames(configs):
+    """SIGKILL a worker mid-stream: the gateway restarts it, replays or
+    dead-letters its in-flight frames, degrades and then recovers."""
+    radar, dsp, model = configs
+    config = _gateway_config(workers=2, heartbeat_timeout_s=2.0)
+    with Gateway(radar, dsp, model, config) as gateway:
+        sids = [gateway.open_session() for _ in range(4)]
+        frames = _cube_frames(dsp, 8, seed=5)
+        results = []
+        sent = 0
+        for frame in frames[:4]:
+            for sid in sids:
+                gateway.submit_cube(sid, frame)
+                sent += 1
+            results.extend(gateway.pump())
+
+        victim = gateway._workers[0]
+        first_generation = victim.generation
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(timeout=10)
+
+        saw_degraded = False
+        for frame in frames[4:]:
+            for sid in sids:
+                for _ in range(500):
+                    try:
+                        gateway.submit_cube(sid, frame)
+                        sent += 1
+                        break
+                    except QueueFullError:
+                        results.extend(gateway.pump())
+                        time.sleep(0.001)
+            results.extend(gateway.pump())
+            saw_degraded = saw_degraded or (
+                gateway.health() is not HealthState.HEALTHY
+            )
+        results.extend(gateway.drain(timeout_s=30))
+
+        stats = gateway.stats()
+        counters = stats["counters"]
+        acked = int(counters["gateway.acks"])
+        dead = int(stats["dead_letters"]["total"])
+
+        # The worker came back under a new generation...
+        assert gateway._workers[0].generation > first_generation
+        assert gateway._workers[0].alive()
+        assert int(counters["gateway.worker_restarts"]) >= 1
+        # ...the kill was visible on the health ladder, then healed...
+        assert saw_degraded
+        assert gateway.health() is HealthState.HEALTHY
+        # ...and every clean frame was either acked or dead-lettered.
+        assert sent == acked + dead
+        # Sessions stayed pinned to the restarted worker index.
+        assert set(gateway.session_to_worker().values()) <= {0, 1}
+        # Poses kept flowing after the crash.
+        assert len(results) > 0
+
+
+def test_gateway_shutdown_releases_shared_memory(configs):
+    radar, dsp, model = configs
+    gateway = Gateway(radar, dsp, model, _gateway_config(workers=1))
+    gateway.start()
+    name = gateway._workers[0].request_ring.name
+    pid = gateway._workers[0].process.pid
+    gateway.shutdown()
+    assert not os.path.exists(f"/dev/shm/{name}")
+    # The worker process is gone too.
+    with pytest.raises((ProcessLookupError, PermissionError)):
+        os.kill(pid, 0)

@@ -267,7 +267,12 @@ def test_prometheus_exposition_format():
 
 
 def test_serving_metrics_shim_reexports():
-    import repro.serving.metrics as shim
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.serving.metrics", None)
+    with pytest.warns(DeprecationWarning):
+        shim = importlib.import_module("repro.serving.metrics")
 
     assert shim.MetricsRegistry is MetricsRegistry
     assert shim.Histogram is Histogram

@@ -16,6 +16,10 @@ Subcommands cover the common workflows end to end:
   implementations and write a ``BENCH_pipeline.json`` summary;
 * ``mmhand export-mesh`` -- reconstruct a mesh from a gesture and write
   OBJ/SVG files;
+* ``mmhand plan export|verify`` -- write / check a portable
+  compiled-plan artifact (folded weights, activation ranges, static
+  memory plans) that servers and gateway workers load instead of
+  retracing the network;
 * ``mmhand trace <cmd> ...`` -- run any other subcommand under the span
   tracer, print a span summary, and export a Chrome trace.
 
@@ -314,6 +318,15 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--shard-threads", type=int, default=0,
                    help="split each compiled micro-batch across N worker "
                         "threads (0: single-threaded)")
+    p.add_argument("--precision", default="float32",
+                   choices=["float32", "float16", "int8"],
+                   help="compiled-plan execution mode (int8 needs a "
+                        "calibrated plan artifact via --plan)")
+    p.add_argument("--plan", dest="plan_path", default=None,
+                   metavar="PREFIX",
+                   help="load a pre-compiled plan artifact "
+                        "(mmhand plan export) instead of tracing the "
+                        "network at startup")
     p.add_argument("--workers", type=int, default=0,
                    help="serve through the multi-process gateway with N "
                         "worker processes and zero-copy shared-memory "
@@ -457,6 +470,37 @@ def _cmd_serve(args) -> int:
 
         load_state(regressor, args.weights)
     regressor.eval()
+    if args.plan_path is not None:
+        from repro.errors import SerializationError
+        from repro.nn.serialization import (
+            attach_plan,
+            load_plan,
+            plan_matches_config,
+        )
+
+        try:
+            compiled, plan_meta = load_plan(
+                args.plan_path, with_meta=True
+            )
+        except SerializationError as error:
+            print(f"plan artifact: {error}", file=sys.stderr)
+            return 1
+        if plan_meta.get("config", {}).get("dsp") and not (
+            plan_matches_config(plan_meta, dsp, regressor.model_config)
+        ):
+            print(
+                f"plan artifact {args.plan_path} was exported for a "
+                "different dsp/model config",
+                file=sys.stderr,
+            )
+            return 1
+        attach_plan(regressor, compiled)
+        get_logger("serve").info(
+            "plan_artifact_loaded",
+            path=args.plan_path,
+            ops=len(compiled.plan.ops),
+            calibrated=bool(compiled.act_ranges),
+        )
 
     if args.shard_threads < 0:
         print("--shard-threads must be >= 0", file=sys.stderr)
@@ -468,6 +512,7 @@ def _cmd_serve(args) -> int:
         enable_cache=not args.no_cache,
         hop_frames=args.hop,
         shard_threads=args.shard_threads,
+        precision=args.precision,
     )
     injector = None
     if args.chaos:
@@ -589,9 +634,11 @@ def _cmd_serve_gateway(args) -> int:
             enable_cache=not args.no_cache,
             hop_frames=args.hop,
             shard_threads=args.shard_threads,
+            precision=args.precision,
         ),
         seed=args.seed,
         weights_path=args.weights,
+        plan_path=args.plan_path,
         chaos_frame_rate=args.chaos_frame_rate if args.chaos else 0.0,
         chaos_forward_rate=(
             args.chaos_forward_rate if args.chaos else 0.0
@@ -783,6 +830,17 @@ def _cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 1
+    quantized = model_summary.get("quantized")
+    if quantized is not None and not quantized["within_budgets"]:
+        print(
+            "quantized execution exceeded its error budgets (float16 "
+            f"{quantized['float16_max_diff_mm']:.3f} mm vs "
+            f"{quantized['float16_budget_mm']:.1f} mm, int8 "
+            f"{quantized['int8_mean_joint_err_mm']:.3f} mm vs "
+            f"{quantized['int8_budget_mm']:.1f} mm)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -826,6 +884,173 @@ def _cmd_export_mesh(args) -> int:
         f"({summary['num_vertices']:.0f} vertices, "
         f"{summary['num_faces']:.0f} faces)"
     )
+    return 0
+
+
+def _add_plan(subparsers) -> None:
+    p = subparsers.add_parser(
+        "plan",
+        help="export / verify portable compiled-plan artifacts "
+             "(folded weights, activation ranges, memory plans)",
+    )
+    plan_sub = p.add_subparsers(dest="plan_command", required=True)
+    export = plan_sub.add_parser(
+        "export",
+        help="compile + calibrate the regressor and write "
+             "<prefix>.json + <prefix>.npz",
+    )
+    export.add_argument(
+        "prefix", help="artifact path prefix (writes <prefix>.json "
+                       "and <prefix>.npz)"
+    )
+    export.add_argument(
+        "--weights", default=None,
+        help="trained weights .npz (random weights if omitted)"
+    )
+    export.add_argument(
+        "--small", action="store_true",
+        help="shrunken smoke configuration (matches bench --smoke)"
+    )
+    export.add_argument(
+        "--calibration-segments", type=int, default=16,
+        help="seeded capture-campaign segments recorded for int8 "
+             "activation ranges (0 skips calibration; int8 then "
+             "refuses to run)"
+    )
+    export.add_argument(
+        "--batch-size", type=int, default=4,
+        help="batch size whose static memory plans are precomputed "
+             "into the artifact"
+    )
+    export.add_argument("--seed", type=int, default=0)
+    verify = plan_sub.add_parser(
+        "verify",
+        help="run an exported artifact against the live eager model "
+             "on a seeded batch; exit 1 on divergence",
+    )
+    verify.add_argument("prefix", help="artifact path prefix")
+    verify.add_argument("--batch", type=int, default=4)
+    verify.add_argument("--tolerance", type=float, default=1e-5)
+    verify.add_argument("--json", dest="json_path", default=None,
+                        help="write the verification report JSON")
+
+
+def _cmd_plan(args) -> int:
+    if args.plan_command == "export":
+        return _cmd_plan_export(args)
+    return _cmd_plan_verify(args)
+
+
+def _cmd_plan_export(args) -> int:
+    from repro.nn.inference import PRECISIONS
+    from repro.nn.serialization import regressor_config_meta, save_plan
+    from repro.core.regressor import HandJointRegressor
+    from repro.perf.model_bench import bench_configs, calibration_segments
+
+    if args.calibration_segments < 0:
+        print("--calibration-segments must be >= 0", file=sys.stderr)
+        return 1
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 1
+    dsp, model = bench_configs(smoke=args.small)
+    regressor = HandJointRegressor(dsp, model, seed=args.seed)
+    if args.weights is not None:
+        from repro.nn.serialization import load_state
+
+        load_state(regressor, args.weights)
+    regressor.eval()
+    compiled = regressor.compiled()
+    if compiled is None:
+        print("model failed to compile; nothing to export",
+              file=sys.stderr)
+        return 1
+    if args.calibration_segments > 0:
+        segments = calibration_segments(
+            dsp, count=args.calibration_segments, seed=args.seed
+        )
+        registers = regressor.calibrate(segments)
+        print(
+            f"calibrated {registers} activation registers on "
+            f"{len(segments)} campaign segments"
+        )
+    # Warm the static memory plans the artifact should carry: one per
+    # (shape, precision) signature at the serving batch size.
+    rng = np.random.default_rng(args.seed)
+    warm = regressor.normalize_inputs(
+        rng.normal(
+            size=(
+                args.batch_size, dsp.segment_frames, dsp.doppler_bins,
+                dsp.range_bins, dsp.angle_bins_total,
+            )
+        ).astype(np.float32)
+    )
+    for precision in PRECISIONS:
+        if precision == "int8" and not compiled.act_ranges:
+            continue
+        compiled.run(warm, precision=precision)
+    json_path, npz_path = save_plan(
+        compiled, args.prefix,
+        config=regressor_config_meta(
+            regressor, seed=args.seed, weights_path=args.weights
+        ),
+    )
+    stats = compiled.stats()
+    print(
+        f"plan: {stats['ops']} ops over {stats['params']} params, "
+        f"{stats['memory_plans']} memory plans "
+        f"(planned {stats['planned_bytes']} B vs arena "
+        f"{stats['arena_bytes']} B), calibrated={stats['calibrated']}"
+    )
+    print(f"artifact -> {json_path} + {npz_path}")
+    return 0
+
+
+def _cmd_plan_verify(args) -> int:
+    import json
+
+    from repro.errors import SerializationError
+    from repro.nn.serialization import verify_plan
+
+    try:
+        report = verify_plan(
+            args.prefix, batch=args.batch, tolerance=args.tolerance
+        )
+    except SerializationError as error:
+        print(f"plan verify failed: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"artifact {report['artifact']}: {report['ops']} ops, "
+        f"{report['memory_plans']} memory plans, config hash "
+        f"{report['config_hash']}"
+    )
+    print(
+        f"float32: max|plan - eager| {report['max_abs_diff']:.2e} "
+        f"(tolerance {report['tolerance']:.0e}, "
+        f"ok: {report['float32_ok']})"
+    )
+    if "float16_max_diff_mm" in report:
+        print(
+            f"float16: max joint diff {report['float16_max_diff_mm']:.3f} "
+            f"mm (budget {report['float16_budget_mm']:.1f} mm, "
+            f"ok: {report['float16_ok']})"
+        )
+        print(
+            f"int8: mean joint error {report['int8_mean_joint_err_mm']:.3f} "
+            f"mm (budget {report['int8_budget_mm']:.1f} mm, "
+            f"ok: {report['int8_ok']})"
+        )
+    else:
+        print("no activation ranges in artifact; quantized modes "
+              "not checked")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(report, fh, indent=2, default=float)
+        print(f"report -> {args.json_path}")
+    if not report["passed"]:
+        print("plan verification FAILED", file=sys.stderr)
+        return 1
+    print("plan verification passed")
     return 0
 
 
@@ -890,6 +1115,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_gateway_bench(subparsers)
     _add_bench(subparsers)
     _add_export_mesh(subparsers)
+    _add_plan(subparsers)
     _add_trace(subparsers)
     return parser
 
@@ -903,6 +1129,7 @@ _COMMANDS = {
     "gateway-bench": _cmd_gateway_bench,
     "bench": _cmd_bench,
     "export-mesh": _cmd_export_mesh,
+    "plan": _cmd_plan,
     "trace": _cmd_trace,
 }
 

@@ -129,7 +129,13 @@ class AttentionResidualBlock(Module):
                     f"{depth_factor} for the hourglass branch"
                 )
 
-        reg = builder.check_shape(reg, check)
+        reg = builder.check_shape(
+            reg, check,
+            spec={
+                "ndim": 4,
+                "div": [[2, depth_factor], [3, depth_factor]],
+            },
+        )
         preserved = builder.conv(reg, self.preserve)
         deep = builder.sequential(builder.sequential(reg, self.down), self.up)
         out = builder.add_relu(preserved, deep)
@@ -259,12 +265,19 @@ class MmSpaceNet(Module):
                     f"st={dsp.segment_frames}, V={dsp.doppler_bins}"
                 )
 
-        reg = builder.reshape(reg, promote)
-        reg = builder.check_shape(reg, check)
+        reg = builder.reshape(reg, promote, spec=("promote4",))
+        reg = builder.check_shape(
+            reg, check,
+            spec={
+                "ndim": 5,
+                "eq": [[1, dsp.segment_frames], [2, dsp.doppler_bins]],
+            },
+        )
         if self.frame_attention is not None:
             reg = builder.module(reg, self.frame_attention)
         reg = builder.reshape(
-            reg, lambda s: (s[0] * s[1], s[2], s[3], s[4])
+            reg, lambda s: (s[0] * s[1], s[2], s[3], s[4]),
+            spec=("merge01",),
         )
         if self.input_velocity_attention is not None:
             reg = builder.module(reg, self.input_velocity_attention)
@@ -274,9 +287,13 @@ class MmSpaceNet(Module):
         reg = builder.sequential(reg, self.blocks)
         reg = builder.sequential(reg, self.head_convs)
         head_features = self._head_features
-        reg = builder.reshape(reg, lambda s: (s[0], head_features))
+        reg = builder.reshape(
+            reg, lambda s: (s[0], head_features),
+            spec=("tail", head_features),
+        )
         reg = builder.linear(reg, self.head_fc, relu=True)
         st, feature_dim = dsp.segment_frames, self.model_config.feature_dim
         return builder.reshape(
-            reg, lambda s: (s[0] // st, st, feature_dim)
+            reg, lambda s: (s[0] // st, st, feature_dim),
+            spec=("split0", st, feature_dim),
         )

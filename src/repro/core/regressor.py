@@ -80,12 +80,14 @@ class HandJointRegressor(Module):
         def promote(shape):
             return (1, *shape) if len(shape) == 4 else shape
 
-        reg = builder.reshape(reg, promote)
+        reg = builder.reshape(reg, promote, spec=("promote4",))
         reg = self.spatial.compile_plan(builder, reg)
         reg = self.temporal.compile_plan(builder, reg)
         reg = builder.sequential(reg, self.head)
         joints = self.model_config.num_joints
-        return builder.reshape(reg, lambda s: (s[0], joints, 3))
+        return builder.reshape(
+            reg, lambda s: (s[0], joints, 3), spec=("tail", joints, 3)
+        )
 
     def compiled(self) -> Optional[CompiledModel]:
         """The cached autograd-free plan for this network (or ``None``).
@@ -146,12 +148,45 @@ class HandJointRegressor(Module):
         return normalised * self.label_std + self.label_mean
 
     # ------------------------------------------------------------------
+    def calibrate(
+        self, segments: np.ndarray, batch_size: int = 64
+    ) -> int:
+        """Record activation ranges for int8 from raw cube segments.
+
+        Normalizes ``segments`` exactly like :meth:`predict` and runs
+        the compiled plan's calibration pass
+        (:meth:`~repro.nn.inference.CompiledModel.calibrate`). Returns
+        the number of registers with recorded ranges. Raises
+        :class:`~repro.errors.InferenceCompileError` if the model
+        cannot be compiled.
+        """
+        plan = self.compiled()
+        if plan is None:
+            raise InferenceCompileError(
+                "cannot calibrate: model failed to compile"
+            )
+        segments = np.asarray(segments, dtype=np.float32)
+        if segments.ndim == 4:
+            segments = segments[None]
+        if segments.ndim != 5 or segments.shape[0] == 0:
+            raise ModelError(
+                f"calibrate expects non-empty (N, st, V, D, A) "
+                f"segments, got {segments.shape}"
+            )
+        batches = (
+            self.normalize_inputs(segments[start:start + batch_size])
+            for start in range(0, len(segments), batch_size)
+        )
+        return len(plan.calibrate(batches))
+
+    # ------------------------------------------------------------------
     def predict(
         self,
         segments: np.ndarray,
         batch_size: int = 64,
         use_compiled: bool = True,
         shards: Optional[int] = None,
+        precision: str = "float32",
     ) -> np.ndarray:
         """Joints in metres for raw cube segments ``(N, st, V, D, A)``.
 
@@ -160,6 +195,10 @@ class HandJointRegressor(Module):
         (:mod:`repro.nn.inference`); ``use_compiled=False`` forces the
         eager forward, and ``shards`` splits each compiled batch across
         that many worker threads (useful for large serving batches).
+        ``precision`` selects the compiled plan's execution mode
+        (``"float32"`` / ``"float16"`` / ``"int8"``; int8 requires a
+        prior :meth:`calibrate`). The eager fallback always runs
+        float32.
         """
         segments = np.asarray(segments, dtype=np.float32)
         if segments.ndim == 4:
@@ -188,7 +227,9 @@ class HandJointRegressor(Module):
                         segments[start : start + batch_size]
                     )
                     if plan is not None:
-                        pred = plan.run(batch, shards=shards)
+                        pred = plan.run(
+                            batch, shards=shards, precision=precision
+                        )
                     else:
                         pred = self.forward(Tensor(batch)).data
                     outputs.append(self.denormalize_labels(pred))

@@ -57,5 +57,7 @@ class TemporalModel(Module):
                     f"got {shape}"
                 )
 
-        reg = builder.check_shape(reg, check)
+        reg = builder.check_shape(
+            reg, check, spec={"ndim": 3, "eq": [[2, feature_dim]]}
+        )
         return builder.lstm(reg, self.lstm)

@@ -81,6 +81,9 @@ class GatewayConfig:
     serving: ServingConfig = field(default_factory=ServingConfig)
     seed: int = 0
     weights_path: Optional[str] = None
+    # Pre-compiled plan artifact (``mmhand plan export``); workers load
+    # it at spawn instead of retracing/refolding the network.
+    plan_path: Optional[str] = None
     # Chaos passthrough (worker-local fault injectors).
     chaos_frame_rate: float = 0.0
     chaos_forward_rate: float = 0.0
@@ -234,6 +237,7 @@ class Gateway:
             serving=replace(self.config.serving),
             seed=self.config.seed,
             weights_path=self.config.weights_path,
+            plan_path=self.config.plan_path,
             chaos_frame_rate=self.config.chaos_frame_rate,
             chaos_forward_rate=self.config.chaos_forward_rate,
             chaos_compile_fail=self.config.chaos_compile_fail,
@@ -722,6 +726,9 @@ class Gateway:
                     "health": handle.last_stats.get("health"),
                     "counters": handle.last_stats.get("counters", {}),
                 }
+                entry["plan_artifact"] = handle.last_stats.get(
+                    "worker", {}
+                ).get("plan_artifact")
             snapshot["workers"][handle.index] = entry
         return snapshot
 

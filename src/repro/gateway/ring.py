@@ -85,6 +85,10 @@ _DTYPE_CODES = {
     np.dtype(np.int32): 5,
     np.dtype(np.int64): 6,
     np.dtype(np.uint8): 7,
+    # Low-precision payload kinds for quantized frames/poses crossing
+    # the gateway (PR 7 mixed-precision engine).
+    np.dtype(np.float16): 8,
+    np.dtype(np.int8): 9,
 }
 _CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
 

@@ -61,6 +61,7 @@ class WorkerConfig:
     serving: ServingConfig = field(default_factory=ServingConfig)
     seed: int = 0
     weights_path: Optional[str] = None
+    plan_path: Optional[str] = None
     heartbeat_interval_s: float = 0.05
     idle_sleep_s: float = 0.0005
     # Chaos knobs (forwarded to a worker-local FaultInjector).
@@ -105,6 +106,34 @@ def _build_server(config: WorkerConfig):
 
         load_state(regressor, config.weights_path)
     regressor.eval()
+    if config.plan_path is not None:
+        # Load the pre-compiled plan artifact instead of tracing and
+        # folding in every worker process: N workers spawn against one
+        # exported plan (folded weights, quant ranges, memory plans).
+        from repro.errors import SerializationError
+        from repro.nn.serialization import (
+            attach_plan,
+            load_plan,
+            plan_matches_config,
+        )
+        from repro.obs.logging import get_logger
+
+        compiled, plan_meta = load_plan(config.plan_path, with_meta=True)
+        if plan_meta.get("config", {}).get("dsp") and not (
+            plan_matches_config(plan_meta, config.dsp, config.model)
+        ):
+            raise SerializationError(
+                f"plan artifact {config.plan_path} was exported for a "
+                "different dsp/model config than this worker's"
+            )
+        attach_plan(regressor, compiled)
+        get_logger("gateway.worker").info(
+            "plan_artifact_loaded",
+            path=config.plan_path,
+            ops=len(compiled.plan.ops),
+            calibrated=bool(compiled.act_ranges),
+            memory_plans=len(compiled._memory_plans),
+        )
     injector = None
     if config.wants_chaos():
         injector = FaultInjector(
@@ -270,6 +299,7 @@ def worker_main(
                     "pid": os.getpid(),
                     "request_ring": request_ring.stats(),
                     "response_ring": response_ring.stats(),
+                    "plan_artifact": config.plan_path,
                 }
                 try:
                     conn.send(("stats", worker_index, stats))

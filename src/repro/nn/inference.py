@@ -12,17 +12,34 @@ the classic serving-side optimisations:
   instead of allocating a fresh array per op;
 * **pre-flattened weights** -- conv kernels are stored as contiguous
   ``(O, C*kh*kw)`` GEMM operands and linear/LSTM weights pre-transposed;
-* **buffer arenas** -- every op reuses per-plan scratch (im2col columns,
-  padded inputs, GEMM outputs) keyed by op id, so steady-state serving
-  with a stable batch shape does near-zero allocation;
+* **static memory planning** -- a probe execution records every scratch
+  request, a liveness pass computes each buffer's ``[first, last]`` op
+  interval, and greedy interval-graph coloring packs the buffers into a
+  small set of reused slabs (:class:`MemoryPlan` / :class:`PlannedArena`),
+  typically a large cut versus the one-buffer-per-request
+  :class:`BufferArena`;
+* **quantized execution modes** -- ``precision="float16"`` rounds GEMM
+  weights and outputs through the float16 grid; ``precision="int8"``
+  runs symmetric per-channel weight quantization with per-tensor
+  activation fake-quant from calibrated ranges
+  (:meth:`CompiledModel.calibrate`), accumulating in float32 in the
+  im2col-GEMM epilogue. Attention ops (sigmoid-gated, numerically
+  touchy) always run float32;
 * **parallel batch sharding** -- :meth:`CompiledModel.run` optionally
-  splits a large fused batch across a thread pool, one buffer arena per
+  splits a large fused batch across a thread pool, one planned arena per
   shard (rows are independent in eval mode, so outputs are unchanged).
 
 Folded weights are memoized against the sum of the source parameters'
 :attr:`~repro.nn.tensor.Tensor.version` counters (bumped by optimizer
 steps and ``load_state_dict``), so a live trainer and a serving plan can
-share one module: the next compiled call after a weight update refolds.
+share one module: the next compiled call after a weight update refolds
+(and drops any cached quantized weight variants).
+
+Plans are also *portable*: every op exposes ``export_state`` /
+``restore`` so :mod:`repro.nn.serialization` can write a compiled plan
+(ops, folded weights, quant ranges, memory plans) to a versioned on-disk
+artifact and rebuild a detached :class:`CompiledModel` in another
+process without retracing or refolding.
 
 Composite modules (the mmSpaceNet residual blocks, the regressor, ...)
 participate by defining ``compile_plan(self, builder, reg) -> reg``;
@@ -34,12 +51,19 @@ the eager forward under :func:`~repro.nn.tensor.no_grad`.
 from __future__ import annotations
 
 import threading
+import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InferenceCompileError, ModelError
+from repro.errors import (
+    InferenceCompileError,
+    ModelError,
+    QuantizationError,
+    SerializationError,
+)
 from repro.nn.attention import (
     FrameAttention,
     SpatialAttention,
@@ -61,6 +85,9 @@ from repro.nn.layers import (
 from repro.nn.rnn import LSTM
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
+
+PRECISIONS = ("float32", "float16", "int8")
+"""Execution modes accepted by :meth:`CompiledModel.run`."""
 
 
 def _sigmoid_inplace(x: np.ndarray) -> np.ndarray:
@@ -105,24 +132,194 @@ class BufferArena:
         return len(self._buffers)
 
 
+class ExecContext:
+    """Execution-time state handed to every op: scratch + precision."""
+
+    __slots__ = ("arena", "precision", "scales")
+
+    def __init__(
+        self,
+        arena,
+        precision: str = "float32",
+        scales: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self.arena = arena
+        self.precision = precision
+        self.scales = scales
+
+
+# ----------------------------------------------------------------------
+# Quantization helpers
+# ----------------------------------------------------------------------
+def _quantize_weight_f16(w: np.ndarray) -> np.ndarray:
+    """Round a weight through the float16 grid (compute stays float32)."""
+    return np.ascontiguousarray(w.astype(np.float16).astype(w.dtype))
+
+
+def _quantize_weight_int8(w: np.ndarray, channel_axis: int) -> np.ndarray:
+    """Symmetric per-channel int8 quantization of a 2-D GEMM weight.
+
+    Returns the *dequantized* float copy (``round(w/s) * s`` clipped to
+    [-127, 127] steps): numpy has no int8 BLAS, so the GEMM itself runs
+    in float32 -- this is the "float32 accumulate" epilogue, with the
+    weight error exactly that of real int8 storage.
+    """
+    reduce_axis = 1 - channel_axis
+    amax = np.max(np.abs(w), axis=reduce_axis, keepdims=True)
+    scale = amax / 127.0
+    scale[scale == 0.0] = 1.0
+    w_q = np.clip(np.rint(w / scale), -127.0, 127.0)
+    return np.ascontiguousarray((w_q * scale).astype(w.dtype))
+
+
+def _fake_quant_input(
+    x: np.ndarray, reg: int, ctx: ExecContext, key: Tuple
+) -> np.ndarray:
+    """Per-tensor symmetric int8 fake-quant of an activation.
+
+    Uses the calibrated absolute-max range for ``reg``; registers the
+    calibration never saw (or saw as all-zero) pass through unquantized.
+    The result lives in an arena scratch buffer under ``key + ("q",)``.
+    """
+    scales = ctx.scales
+    if scales is None:
+        return x
+    amax = scales.get(reg)
+    if amax is None or amax <= 0.0:
+        return x
+    scale = amax / 127.0
+    buf = ctx.arena.get(key + ("q",), x.shape, x.dtype)
+    np.multiply(x, 1.0 / scale, out=buf)
+    np.rint(buf, out=buf)
+    np.clip(buf, -127.0, 127.0, out=buf)
+    buf *= scale
+    return buf
+
+
+def _round_f16_inplace(
+    out: np.ndarray, arena, key: Tuple
+) -> np.ndarray:
+    """Round ``out`` through the float16 grid using an arena temp."""
+    tmp = arena.get(key + ("f16",), out.shape, np.float16)
+    np.copyto(tmp, out)
+    np.copyto(out, tmp)
+    return out
+
+
+def _reshape_fn_from_spec(spec) -> Callable:
+    """Rebuild a reshape's shape function from its declarative spec."""
+    kind, args = spec[0], tuple(spec[1:])
+    if kind == "promote4":
+        return lambda s: (1, *s) if len(s) == 4 else tuple(s)
+    if kind == "merge01":
+        return lambda s: (s[0] * s[1], *s[2:])
+    if kind == "tail":
+        return lambda s: (s[0], *args)
+    if kind == "split0":
+        return lambda s: (s[0] // args[0], *args)
+    raise SerializationError(f"unknown reshape spec {list(spec)!r}")
+
+
+def _check_fn_from_spec(spec: Dict[str, Any]) -> Callable:
+    """Rebuild a shape-check function from its declarative spec."""
+    ndim = spec.get("ndim")
+    eq = [tuple(pair) for pair in spec.get("eq", [])]
+    div = [tuple(pair) for pair in spec.get("div", [])]
+
+    def check(shape: Tuple[int, ...]) -> None:
+        if ndim is not None and len(shape) != ndim:
+            raise ModelError(
+                f"plan expects a rank-{ndim} input, got {shape}"
+            )
+        for axis, want in eq:
+            if shape[axis] != want:
+                raise ModelError(
+                    f"plan expects shape[{axis}] == {want}, got {shape}"
+                )
+        for axis, factor in div:
+            if shape[axis] % factor:
+                raise ModelError(
+                    f"plan expects shape[{axis}] divisible by {factor}, "
+                    f"got {shape}"
+                )
+
+    return check
+
+
 # ----------------------------------------------------------------------
 # Plan ops
 # ----------------------------------------------------------------------
 class PlanOp:
-    """One flat step of a forward plan: read ``src`` regs, write ``dst``."""
+    """One flat step of a forward plan: read ``src`` regs, write ``dst``.
+
+    Ops are *portable*: ``export_state`` emits the scalar attrs named in
+    ``export_attrs`` plus the folded-weight arrays named in
+    ``export_arrays``, and ``restore`` rebuilds a detached op from them.
+    Detached ops hold no live module references, so ``refold`` is a
+    no-op and the op never tracks parameter versions.
+    """
 
     name = "op"
+    export_attrs: Tuple[str, ...] = ()
+    export_arrays: Tuple[str, ...] = ()
 
     def __init__(self, op_id: int, src: int, dst: int) -> None:
         self.op_id = op_id
         self.src = src
         self.dst = dst
+        self._detached = False
+        self._modes: Dict[str, Any] = {}
+
+    def reads(self) -> Tuple[int, ...]:
+        """Registers this op reads (used by the liveness analysis)."""
+        return (self.src,)
 
     def refold(self) -> None:
         """Recompute folded weights from the live source parameters."""
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def run(self, regs: List, ctx: ExecContext) -> None:
         raise NotImplementedError
+
+    # -- portability ----------------------------------------------------
+    def export_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        self._check_exportable()
+        meta: Dict[str, Any] = {
+            "type": self.name,
+            "op_id": self.op_id,
+            "src": self.src,
+            "dst": self.dst,
+        }
+        for attr in self.export_attrs:
+            meta[attr] = getattr(self, attr)
+        arrays = {}
+        for attr in self.export_arrays:
+            val = getattr(self, attr)
+            if val is not None:
+                arrays[attr] = val
+        return meta, arrays
+
+    def _check_exportable(self) -> None:
+        """Hook for ops that need extra state to be serializable."""
+
+    @classmethod
+    def restore(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "PlanOp":
+        op = cls.__new__(cls)
+        op.op_id = int(meta["op_id"])
+        op.src = int(meta["src"])
+        op.dst = int(meta["dst"])
+        op._detached = True
+        op._modes = {}
+        for attr in cls.export_attrs:
+            setattr(op, attr, meta[attr])
+        for attr in cls.export_arrays:
+            setattr(op, attr, arrays.get(attr))
+        op._finish_restore(meta)
+        return op
+
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        """Hook to null module refs / rebuild derived callables."""
 
 
 def _conv_gemm(
@@ -133,16 +330,18 @@ def _conv_gemm(
     kw: int,
     stride: int,
     padding: int,
-    arena: BufferArena,
+    arena,
     key: Tuple,
     relu: bool = False,
     sigmoid: bool = False,
+    f16: bool = False,
 ) -> np.ndarray:
     """Shared conv kernel: pad -> im2col -> GEMM -> epilogue -> NCHW.
 
     Every intermediate lives in the arena under ``key``-derived slots;
     the returned ``(N, O, out_h, out_w)`` array is an arena buffer too
-    (valid until this op runs again in the same arena).
+    (valid until this op runs again in the same arena). ``f16=True``
+    rounds the post-activation GEMM output through the float16 grid.
     """
     n, c, h, w = x.shape
     if padding:
@@ -166,6 +365,8 @@ def _conv_gemm(
         np.maximum(out_flat, 0.0, out=out_flat)
     if sigmoid:
         _sigmoid_inplace(out_flat)
+    if f16:
+        _round_f16_inplace(out_flat, arena, key)
     out = arena.get(key + ("out",), (n, o, out_h, out_w), dtype)
     np.copyto(
         out, out_flat.reshape(o, n, out_h, out_w).transpose(1, 0, 2, 3)
@@ -196,6 +397,8 @@ class ConvOp(PlanOp):
     """Conv2d with pre-flattened weights, folded BN, fused activation."""
 
     name = "conv2d"
+    export_attrs = ("kh", "kw", "stride", "padding", "relu")
+    export_arrays = ("w_flat", "bias_col")
 
     def __init__(
         self,
@@ -211,16 +414,41 @@ class ConvOp(PlanOp):
         self.bn = bn
         self.relu = relu
         self.kh, self.kw = conv.weight.data.shape[2:]
+        self.stride = conv.stride
+        self.padding = conv.padding
         self.refold()
 
     def refold(self) -> None:
+        if self._detached:
+            return
         self.w_flat, self.bias_col = _fold_conv(self.conv, self.bn)
+        self._modes = {}
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.conv = None
+        self.bn = None
+
+    def _weights(self, precision: str) -> np.ndarray:
+        if precision == "float32":
+            return self.w_flat
+        cached = self._modes.get(precision)
+        if cached is None:
+            if precision == "float16":
+                cached = _quantize_weight_f16(self.w_flat)
+            else:
+                cached = _quantize_weight_int8(self.w_flat, channel_axis=0)
+            self._modes[precision] = cached
+        return cached
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
+        x = regs[self.src]
+        key = (self.op_id,)
+        if ctx.precision == "int8":
+            x = _fake_quant_input(x, self.src, ctx, key)
         regs[self.dst] = _conv_gemm(
-            regs[self.src], self.w_flat, self.bias_col, self.kh, self.kw,
-            self.conv.stride, self.conv.padding, arena, (self.op_id,),
-            relu=self.relu,
+            x, self._weights(ctx.precision), self.bias_col, self.kh,
+            self.kw, self.stride, self.padding, ctx.arena, key,
+            relu=self.relu, f16=ctx.precision == "float16",
         )
 
 
@@ -228,16 +456,17 @@ class UpsampleZerosOp(PlanOp):
     """Zero-stuffing upsample (the expand half of ConvTranspose2d)."""
 
     name = "upsample_zeros"
+    export_attrs = ("stride",)
 
     def __init__(self, op_id: int, src: int, dst: int, stride: int) -> None:
         super().__init__(op_id, src, dst)
         self.stride = stride
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
         n, c, h, w = x.shape
         s = self.stride
-        out = arena.get(
+        out = ctx.arena.get(
             (self.op_id, "out"), (n, c, h * s, w * s), x.dtype, zero=True
         )
         out[:, :, ::s, ::s] = x
@@ -248,6 +477,8 @@ class BatchNormOp(PlanOp):
     """Standalone eval-mode BatchNorm2d (only when no conv precedes it)."""
 
     name = "batch_norm2d"
+    export_attrs = ("relu",)
+    export_arrays = ("scale", "shift")
 
     def __init__(
         self, op_id: int, src: int, dst: int, bn: BatchNorm2d,
@@ -259,6 +490,8 @@ class BatchNormOp(PlanOp):
         self.refold()
 
     def refold(self) -> None:
+        if self._detached:
+            return
         bn = self.bn
         inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
         self.scale = (bn.gamma.data * inv_std).reshape(1, -1, 1, 1)
@@ -266,10 +499,13 @@ class BatchNormOp(PlanOp):
             bn.beta.data - bn.running_mean * bn.gamma.data * inv_std
         ).reshape(1, -1, 1, 1)
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.bn = None
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
         dtype = np.result_type(x.dtype, self.scale.dtype)
-        out = arena.get((self.op_id, "out"), x.shape, dtype)
+        out = ctx.arena.get((self.op_id, "out"), x.shape, dtype)
         np.multiply(x, self.scale, out=out)
         out += self.shift
         if self.relu:
@@ -281,14 +517,15 @@ class ActivationOp(PlanOp):
     """Standalone relu / sigmoid / tanh when fusion was not possible."""
 
     name = "activation"
+    export_attrs = ("kind",)
 
     def __init__(self, op_id: int, src: int, dst: int, kind: str) -> None:
         super().__init__(op_id, src, dst)
         self.kind = kind
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
-        out = arena.get((self.op_id, "out"), x.shape, x.dtype)
+        out = ctx.arena.get((self.op_id, "out"), x.shape, x.dtype)
         if self.kind == "relu":
             np.maximum(x, 0.0, out=out)
         elif self.kind == "sigmoid":
@@ -303,14 +540,18 @@ class AddReluOp(PlanOp):
     """``relu(a + b)`` -- the residual merge of the hourglass blocks."""
 
     name = "add_relu"
+    export_attrs = ("other",)
 
     def __init__(self, op_id: int, src: int, other: int, dst: int) -> None:
         super().__init__(op_id, src, dst)
         self.other = other
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def reads(self) -> Tuple[int, ...]:
+        return (self.src, self.other)
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         a, b = regs[self.src], regs[self.other]
-        out = arena.get(
+        out = ctx.arena.get(
             (self.op_id, "out"), a.shape, np.result_type(a.dtype, b.dtype)
         )
         np.add(a, b, out=out)
@@ -322,6 +563,8 @@ class LinearOp(PlanOp):
     """GEMM with pre-transposed weight and fused activation epilogue."""
 
     name = "linear"
+    export_attrs = ("relu",)
+    export_arrays = ("w_t", "bias")
 
     def __init__(
         self, op_id: int, src: int, dst: int, linear: Linear,
@@ -333,62 +576,128 @@ class LinearOp(PlanOp):
         self.refold()
 
     def refold(self) -> None:
+        if self._detached:
+            return
         self.w_t = np.ascontiguousarray(self.linear.weight.data.T)
         self.bias = (
             self.linear.bias.data if self.linear.bias is not None else None
         )
+        self._modes = {}
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.linear = None
+
+    def _weights(self, precision: str) -> np.ndarray:
+        if precision == "float32":
+            return self.w_t
+        cached = self._modes.get(precision)
+        if cached is None:
+            if precision == "float16":
+                cached = _quantize_weight_f16(self.w_t)
+            else:
+                # w_t is (in, out): columns are output channels.
+                cached = _quantize_weight_int8(self.w_t, channel_axis=1)
+            self._modes[precision] = cached
+        return cached
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
-        dtype = np.result_type(x.dtype, self.w_t.dtype)
-        out = arena.get(
-            (self.op_id, "out"), (x.shape[0], self.w_t.shape[1]), dtype
+        key = (self.op_id,)
+        if ctx.precision == "int8":
+            x = _fake_quant_input(x, self.src, ctx, key)
+        w_t = self._weights(ctx.precision)
+        dtype = np.result_type(x.dtype, w_t.dtype)
+        out = ctx.arena.get(
+            key + ("out",), (x.shape[0], w_t.shape[1]), dtype
         )
-        np.matmul(x, self.w_t, out=out)
+        np.matmul(x, w_t, out=out)
         if self.bias is not None:
             out += self.bias
         if self.relu:
             np.maximum(out, 0.0, out=out)
+        if ctx.precision == "float16":
+            _round_f16_inplace(out, ctx.arena, key)
         regs[self.dst] = out
 
 
 class ReshapeOp(PlanOp):
-    """View reshape; ``shape_fn`` maps the input shape to the new one."""
+    """View reshape; ``shape_fn`` maps the input shape to the new one.
+
+    ``spec`` is the declarative form (e.g. ``("merge01",)``) used when
+    the plan is exported; detached restores rebuild ``shape_fn`` from it.
+    """
 
     name = "reshape"
+    export_attrs = ("spec",)
 
     def __init__(
         self, op_id: int, src: int, dst: int,
         shape_fn: Callable[[Tuple[int, ...]], Tuple[int, ...]],
+        spec: Optional[Tuple] = None,
     ) -> None:
         super().__init__(op_id, src, dst)
         self.shape_fn = shape_fn
+        self.spec = tuple(spec) if spec is not None else None
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _check_exportable(self) -> None:
+        if self.spec is None:
+            raise SerializationError(
+                f"reshape op {self.op_id} has no declarative spec and "
+                "cannot be exported"
+            )
+
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.spec = tuple(self.spec)
+        self.shape_fn = _reshape_fn_from_spec(self.spec)
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
         regs[self.dst] = x.reshape(self.shape_fn(x.shape))
 
 
 class CheckShapeOp(PlanOp):
-    """Input validation matching the eager module's error messages."""
+    """Input validation matching the eager module's error messages.
+
+    ``spec`` is the declarative constraint set (``ndim`` / ``eq`` /
+    ``div``) exported with the plan; restored plans validate with a
+    generic message rebuilt from it.
+    """
 
     name = "check_shape"
+    export_attrs = ("spec",)
 
     def __init__(
         self, op_id: int, src: int,
         check_fn: Callable[[Tuple[int, ...]], None],
+        spec: Optional[Dict[str, Any]] = None,
     ) -> None:
         super().__init__(op_id, src, src)
         self.check_fn = check_fn
+        self.spec = spec
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _check_exportable(self) -> None:
+        if self.spec is None:
+            raise SerializationError(
+                f"check_shape op {self.op_id} has no declarative spec "
+                "and cannot be exported"
+            )
+
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.check_fn = _check_fn_from_spec(self.spec)
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         self.check_fn(regs[self.src].shape)
 
 
 class FrameAttentionOp(PlanOp):
-    """Eq. 2-3: per-frame weights from TGAP+TGMP through two tiny convs."""
+    """Eq. 2-3: per-frame weights from TGAP+TGMP through two tiny convs.
+
+    Always runs float32: the sigmoid gate amplifies quantization error
+    multiplicatively across the whole segment.
+    """
 
     name = "frame_attention"
+    export_arrays = ("w1", "b1", "w2", "b2")
 
     def __init__(
         self, op_id: int, src: int, dst: int, module: FrameAttention
@@ -398,31 +707,40 @@ class FrameAttentionOp(PlanOp):
         self.refold()
 
     def refold(self) -> None:
+        if self._detached:
+            return
         self.w1, self.b1 = _fold_conv(self.module.conv1, None)
         self.w2, self.b2 = _fold_conv(self.module.conv2, None)
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.module = None
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
         b, st = x.shape[:2]
         pooled = x.mean(axis=(2, 3, 4)) + x.max(axis=(2, 3, 4))  # (B, st)
         seq = pooled.reshape(b, 1, 1, st)
         hidden = _conv_gemm(
-            seq, self.w1, self.b1, 3, 3, 1, 1, arena,
+            seq, self.w1, self.b1, 3, 3, 1, 1, ctx.arena,
             (self.op_id, "c1"), relu=True,
         )
         weights = _conv_gemm(
-            hidden, self.w2, self.b2, 3, 3, 1, 1, arena,
+            hidden, self.w2, self.b2, 3, 3, 1, 1, ctx.arena,
             (self.op_id, "c2"), sigmoid=True,
         )
-        out = arena.get((self.op_id, "out"), x.shape, x.dtype)
+        out = ctx.arena.get((self.op_id, "out"), x.shape, x.dtype)
         np.multiply(x, weights.reshape(b, st, 1, 1, 1), out=out)
         regs[self.dst] = out
 
 
 class VelocityChannelAttentionOp(PlanOp):
-    """Eq. 4-5: per-channel weights from GAP||GMP through one FC."""
+    """Eq. 4-5: per-channel weights from GAP||GMP through one FC.
+
+    Always runs float32 (see :class:`FrameAttentionOp`).
+    """
 
     name = "velocity_channel_attention"
+    export_arrays = ("w_t", "bias")
 
     def __init__(
         self, op_id: int, src: int, dst: int,
@@ -433,31 +751,41 @@ class VelocityChannelAttentionOp(PlanOp):
         self.refold()
 
     def refold(self) -> None:
+        if self._detached:
+            return
         self.w_t = np.ascontiguousarray(self.module.fc.weight.data.T)
         self.bias = self.module.fc.bias.data
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.module = None
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
         n, c = x.shape[:2]
         dtype = np.result_type(x.dtype, self.w_t.dtype)
-        features = arena.get((self.op_id, "feat"), (n, 2 * c), x.dtype)
+        features = ctx.arena.get((self.op_id, "feat"), (n, 2 * c), x.dtype)
         np.mean(x, axis=(2, 3), out=features[:, :c])
         np.max(x, axis=(2, 3), out=features[:, c:])
-        weights = arena.get(
+        weights = ctx.arena.get(
             (self.op_id, "w"), (n, self.w_t.shape[1]), dtype
         )
         np.matmul(features, self.w_t, out=weights)
         weights += self.bias
         _sigmoid_inplace(weights)
-        out = arena.get((self.op_id, "out"), x.shape, dtype)
+        out = ctx.arena.get((self.op_id, "out"), x.shape, dtype)
         np.multiply(x, weights.reshape(n, c, 1, 1), out=out)
         regs[self.dst] = out
 
 
 class SpatialAttentionOp(PlanOp):
-    """Eq. 6-7: range-angle weights from channel mean/max maps."""
+    """Eq. 6-7: range-angle weights from channel mean/max maps.
+
+    Always runs float32 (see :class:`FrameAttentionOp`).
+    """
 
     name = "spatial_attention"
+    export_attrs = ("kernel", "padding")
+    export_arrays = ("w_flat", "bias_col")
 
     def __init__(
         self, op_id: int, src: int, dst: int, module: SpatialAttention
@@ -467,22 +795,27 @@ class SpatialAttentionOp(PlanOp):
         self.refold()
 
     def refold(self) -> None:
+        if self._detached:
+            return
         self.w_flat, self.bias_col = _fold_conv(self.module.conv, None)
         k = self.module.conv.weight.data.shape[2]
         self.kernel = k
         self.padding = self.module.conv.padding
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.module = None
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
         n, _, d, a = x.shape
-        maps = arena.get((self.op_id, "maps"), (n, 2, d, a), x.dtype)
+        maps = ctx.arena.get((self.op_id, "maps"), (n, 2, d, a), x.dtype)
         np.mean(x, axis=1, out=maps[:, 0])
         np.max(x, axis=1, out=maps[:, 1])
         weights = _conv_gemm(
             maps, self.w_flat, self.bias_col, self.kernel, self.kernel,
-            1, self.padding, arena, (self.op_id, "conv"), sigmoid=True,
+            1, self.padding, ctx.arena, (self.op_id, "conv"), sigmoid=True,
         )
-        out = arena.get(
+        out = ctx.arena.get(
             (self.op_id, "out"), x.shape,
             np.result_type(x.dtype, weights.dtype),
         )
@@ -495,32 +828,60 @@ class LSTMOp(PlanOp):
 
     The input projection for *all* timesteps runs as one GEMM up front
     (``(B*T, in) @ (in, 4H)``); the recurrence then only pays the small
-    ``(B, H) @ (H, 4H)`` GEMM and in-place gate math per step.
+    ``(B, H) @ (H, 4H)`` GEMM and in-place gate math per step. Quantized
+    modes apply to the big input projection only -- the recurrence stays
+    float32 so gate errors do not compound across timesteps.
     """
 
     name = "lstm"
+    export_attrs = ("hidden_size",)
+    export_arrays = ("w_ih_t", "w_hh_t", "bias")
 
     def __init__(
         self, op_id: int, src: int, dst: int, lstm: LSTM
     ) -> None:
         super().__init__(op_id, src, dst)
         self.lstm = lstm
+        self.hidden_size = lstm.hidden_size
         self.refold()
 
     def refold(self) -> None:
+        if self._detached:
+            return
         self.w_ih_t = np.ascontiguousarray(self.lstm.w_ih.data.T)
         self.w_hh_t = np.ascontiguousarray(self.lstm.w_hh.data.T)
         self.bias = self.lstm.bias.data
+        self._modes = {}
 
-    def run(self, regs: List, arena: BufferArena) -> None:
+    def _finish_restore(self, meta: Dict[str, Any]) -> None:
+        self.lstm = None
+        self.hidden_size = int(self.hidden_size)
+
+    def _input_weights(self, precision: str) -> np.ndarray:
+        if precision == "float32":
+            return self.w_ih_t
+        cached = self._modes.get(precision)
+        if cached is None:
+            if precision == "float16":
+                cached = _quantize_weight_f16(self.w_ih_t)
+            else:
+                cached = _quantize_weight_int8(self.w_ih_t, channel_axis=1)
+            self._modes[precision] = cached
+        return cached
+
+    def run(self, regs: List, ctx: ExecContext) -> None:
         x = regs[self.src]
-        b, steps, _ = x.shape
-        h_dim = self.lstm.hidden_size
-        gates_dim = 4 * h_dim
-        dtype = np.result_type(x.dtype, self.w_ih_t.dtype)
         key = (self.op_id,)
+        if ctx.precision == "int8":
+            x = _fake_quant_input(x, self.src, ctx, key)
+        b, steps, _ = x.shape
+        h_dim = self.hidden_size
+        gates_dim = 4 * h_dim
+        w_ih_t = self._input_weights(ctx.precision)
+        dtype = np.result_type(x.dtype, w_ih_t.dtype)
+        arena = ctx.arena
         xw = arena.get(key + ("xw",), (b * steps, gates_dim), dtype)
-        np.matmul(x.reshape(b * steps, -1), self.w_ih_t, out=xw)
+        np.matmul(x.reshape(b * steps, -1), w_ih_t, out=xw)
         xw3 = xw.reshape(b, steps, gates_dim)
         h = arena.get(key + ("h",), (b, h_dim), dtype)
         c = arena.get(key + ("c",), (b, h_dim), dtype)
@@ -544,7 +905,226 @@ class LSTMOp(PlanOp):
             c += tmp
             np.tanh(c, out=tmp)
             np.multiply(o_gate, tmp, out=h)
+        if ctx.precision == "float16":
+            _round_f16_inplace(h, arena, key + ("h",))
         regs[self.dst] = h
+
+
+OP_TYPES: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        ConvOp,
+        UpsampleZerosOp,
+        BatchNormOp,
+        ActivationOp,
+        AddReluOp,
+        LinearOp,
+        ReshapeOp,
+        CheckShapeOp,
+        FrameAttentionOp,
+        VelocityChannelAttentionOp,
+        SpatialAttentionOp,
+        LSTMOp,
+    )
+}
+"""Registry used by :mod:`repro.nn.serialization` to restore plan ops."""
+
+
+# ----------------------------------------------------------------------
+# Static memory planning
+# ----------------------------------------------------------------------
+class _BufRecord:
+    """One scratch request observed during a probe execution."""
+
+    __slots__ = ("key", "shape", "dtype", "zero", "start", "end",
+                 "nbytes", "array")
+
+    def __init__(self, key, shape, dtype, zero, start, array) -> None:
+        self.key = key
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.zero = zero
+        self.start = start
+        self.end = start
+        self.nbytes = array.nbytes
+        self.array = array
+
+
+class _RecordingArena:
+    """Arena stand-in that logs every request during the probe run."""
+
+    def __init__(self) -> None:
+        self.records: List[_BufRecord] = []
+        self.op_index = 0
+
+    def get(
+        self, key: Tuple, shape: Tuple[int, ...], dtype,
+        zero: bool = False,
+    ) -> np.ndarray:
+        arr = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        self.records.append(
+            _BufRecord(key, shape, dtype, zero, self.op_index, arr)
+        )
+        return arr
+
+
+def _root_base(arr: np.ndarray) -> np.ndarray:
+    """Walk the view chain back to the owning allocation."""
+    while isinstance(arr.base, np.ndarray):
+        arr = arr.base
+    return arr
+
+
+class MemoryPlan:
+    """Static buffer assignment for one ``(shape, dtype, precision)``.
+
+    ``slot_sizes`` are the byte sizes of the shared slabs;
+    ``assignments`` maps each arena key to ``(slot, shape, dtype,
+    zero)``. ``arena_bytes`` is what the one-buffer-per-request
+    :class:`BufferArena` would have allocated for the same run, so
+    ``planned_bytes / arena_bytes`` is the packing ratio.
+    """
+
+    def __init__(
+        self,
+        signature: Tuple,
+        slot_sizes: List[int],
+        assignments: Dict[Tuple, Tuple[int, Tuple[int, ...], str, bool]],
+        arena_bytes: int,
+    ) -> None:
+        self.signature = signature
+        self.slot_sizes = slot_sizes
+        self.assignments = assignments
+        self.arena_bytes = arena_bytes
+
+    @property
+    def planned_bytes(self) -> int:
+        return sum(self.slot_sizes)
+
+    def to_meta(self) -> Dict[str, Any]:
+        """JSON-able form for the on-disk plan artifact."""
+        return {
+            "signature": [
+                list(self.signature[0]), self.signature[1],
+                self.signature[2],
+            ],
+            "slot_sizes": list(self.slot_sizes),
+            "arena_bytes": int(self.arena_bytes),
+            "assignments": [
+                {
+                    "key": list(key),
+                    "slot": slot,
+                    "shape": list(shape),
+                    "dtype": dtype,
+                    "zero": zero,
+                }
+                for key, (slot, shape, dtype, zero)
+                in self.assignments.items()
+            ],
+        }
+
+    @classmethod
+    def from_meta(cls, meta: Dict[str, Any]) -> "MemoryPlan":
+        sig = meta["signature"]
+        assignments = {
+            tuple(entry["key"]): (
+                int(entry["slot"]),
+                tuple(entry["shape"]),
+                entry["dtype"],
+                bool(entry["zero"]),
+            )
+            for entry in meta["assignments"]
+        }
+        return cls(
+            (tuple(sig[0]), sig[1], sig[2]),
+            [int(s) for s in meta["slot_sizes"]],
+            assignments,
+            int(meta["arena_bytes"]),
+        )
+
+
+def _color_buffers(
+    records: List[_BufRecord], signature: Tuple
+) -> MemoryPlan:
+    """Greedy interval-graph coloring of buffer lifetimes into slabs.
+
+    Buffers are processed in interval-start order (largest first on
+    ties); each takes the tightest-fitting free slab, or grows the
+    largest free one, or opens a new slab. A slab freed by a buffer last
+    used at op ``end`` becomes reusable at op ``end + 1``, so a buffer
+    read at op ``j`` never shares with one written at op ``j``.
+    """
+    slots: List[List[int]] = []  # [size, free_at]
+    assignments: Dict[Tuple, Tuple[int, Tuple[int, ...], str, bool]] = {}
+    for rec in sorted(records, key=lambda r: (r.start, -r.nbytes)):
+        candidates = [
+            (size, idx) for idx, (size, free_at) in enumerate(slots)
+            if free_at <= rec.start
+        ]
+        fits = [c for c in candidates if c[0] >= rec.nbytes]
+        if fits:
+            idx = min(fits)[1]
+        elif candidates:
+            idx = max(candidates)[1]
+        else:
+            slots.append([0, 0])
+            idx = len(slots) - 1
+        slots[idx][0] = max(slots[idx][0], rec.nbytes)
+        slots[idx][1] = rec.end + 1
+        assignments[rec.key] = (
+            idx, rec.shape, str(rec.dtype), rec.zero
+        )
+    return MemoryPlan(
+        signature,
+        [size for size, _ in slots],
+        assignments,
+        arena_bytes=sum(r.nbytes for r in records),
+    )
+
+
+class PlannedArena:
+    """Executes a :class:`MemoryPlan`: pre-built views over shared slabs.
+
+    ``zero=True`` buffers are re-zeroed on *every* acquisition -- unlike
+    :class:`BufferArena` the underlying slab is shared, so zeros from a
+    previous op do not persist. Requests the plan has never seen (shape
+    drift, new op) fall back to a private :class:`BufferArena` instead
+    of corrupting a slab.
+    """
+
+    def __init__(self, plan: MemoryPlan) -> None:
+        self.plan = plan
+        self._slabs = [
+            np.empty(size, dtype=np.uint8) for size in plan.slot_sizes
+        ]
+        self._views: Dict[Tuple, Tuple[np.ndarray, bool]] = {}
+        for key, (slot, shape, dtype, zero) in plan.assignments.items():
+            view = np.ndarray(shape, dtype=dtype,
+                              buffer=self._slabs[slot])
+            self._views[key] = (view, zero)
+        self._overflow: Optional[BufferArena] = None
+
+    def get(
+        self, key: Tuple, shape: Tuple[int, ...], dtype,
+        zero: bool = False,
+    ) -> np.ndarray:
+        entry = self._views.get(key)
+        if entry is not None:
+            view, planned_zero = entry
+            if view.shape == tuple(shape) and view.dtype == dtype:
+                if zero:
+                    view.fill(0)
+                return view
+        if self._overflow is None:
+            self._overflow = BufferArena()
+        return self._overflow.get(key, shape, dtype, zero)
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(slab.nbytes for slab in self._slabs)
+        if self._overflow is not None:
+            total += self._overflow.nbytes
+        return total
 
 
 # ----------------------------------------------------------------------
@@ -598,11 +1178,15 @@ class PlanBuilder:
     def linear(self, reg: int, linear: Linear, relu: bool = False) -> int:
         return self._emit(lambda i, d: LinearOp(i, reg, d, linear, relu))
 
-    def reshape(self, reg: int, shape_fn) -> int:
-        return self._emit(lambda i, d: ReshapeOp(i, reg, d, shape_fn))
+    def reshape(self, reg: int, shape_fn, spec=None) -> int:
+        return self._emit(
+            lambda i, d: ReshapeOp(i, reg, d, shape_fn, spec=spec)
+        )
 
-    def check_shape(self, reg: int, check_fn) -> int:
-        self.ops.append(CheckShapeOp(len(self.ops), reg, check_fn))
+    def check_shape(self, reg: int, check_fn, spec=None) -> int:
+        self.ops.append(
+            CheckShapeOp(len(self.ops), reg, check_fn, spec=spec)
+        )
         return reg
 
     def lstm(self, reg: int, lstm: LSTM) -> int:
@@ -701,16 +1285,100 @@ class ForwardPlan:
         self.num_regs = num_regs
         self.out_reg = out_reg
 
-    def execute(self, x: np.ndarray, arena: BufferArena) -> np.ndarray:
+    def execute(
+        self, x: np.ndarray, ctx,
+        profile: Optional[Dict[int, float]] = None,
+    ) -> np.ndarray:
+        """Run the op list; ``ctx`` is an :class:`ExecContext` (a bare
+        arena is accepted for backward compatibility). With ``profile``
+        given, per-op wall time accumulates into it keyed by op id."""
+        if not isinstance(ctx, ExecContext):
+            ctx = ExecContext(ctx)
         regs: List[Optional[np.ndarray]] = [None] * self.num_regs
         regs[0] = x
-        for op in self.ops:
-            op.run(regs, arena)
+        if profile is None:
+            for op in self.ops:
+                op.run(regs, ctx)
+        else:
+            for op in self.ops:
+                tic = time.perf_counter()
+                op.run(regs, ctx)
+                profile[op.op_id] = (
+                    profile.get(op.op_id, 0.0)
+                    + time.perf_counter() - tic
+                )
         return regs[self.out_reg]
 
     def refold(self) -> None:
         for op in self.ops:
             op.refold()
+
+    # -- calibration ----------------------------------------------------
+    def record_ranges(
+        self, x: np.ndarray, arena: BufferArena,
+        ranges: Dict[int, float],
+    ) -> np.ndarray:
+        """Float32 execution that records per-register |activation| max.
+
+        The ranges feed the int8 per-tensor activation fake-quant; they
+        are recorded immediately after each op so arena reuse cannot
+        clobber the observed values.
+        """
+        regs: List[Optional[np.ndarray]] = [None] * self.num_regs
+        regs[0] = x
+        ctx = ExecContext(arena)
+        self._observe(ranges, 0, x)
+        for op in self.ops:
+            op.run(regs, ctx)
+            val = regs[op.dst]
+            if isinstance(val, np.ndarray) and val.size:
+                self._observe(ranges, op.dst, val)
+        return regs[self.out_reg]
+
+    @staticmethod
+    def _observe(ranges: Dict[int, float], reg: int, val) -> None:
+        amax = float(np.max(np.abs(val)))
+        if np.isfinite(amax) and amax > ranges.get(reg, 0.0):
+            ranges[reg] = amax
+
+    # -- static memory planning -----------------------------------------
+    def plan_memory(
+        self,
+        x: np.ndarray,
+        precision: str = "float32",
+        scales: Optional[Dict[int, float]] = None,
+    ) -> Tuple[MemoryPlan, np.ndarray]:
+        """Probe-execute once, recording scratch lifetimes, and color.
+
+        A buffer's interval starts at the op that requested it. Scratch
+        dies with its op; buffers that back a register value (found by
+        walking each register's view chain) live until the last op that
+        reads any aliasing register -- the plan output lives past the
+        final op. Returns the memory plan and the probe's output (so
+        the first call per signature does not execute twice).
+        """
+        probe = _RecordingArena()
+        ctx = ExecContext(probe, precision, scales)
+        regs: List[Optional[np.ndarray]] = [None] * self.num_regs
+        regs[0] = x
+        last_use: Dict[int, int] = {}
+        for i, op in enumerate(self.ops):
+            for r in op.reads():
+                last_use[r] = i
+        last_use[self.out_reg] = len(self.ops)
+        for i, op in enumerate(self.ops):
+            probe.op_index = i
+            op.run(regs, ctx)
+        by_id = {id(rec.array): rec for rec in probe.records}
+        for reg, val in enumerate(regs):
+            if not isinstance(val, np.ndarray):
+                continue
+            rec = by_id.get(id(_root_base(val)))
+            if rec is not None:
+                rec.end = max(rec.end, last_use.get(reg, rec.end))
+        signature = (tuple(x.shape), str(x.dtype), precision)
+        plan = _color_buffers(probe.records, signature)
+        return plan, regs[self.out_reg]
 
 
 class CompiledModel:
@@ -719,21 +1387,47 @@ class CompiledModel:
     ``run`` takes and returns plain ndarrays. The folded weights are
     revalidated against the source parameters' version counters on
     every call; a bumped version (optimizer step, ``load_state_dict``)
-    triggers a cheap refold, so training and serving coexist on one
-    module. With ``shards > 1`` the batch is split across a persistent
-    thread pool, one :class:`BufferArena` per shard -- eval-mode rows
-    are independent, so the fused output is unchanged.
+    triggers a cheap refold -- which also drops cached float16/int8
+    weight variants -- so training and serving coexist on one module.
+
+    Execution uses a static memory plan per ``(input shape, dtype,
+    precision)`` signature: the first call probe-executes and colors
+    buffer lifetimes into a few shared slabs; steady-state calls run
+    allocation-free through a :class:`PlannedArena`. With ``shards > 1``
+    the batch is split across a persistent thread pool, one planned
+    arena per shard -- eval-mode rows are independent, so the fused
+    output is unchanged.
+
+    A model restored from an on-disk artifact
+    (:func:`repro.nn.serialization.load_plan`) has ``module=None`` and
+    no live parameters: it never refolds and is safe to run as-is.
     """
 
-    def __init__(self, module: Module, plan: ForwardPlan) -> None:
+    _MAX_MEMORY_PLANS = 16
+    _MAX_PLANNED_ARENAS = 32
+
+    def __init__(self, module: Optional[Module], plan: ForwardPlan) -> None:
         self.module = module
         self.plan = plan
-        self._params = [p for _, p in module.named_parameters()]
+        self._params = (
+            [p for _, p in module.named_parameters()]
+            if module is not None else []
+        )
         self._version = self._param_version()
-        self._arena = BufferArena()
+        self._arena = BufferArena()  # legacy path (use_memory_plan=False)
         self._shard_arenas: List[BufferArena] = []
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
+        self.use_memory_plan = True
+        self.act_ranges: Dict[int, float] = {}
+        self._memory_plans: Dict[Tuple, MemoryPlan] = {}
+        self._planned_arenas: Dict[Tuple, PlannedArena] = {}
+        _LIVE_MODELS.add(self)
+
+    @classmethod
+    def from_plan(cls, plan: ForwardPlan) -> "CompiledModel":
+        """A detached model around a restored plan (no source module)."""
+        return cls(None, plan)
 
     def _param_version(self) -> int:
         return sum(getattr(p, "_version", 0) for p in self._params)
@@ -748,10 +1442,8 @@ class CompiledModel:
                 self._version = version
                 obs_metrics.counter("model.plan.refolds").increment()
 
-    def _shard_slots(self, shards: int):
+    def _shard_slots(self, shards: int) -> ThreadPoolExecutor:
         with self._lock:
-            while len(self._shard_arenas) < shards:
-                self._shard_arenas.append(BufferArena())
             if (
                 self._executor is None
                 or self._executor._max_workers < shards
@@ -762,27 +1454,118 @@ class CompiledModel:
                     max_workers=shards,
                     thread_name_prefix="repro-infer",
                 )
-            return self._executor, self._shard_arenas
+            return self._executor
+
+    def _legacy_arena(self, slot: int) -> BufferArena:
+        if slot == 0:
+            return self._arena
+        with self._lock:
+            while len(self._shard_arenas) < slot:
+                self._shard_arenas.append(BufferArena())
+            return self._shard_arenas[slot - 1]
+
+    def _execute(
+        self, x: np.ndarray, slot: int, precision: str
+    ) -> np.ndarray:
+        scales = self.act_ranges if precision == "int8" else None
+        if not self.use_memory_plan:
+            ctx = ExecContext(self._legacy_arena(slot), precision, scales)
+            return self.plan.execute(x, ctx)
+        sig = (tuple(x.shape), str(x.dtype), precision)
+        mplan = self._memory_plans.get(sig)
+        if mplan is None:
+            mplan, out = self.plan.plan_memory(x, precision, scales)
+            with self._lock:
+                self._memory_plans.setdefault(sig, mplan)
+                while len(self._memory_plans) > self._MAX_MEMORY_PLANS:
+                    oldest = next(iter(self._memory_plans))
+                    if oldest == sig:
+                        break
+                    del self._memory_plans[oldest]
+            return out
+        arena_key = (slot, sig)
+        arena = self._planned_arenas.get(arena_key)
+        if arena is None:
+            arena = PlannedArena(mplan)
+            with self._lock:
+                self._planned_arenas[arena_key] = arena
+                while (
+                    len(self._planned_arenas) > self._MAX_PLANNED_ARENAS
+                ):
+                    oldest = next(iter(self._planned_arenas))
+                    if oldest == arena_key:
+                        break
+                    del self._planned_arenas[oldest]
+        return self.plan.execute(x, ExecContext(arena, precision, scales))
+
+    def seed_memory_plan(self, mplan: MemoryPlan) -> None:
+        """Install a memory plan restored from an artifact."""
+        with self._lock:
+            self._memory_plans.setdefault(mplan.signature, mplan)
+
+    # ------------------------------------------------------------------
+    def calibrate(self, batches) -> Dict[int, float]:
+        """Record per-register activation ranges from ``batches``.
+
+        ``batches`` is an iterable of input arrays (already normalized
+        the way :meth:`run` inputs are). Ranges accumulate across calls,
+        widening only. Returns the updated range table that int8
+        execution will use for per-tensor activation fake-quant.
+        """
+        self._refresh()
+        arena = BufferArena()
+        ranges = dict(self.act_ranges)
+        seen = 0
+        for batch in batches:
+            x = np.asarray(batch, dtype=np.float32)
+            self.plan.record_ranges(x, arena, ranges)
+            seen += 1
+        if not seen:
+            raise QuantizationError(
+                "calibrate() needs at least one input batch"
+            )
+        self.act_ranges = ranges
+        obs_metrics.counter("model.plan.calibrations").increment()
+        return ranges
 
     def run(
-        self, x: np.ndarray, shards: Optional[int] = None
+        self,
+        x: np.ndarray,
+        shards: Optional[int] = None,
+        precision: str = "float32",
     ) -> np.ndarray:
         """Execute the plan on ``x``; returns a fresh output array."""
         x = np.asarray(x)
+        if precision not in PRECISIONS:
+            raise InferenceCompileError(
+                f"unknown precision {precision!r}; expected one of "
+                f"{PRECISIONS}"
+            )
+        if precision == "int8" and not self.act_ranges:
+            raise QuantizationError(
+                "int8 execution requires activation ranges; run "
+                "calibrate() on representative inputs first"
+            )
         self._refresh()
         obs_metrics.counter("model.plan.executes").increment()
+        if precision != "float32":
+            obs_metrics.counter(
+                "model.plan.quantized_executes"
+            ).increment()
         with trace.span(
             "model.forward.compiled", batch=int(x.shape[0]),
             ops=len(self.plan.ops), shards=int(shards or 1),
+            precision=precision,
         ):
             if not shards or shards <= 1 or x.shape[0] < 2 * shards:
-                # The arena buffers (including the output register) are
-                # reused by the next call, so hand back a copy.
-                return self.plan.execute(x, self._arena).copy()
-            executor, arenas = self._shard_slots(shards)
+                # The planned-arena buffers (including the output
+                # register) are reused by the next call, so hand back
+                # a copy.
+                return self._execute(x, 0, precision).copy()
+            executor = self._shard_slots(shards)
             chunks = np.array_split(x, shards)
             futures = [
-                executor.submit(self.plan.execute, chunk, arenas[i])
+                executor.submit(self._execute, chunk, i + 1, precision)
                 for i, chunk in enumerate(chunks)
             ]
             # Concatenate copies the shard outputs out of their arenas.
@@ -790,16 +1573,102 @@ class CompiledModel:
 
     __call__ = run
 
+    def profile(
+        self,
+        x: np.ndarray,
+        precision: str = "float32",
+        repeats: int = 3,
+    ) -> List[Dict[str, Any]]:
+        """Per-op cumulative wall time over ``repeats`` executions.
+
+        Returns rows sorted by total time descending:
+        ``{"op_id", "op", "total_s", "share"}``.
+        """
+        x = np.asarray(x)
+        self._refresh()
+        scales = self.act_ranges if precision == "int8" else None
+        arena = BufferArena()
+        totals: Dict[int, float] = {}
+        ctx = ExecContext(arena, precision, scales)
+        for _ in range(max(1, repeats)):
+            self.plan.execute(x, ctx, profile=totals)
+        names = {op.op_id: op.name for op in self.plan.ops}
+        grand_total = sum(totals.values()) or 1.0
+        rows = [
+            {
+                "op_id": op_id,
+                "op": names.get(op_id, "?"),
+                "total_s": total,
+                "share": total / grand_total,
+            }
+            for op_id, total in totals.items()
+        ]
+        rows.sort(key=lambda row: row["total_s"], reverse=True)
+        return rows
+
+    # ------------------------------------------------------------------
+    def memory_stats(self) -> Dict[str, int]:
+        """Arena-vs-planned byte footprint of the largest signature."""
+        with self._lock:
+            plans = list(self._memory_plans.values())
+        if plans:
+            biggest = max(plans, key=lambda p: p.arena_bytes)
+            return {
+                "arena_bytes": biggest.arena_bytes,
+                "planned_bytes": biggest.planned_bytes,
+                "planned_slots": len(biggest.slot_sizes),
+                "buffers": len(biggest.assignments),
+                "memory_plans": len(plans),
+            }
+        return {
+            "arena_bytes": self._arena.nbytes,
+            "planned_bytes": self._arena.nbytes,
+            "planned_slots": 0,
+            "buffers": len(self._arena),
+            "memory_plans": 0,
+        }
+
     def stats(self) -> Dict[str, Any]:
-        """Plan shape and arena footprint for observability surfaces."""
+        """Plan shape and memory footprint for observability surfaces."""
+        mem = self.memory_stats()
         return {
             "ops": len(self.plan.ops),
             "params": len(self._params),
             "param_version": self._version,
-            "arena_buffers": len(self._arena),
-            "arena_bytes": self._arena.nbytes,
+            "arena_buffers": mem["buffers"],
+            "arena_bytes": mem["arena_bytes"],
+            "planned_bytes": mem["planned_bytes"],
+            "planned_slots": mem["planned_slots"],
+            "memory_plans": mem["memory_plans"],
             "shard_arenas": len(self._shard_arenas),
+            "calibrated": bool(self.act_ranges),
         }
+
+
+_LIVE_MODELS: "weakref.WeakSet[CompiledModel]" = weakref.WeakSet()
+
+
+def publish_plan_memory_metrics(registry) -> None:
+    """Collector publishing plan memory gauges to ``registry``.
+
+    Sums the arena-equivalent and planned byte footprints over every
+    live :class:`CompiledModel` in the process, so Prometheus exposition
+    shows plan memory alongside plan-cache stats. Designed for
+    :meth:`repro.obs.metrics.MetricsRegistry.register_collector`.
+    """
+    arena_bytes = 0
+    planned_bytes = 0
+    for model in list(_LIVE_MODELS):
+        mem = model.memory_stats()
+        arena_bytes += mem["arena_bytes"]
+        planned_bytes += mem["planned_bytes"]
+    registry.gauge("model.plan.arena_bytes").set(arena_bytes)
+    registry.gauge("model.plan.planned_bytes").set(planned_bytes)
+
+
+# The global registry always sees plan memory; private registries (e.g.
+# one per InferenceServer) opt in with the same collector.
+obs_metrics.get_registry().register_collector(publish_plan_memory_metrics)
 
 
 def compile_model(module: Module) -> CompiledModel:

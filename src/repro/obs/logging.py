@@ -187,7 +187,15 @@ class StructuredLogger:
             )
         stream = _CONFIG.stream if _CONFIG.stream is not None else sys.stderr
         with self._lock:
-            stream.write(line + "\n")
+            try:
+                stream.write(line + "\n")
+            except ValueError:
+                # The configured stream was closed out from under us
+                # (e.g. a redirected stdout torn down after `configure`).
+                # Logging must never take the process down: drop back to
+                # the live stderr and unpin the dead stream.
+                _CONFIG.stream = None
+                sys.stderr.write(line + "\n")
         return line
 
 

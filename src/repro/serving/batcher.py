@@ -111,6 +111,7 @@ class MicroBatcher:
         dead_letters: Optional[DeadLetterLog] = None,
         retry: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
+        precision: str = "float32",
     ) -> None:
         if max_batch_size < 1:
             raise ServingError("max_batch_size must be >= 1")
@@ -121,6 +122,11 @@ class MicroBatcher:
         self.cache = cache
         self.metrics = metrics
         self.shards = shards or None
+        # Compiled-plan execution mode; the eager fallback in the
+        # degradation ladder always runs float32 (an uncalibrated int8
+        # request raises QuantizationError, a subclass of
+        # InferenceCompileError, and degrades like a compile failure).
+        self.precision = precision
         self.breaker = breaker
         self.dead_letters = dead_letters
         self.retry = (
@@ -178,14 +184,17 @@ class MicroBatcher:
             self.fault_injector.maybe_delay_forward()
             self.fault_injector.maybe_fail_forward()
         if self.breaker is None:
-            return self.regressor.predict(stacked, shards=self.shards)
+            return self.regressor.predict(
+                stacked, shards=self.shards, precision=self.precision
+            )
         if self.breaker.allow():
             reason = None
             try:
                 if self.fault_injector is not None:
                     self.fault_injector.maybe_fail_compile()
                 out = self.regressor.predict(
-                    stacked, use_compiled=True, shards=self.shards
+                    stacked, use_compiled=True, shards=self.shards,
+                    precision=self.precision,
                 )
                 if np.all(np.isfinite(out)):
                     self.breaker.record_success()

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.regressor import HandJointRegressor
 from repro.dsp.plans import PLAN_CACHE, publish_plan_cache_metrics
+from repro.nn.inference import PRECISIONS, publish_plan_memory_metrics
 from repro.dsp.radar_cube import CubeBuilder
 from repro.errors import (
     FrameShapeError,
@@ -65,6 +66,7 @@ class ServingConfig:
     hop_frames: int = 1
     max_sessions: int = 1024
     shard_threads: int = 0
+    precision: str = "float32"
     strict_frames: bool = False
     breaker_failure_threshold: int = 3
     breaker_reset_s: float = 30.0
@@ -83,6 +85,11 @@ class ServingConfig:
             raise ServingError("hop_frames must be >= 1")
         if self.shard_threads < 0:
             raise ServingError("shard_threads must be >= 0")
+        if self.precision not in PRECISIONS:
+            raise ServingError(
+                f"precision must be one of {PRECISIONS}, got "
+                f"{self.precision!r}"
+            )
         if self.breaker_failure_threshold < 1:
             raise ServingError("breaker_failure_threshold must be >= 1")
         if self.dead_letter_capacity < 1:
@@ -114,6 +121,9 @@ class InferenceServer:
         # its hit/miss/entry counts into this server's registry at every
         # snapshot so stats() and prometheus() agree with PLAN_CACHE.
         self.metrics.register_collector(publish_plan_cache_metrics)
+        # Same for compiled-plan memory: arena-equivalent vs planned
+        # bytes of every live CompiledModel in this process.
+        self.metrics.register_collector(publish_plan_memory_metrics)
         # Aggregate health is derived state: refresh the gauge whenever
         # the registry is snapshotted or scraped.
         self.metrics.register_collector(self._publish_health)
@@ -146,6 +156,7 @@ class InferenceServer:
             breaker=self.breaker,
             dead_letters=self.dead_letters,
             fault_injector=fault_injector,
+            precision=self.config.precision,
         )
         self._sessions: Dict[str, Session] = {}
         # (session_id, frame_index) pairs of the most recent step()'s

@@ -166,7 +166,7 @@ def test_ring_validates_layout_and_ids():
             ring.push(KIND_POSE, "x" * 33, 0)  # session id too wide
         with pytest.raises(RingLayoutError):
             ring.push(
-                KIND_POSE, "s", 0, np.zeros(4, dtype=np.float16)
+                KIND_POSE, "s", 0, np.zeros(4, dtype=np.uint16)
             )  # unsupported payload dtype
         with pytest.raises(RingLayoutError):
             ring.push(
@@ -404,6 +404,10 @@ def test_gateway_sigkill_recovery_accounts_all_frames(configs):
         counters = stats["counters"]
         acked = int(counters["gateway.acks"])
         dead = int(stats["dead_letters"]["total"])
+        # Frames acked as enqueued whose worker died before serving them
+        # are counted in BOTH acks and dead letters; the crash counter
+        # tracks exactly that overlap.
+        crash_acked = int(counters.get("gateway.crash_dead_letters", 0))
 
         # The worker came back under a new generation...
         assert gateway._workers[0].generation > first_generation
@@ -413,7 +417,7 @@ def test_gateway_sigkill_recovery_accounts_all_frames(configs):
         assert saw_degraded
         assert gateway.health() is HealthState.HEALTHY
         # ...and every clean frame was either acked or dead-lettered.
-        assert sent == acked + dead
+        assert sent == acked + dead - crash_acked
         # Sessions stayed pinned to the restarted worker index.
         assert set(gateway.session_to_worker().values()) <= {0, 1}
         # Poses kept flowing after the crash.
@@ -431,3 +435,122 @@ def test_gateway_shutdown_releases_shared_memory(configs):
     # The worker process is gone too.
     with pytest.raises((ProcessLookupError, PermissionError)):
         os.kill(pid, 0)
+
+
+def test_ring_quantized_dtype_roundtrip():
+    """float16 and int8 payloads survive the shared-memory ring."""
+    ring = ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES + 512)
+    try:
+        payloads = [
+            (np.linspace(-2, 2, 24).astype(np.float16).reshape(4, 6)),
+            (np.arange(-12, 12, dtype=np.int8).reshape(2, 12)),
+        ]
+        for i, payload in enumerate(payloads):
+            assert ring.push(KIND_FRAME_CUBE, "q", i, payload)
+            message = ring.pop()
+            assert message.payload.dtype == payload.dtype
+            np.testing.assert_array_equal(message.payload, payload)
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_gateway_workers_load_plan_artifact(configs, tmp_path):
+    """Workers spawned with ``plan_path`` serve from the artifact (no
+    per-worker trace/fold) and still match the in-process reference."""
+    from repro.core.regressor import HandJointRegressor
+    from repro.dsp.radar_cube import CubeBuilder
+    from repro.nn.serialization import regressor_config_meta, save_plan
+    from repro.serving import InferenceServer
+
+    radar, dsp, model = configs
+    frames = _cube_frames(dsp, 6, seed=3)
+    serving = ServingConfig(
+        max_batch_size=8, queue_capacity=32, policy="block"
+    )
+
+    # Export an artifact from the exact stack the workers will build
+    # (same seed => same weights).
+    exporter = HandJointRegressor(dsp, model, seed=7)
+    exporter.eval()
+    rng = np.random.default_rng(0)
+    calib = rng.normal(
+        size=(4, dsp.segment_frames, dsp.doppler_bins, dsp.range_bins,
+              dsp.angle_bins_total)
+    ).astype(np.float32)
+    exporter.calibrate(calib)
+    prefix = str(tmp_path / "worker-plan")
+    save_plan(
+        exporter.compiled(), prefix,
+        config=regressor_config_meta(exporter, seed=7),
+    )
+
+    reference = InferenceServer(
+        CubeBuilder(radar, dsp),
+        exporter,
+        serving,
+    )
+    sid = reference.open_session("client-0")
+    expected = []
+    for frame in frames:
+        reference.submit_cube(sid, frame)
+        expected.extend(reference.step())
+    expected.extend(reference.drain())
+    assert expected
+
+    with Gateway(
+        radar, dsp, model,
+        _gateway_config(workers=1, plan_path=prefix),
+    ) as gateway:
+        sid = gateway.open_session("client-0")
+        sent, results = _feed_all(gateway, [sid], frames)
+        results.extend(gateway.drain(timeout_s=30))
+        stats = gateway.stats()
+
+    assert sent == len(frames)
+    assert stats["workers"][0]["plan_artifact"] == prefix
+    got = {r.frame_index: r.joints for r in results}
+    want = {r.frame_index: r.joints for r in expected}
+    assert got.keys() == want.keys()
+    for frame_index, joints in want.items():
+        np.testing.assert_allclose(
+            got[frame_index], joints, rtol=1e-6, atol=1e-7
+        )
+
+
+def test_gateway_rejects_mismatched_plan_artifact(configs, tmp_path):
+    """A worker given an artifact from a different model config dies at
+    spawn rather than serving wrong poses."""
+    import dataclasses
+
+    from repro.core.regressor import HandJointRegressor
+    from repro.nn.serialization import regressor_config_meta, save_plan
+
+    radar, dsp, model = configs
+    other_model = dataclasses.replace(model, lstm_hidden=32)
+    exporter = HandJointRegressor(dsp, other_model, seed=7)
+    exporter.eval()
+    prefix = str(tmp_path / "mismatched-plan")
+    save_plan(
+        exporter.compiled(), prefix,
+        config=regressor_config_meta(exporter, seed=7),
+    )
+
+    from repro.errors import WorkerCrashedError
+
+    gateway = Gateway(
+        radar, dsp, model,
+        _gateway_config(workers=1, max_restarts=0, plan_path=prefix),
+    )
+    try:
+        with pytest.raises(WorkerCrashedError):
+            gateway.start()
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                # Polling notices the dead worker; with a zero restart
+                # budget the crash surfaces as WorkerCrashedError.
+                gateway.stats()
+                time.sleep(0.05)
+            pytest.fail("worker kept running with a mismatched plan")
+    finally:
+        gateway.shutdown()

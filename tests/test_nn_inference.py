@@ -243,3 +243,36 @@ def test_single_segment_promotion_matches_batched(
     batched = plan.run(x)
     promoted = plan.run(x[0])  # (st, V, D, A) promoted to batch of one
     assert np.array_equal(batched, promoted)
+
+
+def test_memory_plan_shrinks_arena(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp, batch=3)
+    plan = regressor.compiled()
+    plan.run(x)
+    stats = plan.stats()
+    assert stats["memory_plans"] >= 1
+    assert 0 < stats["planned_bytes"] < stats["arena_bytes"]
+
+
+def test_memory_plan_execution_is_deterministic(
+    regressor, small_dsp, rng
+):
+    # Slot sharing must never let one op read another's stale bytes:
+    # re-running the planned arena bit-for-bit reproduces the output.
+    x = _segments(rng, small_dsp, batch=2)
+    plan = regressor.compiled()
+    first = plan.run(x).copy()
+    for _ in range(3):
+        assert np.array_equal(plan.run(x), first)
+
+
+def test_profile_reports_per_op_timings(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp, batch=2)
+    plan = regressor.compiled()
+    rows = plan.profile(regressor.normalize_inputs(x))
+    assert rows and len(rows) == len(plan.plan.ops)
+    assert all(row["total_s"] >= 0.0 for row in rows)
+    # Sorted descending by time, shares sum to ~1.
+    totals = [row["total_s"] for row in rows]
+    assert totals == sorted(totals, reverse=True)
+    assert abs(sum(row["share"] for row in rows) - 1.0) < 1e-6

@@ -1,0 +1,220 @@
+"""Quantized execution modes of the compiled inference engine.
+
+Covers the calibration pass, the float16 / int8 accuracy budgets, the
+uncalibrated-int8 failure mode (and its degradation through the serving
+breaker), and folded-weight invalidation: any weight mutation --
+optimizer steps from all three optimizers, ``load_state_dict``, a raw
+``bump_version`` -- must force a refold that also drops the cached
+quantized weight variants before the next compiled execute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.regressor import HandJointRegressor
+from repro.errors import (
+    InferenceCompileError,
+    ModelError,
+    QuantizationError,
+)
+from repro.nn.optim import SGD, Adam, RMSProp
+from repro.nn.tensor import Tensor
+
+FLOAT16_BUDGET_MM = 1.0
+INT8_BUDGET_MM = 5.0
+
+
+@pytest.fixture
+def regressor(small_dsp, small_model):
+    return HandJointRegressor(small_dsp, small_model, seed=3)
+
+
+def _segments(rng, dsp, batch=4):
+    return rng.normal(
+        size=(
+            batch, dsp.segment_frames, dsp.doppler_bins,
+            dsp.range_bins, dsp.angle_bins_total,
+        )
+    ).astype(np.float32)
+
+
+def _int8_weight_snapshots(plan):
+    """Copies of every op's cached int8 weight variant (op_id keyed)."""
+    return {
+        op.op_id: np.array(op._modes["int8"], copy=True)
+        for op in plan.plan.ops
+        if "int8" in getattr(op, "_modes", {})
+    }
+
+
+# -- calibration ------------------------------------------------------
+def test_calibrate_records_ranges(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp)
+    registers = regressor.calibrate(x)
+    assert registers > 0
+    plan = regressor.compiled()
+    assert plan.act_ranges
+    assert plan.stats()["calibrated"] is True
+
+
+def test_calibrate_rejects_empty_input(regressor, small_dsp):
+    with pytest.raises(ModelError):
+        regressor.calibrate(
+            np.empty(
+                (0, small_dsp.segment_frames, small_dsp.doppler_bins,
+                 small_dsp.range_bins, small_dsp.angle_bins_total),
+                dtype=np.float32,
+            )
+        )
+    with pytest.raises(QuantizationError):
+        regressor.compiled().calibrate(iter(()))
+
+
+# -- accuracy budgets -------------------------------------------------
+def test_float16_within_budget_of_float32(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp)
+    f32 = regressor.predict(x)
+    f16 = regressor.predict(x, precision="float16")
+    assert float(np.abs(f16 - f32).max()) * 1e3 <= FLOAT16_BUDGET_MM
+
+
+def test_int8_within_budget_after_calibration(
+    regressor, small_dsp, rng
+):
+    x = _segments(rng, small_dsp, batch=6)
+    regressor.calibrate(x)
+    eager = regressor.predict(x, use_compiled=False)
+    int8 = regressor.predict(x, precision="int8")
+    err_mm = float(
+        np.mean(np.linalg.norm(int8 - eager, axis=-1))
+    ) * 1e3
+    assert err_mm <= INT8_BUDGET_MM
+
+
+def test_int8_without_calibration_raises(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp, batch=2)
+    with pytest.raises(QuantizationError):
+        regressor.predict(x, precision="int8")
+
+
+def test_unknown_precision_rejected(regressor, small_dsp, rng):
+    x = _segments(rng, small_dsp, batch=2)
+    with pytest.raises(InferenceCompileError):
+        regressor.predict(x, precision="bfloat16")
+
+
+def test_quantization_error_is_compile_error():
+    # The serving breaker catches InferenceCompileError; the subclass
+    # relationship is what routes uncalibrated int8 to the eager path.
+    assert issubclass(QuantizationError, InferenceCompileError)
+
+
+def test_batcher_degrades_uncalibrated_int8_to_eager(
+    regressor, small_dsp, rng
+):
+    from repro.resilience import CircuitBreaker
+    from repro.serving.batcher import MicroBatcher
+    from repro.serving.session import SegmentRequest
+
+    batcher = MicroBatcher(
+        regressor, max_batch_size=4,
+        breaker=CircuitBreaker(failure_threshold=1),
+        precision="int8",
+    )
+    x = _segments(rng, small_dsp, batch=2)
+    requests = [
+        SegmentRequest(session_id="s", frame_index=i, segment=x[i])
+        for i in range(2)
+    ]
+    results = batcher.run(requests)
+    assert len(results) == 2
+    eager = regressor.predict(x, use_compiled=False)
+    for i, result in enumerate(results):
+        assert np.allclose(result.joints, eager[i], atol=1e-5)
+
+
+# -- folded-weight invalidation (satellite: all three optimizers) -----
+def _backward_once(regressor, x):
+    loss = (
+        regressor.forward(Tensor(regressor.normalize_inputs(x)))
+        * Tensor(np.float32(1.0))
+    ).sum()
+    loss.backward()
+
+
+@pytest.mark.parametrize("opt_cls", [SGD, Adam, RMSProp])
+def test_optimizer_step_invalidates_quantized_weights(
+    opt_cls, regressor, small_dsp, rng
+):
+    x = _segments(rng, small_dsp, batch=3)
+    regressor.calibrate(x)
+    plan = regressor.compiled()
+    regressor.predict(x, precision="int8")  # populate quantized caches
+    before = _int8_weight_snapshots(plan)
+    assert before  # the engine actually caches int8 variants
+
+    opt = opt_cls(regressor.parameters(), lr=5e-2)
+    _backward_once(regressor, x)
+    opt.step()
+
+    # The next compiled execute must refold and re-derive the
+    # quantized variants from the new weights.
+    eager_after = regressor.predict(x, use_compiled=False)
+    compiled_after = regressor.predict(x)
+    assert float(np.abs(compiled_after - eager_after).max()) <= 1e-5
+    regressor.predict(x, precision="int8")
+    after = _int8_weight_snapshots(plan)
+    assert set(after) == set(before)
+    assert any(
+        not np.array_equal(after[op_id], before[op_id])
+        for op_id in after
+    )
+
+
+def test_bump_version_invalidates_quantized_weights(
+    regressor, small_dsp, rng
+):
+    x = _segments(rng, small_dsp, batch=2)
+    regressor.calibrate(x)
+    plan = regressor.compiled()
+    regressor.predict(x, precision="int8")
+    before = _int8_weight_snapshots(plan)
+
+    # Scale every parameter: bump_version alone (no optimizer, no
+    # load_state_dict) must still invalidate the folded + quantized
+    # weights of every op on the next compiled execute.
+    for param in regressor.parameters():
+        param.data = param.data * np.float32(1.05)
+        param.bump_version()
+
+    eager_after = regressor.predict(x, use_compiled=False)
+    compiled_after = regressor.predict(x)
+    assert float(np.abs(compiled_after - eager_after).max()) <= 1e-5
+    regressor.predict(x, precision="int8")
+    after = _int8_weight_snapshots(plan)
+    assert any(
+        not np.array_equal(after[op_id], before[op_id])
+        for op_id in after
+    )
+
+
+def test_load_state_dict_invalidates_quantized_weights(
+    small_dsp, small_model, rng
+):
+    a = HandJointRegressor(small_dsp, small_model, seed=1)
+    b = HandJointRegressor(small_dsp, small_model, seed=2)
+    x = _segments(rng, small_dsp, batch=3)
+    b.calibrate(x)
+    plan_b = b.compiled()
+    b.predict(x, precision="int8")
+    before = _int8_weight_snapshots(plan_b)
+
+    b.load_state_dict(a.state_dict())
+
+    assert np.allclose(b.predict(x), a.predict(x), atol=1e-6)
+    b.predict(x, precision="int8")
+    after = _int8_weight_snapshots(plan_b)
+    assert any(
+        not np.array_equal(after[op_id], before[op_id])
+        for op_id in after
+    )

@@ -21,11 +21,24 @@ Subcommands cover the common workflows end to end:
   memory plans) that servers and gateway workers load instead of
   retracing the network;
 * ``mmhand trace <cmd> ...`` -- run any other subcommand under the span
-  tracer, print a span summary, and export a Chrome trace.
+  tracer, print a span summary, and export a Chrome trace;
+* ``mmhand profile <cmd> ...`` -- run any other subcommand under the
+  sampling profiler, print the hot frames, and write a folded-stack
+  profile;
+* ``mmhand gateway-trace`` -- smoke-run the gateway with distributed
+  tracing on and export ONE merged Chrome trace whose worker-side
+  spans are parented, across the process boundary, to their
+  dispatcher-side submit spans;
+* ``mmhand bench-compare FRESH COMMITTED`` -- regression guard that
+  compares a fresh benchmark JSON against the committed baseline on
+  machine-portable ratio/invariant checks.
 
 ``serve``, ``train`` and ``bench`` additionally accept ``--trace-out``
-(Chrome trace-event JSON of the run) and ``--metrics-json`` (metrics
-registry snapshot). Every command is deterministic given ``--seed``.
+(Chrome trace-event JSON of the run; ``serve --workers N`` writes the
+pool-merged trace), ``--metrics-json`` (metrics registry snapshot) and
+``--profile-out`` (folded-stack sampling profile; the gateway path
+merges every worker's samples under per-process lanes). Every command
+is deterministic given ``--seed``.
 """
 
 from __future__ import annotations
@@ -49,6 +62,18 @@ def _add_obs_flags(p) -> None:
         metavar="PATH",
         help="write a metrics-registry snapshot JSON of this run",
     )
+    p.add_argument(
+        "--profile-out", dest="profile_out", default=None,
+        metavar="PATH",
+        help="sample this run's call stacks and write a folded-stack "
+             "profile (flamegraph.pl / speedscope input); gateway runs "
+             "merge worker-process samples into per-lane stacks",
+    )
+    p.add_argument(
+        "--profile-hz", dest="profile_hz", type=float, default=None,
+        metavar="HZ",
+        help="sampling rate for --profile-out (default 97 Hz)",
+    )
 
 
 def _export_observability(args, registry=None) -> None:
@@ -69,6 +94,19 @@ def _export_observability(args, registry=None) -> None:
         with open(args.metrics_json, "w") as fh:
             json.dump(target.snapshot(), fh, indent=2, default=float)
         print(f"metrics -> {args.metrics_json}")
+
+
+def _write_profile(path, profile, overhead=None) -> None:
+    """Write a profile dict as folded stacks and print a summary."""
+    from repro.obs.profiler import folded_from_dict
+
+    folded = folded_from_dict(profile)
+    with open(path, "w") as fh:
+        fh.write(folded + ("\n" if folded else ""))
+    line = f"profile -> {path} ({profile.get('samples', 0)} samples"
+    if overhead is not None:
+        line += f", overhead {overhead:.2%}"
+    print(line + ")")
 
 
 def _add_generate(subparsers) -> None:
@@ -625,8 +663,20 @@ def _cmd_serve_gateway(args) -> int:
     configure(stream=sys.stdout)
     radar = RadarConfig()
     dsp = DspConfig()
+    # Trace/profile exports are pool-wide merges here, not the single-
+    # process exports the generic obs hooks would write: claim the
+    # paths up front so those hooks skip them.
+    trace_out, args.trace_out = args.trace_out, None
+    profile_out, args.profile_out = args.profile_out, None
+    if profile_out:
+        from repro.obs.profiler import DEFAULT_HZ
+
+        profile_hz = args.profile_hz or DEFAULT_HZ
+    else:
+        profile_hz = 0.0
     config = GatewayConfig(
         workers=args.workers,
+        profile_hz=profile_hz,
         serving=ServingConfig(
             max_batch_size=args.batch_size,
             queue_capacity=args.queue_capacity,
@@ -701,6 +751,19 @@ def _cmd_serve_gateway(args) -> int:
         with open(args.json_path, "w") as fh:
             json.dump(stats, fh, indent=2, default=float)
         print(f"stats -> {args.json_path}")
+    if trace_out:
+        # ONE merged Chrome trace: dispatcher + every worker process in
+        # its own lane, worker forwards parented to dispatcher submits.
+        path = gateway.export_chrome(trace_out)
+        spans = len(gateway.trace_records())
+        print(f"trace -> {path} ({spans} spans, merged across pool)")
+    if profile_out:
+        profiler = getattr(args, "profiler", None)
+        extra = (
+            {"dispatcher": profiler.to_dict()}
+            if profiler is not None else None
+        )
+        _write_profile(profile_out, gateway.merged_profile(extra=extra))
     _export_observability(args)
     return 0
 
@@ -1071,6 +1134,8 @@ def _cmd_trace(args) -> int:
     from repro.obs import trace as obs_trace
 
     rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
     if not rest:
         print("trace: missing command to run", file=sys.stderr)
         return 1
@@ -1101,6 +1166,228 @@ def _cmd_trace(args) -> int:
     return code
 
 
+def _add_profile(subparsers) -> None:
+    p = subparsers.add_parser(
+        "profile",
+        help="run another mmhand command under the sampling profiler, "
+             "print the hot frames, and write a folded-stack profile",
+    )
+    p.add_argument(
+        "--hz", type=float, default=None, metavar="HZ",
+        help="sampling rate (default 97 Hz)",
+    )
+    p.add_argument(
+        "--out", default="PROFILE.folded", metavar="PATH",
+        help="folded-stack output path (default: PROFILE.folded)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="hot leaf frames to print (default: 10)",
+    )
+    p.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="command",
+        help="the wrapped command line, e.g. 'bench --smoke'",
+    )
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("profile: missing command to run", file=sys.stderr)
+        return 1
+    if rest[0] == "profile":
+        print(
+            "profile: cannot nest the profile wrapper", file=sys.stderr
+        )
+        return 1
+    profiler = SamplingProfiler(hz=args.hz or DEFAULT_HZ)
+    with profiler:
+        code = main(rest)
+    print("--- profile ---")
+    print(profiler.report(limit=args.top))
+    _write_profile(
+        args.out, profiler.to_dict(),
+        overhead=profiler.overhead_ratio(),
+    )
+    return code
+
+
+def _add_gateway_trace(subparsers) -> None:
+    p = subparsers.add_parser(
+        "gateway-trace",
+        help="smoke-run the multi-process gateway with distributed "
+             "tracing on, export ONE merged Chrome trace with "
+             "per-process lanes, and verify the cross-process spans "
+             "stitched together",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--sessions", type=int, default=8,
+                   help="simulated client sessions (default: 8)")
+    p.add_argument("--frames", type=int, default=6,
+                   help="frames per session (default: 6)")
+    p.add_argument(
+        "--out", default="TRACE_gateway.json", metavar="PATH",
+        help="merged Chrome trace path (default: TRACE_gateway.json)",
+    )
+    p.add_argument(
+        "--profile-hz", dest="profile_hz", type=float, default=0.0,
+        metavar="HZ",
+        help="also sample worker stacks at this rate and print the "
+             "merged hot frames (default: off)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_gateway_trace(args) -> int:
+    """Acceptance gate for the distributed-tracing path: one run, one
+    merged trace, every worker forward span parented to its dispatcher
+    submit span through the ring-propagated context."""
+    from repro.gateway import Gateway, GatewayConfig
+    from repro.gateway.loadgen import (
+        LoadgenConfig,
+        bench_configs,
+        run_loadgen,
+    )
+    from repro.obs import trace as obs_trace
+    from repro.serving import ServingConfig
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 1
+    obs_trace.clear()
+    radar, dsp, model = bench_configs()
+    config = GatewayConfig(
+        workers=args.workers,
+        ring_slots=128,
+        serving=ServingConfig(
+            max_batch_size=16, queue_capacity=64, policy="block"
+        ),
+        seed=args.seed,
+        profile_hz=args.profile_hz,
+    )
+    with Gateway(radar, dsp, model, config) as gateway:
+        summary = run_loadgen(
+            gateway,
+            LoadgenConfig(
+                sessions=args.sessions,
+                frames_per_session=args.frames,
+                seed=args.seed,
+            ),
+        )
+        gateway.stats()
+    # The shutdown byes delivered each worker's remaining spans.
+    records = gateway.trace_records()
+    path = gateway.export_chrome(args.out)
+
+    submits = {
+        (r["fields"]["session"], r["fields"]["frame_id"]): r
+        for r in records
+        if r["name"] == "gateway.submit"
+    }
+    forwards = [r for r in records if r["name"] == "worker.forward"]
+    orphans = sum(
+        1
+        for r in forwards
+        if (key := (r["fields"]["session"], r["fields"]["frame_id"]))
+        not in submits
+        or r["parent_id"] != submits[key]["span_id"]
+        or r["trace_id"] != submits[key]["trace_id"]
+    )
+    worker_pids = sorted({r["pid"] for r in forwards})
+    stage_counts = {
+        stage: int(entry["count"])
+        for stage, entry in summary.get("stage_latency_ms", {}).items()
+    }
+    print(
+        f"gateway-trace: {len(records)} spans "
+        f"({len(submits)} submits, {len(forwards)} forwards) from "
+        f"{1 + len(worker_pids)} processes; stage samples "
+        f"{stage_counts}"
+    )
+    print(f"trace -> {path}")
+    if args.profile_hz > 0:
+        profile = gateway.merged_profile()
+        print(
+            f"merged profile: {profile['samples']} samples across "
+            f"{len(profile['counts'])} stacks"
+        )
+        if not profile["samples"]:
+            print("gateway-trace: profiler captured no samples",
+                  file=sys.stderr)
+            return 1
+
+    ok = True
+    if not forwards:
+        print("gateway-trace: no worker-side forward spans arrived",
+              file=sys.stderr)
+        ok = False
+    if orphans:
+        print(
+            f"gateway-trace: {orphans} forward spans lost their "
+            "dispatcher parent",
+            file=sys.stderr,
+        )
+        ok = False
+    if len(worker_pids) < min(args.workers, args.sessions):
+        print(
+            f"gateway-trace: spans from only {len(worker_pids)} of "
+            f"{args.workers} workers",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+def _add_bench_compare(subparsers) -> None:
+    p = subparsers.add_parser(
+        "bench-compare",
+        help="guard against benchmark regressions: compare a fresh "
+             "BENCH_*.json against the committed baseline on portable "
+             "ratio and invariant checks",
+    )
+    p.add_argument("fresh", help="freshly produced benchmark JSON")
+    p.add_argument("committed", help="committed baseline JSON")
+    p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative slack on ratio checks (default: 0.5)",
+    )
+
+
+def _cmd_bench_compare(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.perf import compare_bench, print_comparison
+    from repro.perf.regression import DEFAULT_TOLERANCE
+
+    summaries = []
+    for path in (args.fresh, args.committed):
+        try:
+            with open(path) as fh:
+                summaries.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"bench-compare: cannot read {path}: {exc}",
+                  file=sys.stderr)
+            return 1
+    tolerance = (
+        args.tolerance if args.tolerance is not None
+        else DEFAULT_TOLERANCE
+    )
+    try:
+        result = compare_bench(
+            summaries[0], summaries[1], tolerance=tolerance
+        )
+    except ReproError as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 1
+    print_comparison(result)
+    return 0 if result["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mmhand",
@@ -1117,6 +1404,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_export_mesh(subparsers)
     _add_plan(subparsers)
     _add_trace(subparsers)
+    _add_profile(subparsers)
+    _add_gateway_trace(subparsers)
+    _add_bench_compare(subparsers)
     return parser
 
 
@@ -1127,16 +1417,38 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "serve": _cmd_serve,
     "gateway-bench": _cmd_gateway_bench,
+    "gateway-trace": _cmd_gateway_trace,
     "bench": _cmd_bench,
+    "bench-compare": _cmd_bench_compare,
     "export-mesh": _cmd_export_mesh,
     "plan": _cmd_plan,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    profiler = None
+    if getattr(args, "profile_out", None):
+        from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler
+
+        profiler = SamplingProfiler(
+            hz=args.profile_hz or DEFAULT_HZ
+        ).start()
+        # Commands that merge multi-process samples (the gateway serve
+        # path) read this handle and take over the export themselves.
+        args.profiler = profiler
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            if getattr(args, "profile_out", None):
+                _write_profile(
+                    args.profile_out, profiler.to_dict(),
+                    overhead=profiler.overhead_ratio(),
+                )
 
 
 if __name__ == "__main__":

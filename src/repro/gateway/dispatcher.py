@@ -18,7 +18,16 @@ control plane:
   never silently lost;
 * **aggregation** -- worker stats snapshots (requested over the control
   pipes) merge into one ``health()`` ladder, one ``stats()`` tree and
-  one Prometheus exposition.
+  one Prometheus exposition;
+* **distributed tracing** -- every forwarded frame is wrapped in a
+  dispatcher-side ``gateway.submit`` span whose context rides in the
+  ring slot header; workers ship their finished spans (and optional
+  sampling profiles) back with stats replies and the final ``bye``, and
+  :meth:`Gateway.export_chrome` merges the dispatcher's and every
+  worker's spans into one Chrome trace with per-process lanes. A
+  per-frame stage-latency ledger (submit / ring-wait / ingest /
+  batch-wait / forward / pose-return) aggregates into per-stage
+  histograms surfaced by ``stats()["stage_latency"]`` and Prometheus.
 
 The dispatcher itself is single-threaded and polling-based: callers
 interleave ``submit``/``submit_cube`` with ``pump()`` exactly like the
@@ -30,11 +39,12 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +70,9 @@ from repro.gateway.ring import (
     encode_session_id,
 )
 from repro.gateway.worker import WorkerConfig, worker_main
+from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import merge_profiles
 from repro.resilience import DeadLetterLog, HealthState
 from repro.serving import ServingConfig
 from repro.serving.batcher import PoseResult
@@ -89,6 +101,10 @@ class GatewayConfig:
     chaos_forward_rate: float = 0.0
     chaos_compile_fail: bool = False
     chaos_seed: int = 0
+    # Sampling-profiler rate inside each worker (0 = disabled);
+    # profiles ship back over the control pipe and merge into one
+    # flamegraph via Gateway.merged_profile().
+    profile_hz: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -107,13 +123,20 @@ class GatewayConfig:
 
 @dataclass
 class _InFlight:
-    """One frame pushed to a worker and not yet acknowledged."""
+    """One frame pushed to a worker and not yet acknowledged.
+
+    Carries the frame's trace context so a crash replay re-propagates
+    the *original* ``gateway.submit`` span -- a replayed frame's
+    worker-side spans stay parented to the submit that first saw it.
+    """
 
     session_id: str
     frame_id: int
     kind: int
     payload: np.ndarray
     pushed_at: float
+    trace_id: int = 0
+    parent_span_id: int = 0
 
 
 class _WorkerHandle:
@@ -162,6 +185,15 @@ class Gateway:
         self.metrics = MetricsRegistry()
         self.metrics.register_collector(self._publish_gauges)
         self.dead_letters = DeadLetterLog(capacity=4096)
+        self._tracer = obs_trace.get_tracer()
+        # Spans shipped back from workers (bounded; merged into one
+        # Chrome trace by export_chrome) and the latest profile per
+        # worker generation (lane name -> profile dict).
+        self._worker_spans: Deque[Dict[str, Any]] = deque(maxlen=262144)
+        self._worker_profiles: Dict[str, Dict[str, Any]] = {}
+        self._process_names: Dict[int, str] = {
+            os.getpid(): "dispatcher"
+        }
         self._workers = [
             _WorkerHandle(i) for i in range(self.config.workers)
         ]
@@ -242,6 +274,7 @@ class Gateway:
             chaos_forward_rate=self.config.chaos_forward_rate,
             chaos_compile_fail=self.config.chaos_compile_fail,
             chaos_seed=self.config.chaos_seed,
+            profile_hz=self.config.profile_hz,
         )
 
     def _launch(self, handle: _WorkerHandle) -> None:
@@ -277,10 +310,44 @@ class Gateway:
         handle.conn = parent_conn
         handle.started_at = time.time()
         handle.recovered = False
+        if process.pid is not None:
+            lane = f"worker-{handle.index}"
+            if handle.generation > 1:
+                lane += f".g{handle.generation}"
+            self._process_names[process.pid] = lane
         self.metrics.events.emit(
             "worker_start", worker=handle.index,
             generation=handle.generation, pid=process.pid,
         )
+
+    def _absorb_obs(self, handle: "_WorkerHandle", payload: Any) -> None:
+        """Bank spans/profile a worker shipped over the control pipe."""
+        if not isinstance(payload, dict):
+            return
+        spans = payload.get("trace_spans")
+        if spans:
+            self._worker_spans.extend(spans)
+        profile = payload.get("profile")
+        if profile:
+            lane = f"worker-{handle.index}"
+            if handle.generation > 1:
+                lane += f".g{handle.generation}"
+            self._worker_profiles[lane] = profile
+
+    def _absorb_control_message(
+        self, handle: "_WorkerHandle", kind: str, payload: Any
+    ) -> None:
+        if kind == "stats" and isinstance(payload, dict):
+            self._absorb_obs(
+                handle,
+                {
+                    "trace_spans": payload.pop("trace_spans", None),
+                    "profile": payload.pop("profile", None),
+                },
+            )
+            handle.last_stats = payload
+        elif kind == "bye":
+            self._absorb_obs(handle, payload)
 
     def shutdown(self, timeout_s: float = 5.0) -> None:
         """Stop workers and release every shared segment."""
@@ -291,6 +358,26 @@ class Gateway:
                 except (BrokenPipeError, OSError):
                     pass
         deadline = time.time() + timeout_s
+        # Collect each worker's farewell (buffered spans, final
+        # profile) before joining; a worker that died uncleanly simply
+        # has nothing to say.
+        for handle in self._workers:
+            conn = handle.conn
+            if conn is None:
+                continue
+            while True:
+                remaining = deadline - time.time()
+                if remaining <= 0:
+                    break
+                try:
+                    if not conn.poll(min(0.5, remaining)):
+                        break
+                    kind, _index, payload = conn.recv()
+                except (EOFError, OSError):
+                    break
+                self._absorb_control_message(handle, kind, payload)
+                if kind == "bye":
+                    break
         for handle in self._workers:
             if handle.process is None:
                 continue
@@ -392,26 +479,48 @@ class Gateway:
             )
         frame = np.ascontiguousarray(frame)
         frame_id = self._frame_ids[session_id] + 1
-        if handle.request_ring is None or not handle.request_ring.push(
-            kind, session_id, frame_id, frame
-        ):
-            # Ring full (or the worker is mid-restart): give the pool
-            # one pump to drain, then apply explicit backpressure.
-            self.pump()
-            handle = self._handle_for(session_id)
-            if handle.request_ring is None or not (
-                handle.request_ring.push(kind, session_id, frame_id, frame)
+        submit_start = time.perf_counter()
+        # The submit span is the frame's trace root on the dispatcher
+        # side; its (trace_id, span_id) rides in the slot header so the
+        # worker's spans join this trace across the process boundary.
+        with self._tracer.span(
+            "gateway.submit", session=session_id, frame_id=frame_id
+        ) as span:
+            trace_id = span.trace_id if span is not None else 0
+            parent_span_id = span.span_id if span is not None else 0
+            if handle.request_ring is None or not handle.request_ring.push(
+                kind, session_id, frame_id, frame,
+                trace_id=trace_id, parent_span_id=parent_span_id,
+                enqueue_ts=time.time(),
             ):
-                self.metrics.counter("gateway.ring_rejects").increment()
-                raise QueueFullError(
-                    f"worker {handle.index} request ring is full "
-                    f"({self.config.ring_slots} slots); rejecting frame "
-                    f"{frame_id} of {session_id!r}"
-                )
+                # Ring full (or the worker is mid-restart): give the
+                # pool one pump to drain, then apply explicit
+                # backpressure.
+                self.pump()
+                handle = self._handle_for(session_id)
+                if handle.request_ring is None or not (
+                    handle.request_ring.push(
+                        kind, session_id, frame_id, frame,
+                        trace_id=trace_id, parent_span_id=parent_span_id,
+                        enqueue_ts=time.time(),
+                    )
+                ):
+                    self.metrics.counter(
+                        "gateway.ring_rejects"
+                    ).increment()
+                    raise QueueFullError(
+                        f"worker {handle.index} request ring is full "
+                        f"({self.config.ring_slots} slots); rejecting "
+                        f"frame {frame_id} of {session_id!r}"
+                    )
+        self.metrics.histogram("gateway.stage.submit_s").observe(
+            time.perf_counter() - submit_start
+        )
         self._frame_ids[session_id] = frame_id
         handle.inflight[(session_id, frame_id)] = _InFlight(
             session_id=session_id, frame_id=frame_id, kind=kind,
             payload=frame, pushed_at=time.perf_counter(),
+            trace_id=trace_id, parent_span_id=parent_span_id,
         )
         self.metrics.counter("gateway.frames_forwarded").increment()
         return True
@@ -486,6 +595,26 @@ class Gateway:
                 self.metrics.histogram("gateway.latency_s").observe(
                     results[-1].latency_s
                 )
+                if message.enqueue_ts > 0:
+                    # Pose-return stage: time the answer sat on the
+                    # response ring before this pump collected it.
+                    returned_at = time.time()
+                    self.metrics.histogram(
+                        "gateway.stage.pose_return_s"
+                    ).observe(max(0.0, returned_at - message.enqueue_ts))
+                    if message.trace_id:
+                        self._tracer.record(
+                            "gateway.pose_return",
+                            self._tracer.rel_from_unix(
+                                message.enqueue_ts
+                            ),
+                            self._tracer.rel_from_unix(returned_at),
+                            trace_id=message.trace_id,
+                            parent_id=message.parent_span_id or None,
+                            correlation_id=results[-1].corr_id,
+                            frame_id=message.frame_id,
+                            session=message.session_id,
+                        )
             elif message.kind == KIND_UNSERVED:
                 handle.awaiting_pose.pop(key, None)
                 self.dead_letters.record(
@@ -493,6 +622,9 @@ class Gateway:
                     frame_index=message.frame_id,
                     stage="worker-forward",
                     reason="request quarantined during batch forward",
+                    corr_id=(
+                        f"{message.session_id}#{message.frame_id}"
+                    ),
                 )
                 self.metrics.counter("gateway.unserved").increment()
             elif message.kind == KIND_CLOSED:
@@ -536,6 +668,7 @@ class Gateway:
                 session_id=sid, frame_index=fid, stage="worker-crash",
                 reason=f"worker {handle.index} died (exit {exitcode}) "
                        "before serving the segment",
+                corr_id=f"{sid}#{fid}",
             )
             self.metrics.counter(
                 "gateway.crash_dead_letters"
@@ -556,6 +689,7 @@ class Gateway:
                     stage="worker-crash",
                     reason=f"worker {handle.index} exceeded "
                            f"{self.config.max_restarts} restarts",
+                    corr_id=f"{entry.session_id}#{entry.frame_id}",
                 )
             raise WorkerCrashedError(
                 f"worker {handle.index} died (exit {exitcode}) and "
@@ -570,9 +704,14 @@ class Gateway:
         for entry in replay:
             if entry.session_id in self._closed_sessions:
                 continue
+            # Replays re-propagate the frame's original trace context:
+            # the restarted worker's spans stay parented to the submit
+            # span that first forwarded the frame.
             if handle.request_ring.push(
                 entry.kind, entry.session_id, entry.frame_id,
-                entry.payload,
+                entry.payload, trace_id=entry.trace_id,
+                parent_span_id=entry.parent_span_id,
+                enqueue_ts=time.time(),
             ):
                 handle.inflight[
                     (entry.session_id, entry.frame_id)
@@ -584,6 +723,7 @@ class Gateway:
                     frame_index=entry.frame_id,
                     stage="worker-crash",
                     reason="replay ring full after restart",
+                    corr_id=f"{entry.session_id}#{entry.frame_id}",
                 )
         self.metrics.events.emit(
             "worker_restart", worker=handle.index,
@@ -635,8 +775,7 @@ class Gateway:
             try:
                 if handle.conn.poll(remaining):
                     kind, _index, payload = handle.conn.recv()
-                    if kind == "stats":
-                        handle.last_stats = payload
+                    self._absorb_control_message(handle, kind, payload)
             except (EOFError, OSError):  # pragma: no cover
                 continue
 
@@ -683,6 +822,70 @@ class Gateway:
                 merged[name] = merged.get(name, 0.0) + float(value)
         for name, value in merged.items():
             registry.gauge(f"workers.{name}").set(value)
+        # Mirror the merged stage-latency ledger as gauges so one
+        # Prometheus scrape of the dispatcher shows pool-wide stage
+        # timings (the dispatcher-side stages are real histograms in
+        # this registry already).
+        for stage, entry in self.stage_latency().items():
+            for key in ("mean", "p95", "max"):
+                registry.gauge(f"stage.{stage}.{key}_s").set(entry[key])
+            registry.gauge(f"stage.{stage}.count").set(entry["count"])
+
+    # Worker-side ledger stages (shipped in worker stats histograms)
+    # and dispatcher-side stages (this registry's own histograms).
+    _WORKER_STAGES = {
+        "stage.ring_wait_s": "ring_wait",
+        "stage.ingest_s": "ingest",
+        "stage.batch_wait_s": "batch_wait",
+        "stage.forward_s": "forward",
+    }
+    _DISPATCHER_STAGES = {
+        "gateway.stage.submit_s": "submit",
+        "gateway.stage.pose_return_s": "pose_return",
+        "gateway.latency_s": "e2e",
+    }
+
+    def stage_latency(self) -> Dict[str, Dict[str, float]]:
+        """The per-frame stage ledger, merged across the pool.
+
+        Maps stage name (``submit``/``ring_wait``/``ingest``/
+        ``batch_wait``/``forward``/``pose_return``/``e2e``) to merged
+        count/sum/mean and worst-case p95/max. Worker-side stages come
+        from the histograms in each worker's latest stats snapshot
+        (refresh with :meth:`request_stats`); quantiles are maxed, not
+        averaged, so the merged view never understates the tail.
+        """
+        stages: Dict[str, Dict[str, float]] = {}
+
+        def absorb(stage: str, summary: Dict[str, float]) -> None:
+            if not summary or not summary.get("count"):
+                return
+            entry = stages.setdefault(
+                stage,
+                {"count": 0, "sum": 0.0, "mean": 0.0, "p50": 0.0,
+                 "p95": 0.0, "max": 0.0},
+            )
+            entry["count"] += summary["count"]
+            entry["sum"] += summary["sum"]
+            entry["p50"] = max(entry["p50"], summary["p50"])
+            entry["p95"] = max(entry["p95"], summary["p95"])
+            entry["max"] = max(entry["max"], summary["max"])
+
+        for handle in self._workers:
+            if not handle.last_stats:
+                continue
+            histograms = handle.last_stats.get("histograms", {})
+            for name, stage in self._WORKER_STAGES.items():
+                absorb(stage, histograms.get(name, {}))
+        with self.metrics._lock:
+            own = dict(self.metrics._histograms)
+        for name, stage in self._DISPATCHER_STAGES.items():
+            if name in own:
+                absorb(stage, own[name].summary())
+        for entry in stages.values():
+            if entry["count"]:
+                entry["mean"] = entry["sum"] / entry["count"]
+        return stages
 
     def stats(
         self, refresh: bool = True, timeout_s: float = 2.0
@@ -692,6 +895,7 @@ class Gateway:
             self.request_stats(timeout_s=timeout_s)
         snapshot = self.metrics.snapshot()
         snapshot["health"] = self.health().value
+        snapshot["stage_latency"] = self.stage_latency()
         snapshot["dead_letters"] = {
             **self.dead_letters.stats(),
             "tail": self.dead_letters.tail(5),
@@ -735,3 +939,41 @@ class Gateway:
     def prometheus(self) -> str:
         """Merged Prometheus exposition of the whole pool."""
         return self.metrics.to_prometheus()
+
+    # -- distributed trace / profile export -----------------------------
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """Every span this gateway knows about, dispatcher + workers.
+
+        Worker spans arrive with stats replies and shutdown byes; call
+        :meth:`request_stats` (or :meth:`stats`) first to pull the
+        latest batch from live workers.
+        """
+        records = list(self._worker_spans)
+        records.extend(self._tracer.spans())
+        return records
+
+    def export_chrome(self, path: str) -> str:
+        """Merge dispatcher and worker spans into one Chrome trace.
+
+        Each process gets its own named lane (``dispatcher``,
+        ``worker-0``, ...) via metadata events; spans align on their
+        wall-clock timestamps, and worker-side forward spans point at
+        their dispatcher-side submit parents through the propagated
+        context.
+        """
+        return obs_trace.export_chrome_merged(
+            path, self.trace_records(), dict(self._process_names)
+        )
+
+    def merged_profile(
+        self, extra: Optional[Dict[str, Dict[str, Any]]] = None
+    ) -> Dict[str, Any]:
+        """All workers' sampling profiles merged under per-lane roots.
+
+        ``extra`` adds more lanes (the CLI passes the dispatcher's own
+        profiler dict as ``{"dispatcher": ...}``).
+        """
+        parts: Dict[str, Dict[str, Any]] = dict(self._worker_profiles)
+        if extra:
+            parts.update(extra)
+        return merge_profiles(parts)

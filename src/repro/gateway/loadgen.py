@@ -226,6 +226,18 @@ def run_loadgen(
         "worker_restarts": int(
             counters.get("gateway.worker_restarts", 0)
         ),
+        # Where each frame's time went, pool-wide (milliseconds).
+        "stage_latency_ms": {
+            stage: {
+                "count": int(entry["count"]),
+                "mean": entry["mean"] * 1e3,
+                "p95": entry["p95"] * 1e3,
+                "max": entry["max"] * 1e3,
+            }
+            for stage, entry in stats.get(
+                "stage_latency", {}
+            ).items()
+        },
     }
     return summary
 

@@ -43,7 +43,10 @@ import numpy as np
 from repro.errors import GatewayError, RingLayoutError
 
 _MAGIC = 0x6D6D5247  # "mmRG"
-_VERSION = 1
+# v2: the header carries distributed-trace context (trace_id,
+# parent_span_id, enqueue wall-clock timestamp) in its trailing 24
+# bytes, filling the 128-byte header exactly.
+_VERSION = 2
 
 _CONTROL_FMT = struct.Struct("<IIQQ")  # magic, version, slots, slot_bytes
 _HEAD_OFFSET = 64
@@ -52,8 +55,9 @@ _SLOTS_OFFSET = 192
 _CURSOR = struct.Struct("<Q")
 
 # seq, kind, flags, frame_id, payload_bytes, dtype code, ndim,
-# shape (8 x u32), session id (utf-8, zero padded)
-_SLOT_HEADER_FMT = struct.Struct("<QIIQQII8I32s")
+# shape (8 x u32), session id (utf-8, zero padded),
+# trace_id, parent_span_id, enqueue_ts (unix seconds; 0 = unset)
+_SLOT_HEADER_FMT = struct.Struct("<QIIQQII8I32sQQd")
 SLOT_HEADER_BYTES = 128
 assert _SLOT_HEADER_FMT.size <= SLOT_HEADER_BYTES
 
@@ -111,6 +115,11 @@ class RingMessage:
     ``payload`` is ``None`` for control messages, a fresh copy for
     :meth:`ShmRing.pop`, and a zero-copy view into the shared segment
     for :meth:`ShmRing.peek` (valid only until :meth:`ShmRing.commit`).
+
+    ``trace_id``/``parent_span_id`` carry the producer's trace context
+    across the process boundary (0 = no context) and ``enqueue_ts`` is
+    the wall-clock instant of the push, letting the consumer measure
+    ring-wait time without any extra round trip.
     """
 
     kind: int
@@ -118,6 +127,9 @@ class RingMessage:
     frame_id: int
     flags: int = 0
     payload: Optional[np.ndarray] = None
+    trace_id: int = 0
+    parent_span_id: int = 0
+    enqueue_ts: float = 0.0
 
 
 class ShmRing:
@@ -215,11 +227,16 @@ class ShmRing:
         frame_id: int,
         payload: Optional[np.ndarray] = None,
         flags: int = 0,
+        trace_id: int = 0,
+        parent_span_id: int = 0,
+        enqueue_ts: float = 0.0,
     ) -> bool:
         """Publish one message; ``False`` if the ring is full.
 
         The payload (if any) is written straight into the slot's shared
-        memory -- one ``memcpy``, no serialisation.
+        memory -- one ``memcpy``, no serialisation. ``trace_id``/
+        ``parent_span_id``/``enqueue_ts`` ride in the header so trace
+        context crosses the boundary with the frame itself.
         """
         sid = encode_session_id(session_id)
         head = self.head
@@ -263,7 +280,7 @@ class ShmRing:
         _SLOT_HEADER_FMT.pack_into(
             self._buf, base,
             head + 1, kind, flags, frame_id, nbytes, dtype_code, ndim,
-            *dims, sid,
+            *dims, sid, trace_id, parent_span_id, enqueue_ts,
         )
         self._write_cursor(_HEAD_OFFSET, head + 1)
         self.pushes += 1
@@ -275,7 +292,8 @@ class ShmRing:
         fields = _SLOT_HEADER_FMT.unpack_from(self._buf, base)
         seq, kind, flags, frame_id, nbytes, dtype_code, ndim = fields[:7]
         dims = fields[7:7 + _MAX_NDIM]
-        sid_raw = fields[-1]
+        sid_raw = fields[7 + _MAX_NDIM]
+        trace_id, parent_span_id, enqueue_ts = fields[8 + _MAX_NDIM:]
         if seq != tail + 1:
             raise GatewayError(
                 f"ring {self.name!r}: slot seq {seq} != expected "
@@ -299,7 +317,8 @@ class ShmRing:
         session_id = sid_raw.rstrip(b"\x00").decode("utf-8")
         return RingMessage(
             kind=kind, session_id=session_id, frame_id=frame_id,
-            flags=flags, payload=payload,
+            flags=flags, payload=payload, trace_id=trace_id,
+            parent_span_id=parent_span_id, enqueue_ts=enqueue_ts,
         )
 
     def pop(self) -> Optional[RingMessage]:

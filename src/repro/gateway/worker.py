@@ -18,6 +18,18 @@ an unmodified :class:`~repro.serving.InferenceServer`) and loops:
 
 The control pipe carries only small picklable metadata (stats dicts,
 shutdown commands); array payloads move exclusively through the rings.
+
+Distributed tracing: every frame arrives with the dispatcher's trace
+context (``trace_id``/``parent_span_id``/``enqueue_ts``) in the ring
+slot header. The worker records a ``gateway.ring_wait`` span covering
+the time the frame sat in the ring, opens its ingest span *under* the
+propagated context, and attributes each batched forward back to the
+frames it served as per-frame ``worker.forward`` spans parented to the
+dispatcher-side submit span. Completed spans buffer in the worker's
+process-local tracer and ship back (as plain dicts) with every stats
+reply and with the final ``bye`` -- the control pipe stays
+metadata-only. An optional sampling profiler
+(``WorkerConfig.profile_hz``) rides along the same way.
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ from repro.gateway.ring import (
     KIND_UNSERVED,
     ShmRing,
 )
+from repro.obs import trace as obs_trace
+from repro.obs.profiler import SamplingProfiler
 from repro.serving import ServingConfig
 
 
@@ -64,6 +78,9 @@ class WorkerConfig:
     plan_path: Optional[str] = None
     heartbeat_interval_s: float = 0.05
     idle_sleep_s: float = 0.0005
+    # Sampling profiler rate inside the worker (0 = disabled); the
+    # profile ships back with stats replies and the final bye.
+    profile_hz: float = 0.0
     # Chaos knobs (forwarded to a worker-local FaultInjector).
     chaos_frame_rate: float = 0.0
     chaos_forward_rate: float = 0.0
@@ -150,16 +167,24 @@ def _build_server(config: WorkerConfig):
 
 def _push_blocking(
     ring: ShmRing, kind, session_id, frame_id, payload=None, flags=0,
-    deadline_s: float = 5.0,
+    deadline_s: float = 5.0, trace_id: int = 0, parent_span_id: int = 0,
 ) -> bool:
     """Push a response, briefly yielding while the dispatcher drains.
 
     Gives up (dropping the message) after ``deadline_s`` so a dead
     dispatcher cannot wedge the worker; the dispatcher notices the gap
-    through its in-flight accounting.
+    through its in-flight accounting. Responses are stamped with a
+    fresh ``enqueue_ts`` so the dispatcher can measure response-ring
+    wait (the pose-return stage), and echo the frame's original trace
+    context so the dispatcher can finish the frame's trace without
+    remembering it.
     """
     deadline = time.perf_counter() + deadline_s
-    while not ring.push(kind, session_id, frame_id, payload, flags):
+    while not ring.push(
+        kind, session_id, frame_id, payload, flags,
+        trace_id=trace_id, parent_span_id=parent_span_id,
+        enqueue_ts=time.time(),
+    ):
         if time.perf_counter() >= deadline:
             return False
         time.sleep(0.0002)
@@ -201,8 +226,25 @@ def worker_main(
     # actually absorbed); this maps those back to dispatcher frame ids.
     local_index: Dict[str, int] = {}
     pose_ids: Dict[Tuple[str, int], int] = {}
+    # Trace context of every enqueued-but-unserved frame, keyed like
+    # pose_ids: (trace_id, parent_span_id, enqueue perf_counter).
+    pending_ctx: Dict[Tuple[str, int], Tuple[int, int, float]] = {}
+    tracer = obs_trace.get_tracer()
+    # A forked worker inherits the dispatcher's finished-span buffer;
+    # drop it so those spans are not shipped back as duplicates.
+    tracer.clear()
+    profiler: Optional[SamplingProfiler] = None
+    if config.profile_hz > 0:
+        profiler = SamplingProfiler(hz=config.profile_hz).start()
     last_beat = 0.0
     running = True
+
+    def obs_payload() -> dict:
+        """Spans (and profile) to ship over the control pipe."""
+        return {
+            "trace_spans": tracer.drain(),
+            "profile": profiler.to_dict() if profiler else None,
+        }
 
     def beat() -> None:
         nonlocal last_beat
@@ -214,21 +256,44 @@ def worker_main(
             last_beat = now
 
     def flush_results() -> None:
-        for result in server.step():
-            frame_id = pose_ids.pop(
-                (result.session_id, result.frame_index),
-                result.frame_index,
-            )
+        step_start = time.perf_counter()
+        results = server.step()
+        step_end = time.perf_counter()
+        for result in results:
+            key = (result.session_id, result.frame_index)
+            frame_id = pose_ids.pop(key, result.frame_index)
+            ctx = pending_ctx.pop(key, None)
+            if ctx is not None:
+                # Attribute the fused forward back to this frame: a
+                # per-frame span parented (via the propagated context)
+                # to the dispatcher-side submit span.
+                tracer.record(
+                    "worker.forward",
+                    tracer.rel_from_perf(step_start),
+                    tracer.rel_from_perf(step_end),
+                    trace_id=ctx[0] or None,
+                    parent_id=ctx[1] or None,
+                    correlation_id=result.corr_id,
+                    frame_id=frame_id,
+                    session=result.session_id,
+                    batch=result.batch_size,
+                    cached=result.cached,
+                    batch_wait_s=max(0.0, step_start - ctx[2]),
+                )
             _push_blocking(
                 response_ring, KIND_POSE, result.session_id, frame_id,
                 np.ascontiguousarray(result.joints),
+                trace_id=ctx[0] if ctx else 0,
+                parent_span_id=ctx[1] if ctx else 0,
             )
         for session_id, frame_index in server.last_unserved:
-            frame_id = pose_ids.pop(
-                (session_id, frame_index), frame_index
-            )
+            key = (session_id, frame_index)
+            frame_id = pose_ids.pop(key, frame_index)
+            ctx = pending_ctx.pop(key, None)
             _push_blocking(
-                response_ring, KIND_UNSERVED, session_id, frame_id
+                response_ring, KIND_UNSERVED, session_id, frame_id,
+                trace_id=ctx[0] if ctx else 0,
+                parent_span_id=ctx[1] if ctx else 0,
             )
 
     beat()
@@ -256,11 +321,42 @@ def worker_main(
                 # dispatcher frame id attached.
                 if len(server.queue) >= serving.max_batch_size:
                     flush_results()
+                # Stage ledger: ring-wait is dequeue wall time minus the
+                # dispatcher's enqueue stamp in the slot header.
+                dequeued_at = time.time()
+                if message.enqueue_ts > 0:
+                    ring_wait = max(0.0, dequeued_at - message.enqueue_ts)
+                    server.metrics.histogram(
+                        "stage.ring_wait_s"
+                    ).observe(ring_wait)
+                    if message.trace_id:
+                        tracer.record(
+                            "gateway.ring_wait",
+                            tracer.rel_from_unix(message.enqueue_ts),
+                            tracer.rel_from_unix(dequeued_at),
+                            trace_id=message.trace_id,
+                            parent_id=message.parent_span_id or None,
+                            frame_id=message.frame_id,
+                            session=sid,
+                        )
                 before = server.session_stats(sid)["quarantined"]
-                if message.kind == KIND_FRAME_RAW:
-                    enqueued = server.submit(sid, message.payload)
-                else:
-                    enqueued = server.submit_cube(sid, message.payload)
+                ingest_start = time.perf_counter()
+                with tracer.remote_context(
+                    message.trace_id, message.parent_span_id
+                ):
+                    with tracer.span(
+                        "worker.ingest", session=sid,
+                        frame_id=message.frame_id,
+                    ):
+                        if message.kind == KIND_FRAME_RAW:
+                            enqueued = server.submit(sid, message.payload)
+                        else:
+                            enqueued = server.submit_cube(
+                                sid, message.payload
+                            )
+                server.metrics.histogram("stage.ingest_s").observe(
+                    time.perf_counter() - ingest_start
+                )
                 if server.session_stats(sid)["quarantined"] > before:
                     flag = ACK_QUARANTINED
                 else:
@@ -270,11 +366,17 @@ def worker_main(
                         pose_ids[(sid, local_index[sid])] = (
                             message.frame_id
                         )
+                        pending_ctx[(sid, local_index[sid])] = (
+                            message.trace_id,
+                            message.parent_span_id,
+                            time.perf_counter(),
+                        )
                     else:
                         flag = ACK_WINDOW
                 _push_blocking(
                     response_ring, KIND_ACK, sid, message.frame_id,
-                    flags=flag,
+                    flags=flag, trace_id=message.trace_id,
+                    parent_span_id=message.parent_span_id,
                 )
         if len(server.queue) >= serving.max_batch_size or (
             message is None and len(server.queue) > 0
@@ -301,6 +403,7 @@ def worker_main(
                     "response_ring": response_ring.stats(),
                     "plan_artifact": config.plan_path,
                 }
+                stats.update(obs_payload())
                 try:
                     conn.send(("stats", worker_index, stats))
                 except (BrokenPipeError, OSError):
@@ -315,8 +418,10 @@ def worker_main(
     # Drain what is already queued so acked frames get answered even on
     # a graceful shutdown.
     flush_results()
+    if profiler is not None:
+        profiler.stop()
     try:
-        conn.send(("bye", worker_index, None))
+        conn.send(("bye", worker_index, obs_payload()))
     except (BrokenPipeError, OSError):  # pragma: no cover
         pass
     request_ring.close()

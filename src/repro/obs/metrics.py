@@ -81,6 +81,15 @@ class Gauge:
             return self._value
 
 
+# Default cumulative bucket bounds for the Prometheus exposition --
+# latency-oriented (seconds), from half a millisecond to ten seconds;
+# +Inf is implicit and added by the renderer.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
 class Histogram:
     """Reservoir of observations with percentile summaries.
 
@@ -88,23 +97,49 @@ class Histogram:
     for serving latencies this biases the percentiles toward current
     behaviour, which is what a live dashboard wants. Lifetime ``count``,
     ``sum`` and ``mean`` cover every observation ever made;
-    ``window_mean`` is the mean of the retained window only.
+    ``window_mean`` is the mean of the retained window only. Alongside
+    the reservoir, every observation lands in a fixed set of cumulative
+    lifetime buckets (``bucket_counts``) so the Prometheus exposition
+    can emit true ``le``-labelled histogram series.
     """
 
-    def __init__(self, name: str, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 4096,
+        buckets: Optional[tuple] = None,
+    ) -> None:
         if capacity < 1:
             raise ServingError("histogram capacity must be >= 1")
         self.name = name
         self._samples: Deque[float] = deque(maxlen=capacity)
         self._count = 0
         self._total = 0.0
+        self.buckets = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        # _bucket_counts[i] counts observations <= buckets[i]
+        # (cumulative, lifetime); observations above the last bound only
+        # land in the implicit +Inf bucket (== lifetime count).
+        self._bucket_counts = [0] * len(self.buckets)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        value = float(value)
         with self._lock:
-            self._samples.append(float(value))
+            self._samples.append(value)
             self._count += 1
-            self._total += float(value)
+            self._total += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    for i in range(index, len(self.buckets)):
+                        self._bucket_counts[i] += 1
+                    break
+
+    def bucket_counts(self) -> List[tuple]:
+        """Cumulative ``(le, count)`` pairs, ending with ``(inf, n)``."""
+        with self._lock:
+            pairs = list(zip(self.buckets, self._bucket_counts))
+            pairs.append((float("inf"), self._count))
+        return pairs
 
     @property
     def count(self) -> int:
@@ -151,7 +186,8 @@ class EventLog:
 
     Events are plain dicts with a monotonically increasing sequence
     number and a relative timestamp; the log keeps the most recent
-    ``capacity`` entries.
+    ``capacity`` entries and counts how many it has evicted
+    (:attr:`dropped`) so ring saturation is visible rather than silent.
     """
 
     def __init__(self, capacity: int = 1024) -> None:
@@ -159,6 +195,7 @@ class EventLog:
             raise ServingError("event log capacity must be >= 1")
         self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self._seq = 0
+        self._dropped = 0
         self._start = time.perf_counter()
         self._lock = threading.Lock()
 
@@ -171,8 +208,22 @@ class EventLog:
                 **fields,
             }
             self._seq += 1
+            if len(self._events) == self._events.maxlen:
+                self._dropped += 1
             self._events.append(event)
             return event
+
+    @property
+    def emitted(self) -> int:
+        """Lifetime count of events ever emitted."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted because the ring was full."""
+        with self._lock:
+            return self._dropped
 
     def tail(self, count: Optional[int] = None) -> List[Dict[str, Any]]:
         with self._lock:
@@ -211,8 +262,14 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._histogram_capacity = histogram_capacity
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self._help: Dict[str, str] = {}
         self.events = EventLog(event_capacity)
         self._lock = threading.Lock()
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` string to an instrument by name."""
+        with self._lock:
+            self._help[name] = help_text
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -264,14 +321,33 @@ class MetricsRegistry:
             "gauges": {n: g.value for n, g in gauges.items()},
             "histograms": {n: h.summary() for n, h in histograms.items()},
             "events": len(self.events),
+            "events_emitted": self.events.emitted,
+            "events_dropped": self.events.dropped,
         }
+
+    def _help_text(self, name: str, kind: str) -> str:
+        with self._lock:
+            text = self._help.get(name)
+        return text or f"{kind} {name!r} (mmhand pipeline)"
+
+    @staticmethod
+    def _fmt_le(bound: float) -> str:
+        if bound == float("inf"):
+            return "+Inf"
+        text = f"{bound:.10f}".rstrip("0").rstrip(".")
+        return text or "0"
 
     def to_prometheus(self, prefix: str = "mmhand") -> str:
         """Render the registry in Prometheus text exposition format.
 
         Counters become ``<prefix>_<name>_total``, gauges
-        ``<prefix>_<name>``, and histograms Prometheus *summaries*
-        (quantile-labelled series plus ``_sum``/``_count``).
+        ``<prefix>_<name>``, and histograms full Prometheus
+        *histograms*: cumulative ``_bucket{le=...}`` series (lifetime
+        counts, ``+Inf`` included) plus ``_sum``/``_count``, with the
+        reservoir quantiles kept alongside as ``<metric>_quantiles``
+        summary series for dashboards that want percentiles without
+        server-side ``histogram_quantile``. Every metric gets a
+        ``# HELP`` line (override with :meth:`describe`).
         """
         self._run_collectors()
         with self._lock:
@@ -283,23 +359,53 @@ class MetricsRegistry:
             metric = _prometheus_name(name, prefix)
             if not metric.endswith("_total"):
                 metric += "_total"
+            lines.append(f"# HELP {metric} {self._help_text(name, 'counter')}")
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {counters[name].value}")
         for name in sorted(gauges):
             metric = _prometheus_name(name, prefix)
+            lines.append(f"# HELP {metric} {self._help_text(name, 'gauge')}")
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {gauges[name].value}")
         for name in sorted(histograms):
             metric = _prometheus_name(name, prefix)
-            summary = histograms[name].summary()
-            lines.append(f"# TYPE {metric} summary")
-            for label, key in (("0.5", "p50"), ("0.95", "p95"),
-                               ("0.99", "p99")):
+            histogram = histograms[name]
+            summary = histogram.summary()
+            lines.append(
+                f"# HELP {metric} {self._help_text(name, 'histogram')}"
+            )
+            lines.append(f"# TYPE {metric} histogram")
+            for bound, count in histogram.bucket_counts():
                 lines.append(
-                    f'{metric}{{quantile="{label}"}} {summary[key]}'
+                    f'{metric}_bucket{{le="{self._fmt_le(bound)}"}} {count}'
                 )
             lines.append(f"{metric}_sum {summary['sum']}")
             lines.append(f"{metric}_count {summary['count']}")
+            quantile_metric = f"{metric}_quantiles"
+            lines.append(
+                f"# HELP {quantile_metric} reservoir quantiles of "
+                f"{name!r} (sliding window)"
+            )
+            lines.append(f"# TYPE {quantile_metric} summary")
+            for label, key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+                lines.append(
+                    f'{quantile_metric}{{quantile="{label}"}} {summary[key]}'
+                )
+        events_metric = f"{prefix}_events_dropped_total"
+        lines.append(
+            f"# HELP {events_metric} events evicted from the bounded "
+            "event log (ring saturation)"
+        )
+        lines.append(f"# TYPE {events_metric} counter")
+        lines.append(f"{events_metric} {self.events.dropped}")
+        emitted_metric = f"{prefix}_events_emitted_total"
+        lines.append(
+            f"# HELP {emitted_metric} events ever emitted into the "
+            "event log"
+        )
+        lines.append(f"# TYPE {emitted_metric} counter")
+        lines.append(f"{emitted_metric} {self.events.emitted}")
         return "\n".join(lines) + "\n"
 
 

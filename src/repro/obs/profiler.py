@@ -1,0 +1,244 @@
+"""Low-overhead sampling profiler (folded stacks / flamegraphs).
+
+A :class:`SamplingProfiler` wakes a daemon thread ``hz`` times per
+second, snapshots every other thread's python stack via
+``sys._current_frames()``, and counts *folded stacks* -- the
+semicolon-joined frame chain that ``flamegraph.pl`` and speedscope
+consume directly. Because it only samples (no tracing hooks, no
+``sys.setprofile``), the profiled code runs at full speed between
+samples; the measured cost is the sampling thread's own CPU time, which
+the profiler reports as an ``overhead_ratio`` against the profiled wall
+time (see DESIGN.md for measured numbers -- well under 1% at the
+default 97 Hz).
+
+The state is a plain ``dict`` of folded-stack strings to sample counts,
+so profiles are picklable: gateway workers run a profiler in-process and
+ship :meth:`SamplingProfiler.to_dict` back over the control pipe, and
+the dispatcher merges them (:func:`merge_profiles`) with a per-process
+root frame (``worker-0;...``) into one combined flamegraph.
+
+The default rate is 97 Hz, a prime, so the sampler cannot phase-lock
+with periodic work scheduled at round frequencies.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+DEFAULT_HZ = 97.0
+
+
+def _frame_label(frame: Any) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return f"{module}.{qualname}"
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler with folded-stack export."""
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        max_depth: int = 128,
+    ) -> None:
+        if hz <= 0:
+            raise ObservabilityError("profiler hz must be > 0")
+        if max_depth < 1:
+            raise ObservabilityError("profiler max_depth must be >= 1")
+        self.hz = float(hz)
+        self.max_depth = max_depth
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.samples = 0
+        self.sample_cost_s = 0.0
+        self._started_at: Optional[float] = None
+        self.elapsed_s = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            raise ObservabilityError("profiler is already running")
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._started_at is not None:
+            self.elapsed_s += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- sampling -------------------------------------------------------
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_ident = threading.get_ident()
+        while not self._stop.is_set():
+            t0 = time.perf_counter()
+            self._sample(own_ident)
+            self.sample_cost_s += time.perf_counter() - t0
+            self._stop.wait(interval)
+
+    def _sample(self, own_ident: int) -> None:
+        names = {
+            thread.ident: thread.name for thread in threading.enumerate()
+        }
+        for ident, frame in list(sys._current_frames().items()):
+            if ident == own_ident:
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            stack.reverse()
+            root = names.get(ident, f"thread-{ident}")
+            folded = ";".join([root] + stack)
+            with self._lock:
+                self._counts[folded] = self._counts.get(folded, 0) + 1
+                self.samples += 1
+
+    # -- results --------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def folded(self) -> str:
+        """The profile in folded-stack format (one ``stack count`` per
+        line), ready for ``flamegraph.pl`` or speedscope."""
+        counts = self.counts()
+        return "\n".join(
+            f"{stack} {count}"
+            for stack, count in sorted(
+                counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+
+    def overhead_ratio(self) -> float:
+        """Sampling CPU time as a fraction of profiled wall time."""
+        elapsed = self.elapsed_s
+        if self._started_at is not None:
+            elapsed += time.perf_counter() - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.sample_cost_s / elapsed
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "hz": self.hz,
+            "samples": self.samples,
+            "distinct_stacks": len(self.counts()),
+            "elapsed_s": self.elapsed_s,
+            "sample_cost_s": self.sample_cost_s,
+            "overhead_ratio": self.overhead_ratio(),
+        }
+
+    def top(self, limit: int = 15) -> List[Tuple[str, int]]:
+        """Leaf-frame self-sample counts, heaviest first."""
+        leaves: Dict[str, int] = {}
+        for stack, count in self.counts().items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        ranked = sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]
+
+    def report(self, limit: int = 15) -> str:
+        """Human-readable self-time table plus overhead accounting."""
+        stats = self.stats()
+        lines = [
+            f"profile: {stats['samples']} samples @ {self.hz:g} Hz over "
+            f"{stats['elapsed_s']:.2f}s "
+            f"(overhead {100 * stats['overhead_ratio']:.2f}%)",
+        ]
+        total = max(1, stats["samples"])
+        for leaf, count in self.top(limit):
+            lines.append(f"  {100 * count / total:5.1f}%  {count:6d}  {leaf}")
+        return "\n".join(lines)
+
+    # -- shipping / merging --------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Picklable snapshot (shipped over the gateway control pipe)."""
+        return {
+            "counts": self.counts(),
+            "samples": self.samples,
+            "hz": self.hz,
+            "elapsed_s": self.elapsed_s
+            + (
+                time.perf_counter() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "sample_cost_s": self.sample_cost_s,
+        }
+
+
+def merge_profiles(parts: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-process profile dicts under per-process root frames.
+
+    ``parts`` maps a lane name (``dispatcher``, ``worker-0``) to a
+    :meth:`SamplingProfiler.to_dict` payload; the result is the same
+    shape with every stack prefixed by its lane, so one flamegraph shows
+    all processes side by side.
+    """
+    counts: Dict[str, int] = {}
+    samples = 0
+    elapsed = 0.0
+    cost = 0.0
+    hz = DEFAULT_HZ
+    for lane, part in sorted(parts.items()):
+        if not part:
+            continue
+        for stack, count in part.get("counts", {}).items():
+            key = f"{lane};{stack}"
+            counts[key] = counts.get(key, 0) + count
+        samples += part.get("samples", 0)
+        elapsed = max(elapsed, part.get("elapsed_s", 0.0))
+        cost += part.get("sample_cost_s", 0.0)
+        hz = part.get("hz", hz)
+    return {
+        "counts": counts,
+        "samples": samples,
+        "hz": hz,
+        "elapsed_s": elapsed,
+        "sample_cost_s": cost,
+    }
+
+
+def folded_from_dict(profile: Dict[str, Any]) -> str:
+    """Render a profile dict (single or merged) as folded stacks."""
+    counts = profile.get("counts", {})
+    return "\n".join(
+        f"{stack} {count}"
+        for stack, count in sorted(
+            counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    )

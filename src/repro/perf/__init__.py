@@ -20,8 +20,14 @@ from repro.perf.model_bench import (
     print_model_report,
     run_model_bench,
 )
+from repro.perf.regression import (
+    compare_bench,
+    print_comparison,
+)
 
 __all__ = [
+    "compare_bench",
+    "print_comparison",
     "print_pipeline_report",
     "print_model_report",
     "run_pipeline_bench",

@@ -16,6 +16,7 @@ but ``step``/``drain`` are meant to run on one serving loop.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -322,7 +323,18 @@ class InferenceServer:
         if not batch:
             self.last_unserved = []
             return []
+        # Stage-latency ledger: batch-wait is how long each request sat
+        # in the queue before its forward started; forward is the fused
+        # batcher pass. Keeping both as separate histograms makes
+        # queueing delay separable from compute in stats()/Prometheus.
+        forward_start = time.perf_counter()
+        batch_wait = self.metrics.histogram("stage.batch_wait_s")
+        for request in batch:
+            batch_wait.observe(max(0.0, forward_start - request.enqueued_at))
         results = self.batcher.run(batch)
+        self.metrics.histogram("stage.forward_s").observe(
+            time.perf_counter() - forward_start
+        )
         served = {(r.session_id, r.frame_index) for r in results}
         unserved: List[tuple] = []
         for result in results:

@@ -246,3 +246,79 @@ def test_bench_provenance(tmp_path, capsys):
     for key in ("git_sha", "platform", "python", "numpy",
                 "timestamp_utc", "config_hash"):
         assert provenance[key]
+
+
+def test_profile_wrapper_runs_command(tmp_path, capsys):
+    """``mmhand profile <cmd>`` runs the wrapped command under the
+    sampling profiler and writes a non-empty folded-stack profile."""
+    out_path = tmp_path / "profile.folded"
+    json_path = tmp_path / "bench.json"
+    assert cli.main(
+        [
+            "profile", "--hz", "250", "--out", str(out_path),
+            "bench", "--smoke", "--model-only",
+            "--json", str(json_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "--- profile ---" in out
+    assert "overhead" in out
+    folded = out_path.read_text().strip().splitlines()
+    assert folded
+    stack, count = folded[0].rsplit(" ", 1)
+    assert int(count) >= 1
+    assert ";" in stack  # thread root + at least one frame
+
+
+def test_profile_wrapper_requires_command(capsys):
+    assert cli.main(["profile"]) == 1
+    assert "missing command" in capsys.readouterr().err
+    assert cli.main(["profile", "profile", "bench"]) == 1
+    assert "cannot nest" in capsys.readouterr().err
+
+
+def test_bench_compare_passes_against_self(tmp_path, capsys):
+    """A benchmark compared against itself always passes; a doctored
+    regression fails with a non-zero exit."""
+    import json
+
+    json_path = tmp_path / "bench_model.json"
+    assert cli.main(
+        [
+            "bench", "--smoke", "--model-only",
+            "--model-json", str(json_path),
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert cli.main(
+        ["bench-compare", str(json_path), str(json_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "0 failed" in out
+
+    doctored = json.loads(json_path.read_text())
+    doctored["within_tolerance"] = False
+    bad_path = tmp_path / "doctored.json"
+    bad_path.write_text(json.dumps(doctored))
+    assert cli.main(
+        ["bench-compare", str(bad_path), str(json_path)]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+
+
+def test_bench_compare_rejects_type_mismatch(tmp_path, capsys):
+    import json
+
+    model_like = tmp_path / "model.json"
+    model_like.write_text(json.dumps({"within_tolerance": True}))
+    pipeline_like = tmp_path / "pipeline.json"
+    pipeline_like.write_text(json.dumps({"cube_build": {}}))
+    assert cli.main(
+        ["bench-compare", str(model_like), str(pipeline_like)]
+    ) == 1
+    assert "mismatch" in capsys.readouterr().err
+    assert cli.main(
+        ["bench-compare", str(model_like), str(tmp_path / "nope.json")]
+    ) == 1
+    assert "cannot read" in capsys.readouterr().err

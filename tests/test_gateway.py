@@ -554,3 +554,197 @@ def test_gateway_rejects_mismatched_plan_artifact(configs, tmp_path):
             pytest.fail("worker kept running with a mismatched plan")
     finally:
         gateway.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Distributed tracing
+# ----------------------------------------------------------------------
+
+
+def test_ring_slot_header_carries_trace_context():
+    """The v2 slot header roundtrips trace id / parent span / enqueue
+    timestamp, and defaults to zeros when no context is supplied."""
+    ring = ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES + 256)
+    try:
+        payload = np.arange(12, dtype=np.float32).reshape(3, 4)
+        enqueued = time.time()
+        assert ring.push(
+            KIND_FRAME_CUBE, "traced", 3, payload,
+            trace_id=0xDEADBEEFCAFE, parent_span_id=0x1234_5678_9ABC,
+            enqueue_ts=enqueued,
+        )
+        message = ring.pop()
+        assert message.trace_id == 0xDEADBEEFCAFE
+        assert message.parent_span_id == 0x1234_5678_9ABC
+        assert message.enqueue_ts == pytest.approx(enqueued)
+        np.testing.assert_array_equal(message.payload, payload)
+
+        assert ring.push(KIND_FRAME_CUBE, "plain", 4, payload)
+        message = ring.pop()
+        assert message.trace_id == 0
+        assert message.parent_span_id == 0
+        assert message.enqueue_ts == 0.0
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_gateway_merged_trace_parents_worker_spans(configs, tmp_path):
+    """One gateway run produces ONE merged trace: every worker-side
+    ``worker.forward`` span is parented (via the context propagated in
+    the ring header) to its dispatcher-side ``gateway.submit`` span,
+    spans arrive from both worker processes, the stage-latency ledger
+    fills in, and the Chrome export gets per-process lanes."""
+    import json
+
+    from repro.obs import trace as obs_trace
+
+    obs_trace.clear()
+    radar, dsp, model = configs
+    config = _gateway_config(workers=2, profile_hz=50.0)
+    dispatcher_pid = os.getpid()
+    with Gateway(radar, dsp, model, config) as gateway:
+        sids = [gateway.open_session() for _ in range(4)]
+        frames = _cube_frames(dsp, 6, seed=11)
+        sent, results = _feed_all(gateway, sids, frames)
+        results.extend(gateway.drain(timeout_s=30))
+        stats = gateway.stats()  # pulls worker spans + stage ledger
+        stages = stats["stage_latency"]
+    # Shutdown absorbed each worker's final "bye" payload, so the
+    # records below include every span the pool ever finished.
+    records = gateway.trace_records()
+    assert sent == len(frames) * len(sids)
+    assert results
+
+    submits = {}
+    for record in records:
+        if record["name"] == "gateway.submit":
+            key = (
+                record["fields"]["session"],
+                record["fields"]["frame_id"],
+            )
+            submits[key] = record
+            assert record["pid"] == dispatcher_pid
+    assert len(submits) == sent
+
+    # One forward span per served pose (the first frame of a session is
+    # absorbed into the segment window and produces no pose).
+    forwards = [r for r in records if r["name"] == "worker.forward"]
+    assert len(forwards) == len(results)
+    forward_pids = set()
+    for record in forwards:
+        forward_pids.add(record["pid"])
+        parent = submits[
+            (record["fields"]["session"], record["fields"]["frame_id"])
+        ]
+        # The propagated context stitches the cross-process edge.
+        assert record["parent_id"] == parent["span_id"]
+        assert record["trace_id"] == parent["trace_id"]
+        assert record["correlation_id"] == (
+            f"{record['fields']['session']}#{record['fields']['frame_id']}"
+        )
+    assert len(forward_pids) == 2, "expected spans from both workers"
+    assert dispatcher_pid not in forward_pids
+
+    # Per-frame stage ledger: every acceptance stage has samples.
+    for stage in ("submit", "ring_wait", "batch_wait", "forward", "e2e"):
+        assert stages[stage]["count"] > 0, stage
+        assert stages[stage]["mean"] >= 0.0
+
+    # Merged Chrome export: one file, per-process lanes.
+    path = str(tmp_path / "merged_trace.json")
+    gateway.export_chrome(path)
+    with open(path) as fh:
+        events = json.load(fh)["traceEvents"]
+    lanes = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert {"dispatcher", "worker-0", "worker-1"} <= lanes
+    span_events = [e for e in events if e["ph"] == "X"]
+    assert {e["pid"] for e in span_events} >= forward_pids | {dispatcher_pid}
+
+    # Workers profiled themselves and shipped the samples home.
+    profile = gateway.merged_profile()
+    assert profile["samples"] > 0
+    assert any(
+        stack.startswith(("worker-0;", "worker-1;"))
+        for stack in profile["counts"]
+    )
+
+
+def test_gateway_crash_keeps_correlation_and_trace_parentage(configs):
+    """SIGKILL a worker mid-stream: crash dead letters carry the frame's
+    correlation id, and frames replayed into the restarted worker keep
+    their ORIGINAL submit-span parentage in the merged trace."""
+    from repro.obs import trace as obs_trace
+
+    obs_trace.clear()
+    radar, dsp, model = configs
+    config = _gateway_config(workers=2, heartbeat_timeout_s=2.0)
+    with Gateway(radar, dsp, model, config) as gateway:
+        sids = [gateway.open_session() for _ in range(4)]
+        frames = _cube_frames(dsp, 8, seed=13)
+        results = []
+        sent = 0
+        for frame in frames[:4]:
+            for sid in sids:
+                gateway.submit_cube(sid, frame)
+                sent += 1
+
+        victim = gateway._workers[0]
+        victim_pid = victim.process.pid
+        os.kill(victim_pid, signal.SIGKILL)
+        victim.process.join(timeout=10)
+
+        more_sent, more = _feed_all(gateway, sids, frames[4:])
+        sent += more_sent
+        results.extend(more)
+        results.extend(gateway.drain(timeout_s=30))
+        stats = gateway.stats()
+        replayed = int(
+            stats["counters"].get("gateway.frames_replayed", 0)
+        )
+    records = gateway.trace_records()
+
+    # Correlation ids survive the crash into the dead-letter log.
+    crash_letters = [
+        letter
+        for letter in gateway.dead_letters.tail()
+        if letter["stage"] == "worker-crash"
+    ]
+    for letter in crash_letters:
+        assert letter["corr_id"] == (
+            f"{letter['session_id']}#{letter['frame_index']}"
+        )
+    # The kill happened mid-stream: SOMETHING was in flight, so the
+    # crash either dead-lettered or replayed frames (usually both).
+    assert crash_letters or replayed > 0
+
+    # Every served frame -- including the replayed ones, which ran in
+    # the restarted worker's NEW process -- parents back to the submit
+    # span that first forwarded it.
+    submits = {
+        (r["fields"]["session"], r["fields"]["frame_id"]): r
+        for r in records
+        if r["name"] == "gateway.submit"
+    }
+    forwards = [r for r in records if r["name"] == "worker.forward"]
+    assert forwards
+    post_crash_pids = set()
+    for record in forwards:
+        parent = submits[
+            (record["fields"]["session"], record["fields"]["frame_id"])
+        ]
+        assert record["parent_id"] == parent["span_id"]
+        assert record["trace_id"] == parent["trace_id"]
+        post_crash_pids.add(record["pid"])
+    # The replacement worker (new pid) contributed parented spans too.
+    assert any(pid != victim_pid for pid in post_crash_pids)
+    # Accounting identity from the recovery contract still holds.
+    counters = stats["counters"]
+    acked = int(counters["gateway.acks"])
+    dead = int(stats["dead_letters"]["total"])
+    crash_acked = int(counters.get("gateway.crash_dead_letters", 0))
+    assert sent == acked + dead - crash_acked

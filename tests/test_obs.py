@@ -253,17 +253,63 @@ def test_prometheus_exposition_format():
     assert "mmhand_dsp_plan_cache_hits_total 3" in text
     assert "# TYPE mmhand_serving_queue_depth gauge" in text
     assert "mmhand_serving_queue_depth 2.0" in text
-    assert "# TYPE mmhand_serving_latency_s summary" in text
-    assert 'mmhand_serving_latency_s{quantile="0.5"} 0.2' in text
+    # Histograms expose cumulative le buckets (+Inf = lifetime count)
+    # plus _sum/_count, with reservoir quantiles alongside.
+    assert "# TYPE mmhand_serving_latency_s histogram" in text
+    assert 'mmhand_serving_latency_s_bucket{le="0.1"} 1' in text
+    assert 'mmhand_serving_latency_s_bucket{le="0.25"} 2' in text
+    assert 'mmhand_serving_latency_s_bucket{le="0.5"} 3' in text
+    assert 'mmhand_serving_latency_s_bucket{le="+Inf"} 3' in text
+    assert "# TYPE mmhand_serving_latency_s_quantiles summary" in text
+    assert 'mmhand_serving_latency_s_quantiles{quantile="0.5"} 0.2' in text
     assert "mmhand_serving_latency_s_count 3" in text
     assert "mmhand_serving_latency_s_sum 0.6" in text
+    # Every metric has a HELP line preceding its TYPE line.
+    lines = text.strip().splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith("# TYPE"):
+            metric = line.split()[2]
+            assert lines[index - 1].startswith(f"# HELP {metric} ")
     # Every non-comment line is "name[{labels}] value".
-    for line in text.strip().splitlines():
+    for line in lines:
         if line.startswith("#"):
             continue
         name, value = line.rsplit(" ", 1)
         assert name
         float(value)
+
+
+def test_prometheus_help_override_and_bucket_monotonicity():
+    registry = MetricsRegistry()
+    registry.describe("latency_s", "end-to-end serving latency")
+    hist = registry.histogram("latency_s")
+    for value in (0.0001, 0.003, 0.04, 0.9, 99.0):
+        hist.observe(value)
+    text = registry.to_prometheus()
+    assert "# HELP mmhand_latency_s end-to-end serving latency" in text
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("mmhand_latency_s_bucket")
+    ]
+    assert counts == sorted(counts)  # cumulative
+    assert counts[-1] == 5  # +Inf holds every observation (99 > 10s)
+    assert counts[-2] == 4  # largest finite bound misses the outlier
+
+
+def test_event_log_tracks_dropped_and_exposes_it():
+    registry = MetricsRegistry(event_capacity=4)
+    for index in range(10):
+        registry.events.emit("tick", index=index)
+    assert registry.events.emitted == 10
+    assert registry.events.dropped == 6
+    assert len(registry.events) == 4
+    snapshot = registry.snapshot()
+    assert snapshot["events_dropped"] == 6
+    assert snapshot["events_emitted"] == 10
+    text = registry.to_prometheus()
+    assert "mmhand_events_dropped_total 6" in text
+    assert "mmhand_events_emitted_total 10" in text
 
 
 def test_serving_metrics_shim_reexports():
@@ -454,3 +500,175 @@ def test_serving_correlation_ids_flow_to_events_and_prometheus():
         and record.get("correlation_id") == "client-1"
     ]
     assert dsp_spans
+
+
+# ----------------------------------------------------------------------
+# Cross-process trace propagation
+# ----------------------------------------------------------------------
+
+
+def test_remote_context_parents_spans_across_boundaries():
+    """A span opened under ``remote_context`` adopts the propagated
+    trace id and parent span id -- the cross-process stitch."""
+    tracer = Tracer(capacity=16)
+    with tracer.span("gateway.submit") as submit:
+        context = tracer.current_context()
+        assert context.trace_id == submit.trace_id
+        assert context.span_id == submit.span_id
+
+    # "The other side": a fresh tracer, as in a worker process.
+    worker = Tracer(capacity=16)
+    with worker.remote_context(context.trace_id, context.span_id):
+        with worker.span("worker.ingest") as ingest:
+            with worker.span("worker.forward"):
+                pass
+    records = {r["name"]: r for r in worker.spans()}
+    assert records["worker.ingest"]["parent_id"] == context.span_id
+    assert records["worker.ingest"]["trace_id"] == context.trace_id
+    # Nested spans chain locally but stay inside the remote trace.
+    assert records["worker.forward"]["parent_id"] == ingest.span_id
+    assert records["worker.forward"]["trace_id"] == context.trace_id
+    # Outside the context, spans root their own traces again.
+    with worker.span("unrelated") as span:
+        assert span.parent_id is None
+        assert span.trace_id == span.span_id
+
+
+def test_remote_context_noop_without_trace_id():
+    tracer = Tracer(capacity=4)
+    with tracer.remote_context(0, 0):
+        with tracer.span("orphan") as span:
+            assert span.parent_id is None
+            assert span.trace_id == span.span_id
+
+
+def test_tracer_record_and_drain():
+    """``record`` injects pre-timed spans; ``drain`` empties the buffer
+    (the worker ships spans home incrementally)."""
+    tracer = Tracer(capacity=8)
+    tracer.record(
+        "worker.forward", 1.0, 1.25,
+        trace_id=77, parent_id=42, correlation_id="s#3", batch=4,
+    )
+    (rec,) = tracer.drain()
+    assert rec["name"] == "worker.forward"
+    assert rec["trace_id"] == 77
+    assert rec["parent_id"] == 42
+    assert rec["correlation_id"] == "s#3"
+    assert rec["fields"]["batch"] == 4
+    assert rec["duration_s"] == pytest.approx(0.25)
+    assert rec["pid"] == __import__("os").getpid()
+    assert "start_unix" in rec
+    # Drained spans are gone; the buffer refills from zero.
+    assert tracer.drain() == []
+    tracer.record("again", 0.0, 0.1)
+    assert len(tracer.spans()) == 1
+
+
+def test_export_chrome_merged_builds_process_lanes(tmp_path):
+    """Records from several pids merge into one Chrome trace with named
+    per-process lanes and wall-clock-aligned timestamps."""
+    base = 1_700_000_000.0
+    records = [
+        {
+            "name": "gateway.submit", "span_id": 1, "trace_id": 1,
+            "parent_id": None, "start_s": 5.0, "duration_s": 0.010,
+            "status": "ok", "thread_id": 10, "thread_name": "MainThread",
+            "pid": 100, "start_unix": base + 0.000,
+        },
+        {
+            "name": "worker.forward", "span_id": 2, "trace_id": 1,
+            "parent_id": 1, "start_s": 0.5, "duration_s": 0.020,
+            "status": "ok", "thread_id": 20, "thread_name": "MainThread",
+            "pid": 200, "start_unix": base + 0.004,
+        },
+    ]
+    path = str(tmp_path / "merged.json")
+    obs_trace.export_chrome_merged(
+        path, records, {100: "dispatcher", 200: "worker-0"}
+    )
+    with open(path) as fh:
+        events = json.load(fh)["traceEvents"]
+    lanes = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert lanes == {100: "dispatcher", 200: "worker-0"}
+    spans = {e["name"]: e for e in events if e["ph"] == "X"}
+    # Timestamps align on the shared wall clock, not per-process
+    # monotonic epochs: the worker span starts 4ms after the submit.
+    assert spans["worker.forward"]["ts"] - spans["gateway.submit"][
+        "ts"
+    ] == pytest.approx(4000.0, abs=1.0)
+    assert spans["worker.forward"]["pid"] == 200
+    assert spans["worker.forward"]["args"]["trace_id"] == 1
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler
+# ----------------------------------------------------------------------
+
+
+def test_sampling_profiler_captures_stacks_and_reports():
+    from repro.obs.profiler import SamplingProfiler, folded_from_dict
+
+    def busy_loop(deadline):
+        total = 0.0
+        while time.perf_counter() < deadline:
+            total += sum(i * i for i in range(200))
+        return total
+
+    import time
+
+    profiler = SamplingProfiler(hz=200.0)
+    with profiler:
+        busy_loop(time.perf_counter() + 0.30)
+    assert profiler.samples > 10
+    counts = profiler.counts()
+    assert counts
+    # Stacks are thread-rooted and frame labels are module-qualified.
+    assert all(stack.startswith("MainThread;") for stack in counts)
+    assert any("busy_loop" in stack for stack in counts)
+    folded = profiler.folded()
+    assert folded == folded_from_dict(profiler.to_dict())
+    top = profiler.top(limit=3)
+    assert top and top[0][1] > 0
+    assert 0.0 <= profiler.overhead_ratio() < 0.5
+    stats = profiler.stats()
+    assert stats["samples"] == profiler.samples
+    # A second start() on the same profiler keeps accumulating.
+    before = profiler.samples
+    with profiler:
+        busy_loop(time.perf_counter() + 0.05)
+    assert profiler.samples > before
+
+
+def test_merge_profiles_prefixes_lanes():
+    from repro.obs.profiler import folded_from_dict, merge_profiles
+
+    merged = merge_profiles(
+        {
+            "worker-0": {
+                "counts": {"MainThread;a;b": 3},
+                "samples": 3, "hz": 97.0,
+                "elapsed_s": 1.0, "sample_cost_s": 0.001,
+            },
+            "worker-1": {
+                "counts": {"MainThread;a;b": 2, "MainThread;c": 1},
+                "samples": 3, "hz": 97.0,
+                "elapsed_s": 0.5, "sample_cost_s": 0.002,
+            },
+            "empty": {},
+        }
+    )
+    assert merged["counts"] == {
+        "worker-0;MainThread;a;b": 3,
+        "worker-1;MainThread;a;b": 2,
+        "worker-1;MainThread;c": 1,
+    }
+    assert merged["samples"] == 6
+    assert merged["elapsed_s"] == pytest.approx(1.0)
+    assert merged["sample_cost_s"] == pytest.approx(0.003)
+    lines = folded_from_dict(merged).splitlines()
+    assert lines[0] == "worker-0;MainThread;a;b 3"

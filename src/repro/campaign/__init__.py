@@ -1,0 +1,57 @@
+"""Campaign-scale data engine: sharded parallel generation, streaming
+prefetch datasets, and deterministic data-parallel training.
+
+The three stages compose into the scaled training path::
+
+    generate_campaign(out, shards, segs, workers=N)   # process fan-out
+        -> ShardedDataset(out)                        # mmap + prefetch
+        -> fit_data_parallel(regressor, ds, cfg, dp)  # GradBus ranks
+
+Every stage is bit-deterministic in its seed and independent of its
+physical parallelism (worker count, process count), which is what makes
+the chaos/regression suites able to pin outputs exactly.
+"""
+
+from repro.campaign.allreduce import GradBus, average_vectors
+from repro.campaign.dataset import ShardedDataset, ShardPrefetcher
+from repro.campaign.generate import (
+    DomainRandomization,
+    GenerationReport,
+    generate_campaign,
+)
+from repro.campaign.sharding import (
+    ShardSpec,
+    config_hash,
+    merged_input_stats,
+    merged_label_stats,
+    plan_shards,
+    read_manifest,
+    shard_filename,
+    write_manifest,
+    write_shard,
+)
+from repro.campaign.train import (
+    DataParallelConfig,
+    fit_data_parallel,
+)
+
+__all__ = [
+    "DataParallelConfig",
+    "DomainRandomization",
+    "GenerationReport",
+    "GradBus",
+    "ShardPrefetcher",
+    "ShardSpec",
+    "ShardedDataset",
+    "average_vectors",
+    "config_hash",
+    "fit_data_parallel",
+    "generate_campaign",
+    "merged_input_stats",
+    "merged_label_stats",
+    "plan_shards",
+    "read_manifest",
+    "shard_filename",
+    "write_manifest",
+    "write_shard",
+]

@@ -1,0 +1,200 @@
+"""Shared-memory gradient allreduce for data-parallel training.
+
+A :class:`GradBus` is one ``multiprocessing.shared_memory`` segment
+holding a fixed slot per rank, following the gateway ring's layout
+conventions (magic/version control block, cache-line-separated fields,
+publish-sequence torn-write guard):
+
+Layout::
+
+    [control 64 B][stop 64 B][slot 0][slot 1]...[slot W-1]
+
+    control: magic, version, ranks, vector_len, slot_bytes
+    stop:    one abort flag byte on its own cache line
+    slot:    64 B header (seq u64, total/l3d/lkine f64)
+             + float32 gradient vector, padded to a 64 B boundary
+
+Per optimisation step every rank writes its local gradient vector and
+micro-batch losses into its own slot (payload first, then ``seq`` --
+the ring's publication order), the ranks synchronise on a barrier, and
+each rank independently reduces all W slots **in fixed rank order**
+with float32 accumulation. Because every rank runs the identical
+deterministic reduction over identical bytes, all model replicas apply
+bit-identical averaged gradients and never drift -- which is what makes
+``processes=W`` training match the ``processes=1`` reference exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CampaignError
+
+_MAGIC = 0x6D6D4742  # "mmGB"
+_VERSION = 1
+
+_CONTROL = struct.Struct("<IIQQQ")  # magic, version, ranks, vec_len, slot_b
+_STOP_OFFSET = 64
+_SLOTS_OFFSET = 128
+_SLOT_HEADER = struct.Struct("<Qddd")  # seq, total, l3d, lkine
+SLOT_HEADER_BYTES = 64
+_ALIGN = 64
+
+
+def average_vectors(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Fixed-order float32 mean of equally-shaped gradient vectors.
+
+    The accumulation order is the sequence order (rank 0 first), in
+    float32 -- the one true reduction both the sequential and the
+    multi-process paths run, so their results agree to the bit.
+    """
+    if not vectors:
+        raise CampaignError("cannot average zero gradient vectors")
+    acc = np.zeros_like(vectors[0])
+    for vector in vectors:
+        acc += vector
+    return acc / np.float32(len(vectors))
+
+
+class GradBus:
+    """Per-rank gradient slots in one shared-memory segment."""
+
+    def __init__(
+        self,
+        ranks: int,
+        vector_len: int,
+        name: Optional[str] = None,
+        create: bool = True,
+    ) -> None:
+        if create:
+            if ranks < 1:
+                raise CampaignError("GradBus needs at least one rank")
+            if vector_len < 1:
+                raise CampaignError("gradient vector must be non-empty")
+        payload = SLOT_HEADER_BYTES + 4 * vector_len
+        slot_bytes = -(-payload // _ALIGN) * _ALIGN
+        total = _SLOTS_OFFSET + ranks * slot_bytes
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=total)
+            self._owner = True
+            self._shm.buf[:_SLOTS_OFFSET] = b"\x00" * _SLOTS_OFFSET
+            _CONTROL.pack_into(
+                self._shm.buf, 0,
+                _MAGIC, _VERSION, ranks, vector_len, slot_bytes,
+            )
+        else:
+            if name is None:
+                raise CampaignError("attaching to a GradBus requires name")
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+            magic, version, got_ranks, got_len, got_slot = (
+                _CONTROL.unpack_from(self._shm.buf, 0)
+            )
+            if magic != _MAGIC or version != _VERSION:
+                raise CampaignError(
+                    f"{name} is not a v{_VERSION} GradBus segment"
+                )
+            if (got_ranks, got_len) != (ranks, vector_len):
+                raise CampaignError(
+                    f"GradBus geometry mismatch: segment has "
+                    f"{got_ranks} ranks x {got_len}, expected "
+                    f"{ranks} x {vector_len}"
+                )
+            slot_bytes = got_slot
+        self.ranks = ranks
+        self.vector_len = vector_len
+        self.slot_bytes = slot_bytes
+        self._views = [
+            np.frombuffer(
+                self._shm.buf,
+                dtype=np.float32,
+                count=vector_len,
+                offset=(
+                    _SLOTS_OFFSET + r * slot_bytes + SLOT_HEADER_BYTES
+                ),
+            )
+            for r in range(ranks)
+        ]
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def _slot_offset(self, rank: int) -> int:
+        if not 0 <= rank < self.ranks:
+            raise CampaignError(f"no slot for rank {rank}")
+        return _SLOTS_OFFSET + rank * self.slot_bytes
+
+    # -- per-step protocol ----------------------------------------------
+    def publish(
+        self,
+        rank: int,
+        seq: int,
+        losses: Tuple[float, float, float],
+        grads: np.ndarray,
+    ) -> None:
+        """Write rank-local losses + gradient vector, payload before
+        ``seq`` (the ring's torn-write publication order)."""
+        if grads.shape != (self.vector_len,):
+            raise CampaignError(
+                f"gradient vector has shape {grads.shape}, bus expects "
+                f"({self.vector_len},)"
+            )
+        offset = self._slot_offset(rank)
+        self._views[rank][:] = grads
+        _SLOT_HEADER.pack_into(
+            self._shm.buf, offset, seq,
+            float(losses[0]), float(losses[1]), float(losses[2]),
+        )
+
+    def gather(
+        self, seq: int
+    ) -> Tuple[np.ndarray, List[Tuple[float, float, float]]]:
+        """Reduce all slots: (fixed-order averaged float32 gradients,
+        per-rank loss triples). Caller must have synchronised writers
+        first (barrier); a stale ``seq`` means a rank missed the step."""
+        losses: List[Tuple[float, float, float]] = []
+        for rank in range(self.ranks):
+            got_seq, total, l3d, lkine = _SLOT_HEADER.unpack_from(
+                self._shm.buf, self._slot_offset(rank)
+            )
+            if got_seq != seq:
+                raise CampaignError(
+                    f"rank {rank} slot holds step {got_seq}, expected "
+                    f"{seq}: a worker fell out of lockstep"
+                )
+            losses.append((total, l3d, lkine))
+        averaged = average_vectors(self._views)
+        return averaged, losses
+
+    # -- abort flag ------------------------------------------------------
+    def signal_stop(self) -> None:
+        self._shm.buf[_STOP_OFFSET] = 1
+
+    def stopped(self) -> bool:
+        return self._shm.buf[_STOP_OFFSET] != 0
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        # Views alias the shm buffer; drop them before closing so the
+        # memoryview release does not fail with exported pointers.
+        self._views = []
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "GradBus":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,240 @@
+"""On-disk layout of a sharded generation campaign.
+
+A campaign directory holds uncompressed ``shard-NNNN.npz`` dataset
+archives (written atomically, memory-mappable via
+``HandPoseDataset.load(mmap_mode="r")``) plus one ``manifest.json``
+index. The manifest is the single source of truth for everything a
+reader needs *without touching shard data*:
+
+* the generation configs (radar/DSP/campaign/randomization) and their
+  canonical SHA-256 hash, so a trainer can refuse mismatched data;
+* the seeding tree -- one root ``SeedSequence`` entropy plus each
+  shard's ``spawn_key``, which makes every shard reproducible in
+  isolation and the whole campaign independent of worker count and
+  scheduling order;
+* exact per-shard streaming moments (count / sum / sum-of-squares in
+  float64) for inputs and labels, merged in shard-index order into the
+  global normalization statistics -- bit-identical no matter how many
+  processes generated or consume the shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import HandPoseDataset
+from repro.errors import CampaignError
+from repro.resilience.checkpoint import atomic_write_bytes
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT_VERSION = 1
+
+
+def shard_filename(index: int) -> str:
+    """Canonical shard file name (zero-padded for lexical ordering)."""
+    return f"shard-{index:04d}.npz"
+
+
+def config_hash(config: Dict[str, Any]) -> str:
+    """SHA-256 of the canonical (sorted-key) JSON of ``config``."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Plan for one shard, fixed before any generation work starts.
+
+    ``entropy`` / ``spawn_key`` reconstruct the shard's private
+    ``np.random.SeedSequence`` exactly: the root sequence is spawned
+    once per campaign and child ``spawn_key``s are recorded, so a shard
+    regenerated alone (or by a different worker) produces identical
+    bytes.
+    """
+
+    index: int
+    entropy: int
+    spawn_key: Tuple[int, ...]
+    num_segments: int
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=self.spawn_key
+        )
+
+
+def plan_shards(
+    seed: int, num_shards: int, segments_per_shard: int
+) -> List[ShardSpec]:
+    """Deterministic shard plan: one spawned seed child per shard."""
+    if num_shards < 1:
+        raise CampaignError("num_shards must be >= 1")
+    if segments_per_shard < 1:
+        raise CampaignError("segments_per_shard must be >= 1")
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(num_shards)
+    return [
+        ShardSpec(
+            index=i,
+            entropy=int(child.entropy),
+            spawn_key=tuple(int(k) for k in child.spawn_key),
+            num_segments=segments_per_shard,
+        )
+        for i, child in enumerate(children)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Streaming moments
+# ----------------------------------------------------------------------
+def dataset_moments(dataset: HandPoseDataset) -> Dict[str, Any]:
+    """Exact float64 count/sum/sumsq moments of one shard's arrays.
+
+    Inputs are summarised as scalars over every cube element (matching
+    ``Trainer``'s scalar input normalization); labels per joint
+    coordinate (21, 3).
+    """
+    segments = np.asarray(dataset.segments, dtype=np.float64)
+    labels = np.asarray(dataset.labels, dtype=np.float64)
+    return {
+        "input": {
+            "count": int(segments.size),
+            "sum": float(segments.sum()),
+            "sumsq": float((segments * segments).sum()),
+        },
+        "label": {
+            "count": int(len(labels)),
+            "sum": labels.sum(axis=0).tolist(),
+            "sumsq": (labels * labels).sum(axis=0).tolist(),
+        },
+    }
+
+
+def _merged(shards: Sequence[Dict[str, Any]], key: str):
+    """Sum the ``key`` moments over shards in shard-index order."""
+    ordered = sorted(shards, key=lambda s: s["index"])
+    count = 0
+    total: Any = None
+    sumsq: Any = None
+    for shard in ordered:
+        stats = shard["stats"][key]
+        count += int(stats["count"])
+        part_sum = np.asarray(stats["sum"], dtype=np.float64)
+        part_sq = np.asarray(stats["sumsq"], dtype=np.float64)
+        total = part_sum if total is None else total + part_sum
+        sumsq = part_sq if sumsq is None else sumsq + part_sq
+    if count == 0:
+        raise CampaignError("cannot merge statistics of zero segments")
+    return count, total, sumsq
+
+
+def merged_input_stats(
+    shards: Sequence[Dict[str, Any]],
+) -> Tuple[float, float]:
+    """Global scalar (mean, std) of the input cubes, exactly as if the
+    whole campaign were one in-memory array (modulo float64 rounding of
+    the streaming formula, which is itself deterministic)."""
+    count, total, sumsq = _merged(shards, "input")
+    mean = float(total) / count
+    var = max(float(sumsq) / count - mean * mean, 0.0)
+    return mean, float(np.sqrt(var))
+
+
+def merged_label_stats(
+    shards: Sequence[Dict[str, Any]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Global per-joint-coordinate label (mean, std), shapes (21, 3)."""
+    count, total, sumsq = _merged(shards, "label")
+    mean = total / count
+    var = np.maximum(sumsq / count - mean * mean, 0.0)
+    return mean, np.sqrt(var)
+
+
+# ----------------------------------------------------------------------
+# Shard + manifest I/O
+# ----------------------------------------------------------------------
+def write_shard(
+    directory: str, spec: ShardSpec, dataset: HandPoseDataset
+) -> Dict[str, Any]:
+    """Atomically publish one shard; returns its manifest record.
+
+    The archive is uncompressed (``ZIP_STORED``) so readers can map it,
+    and lands via the checkpoint module's write-tmp+fsync+rename
+    discipline: a crashed or preempted worker never leaves a partial
+    shard under the canonical name.
+    """
+    filename = shard_filename(spec.index)
+    atomic_write_bytes(
+        os.path.join(directory, filename),
+        dataset.to_npz_bytes(compress=False),
+    )
+    return {
+        "file": filename,
+        "index": spec.index,
+        "entropy": spec.entropy,
+        "spawn_key": list(spec.spawn_key),
+        "num_segments": len(dataset),
+        "user_ids": sorted({int(m.user_id) for m in dataset.meta}),
+        "stats": dataset_moments(dataset),
+    }
+
+
+def write_manifest(
+    directory: str,
+    seed: int,
+    config: Dict[str, Any],
+    shards: Sequence[Dict[str, Any]],
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Atomically publish the campaign index manifest."""
+    manifest = {
+        "format_version": MANIFEST_FORMAT_VERSION,
+        "seed": int(seed),
+        "config": config,
+        "config_sha256": config_hash(config),
+        "num_shards": len(shards),
+        "total_segments": sum(int(s["num_segments"]) for s in shards),
+        "shards": sorted(shards, key=lambda s: s["index"]),
+    }
+    if extra:
+        manifest.update(extra)
+    path = os.path.join(directory, MANIFEST_NAME)
+    payload = json.dumps(manifest, indent=2, sort_keys=True).encode()
+    atomic_write_bytes(path, payload)
+    return path
+
+
+def read_manifest(directory: str) -> Dict[str, Any]:
+    """Load and validate ``manifest.json`` from a campaign directory."""
+    path = os.path.join(os.fspath(directory), MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise CampaignError(
+            f"{directory} is not a campaign directory (no {MANIFEST_NAME})"
+        )
+    try:
+        with open(path) as fh:
+            manifest = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"unreadable manifest {path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != MANIFEST_FORMAT_VERSION:
+        raise CampaignError(
+            f"manifest {path} has format_version {version!r}; this "
+            f"reader understands {MANIFEST_FORMAT_VERSION}"
+        )
+    for record in manifest.get("shards", []):
+        shard_path = os.path.join(directory, record["file"])
+        if not os.path.exists(shard_path):
+            raise CampaignError(
+                f"manifest lists {record['file']} but the shard file "
+                "is missing -- was the campaign interrupted?"
+            )
+    if not manifest.get("shards"):
+        raise CampaignError(f"manifest {path} lists no shards")
+    return manifest

@@ -1,0 +1,539 @@
+"""Deterministic data-parallel training over campaign shards.
+
+The central design rule: **the gradient math is defined by the logical
+``world_size`` W, and the physical process count only distributes it.**
+Every optimisation step runs W micro-batches (one per rank, each rank
+drawing from its own shard slice with a stateless
+``SeedSequence([seed, epoch, rank])`` permutation), reduces the W
+float32 gradient vectors in fixed rank order, and applies the averaged
+gradient to every model replica. ``processes=1`` executes the W rank
+micro-steps sequentially in one process; ``processes=W`` forks one
+process per rank and moves the same vectors over the shared-memory
+:class:`~repro.campaign.allreduce.GradBus`. Both paths therefore
+produce bit-identical loss trajectories, parameters and optimizer
+state -- the property the chaos tests pin down.
+
+Checkpoints compose with the PR 5 contract: rank 0 writes atomic
+archives via ``resilience.checkpoint``; because per-epoch RNG is
+stateless, a checkpoint needs no RNG state and every rank resumes
+bit-identically from just the epoch number (workers are re-forked from
+the restored parent, so all replicas restart in the same state).
+
+One asymmetry is deliberate: batch-norm *running statistics* (buffers,
+not parameters) track whichever micro-batches a replica forwards, so
+the sequential reference accumulates all W streams while parallel
+rank r sees only stream r. Training-mode forwards use batch statistics,
+so losses, gradients and parameters are unaffected; only post-training
+eval-mode buffer contents differ between the two execution modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from threading import BrokenBarrierError
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import TrainConfig
+from repro.core.losses import combined_loss
+from repro.core.regressor import HandJointRegressor
+from repro.core.training import TrainResult
+from repro.data.dataset import HandPoseDataset
+from repro.errors import CampaignError, CheckpointError
+from repro.nn.optim import Adam, CosineSchedule
+from repro.nn.tensor import Tensor
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.resilience.checkpoint import (
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.campaign.allreduce import GradBus, average_vectors
+from repro.campaign.dataset import ShardedDataset
+
+
+@dataclass(frozen=True)
+class DataParallelConfig:
+    """Shape of a data-parallel run.
+
+    ``world_size`` fixes the gradient math (W micro-batches averaged
+    per step; the effective global batch is ``W * batch_size``).
+    ``processes`` is the physical fan-out: 1 (sequential reference) or
+    exactly ``world_size`` (one forked worker per rank).
+    """
+
+    world_size: int = 2
+    processes: int = 1
+    barrier_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise CampaignError("world_size must be >= 1")
+        if self.processes not in (1, self.world_size):
+            raise CampaignError(
+                f"processes must be 1 or world_size "
+                f"({self.world_size}), got {self.processes}"
+            )
+        if self.barrier_timeout_s <= 0:
+            raise CampaignError("barrier_timeout_s must be positive")
+
+
+def _epoch_order(
+    seed: int, epoch: int, rank: int, length: int
+) -> np.ndarray:
+    """Stateless per-(epoch, rank) shuffle: no RNG object survives
+    between epochs, so resume needs only the epoch number."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(seed), int(epoch), int(rank)])
+    )
+    return rng.permutation(length)
+
+
+def _mean_losses(
+    losses: Sequence[Tuple[float, float, float]],
+) -> Tuple[float, float, float]:
+    """Rank-order float64 mean of per-rank loss triples."""
+    count = len(losses)
+    return (
+        sum(entry[0] for entry in losses) / count,
+        sum(entry[1] for entry in losses) / count,
+        sum(entry[2] for entry in losses) / count,
+    )
+
+
+class _RankData:
+    """One rank's normalized training arrays."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+def _split_ranks(
+    regressor: HandJointRegressor,
+    dataset: Union[HandPoseDataset, ShardedDataset],
+    world_size: int,
+) -> List[_RankData]:
+    """Fit normalization and build each rank's slice.
+
+    Sharded campaigns: normalization comes exactly from the manifest
+    moments, shards go round-robin to ranks, and each slice is
+    materialised through the prefetching loader. In-memory datasets:
+    normalization over the full arrays (the single-process recipe) and
+    contiguous ``len // W`` slices. Either way the split depends only
+    on ``world_size``.
+    """
+    if isinstance(dataset, ShardedDataset):
+        if dataset.num_shards < world_size:
+            raise CampaignError(
+                f"campaign has {dataset.num_shards} shards; cannot feed "
+                f"{world_size} ranks -- regenerate with more shards"
+            )
+        mean, std = dataset.input_stats()
+        label_mean, label_std = dataset.label_stats()
+        regressor.set_normalization(
+            input_mean=mean,
+            input_std=std + 1e-6,
+            label_mean=label_mean.astype(np.float32),
+            label_std=(label_std + 1e-6).astype(np.float32),
+        )
+        ranks = []
+        for rank in range(world_size):
+            shard = dataset.materialize(
+                dataset.shard_slice(rank, world_size)
+            )
+            ranks.append(
+                _RankData(
+                    regressor.normalize_inputs(shard.segments),
+                    shard.labels.astype(np.float32),
+                )
+            )
+        return ranks
+    segments = dataset.segments
+    labels = dataset.labels
+    regressor.set_normalization(
+        input_mean=float(segments.mean()),
+        input_std=float(segments.std() + 1e-6),
+        label_mean=labels.mean(axis=0),
+        label_std=labels.std(axis=0) + 1e-6,
+    )
+    per_rank = len(dataset) // world_size
+    if per_rank == 0:
+        raise CampaignError(
+            f"dataset of {len(dataset)} segments cannot feed "
+            f"{world_size} ranks"
+        )
+    x = regressor.normalize_inputs(segments)
+    y = labels.astype(np.float32)
+    return [
+        _RankData(
+            x[rank * per_rank : (rank + 1) * per_rank],
+            y[rank * per_rank : (rank + 1) * per_rank],
+        )
+        for rank in range(world_size)
+    ]
+
+
+def _local_step(
+    regressor: HandJointRegressor,
+    optimizer: Adam,
+    data: _RankData,
+    idx: np.ndarray,
+    cfg: TrainConfig,
+    label_mean: Tensor,
+    label_std: Tensor,
+) -> Tuple[Tuple[float, float, float], np.ndarray]:
+    """One rank-local forward/backward; returns (losses, grad vector)."""
+    pred_norm = regressor(Tensor(data.x[idx]))
+    pred_m = pred_norm * label_std + label_mean
+    total, l3d, lkine = combined_loss(pred_m, data.y[idx], cfg)
+    optimizer.zero_grad()
+    total.backward()
+    return (
+        (float(total.data), float(l3d.data), float(lkine.data)),
+        optimizer.grad_vector(),
+    )
+
+
+def _apply_averaged(
+    optimizer: Adam,
+    schedule: CosineSchedule,
+    averaged: np.ndarray,
+    cfg: TrainConfig,
+) -> float:
+    """Scatter the averaged gradient, clip, and step -- identical on
+    every rank, so replicas never drift."""
+    optimizer.set_grad_vector(averaged)
+    if cfg.grad_clip > 0:
+        grad_norm = optimizer.clip_gradients(cfg.grad_clip)
+    else:
+        grad_norm = float(np.linalg.norm(averaged))
+    optimizer.step()
+    schedule.step()
+    return float(grad_norm)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints (campaign flavour of the PR 5 contract)
+# ----------------------------------------------------------------------
+def _write_campaign_checkpoint(
+    directory, epoch, regressor, optimizer, schedule, result, step,
+    world_size, seed,
+) -> str:
+    extra = {
+        "campaign_format": 1,
+        "epoch": int(epoch),
+        "step": int(step),
+        "schedule_step": int(schedule._step),
+        "world_size": int(world_size),
+        "seed": int(seed),
+        "total_loss": result.total_loss,
+        "l3d": result.l3d,
+        "lkine": result.lkine,
+        "epoch_stats": result.epoch_stats,
+    }
+    path = checkpoint_path(directory, epoch)
+    save_checkpoint(
+        path, regressor.state_dict(), optimizer.state_dict(), extra
+    )
+    obs_metrics.counter("campaign.train.checkpoints").increment()
+    return path
+
+
+def _restore_campaign_checkpoint(
+    resume_from, regressor, optimizer, schedule, result, world_size, seed
+) -> Tuple[int, int]:
+    payload = load_checkpoint(resume_from)
+    extra = payload["extra"]
+    if extra.get("campaign_format") != 1:
+        raise CheckpointError(
+            f"{resume_from} is not a campaign checkpoint (was it "
+            "written by Trainer.fit instead of fit_data_parallel?)"
+        )
+    if int(extra.get("world_size", -1)) != world_size:
+        raise CheckpointError(
+            f"checkpoint was trained at world_size "
+            f"{extra.get('world_size')}, run is configured for "
+            f"{world_size}; gradient averaging would differ"
+        )
+    if int(extra.get("seed", -1)) != seed:
+        raise CheckpointError(
+            f"checkpoint seed {extra.get('seed')} != configured {seed}"
+        )
+    regressor.load_state_dict(payload["model"])
+    if payload["optimizer"] is not None:
+        optimizer.load_state_dict(payload["optimizer"])
+    schedule._step = int(extra["schedule_step"])
+    result.total_loss = [float(v) for v in extra.get("total_loss", [])]
+    result.l3d = [float(v) for v in extra.get("l3d", [])]
+    result.lkine = [float(v) for v in extra.get("lkine", [])]
+    result.epoch_stats = list(extra.get("epoch_stats", []))
+    result.epochs = int(extra["epoch"])
+    return int(extra["epoch"]), int(extra["step"])
+
+
+# ----------------------------------------------------------------------
+# The fit
+# ----------------------------------------------------------------------
+def fit_data_parallel(
+    regressor: HandJointRegressor,
+    dataset: Union[HandPoseDataset, ShardedDataset],
+    config: Optional[TrainConfig] = None,
+    dp: Optional[DataParallelConfig] = None,
+    verbose: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume_from: Optional[str] = None,
+    fault_injector=None,
+) -> TrainResult:
+    """Data-parallel :meth:`Trainer.fit` over a campaign or dataset.
+
+    See the module docstring for the determinism contract. Rank 0 runs
+    in the calling process (and is the only writer of history,
+    checkpoints and logs); with ``dp.processes == world_size`` ranks
+    1..W-1 are forked *after* normalization, optimizer construction and
+    any checkpoint restore, so every replica starts from identical
+    state and stays identical by construction.
+    """
+    cfg = config if config is not None else TrainConfig()
+    dp = dp if dp is not None else DataParallelConfig()
+    if checkpoint_every < 1:
+        raise CheckpointError("checkpoint_every must be >= 1")
+    world = dp.world_size
+
+    ranks = _split_ranks(regressor, dataset, world)
+    steps_per_epoch = min(len(r) // cfg.batch_size for r in ranks)
+    if steps_per_epoch < 1:
+        raise CampaignError(
+            f"smallest rank slice ({min(len(r) for r in ranks)} segments)"
+            f" is below one batch of {cfg.batch_size}"
+        )
+
+    optimizer = Adam(
+        regressor.parameters(),
+        lr=cfg.learning_rate,
+        weight_decay=cfg.weight_decay,
+    )
+    schedule = CosineSchedule(
+        optimizer, cfg.learning_rate, cfg.epochs * steps_per_epoch
+    )
+    result = TrainResult()
+    step = 0
+    start_epoch = 0
+    if resume_from is not None:
+        start_epoch, step = _restore_campaign_checkpoint(
+            resume_from, regressor, optimizer, schedule, result,
+            world, cfg.seed,
+        )
+
+    label_mean = Tensor(regressor.label_mean)
+    label_std = Tensor(regressor.label_std)
+    logger = get_logger("campaign")
+    regressor.train()
+    started = time.perf_counter()
+
+    def run_rank0_loop(reduce_step) -> None:
+        """The shared epoch/step loop; ``reduce_step(epoch, b, seq)``
+        returns (averaged losses, grad_norm) for one global step."""
+        nonlocal step
+        for epoch in range(start_epoch, cfg.epochs):
+            epoch_start = time.perf_counter()
+            grad_norm = 0.0
+            for b in range(steps_per_epoch):
+                if fault_injector is not None:
+                    fault_injector.maybe_kill_batch()
+                seq = epoch * steps_per_epoch + b + 1
+                (total, l3d, lkine), grad_norm = reduce_step(
+                    epoch, b, seq
+                )
+                result.total_loss.append(total)
+                result.l3d.append(l3d)
+                result.lkine.append(lkine)
+                step += 1
+            result.epochs = epoch + 1
+            epoch_s = time.perf_counter() - epoch_start
+            segments = steps_per_epoch * cfg.batch_size * world
+            epoch_loss = float(
+                np.mean(result.total_loss[-steps_per_epoch:])
+            )
+            throughput = segments / epoch_s if epoch_s > 0 else 0.0
+            result.epoch_stats.append({
+                "epoch": epoch + 1,
+                "loss": epoch_loss,
+                "grad_norm": float(grad_norm),
+                "segments_per_s": throughput,
+                "elapsed_s": epoch_s,
+            })
+            obs_metrics.histogram("campaign.train.epoch_s").observe(
+                epoch_s
+            )
+            obs_metrics.histogram(
+                "campaign.train.segments_per_s"
+            ).observe(throughput)
+            obs_metrics.gauge("campaign.train.last_loss").set(epoch_loss)
+            if checkpoint_dir is not None and (
+                (epoch + 1) % checkpoint_every == 0
+                or epoch + 1 == cfg.epochs
+            ):
+                _write_campaign_checkpoint(
+                    checkpoint_dir, epoch + 1, regressor, optimizer,
+                    schedule, result, step, world, cfg.seed,
+                )
+            if verbose:
+                logger.info(
+                    "campaign_epoch",
+                    epoch=epoch + 1,
+                    epochs=cfg.epochs,
+                    loss=epoch_loss,
+                    grad_norm=float(grad_norm),
+                    segments_per_s=throughput,
+                    world_size=world,
+                    processes=dp.processes,
+                )
+
+    if dp.processes == 1:
+        # Sequential reference: one model, W micro-steps per global
+        # step, identical reduction. Permutations are cached per epoch.
+        orders_cache = {}
+
+        def reduce_sequential(epoch, b, seq):
+            if orders_cache.get("epoch") != epoch:
+                orders_cache["epoch"] = epoch
+                orders_cache["orders"] = [
+                    _epoch_order(cfg.seed, epoch, r, len(ranks[r]))
+                    for r in range(world)
+                ]
+            vectors = []
+            losses = []
+            for r in range(world):
+                idx = orders_cache["orders"][r][
+                    b * cfg.batch_size : (b + 1) * cfg.batch_size
+                ]
+                loss, vector = _local_step(
+                    regressor, optimizer, ranks[r], idx, cfg,
+                    label_mean, label_std,
+                )
+                losses.append(loss)
+                vectors.append(vector)
+            averaged = average_vectors(vectors)
+            grad_norm = _apply_averaged(
+                optimizer, schedule, averaged, cfg
+            )
+            return _mean_losses(losses), grad_norm
+
+        run_rank0_loop(reduce_sequential)
+    else:
+        _run_parallel(
+            run_rank0_loop, regressor, optimizer, schedule, ranks, cfg,
+            dp, start_epoch, steps_per_epoch, label_mean, label_std,
+        )
+
+    result.elapsed_s = time.perf_counter() - started
+    regressor.eval()
+    return result
+
+
+def _run_parallel(
+    run_rank0_loop, regressor, optimizer, schedule, ranks, cfg, dp,
+    start_epoch, steps_per_epoch, label_mean, label_std,
+) -> None:
+    """Fork one worker per non-zero rank and drive the GradBus steps."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+        raise CampaignError(
+            "data-parallel processes require the fork start method"
+        ) from exc
+    world = dp.world_size
+    bus = GradBus(world, optimizer.grad_vector_size())
+    barrier = ctx.Barrier(world)
+    timeout = dp.barrier_timeout_s
+
+    def rank_worker(rank: int) -> None:
+        # Forked replica: regressor/optimizer/schedule/data arrived via
+        # copy-on-write in exactly rank 0's state. Never unlink the
+        # inherited bus from a child.
+        bus._owner = False
+        try:
+            for epoch in range(start_epoch, cfg.epochs):
+                order = _epoch_order(
+                    cfg.seed, epoch, rank, len(ranks[rank])
+                )
+                for b in range(steps_per_epoch):
+                    idx = order[
+                        b * cfg.batch_size : (b + 1) * cfg.batch_size
+                    ]
+                    losses, vector = _local_step(
+                        regressor, optimizer, ranks[rank], idx, cfg,
+                        label_mean, label_std,
+                    )
+                    seq = epoch * steps_per_epoch + b + 1
+                    bus.publish(rank, seq, losses, vector)
+                    barrier.wait(timeout)
+                    averaged, _ = bus.gather(seq)
+                    barrier.wait(timeout)
+                    if bus.stopped():
+                        os._exit(2)
+                    _apply_averaged(optimizer, schedule, averaged, cfg)
+            os._exit(0)
+        except (BrokenBarrierError, CampaignError):
+            os._exit(3)
+        except BaseException:  # pragma: no cover - defensive
+            os._exit(4)
+
+    children = [
+        ctx.Process(target=rank_worker, args=(rank,), daemon=True)
+        for rank in range(1, world)
+    ]
+    for child in children:
+        child.start()
+
+    epoch_orders = {}
+
+    def reduce_parallel(epoch, b, seq):
+        if epoch_orders.get("epoch") != epoch:
+            epoch_orders["epoch"] = epoch
+            epoch_orders["order"] = _epoch_order(
+                cfg.seed, epoch, 0, len(ranks[0])
+            )
+        idx = epoch_orders["order"][
+            b * cfg.batch_size : (b + 1) * cfg.batch_size
+        ]
+        losses0, vector = _local_step(
+            regressor, optimizer, ranks[0], idx, cfg,
+            label_mean, label_std,
+        )
+        bus.publish(0, seq, losses0, vector)
+        try:
+            barrier.wait(timeout)
+            averaged, losses = bus.gather(seq)
+            barrier.wait(timeout)
+        except BrokenBarrierError:
+            dead = [c.exitcode for c in children if not c.is_alive()]
+            raise CampaignError(
+                f"gradient allreduce barrier broke at step {seq} "
+                f"(dead worker exit codes: {dead})"
+            ) from None
+        grad_norm = _apply_averaged(optimizer, schedule, averaged, cfg)
+        return _mean_losses(losses), grad_norm
+
+    try:
+        run_rank0_loop(reduce_parallel)
+        for child in children:
+            child.join(timeout=10.0)
+    finally:
+        bus.signal_stop()
+        barrier.abort()
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=5.0)
+        bus.close()

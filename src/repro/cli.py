@@ -3,7 +3,13 @@
 Subcommands cover the common workflows end to end:
 
 * ``mmhand generate-data`` -- simulate a capture campaign to an ``.npz``;
-* ``mmhand train`` -- train the joint regressor on a dataset;
+* ``mmhand train`` -- train the joint regressor on a dataset ``.npz``
+  or on a sharded campaign directory (``--train-workers W`` runs
+  data-parallel training, bit-identical to the sequential reference);
+* ``mmhand campaign generate|train|bench`` -- the campaign-scale data
+  engine: sharded parallel generation with per-shard seeding and an
+  atomic manifest, streaming prefetch training from those shards, and
+  the benchmark behind ``BENCH_training.json``;
 * ``mmhand evaluate`` -- MPJPE / PCK / AUC of a trained model on a dataset;
 * ``mmhand demo`` -- run the full pipeline on a fresh simulated gesture
   sequence and print ASCII skeletons + recognised gestures;
@@ -151,11 +157,32 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _add_worker_flags(p) -> None:
+    """Shared data/compute parallelism flags for training commands."""
+    p.add_argument(
+        "--data-workers", dest="data_workers", type=int, default=1,
+        help="shard prefetch depth when training from a campaign "
+             "directory: how many shards the background loader keeps "
+             "buffered ahead of the consumer (default 1 = double "
+             "buffering)",
+    )
+    p.add_argument(
+        "--train-workers", dest="train_workers", type=int, default=1,
+        help="data-parallel world size W: every optimizer step "
+             "averages the gradients of W micro-batches; W > 1 forks "
+             "one worker process per rank (shared-memory allreduce, "
+             "bit-identical to W sequential micro-batches)",
+    )
+
+
 def _add_train(subparsers) -> None:
     p = subparsers.add_parser(
-        "train", help="train the joint regressor on a dataset"
+        "train", help="train the joint regressor on a dataset .npz or "
+                      "a sharded campaign directory"
     )
-    p.add_argument("dataset", help="dataset .npz from generate-data")
+    p.add_argument("dataset", help="dataset .npz from generate-data, "
+                                   "or a campaign directory from "
+                                   "'campaign generate'")
     p.add_argument("weights", help="output weights path (.npz)")
     p.add_argument("--epochs", type=int, default=15)
     p.add_argument("--batch-size", type=int, default=16)
@@ -163,7 +190,8 @@ def _add_train(subparsers) -> None:
     p.add_argument("--gamma-kinematic", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--holdout-user", type=int, default=None,
-                   help="exclude one user from training for evaluation")
+                   help="exclude one user from training for evaluation "
+                        "(.npz datasets only)")
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="write an atomic crash-safe checkpoint every "
                         "--checkpoint-every epochs")
@@ -171,21 +199,14 @@ def _add_train(subparsers) -> None:
     p.add_argument("--resume-from", default=None, metavar="PATH",
                    help="resume from a checkpoint (or 'auto' to pick "
                         "the newest one in --checkpoint-dir)")
+    _add_worker_flags(p)
     _add_obs_flags(p)
 
 
-def _cmd_train(args) -> int:
-    from repro.config import TrainConfig
-    from repro.core.regressor import HandJointRegressor
-    from repro.core.training import Trainer
-    from repro.data.dataset import HandPoseDataset
-    from repro.nn.serialization import save_state
+def _resolve_resume(args) -> "tuple":
+    """Handle ``--resume-from auto``; returns (ok, resume_path)."""
     from repro.resilience import latest_checkpoint
 
-    dataset = HandPoseDataset.load(args.dataset)
-    if args.holdout_user is not None:
-        keep = np.nonzero(dataset.user_ids != args.holdout_user)[0]
-        dataset = dataset.subset(keep)
     resume_from = args.resume_from
     if resume_from == "auto":
         if args.checkpoint_dir is None:
@@ -193,13 +214,141 @@ def _cmd_train(args) -> int:
                 "--resume-from auto requires --checkpoint-dir",
                 file=sys.stderr,
             )
-            return 1
+            return False, None
         resume_from = latest_checkpoint(args.checkpoint_dir)
         if resume_from is None:
             print(f"no checkpoint found in {args.checkpoint_dir}; "
                   "starting fresh")
         else:
             print(f"resuming from {resume_from}")
+    return True, resume_from
+
+
+def _emit_train_report(
+    result, segment_frames: int, train_workers: int, data_workers: int,
+    prefetch_wait_s: float,
+) -> None:
+    """One structured (logfmt) training report line, mirroring the
+    serve report: throughput, per-epoch wall clock, prefetch stall."""
+    from repro.obs.logging import get_logger
+
+    stats = result.epoch_stats
+    epoch_s = (
+        float(np.mean([s["elapsed_s"] for s in stats])) if stats else 0.0
+    )
+    segments_per_s = (
+        float(np.mean([s["segments_per_s"] for s in stats]))
+        if stats else 0.0
+    )
+    get_logger("train").info(
+        "train_report",
+        epochs=result.epochs,
+        final_loss=result.final_loss if result.total_loss else 0.0,
+        epoch_s=epoch_s,
+        segments_per_s=segments_per_s,
+        frames_per_s=segments_per_s * segment_frames,
+        prefetch_wait_s=prefetch_wait_s,
+        train_workers=train_workers,
+        data_workers=data_workers,
+    )
+
+
+def _train_campaign(args) -> int:
+    """Train from a sharded campaign directory (data-parallel path).
+
+    Shared by ``mmhand train <campaign-dir>`` and ``mmhand campaign
+    train``; optional attributes missing from one parser fall back to
+    defaults.
+    """
+    from repro.campaign import DataParallelConfig, ShardedDataset
+    from repro.config import ModelConfig, TrainConfig
+    from repro.core.regressor import HandJointRegressor
+    from repro.core.training import Trainer
+    from repro.nn.serialization import save_state
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.logging import configure
+
+    configure(stream=sys.stdout)
+    ok, resume_from = _resolve_resume(args)
+    if not ok:
+        return 1
+    if getattr(args, "holdout_user", None) is not None:
+        print("--holdout-user applies to .npz datasets only",
+              file=sys.stderr)
+        return 1
+    data_workers = max(1, args.data_workers)
+    train_workers = max(1, args.train_workers)
+    dataset = ShardedDataset(args.dataset, prefetch_depth=data_workers)
+    dsp = dataset.dsp_config()
+    if getattr(args, "small", False):
+        model = ModelConfig(
+            base_channels=4, hourglass_depth=1, num_blocks=1,
+            feature_dim=16, lstm_hidden=16,
+        )
+    else:
+        model = ModelConfig()
+    regressor = HandJointRegressor(dsp=dsp, model=model, seed=args.seed)
+    trainer = Trainer(
+        regressor,
+        TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            gamma_kinematic=getattr(args, "gamma_kinematic", 0.1),
+            seed=args.seed,
+        ),
+    )
+    wait_before = obs_metrics.histogram("campaign.prefetch.wait_s").sum
+    result = trainer.fit_data_parallel(
+        dataset,
+        DataParallelConfig(
+            world_size=train_workers,
+            processes=train_workers if train_workers > 1 else 1,
+        ),
+        verbose=True,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=resume_from,
+    )
+    prefetch_wait_s = (
+        obs_metrics.histogram("campaign.prefetch.wait_s").sum
+        - wait_before
+    )
+    save_state(regressor, args.weights)
+    _emit_train_report(
+        result, dsp.segment_frames, train_workers, data_workers,
+        prefetch_wait_s,
+    )
+    print(
+        f"trained {result.epochs} epochs "
+        f"(W={train_workers}) in {result.elapsed_s:.0f}s, "
+        f"final loss {result.final_loss:.4f}; weights -> {args.weights}"
+    )
+    _export_observability(args)
+    return 0
+
+
+def _cmd_train(args) -> int:
+    import os
+
+    from repro.config import TrainConfig
+    from repro.core.regressor import HandJointRegressor
+    from repro.core.training import Trainer
+    from repro.data.dataset import HandPoseDataset
+    from repro.nn.serialization import save_state
+    from repro.obs.logging import configure
+
+    if os.path.isdir(args.dataset):
+        return _train_campaign(args)
+
+    configure(stream=sys.stdout)
+    dataset = HandPoseDataset.load(args.dataset)
+    if args.holdout_user is not None:
+        keep = np.nonzero(dataset.user_ids != args.holdout_user)[0]
+        dataset = dataset.subset(keep)
+    ok, resume_from = _resolve_resume(args)
+    if not ok:
+        return 1
     regressor = HandJointRegressor(seed=args.seed)
     trainer = Trainer(
         regressor,
@@ -211,13 +360,32 @@ def _cmd_train(args) -> int:
             seed=args.seed,
         ),
     )
-    result = trainer.fit(
-        dataset, verbose=True,
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every=args.checkpoint_every,
-        resume_from=resume_from,
-    )
+    train_workers = max(1, args.train_workers)
+    if train_workers > 1:
+        from repro.campaign import DataParallelConfig
+
+        result = trainer.fit_data_parallel(
+            dataset,
+            DataParallelConfig(
+                world_size=train_workers, processes=train_workers
+            ),
+            verbose=True,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=resume_from,
+        )
+    else:
+        result = trainer.fit(
+            dataset, verbose=True,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=resume_from,
+        )
     save_state(regressor, args.weights)
+    segment_frames = int(dataset.segments.shape[1])
+    _emit_train_report(
+        result, segment_frames, train_workers, args.data_workers, 0.0
+    )
     print(
         f"trained {result.epochs} epochs in {result.elapsed_s:.0f}s, "
         f"final loss {result.final_loss:.4f}; weights -> {args.weights}"
@@ -1342,6 +1510,139 @@ def _cmd_gateway_trace(args) -> int:
     return 0 if ok else 1
 
 
+def _add_campaign(subparsers) -> None:
+    p = subparsers.add_parser(
+        "campaign",
+        help="campaign-scale data engine: sharded parallel generation, "
+             "streaming data-parallel training, and its benchmark",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    gen = campaign_sub.add_parser(
+        "generate",
+        help="generate a sharded, domain-randomized campaign directory "
+             "(atomic .npz shards + manifest.json)",
+    )
+    gen.add_argument("output", help="campaign directory to create")
+    gen.add_argument("--shards", type=int, default=8)
+    gen.add_argument("--segments-per-shard", type=int, default=16)
+    gen.add_argument("--workers", type=int, default=1,
+                     help="generator processes (shards fan out over a "
+                          "process pool; output is byte-identical for "
+                          "any worker count)")
+    gen.add_argument("--users", type=int, default=4)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--small", action="store_true",
+                     help="shrunken smoke configuration (matches "
+                          "'campaign bench --smoke')")
+    _add_obs_flags(gen)
+
+    train = campaign_sub.add_parser(
+        "train",
+        help="train from a campaign directory with streaming prefetch "
+             "and data-parallel workers",
+    )
+    train.add_argument("dataset", help="campaign directory from "
+                                       "'campaign generate'")
+    train.add_argument("weights", help="output weights path (.npz)")
+    train.add_argument("--epochs", type=int, default=15)
+    train.add_argument("--batch-size", type=int, default=16)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--gamma-kinematic", type=float, default=0.1)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--small", action="store_true",
+                       help="shrunken model (for campaigns generated "
+                            "with --small)")
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR")
+    train.add_argument("--checkpoint-every", type=int, default=1)
+    train.add_argument("--resume-from", default=None, metavar="PATH",
+                       help="resume from a checkpoint (or 'auto' to "
+                            "pick the newest in --checkpoint-dir)")
+    _add_worker_flags(train)
+    _add_obs_flags(train)
+
+    bench = campaign_sub.add_parser(
+        "bench",
+        help="run the campaign data-engine benchmark (generation "
+             "speedup + worker invariance, prefetch overlap, "
+             "data-parallel training bit-identity)",
+    )
+    bench.add_argument("--json", dest="json_path", default=None,
+                       help="write the summary JSON "
+                            "(e.g. BENCH_training.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="shrunken configuration for CI")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="parallel generation fan-out "
+                            "(default: min(4, cpu_count))")
+    bench.add_argument("--seed", type=int, default=11)
+
+
+def _cmd_campaign(args) -> int:
+    if args.campaign_command == "generate":
+        return _cmd_campaign_generate(args)
+    if args.campaign_command == "train":
+        return _train_campaign(args)
+    return _cmd_campaign_bench(args)
+
+
+def _cmd_campaign_generate(args) -> int:
+    from repro.campaign import generate_campaign
+    from repro.config import CampaignConfig
+    from repro.obs.logging import configure
+    from repro.perf.training_bench import campaign_bench_configs
+
+    configure(stream=sys.stdout)
+    if args.small:
+        radar, dsp, _, campaign = campaign_bench_configs(smoke=True)
+        campaign = CampaignConfig(
+            num_users=args.users,
+            segments_per_user=campaign.segments_per_user,
+        )
+    else:
+        radar, dsp, campaign = None, None, CampaignConfig(
+            num_users=args.users
+        )
+    report = generate_campaign(
+        args.output, args.shards, args.segments_per_shard,
+        radar=radar, dsp=dsp, campaign=campaign,
+        seed=args.seed, workers=args.workers, verbose=True,
+    )
+    print(
+        f"wrote {report.num_shards} shards / {report.total_segments} "
+        f"segments ({report.total_frames} frames) to {args.output} "
+        f"in {report.elapsed_s:.1f}s "
+        f"({report.frames_per_s:.1f} frames/s, x{report.workers})"
+    )
+    _export_observability(args)
+    return 0
+
+
+def _cmd_campaign_bench(args) -> int:
+    from repro.perf import (
+        print_training_report,
+        run_training_bench,
+        write_bench_json,
+    )
+
+    summary = run_training_bench(
+        smoke=args.smoke, seed=args.seed, workers=args.workers
+    )
+    print_training_report(summary)
+    if args.json_path:
+        write_bench_json(args.json_path, summary)
+        print(f"wrote {args.json_path}")
+    if not summary["training"]["losses_bit_identical"]:
+        print("campaign bench: data-parallel losses diverged from the "
+              "sequential reference", file=sys.stderr)
+        return 1
+    if not summary["generation"]["worker_invariant"]:
+        print("campaign bench: parallel generation produced different "
+              "shard bytes than serial", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_bench_compare(subparsers) -> None:
     p = subparsers.add_parser(
         "bench-compare",
@@ -1406,6 +1707,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace(subparsers)
     _add_profile(subparsers)
     _add_gateway_trace(subparsers)
+    _add_campaign(subparsers)
     _add_bench_compare(subparsers)
     return parser
 
@@ -1424,6 +1726,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -375,6 +375,40 @@ class Trainer:
         result.epochs = int(extra["epoch"])
         return int(extra["epoch"]), int(extra["step"])
 
+    def fit_data_parallel(
+        self,
+        dataset,
+        dp=None,
+        verbose: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
+        fault_injector=None,
+    ) -> TrainResult:
+        """Data-parallel :meth:`fit` over a campaign or dataset.
+
+        ``dataset`` may be an in-memory :class:`HandPoseDataset` or a
+        :class:`~repro.campaign.ShardedDataset`; ``dp`` is a
+        :class:`~repro.campaign.DataParallelConfig` fixing the logical
+        world size (the gradient math) and the physical process count
+        (the execution). See :mod:`repro.campaign.train` for the
+        bit-determinism contract.
+        """
+        if self.augmentation is not None:
+            raise DatasetError(
+                "augmentation is not supported in data-parallel fit"
+            )
+        from repro.campaign.train import fit_data_parallel
+
+        return fit_data_parallel(
+            self.regressor, dataset, self.config, dp,
+            verbose=verbose,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+            fault_injector=fault_injector,
+        )
+
     def predict(self, dataset: HandPoseDataset) -> np.ndarray:
         """Predicted joints (metres) for every segment of ``dataset``."""
         return self.regressor.predict(dataset.segments)

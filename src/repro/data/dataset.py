@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import struct
+import zipfile
 from dataclasses import asdict, dataclass, field
-from typing import List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
+from numpy.lib import format as _npy_format
 
 from repro.errors import DatasetError
 
@@ -48,9 +52,12 @@ class HandPoseDataset:
     meta: List[SegmentMeta] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.segments = np.asarray(self.segments, dtype=np.float32)
-        self.labels = np.asarray(self.labels, dtype=np.float32)
-        self.true_joints = np.asarray(self.true_joints, dtype=np.float32)
+        # Cast only when needed: an array already in float32 (including a
+        # read-only np.memmap from a lazily-opened shard) passes through
+        # untouched, so construction never copies multi-GB payloads.
+        self.segments = _as_float32(self.segments)
+        self.labels = _as_float32(self.labels)
+        self.true_joints = _as_float32(self.true_joints)
         n = len(self.segments)
         if self.segments.ndim != 5:
             raise DatasetError(
@@ -114,28 +121,77 @@ class HandPoseDataset:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, os.PathLike]) -> None:
-        """Write the dataset as a single ``.npz`` archive."""
-        path = os.fspath(path)
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
+    def to_npz_bytes(self, compress: bool = True) -> bytes:
+        """The dataset serialised as one in-memory ``.npz`` archive.
+
+        ``compress=False`` stores the arrays raw (``ZIP_STORED``), which
+        is what makes :meth:`load`'s ``mmap_mode`` possible -- campaign
+        shards are written this way so training can map them instead of
+        reading them.
+        """
         meta_json = json.dumps([asdict(m) for m in self.meta])
-        np.savez_compressed(
-            path,
+        buffer = io.BytesIO()
+        writer = np.savez_compressed if compress else np.savez
+        writer(
+            buffer,
             segments=self.segments,
             labels=self.labels,
             true_joints=self.true_joints,
             meta=np.frombuffer(meta_json.encode(), dtype=np.uint8),
         )
+        return buffer.getvalue()
+
+    def save(
+        self, path: Union[str, os.PathLike], compress: bool = True
+    ) -> None:
+        """Write the dataset as a single ``.npz`` archive."""
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(self.to_npz_bytes(compress=compress))
 
     @staticmethod
-    def load(path: Union[str, os.PathLike]) -> "HandPoseDataset":
+    def load(
+        path: Union[str, os.PathLike],
+        mmap_mode: Optional[str] = None,
+    ) -> "HandPoseDataset":
+        """Read a dataset archive back.
+
+        ``mmap_mode="r"`` memory-maps the three arrays directly out of
+        the (uncompressed) archive instead of materialising them: open
+        cost and resident memory stay O(metadata) no matter how many GB
+        the shard holds, and pages are faulted in only as batches touch
+        them. Compressed archives (the ``save`` default) cannot be
+        mapped and raise :class:`DatasetError` under ``mmap_mode``.
+        """
         path = os.fspath(path)
         if not path.endswith(".npz"):
             path = path + ".npz"
         if not os.path.exists(path):
             raise DatasetError(f"no dataset at {path}")
+        if mmap_mode is not None:
+            if mmap_mode != "r":
+                raise DatasetError(
+                    f"unsupported mmap_mode {mmap_mode!r}; only 'r' "
+                    "(read-only lazy mapping) is available"
+                )
+            arrays = mmap_npz(
+                path, ("segments", "labels", "true_joints")
+            )
+            with zipfile.ZipFile(path) as zf:
+                meta_npy = zf.read("meta.npy")
+            # The meta entry is a uint8 .npy; strip its header by
+            # parsing it the normal way (tiny, so eager is fine).
+            meta_bytes = bytes(
+                np.load(io.BytesIO(meta_npy), allow_pickle=False)
+            )
+            meta = [
+                SegmentMeta(**record)
+                for record in json.loads(meta_bytes.decode())
+            ]
+            return HandPoseDataset(meta=meta, **arrays)
         with np.load(path) as archive:
             meta_json = bytes(archive["meta"]).decode()
             meta = [SegmentMeta(**record) for record in json.loads(meta_json)]
@@ -145,3 +201,75 @@ class HandPoseDataset:
                 true_joints=archive["true_joints"],
                 meta=meta,
             )
+
+
+def _as_float32(values: np.ndarray) -> np.ndarray:
+    """``values`` as float32, copying only if a cast is required."""
+    if isinstance(values, np.ndarray) and values.dtype == np.float32:
+        return values
+    return np.asarray(values, dtype=np.float32)
+
+
+def mmap_npz(
+    path: Union[str, os.PathLike], names: Sequence[str]
+) -> Dict[str, np.ndarray]:
+    """Memory-map arrays stored inside an uncompressed ``.npz``.
+
+    ``np.load`` ignores ``mmap_mode`` for zipped archives, so this
+    resolves each member's byte offset from the zip local header, parses
+    the embedded ``.npy`` header, and hands the tail of the file to
+    :class:`numpy.memmap`. Only ``ZIP_STORED`` members qualify; a
+    compressed member raises :class:`DatasetError` naming the entry.
+    """
+    path = os.fspath(path)
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf:
+        offsets = {}
+        for name in names:
+            member = name + ".npy"
+            try:
+                info = zf.getinfo(member)
+            except KeyError:
+                raise DatasetError(
+                    f"{path} has no array {name!r}"
+                ) from None
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise DatasetError(
+                    f"{path}:{member} is compressed and cannot be "
+                    "memory-mapped; write shards with "
+                    "save(compress=False)"
+                )
+            offsets[name] = info.header_offset
+    with open(path, "rb") as fh:
+        for name, header_offset in offsets.items():
+            fh.seek(header_offset)
+            local = fh.read(30)
+            if local[:4] != b"PK\x03\x04":
+                raise DatasetError(
+                    f"{path}: corrupt zip local header for {name!r}"
+                )
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            fh.seek(header_offset + 30 + name_len + extra_len)
+            version = _npy_format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = (
+                    _npy_format.read_array_header_1_0(fh)
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = (
+                    _npy_format.read_array_header_2_0(fh)
+                )
+            else:
+                raise DatasetError(
+                    f"{path}:{name} uses npy format {version}, which "
+                    "this reader does not memory-map"
+                )
+            arrays[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                shape=shape,
+                order="F" if fortran else "C",
+                offset=fh.tell(),
+            )
+    return arrays

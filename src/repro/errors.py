@@ -140,3 +140,9 @@ class RingLayoutError(GatewayError):
 class WorkerCrashedError(GatewayError):
     """A gateway worker process died (non-zero exit code or stale
     heartbeat) and could not be restarted."""
+
+
+class CampaignError(ReproError):
+    """A failure inside the campaign-scale data engine
+    (:mod:`repro.campaign`): sharded generation, the streaming sharded
+    dataset, or data-parallel training (gradient bus / rank workers)."""

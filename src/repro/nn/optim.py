@@ -52,6 +52,44 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- flat gradient view (data-parallel allreduce) -------------------
+    def grad_vector_size(self) -> int:
+        """Length of the flattened gradient vector."""
+        return int(sum(p.data.size for p in self.parameters))
+
+    def grad_vector(self) -> np.ndarray:
+        """All parameter gradients flattened into one float32 vector
+        (missing gradients contribute zeros), in parameter order --
+        the wire format of the campaign gradient bus."""
+        parts = [
+            (
+                param.grad
+                if param.grad is not None
+                else np.zeros_like(param.data)
+            ).ravel()
+            for param in self.parameters
+        ]
+        return np.concatenate(parts).astype(np.float32, copy=False)
+
+    def set_grad_vector(self, flat: np.ndarray) -> None:
+        """Scatter a flat float32 vector back into per-parameter
+        ``grad`` arrays (inverse of :meth:`grad_vector`)."""
+        expected = self.grad_vector_size()
+        if flat.shape != (expected,):
+            raise ModelError(
+                f"gradient vector has shape {flat.shape}, "
+                f"expected ({expected},)"
+            )
+        offset = 0
+        for param in self.parameters:
+            size = param.data.size
+            param.grad = (
+                flat[offset : offset + size]
+                .reshape(param.data.shape)
+                .astype(param.data.dtype, copy=True)
+            )
+            offset += size
+
     # -- checkpointing --------------------------------------------------
     def _state_entries(self) -> dict:
         """Subclass hook: slot arrays / scalars beyond ``lr``."""

@@ -24,13 +24,19 @@ from repro.perf.regression import (
     compare_bench,
     print_comparison,
 )
+from repro.perf.training_bench import (
+    print_training_report,
+    run_training_bench,
+)
 
 __all__ = [
     "compare_bench",
     "print_comparison",
     "print_pipeline_report",
     "print_model_report",
+    "print_training_report",
     "run_pipeline_bench",
     "run_model_bench",
+    "run_training_bench",
     "write_bench_json",
 ]

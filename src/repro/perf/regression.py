@@ -104,13 +104,15 @@ class _Report:
 def _kind_of(summary: Dict[str, Any]) -> str:
     if summary.get("benchmark") == "gateway_serving":
         return "gateway_serving"
+    if summary.get("benchmark") == "campaign_training":
+        return "campaign_training"
     if "cube_build" in summary:
         return "pipeline"
     if "within_tolerance" in summary:
         return "model"
     raise ReproError(
         "unrecognised benchmark summary: expected a BENCH_pipeline / "
-        "BENCH_model / BENCH_serving shape, got keys "
+        "BENCH_model / BENCH_serving / BENCH_training shape, got keys "
         f"{sorted(summary)[:8]}"
     )
 
@@ -189,6 +191,43 @@ def _compare_gateway(
     )
 
 
+def _compare_campaign(
+    fresh: Dict[str, Any], committed: Dict[str, Any], report: _Report
+) -> None:
+    report.invariant(
+        "training.losses_bit_identical",
+        _dig(fresh, "training.losses_bit_identical"),
+    )
+    report.invariant(
+        "generation.worker_invariant",
+        _dig(fresh, "generation.worker_invariant"),
+    )
+    overlap = _dig(fresh, "prefetch.overlap_ratio")
+    report.invariant(
+        "prefetch.overlap_ratio_in_[0,1]",
+        overlap is not None and 0.0 <= float(overlap) <= 1.0,
+    )
+    # Parallel generation must beat serial whenever the host can
+    # actually parallelise; the committed baseline from a 1-core dev
+    # box reads ~1x, so this is a fresh-run invariant, not a ratio.
+    cpu_count = fresh.get("cpu_count")
+    speedup = _dig(fresh, "generation.speedup")
+    if isinstance(cpu_count, int) and cpu_count > 1:
+        report.invariant(
+            "generation.speedup>1_on_multicore",
+            speedup is not None and float(speedup) > 1.0,
+        )
+    report.ratio(
+        "generation.speedup",
+        speedup, _dig(committed, "generation.speedup"),
+    )
+    report.ratio(
+        "training.speedup",
+        _dig(fresh, "training.speedup"),
+        _dig(committed, "training.speedup"),
+    )
+
+
 def compare_bench(
     fresh: Dict[str, Any],
     committed: Dict[str, Any],
@@ -222,6 +261,8 @@ def compare_bench(
         _compare_pipeline(fresh, committed, report)
     elif fresh_kind == "model":
         _compare_model(fresh, committed, report)
+    elif fresh_kind == "campaign_training":
+        _compare_campaign(fresh, committed, report)
     else:
         _compare_gateway(fresh, committed, report)
     return report.result()

@@ -1,0 +1,266 @@
+"""Campaign data-engine benchmark: sharded generation throughput,
+prefetch overlap, and data-parallel training.
+
+Produces the ``BENCH_training.json`` summary consumed by
+``mmhand bench-compare``. Three sections:
+
+* ``generation`` -- frames/s of the sharded generator at 1 process vs
+  N processes *in the same run* (the portable speedup ratio), plus a
+  byte-level worker-invariance check: every shard produced by the
+  parallel run must hash identically to its serial twin.
+* ``prefetch`` -- hit/wait counts and wait/load seconds of the
+  double-buffered shard prefetcher over one streaming pass;
+  ``overlap_ratio = 1 - wait_s / load_s`` (1.0 = disk reads fully
+  hidden behind compute).
+* ``training`` -- epoch seconds of ``fit_data_parallel`` at
+  ``world_size=2`` with ``processes=1`` (sequential reference) vs
+  ``processes=2``, and the headline correctness invariant: the two
+  loss trajectories must match **bit-identically**.
+
+Like the gateway bench, raw speedups read ~1x on a single-core host
+(``cpu_count`` is embedded so the regression guard can condition on
+it); the CI campaign job runs on multi-core runners where the parallel
+paths must actually win.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config import (
+    CampaignConfig,
+    DspConfig,
+    ModelConfig,
+    RadarConfig,
+    TrainConfig,
+)
+from repro.obs import metrics as obs_metrics
+
+
+def campaign_bench_configs(
+    smoke: bool,
+) -> Tuple[RadarConfig, DspConfig, ModelConfig, CampaignConfig]:
+    """Shrunken configs for CI smoke, fuller ones otherwise."""
+    if smoke:
+        return (
+            RadarConfig(samples_per_chirp=32, chirp_loops=8),
+            DspConfig(
+                range_bins=16, doppler_bins=4, azimuth_bins=8,
+                elevation_bins=8, segment_frames=2,
+            ),
+            ModelConfig(
+                base_channels=4, hourglass_depth=1, num_blocks=1,
+                feature_dim=16, lstm_hidden=16,
+            ),
+            CampaignConfig(num_users=2, segments_per_user=8),
+        )
+    return (
+        RadarConfig(samples_per_chirp=64, chirp_loops=16),
+        DspConfig(
+            range_bins=32, doppler_bins=8, azimuth_bins=16,
+            elevation_bins=16, segment_frames=4,
+        ),
+        ModelConfig(
+            base_channels=8, hourglass_depth=2, num_blocks=1,
+            feature_dim=32, lstm_hidden=32,
+        ),
+        CampaignConfig(num_users=4, segments_per_user=16),
+    )
+
+
+def _shard_digests(directory: str, num_shards: int) -> Tuple[str, ...]:
+    from repro.campaign import shard_filename
+
+    digests = []
+    for index in range(num_shards):
+        with open(os.path.join(directory, shard_filename(index)), "rb") as fh:
+            digests.append(hashlib.sha256(fh.read()).hexdigest())
+    return tuple(digests)
+
+
+def _prefetch_snapshot() -> Dict[str, float]:
+    return {
+        "hits": float(obs_metrics.counter("campaign.prefetch.hits").value),
+        "waits": float(
+            obs_metrics.counter("campaign.prefetch.waits").value
+        ),
+        "wait_s": float(
+            obs_metrics.histogram("campaign.prefetch.wait_s").sum
+        ),
+        "load_s": float(
+            obs_metrics.histogram("campaign.prefetch.load_s").sum
+        ),
+    }
+
+
+def run_training_bench(
+    smoke: bool = True,
+    seed: int = 11,
+    workers: Optional[int] = None,
+    keep_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the full campaign data-engine benchmark.
+
+    ``workers`` overrides the parallel generation fan-out (default:
+    ``min(4, cpu_count)``). ``keep_dir`` keeps the generated campaign
+    at that path for inspection instead of a temp directory.
+    """
+    from repro.campaign import (
+        DataParallelConfig,
+        ShardedDataset,
+        fit_data_parallel,
+        generate_campaign,
+    )
+    from repro.core.regressor import HandJointRegressor
+
+    radar, dsp, model, campaign = campaign_bench_configs(smoke)
+    cpu_count = os.cpu_count() or 1
+    if workers is None:
+        workers = max(2, min(4, cpu_count))
+    num_shards = 4 if smoke else 8
+    segments_per_shard = 8 if smoke else 32
+    epochs = 2 if smoke else 4
+    batch_size = 4 if smoke else 8
+
+    root = keep_dir or tempfile.mkdtemp(prefix="mmhand-campaign-bench-")
+    serial_dir = os.path.join(root, "serial")
+    parallel_dir = os.path.join(root, "parallel")
+    try:
+        serial = generate_campaign(
+            serial_dir, num_shards, segments_per_shard,
+            radar=radar, dsp=dsp, campaign=campaign, seed=seed, workers=1,
+        )
+        parallel = generate_campaign(
+            parallel_dir, num_shards, segments_per_shard,
+            radar=radar, dsp=dsp, campaign=campaign, seed=seed,
+            workers=workers,
+        )
+        worker_invariant = (
+            _shard_digests(serial_dir, num_shards)
+            == _shard_digests(parallel_dir, num_shards)
+        )
+        generation = {
+            "num_shards": num_shards,
+            "segments_per_shard": segments_per_shard,
+            "frames": serial.total_frames,
+            "serial": {
+                "workers": 1,
+                "elapsed_s": serial.elapsed_s,
+                "frames_per_s": serial.frames_per_s,
+            },
+            "parallel": {
+                "workers": workers,
+                "elapsed_s": parallel.elapsed_s,
+                "frames_per_s": parallel.frames_per_s,
+            },
+            "speedup": (
+                serial.elapsed_s / parallel.elapsed_s
+                if parallel.elapsed_s else 0.0
+            ),
+            "worker_invariant": worker_invariant,
+        }
+
+        # -- prefetch overlap over one streaming pass -------------------
+        before = _prefetch_snapshot()
+        dataset = ShardedDataset(serial_dir)
+        dataset.materialize()
+        after = _prefetch_snapshot()
+        delta = {k: after[k] - before[k] for k in after}
+        overlap = (
+            1.0 - delta["wait_s"] / delta["load_s"]
+            if delta["load_s"] > 0 else 0.0
+        )
+        prefetch = {
+            **{k: round(v, 6) for k, v in delta.items()},
+            "overlap_ratio": max(0.0, min(1.0, overlap)),
+        }
+
+        # -- data-parallel training -------------------------------------
+        cfg = TrainConfig(epochs=epochs, batch_size=batch_size, seed=seed)
+
+        def run_fit(processes: int):
+            regressor = HandJointRegressor(dsp=dsp, model=model, seed=0)
+            started = time.perf_counter()
+            result = fit_data_parallel(
+                regressor, ShardedDataset(serial_dir), cfg,
+                DataParallelConfig(world_size=2, processes=processes),
+            )
+            return result, time.perf_counter() - started
+
+        result_1p, elapsed_1p = run_fit(1)
+        result_2p, elapsed_2p = run_fit(2)
+        training = {
+            "world_size": 2,
+            "epochs": epochs,
+            "batch_size": batch_size,
+            "sequential": {
+                "processes": 1,
+                "elapsed_s": elapsed_1p,
+                "epoch_s": elapsed_1p / epochs,
+                "final_loss": result_1p.final_loss,
+            },
+            "parallel": {
+                "processes": 2,
+                "elapsed_s": elapsed_2p,
+                "epoch_s": elapsed_2p / epochs,
+                "final_loss": result_2p.final_loss,
+            },
+            "speedup": elapsed_1p / elapsed_2p if elapsed_2p else 0.0,
+            "losses_bit_identical": (
+                result_1p.total_loss == result_2p.total_loss
+            ),
+        }
+    finally:
+        if keep_dir is None:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "benchmark": "campaign_training",
+        "smoke": bool(smoke),
+        "seed": int(seed),
+        "cpu_count": cpu_count,
+        "generation": generation,
+        "prefetch": prefetch,
+        "training": training,
+        "note": (
+            "speedup columns compare against same-run serial references; "
+            "on a single-core host they read ~1x and the regression "
+            "guard only enforces >1x when cpu_count > 1"
+        ),
+    }
+
+
+def print_training_report(summary: Dict[str, Any]) -> None:
+    """Human-readable table of :func:`run_training_bench` output."""
+    gen = summary["generation"]
+    pre = summary["prefetch"]
+    tr = summary["training"]
+    print(
+        f"campaign bench (smoke={summary['smoke']}, "
+        f"cpu_count={summary['cpu_count']})"
+    )
+    print(
+        f"  generation: {gen['frames']} frames, "
+        f"{gen['serial']['frames_per_s']:.1f} f/s serial vs "
+        f"{gen['parallel']['frames_per_s']:.1f} f/s x"
+        f"{gen['parallel']['workers']} "
+        f"(speedup {gen['speedup']:.2f}x, "
+        f"worker_invariant={gen['worker_invariant']})"
+    )
+    print(
+        f"  prefetch:   {int(pre['hits'])} hits / {int(pre['waits'])} "
+        f"waits, wait {pre['wait_s']:.3f}s of load {pre['load_s']:.3f}s "
+        f"(overlap {pre['overlap_ratio']:.2f})"
+    )
+    print(
+        f"  training:   W={tr['world_size']} epoch "
+        f"{tr['sequential']['epoch_s']:.2f}s seq vs "
+        f"{tr['parallel']['epoch_s']:.2f}s x{tr['parallel']['processes']}"
+        f" (speedup {tr['speedup']:.2f}x, bit_identical="
+        f"{tr['losses_bit_identical']})"
+    )

@@ -92,6 +92,37 @@ def test_dataset_save_load_round_trip(tmp_path):
         HandPoseDataset.load(tmp_path / "missing.npz")
 
 
+def test_dataset_mmap_load_is_lazy(tmp_path):
+    """``load(mmap_mode="r")`` must map the archive, not copy it: every
+    array comes back as a read-only np.memmap into the file and dataset
+    construction leaves it untouched (no eager float32 re-cast)."""
+    ds = make_dataset(6)
+    path = tmp_path / "shard.npz"
+    ds.save(path, compress=False)
+    lazy = HandPoseDataset.load(path, mmap_mode="r")
+    for name in ("segments", "labels", "true_joints"):
+        array = getattr(lazy, name)
+        assert isinstance(array, np.memmap), name
+        assert array.mode == "r", name
+        assert array.offset > 0, name  # maps inside the zip, not at 0
+        assert np.array_equal(array, getattr(ds, name)), name
+    assert lazy.meta == ds.meta
+    # Batch-style fancy indexing still works off the mapped arrays.
+    batch = lazy.segments[np.array([1, 3])]
+    assert np.array_equal(batch, ds.segments[[1, 3]])
+
+
+def test_dataset_mmap_rejects_compressed_and_bad_mode(tmp_path):
+    ds = make_dataset()
+    path = tmp_path / "data.npz"
+    ds.save(path)  # compressed by default
+    with pytest.raises(DatasetError):
+        HandPoseDataset.load(path, mmap_mode="r")
+    ds.save(path, compress=False)
+    with pytest.raises(DatasetError):
+        HandPoseDataset.load(path, mmap_mode="r+")
+
+
 # ----------------------------------------------------------------------
 # Camera ground truth
 # ----------------------------------------------------------------------

@@ -537,6 +537,33 @@ def _add_serve(subparsers) -> None:
                    help="serve through the multi-process gateway with N "
                         "worker processes and zero-copy shared-memory "
                         "ingest (0: single in-process server)")
+    net = p.add_argument_group(
+        "network", "real TCP serving instead of the simulated feed"
+    )
+    net.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the netfront wire protocol on this address "
+             "(port 0 picks an ephemeral port); runs until "
+             "SIGTERM/SIGINT, then drains gracefully",
+    )
+    net.add_argument(
+        "--auth-token-file", default=None, metavar="PATH",
+        help="file holding the shared auth token clients must present "
+             "in HELLO (default: auth disabled)",
+    )
+    net.add_argument(
+        "--max-connections", type=int, default=64,
+        help="admission gate: concurrent TCP connections (default: 64)",
+    )
+    net.add_argument(
+        "--max-sessions", type=int, default=256,
+        help="admission gate: concurrent sessions (default: 256)",
+    )
+    net.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="S",
+        help="reap connections silent in both directions for this "
+             "long (default: 30 s)",
+    )
     p.add_argument("--report-every", type=int, default=0,
                    help="print a live report every N ticks (0: final only)")
     p.add_argument("--json", dest="json_path", default=None,
@@ -665,6 +692,8 @@ def _cmd_serve(args) -> int:
     if args.workers < 0:
         print("--workers must be >= 0", file=sys.stderr)
         return 1
+    if args.listen is not None:
+        return _cmd_serve_netfront(args)
     if args.workers > 0:
         return _cmd_serve_gateway(args)
 
@@ -814,6 +843,95 @@ def _cmd_serve(args) -> int:
         print(f"stats -> {args.json_path}")
     _export_observability(args, registry=server.metrics)
     return 0
+
+
+def _cmd_serve_netfront(args) -> int:
+    """``mmhand serve --listen HOST:PORT``: real TCP serving.
+
+    Stands up the multi-process gateway (``--workers``, minimum 1)
+    behind the :mod:`repro.netfront` asyncio server and runs until
+    SIGTERM/SIGINT triggers the graceful drain: stop accepting, flush
+    in-flight frames, send every client a goodbye frame with the final
+    accounting, exit 0 only if every submitted frame was answered or
+    dead-lettered.
+    """
+    import asyncio
+    import json
+
+    from repro.config import DspConfig, ModelConfig, RadarConfig
+    from repro.gateway import Gateway, GatewayConfig
+    from repro.netfront import NetFrontConfig, serve_until_signal
+    from repro.obs.logging import configure, get_logger
+    from repro.serving import ServingConfig
+
+    configure(stream=sys.stdout)
+    host, _, port_text = args.listen.rpartition(":")
+    if not host or not port_text:
+        print(
+            f"--listen wants HOST:PORT, got {args.listen!r}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"--listen port {port_text!r} is not an integer",
+              file=sys.stderr)
+        return 1
+    auth_token = None
+    if args.auth_token_file is not None:
+        try:
+            with open(args.auth_token_file) as fh:
+                auth_token = fh.read().strip()
+        except OSError as error:
+            print(f"--auth-token-file: {error}", file=sys.stderr)
+            return 1
+        if not auth_token:
+            print(
+                f"--auth-token-file {args.auth_token_file} is empty",
+                file=sys.stderr,
+            )
+            return 1
+
+    config = GatewayConfig(
+        workers=max(1, args.workers),
+        serving=ServingConfig(
+            max_batch_size=args.batch_size,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            enable_cache=not args.no_cache,
+            hop_frames=args.hop,
+            shard_threads=args.shard_threads,
+            precision=args.precision,
+        ),
+        seed=args.seed,
+        weights_path=args.weights,
+        plan_path=args.plan_path,
+    )
+    net_config = NetFrontConfig(
+        host=host,
+        port=port,
+        auth_token=auth_token,
+        max_connections=args.max_connections,
+        max_sessions=args.max_sessions,
+        idle_timeout_s=args.idle_timeout,
+    )
+    gateway = Gateway(RadarConfig(), DspConfig(), ModelConfig(), config)
+    try:
+        report = asyncio.run(serve_until_signal(gateway, net_config))
+    finally:
+        gateway.shutdown()
+    get_logger("serve").info("netfront_exit", **{
+        k: v for k, v in report.items()
+        if not isinstance(v, (dict, list))
+    })
+    if args.dead_letter_log:
+        gateway.dead_letters.export_jsonl(args.dead_letter_log)
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(report, fh, indent=2, default=float)
+        print(f"stats -> {args.json_path}")
+    return 0 if report.get("lost_clean_frames", 1) == 0 else 1
 
 
 def _cmd_serve_gateway(args) -> int:
@@ -1643,6 +1761,87 @@ def _cmd_campaign_bench(args) -> int:
     return 0
 
 
+def _add_netfront_bench(subparsers) -> None:
+    p = subparsers.add_parser(
+        "netfront-bench",
+        help="loopback benchmark of the TCP front end: connection "
+             "setup and frame round-trip latency, robustness counters "
+             "as hard invariants, optional protocol-fuzz drill",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="small sizes for CI")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--clients", type=int, default=None,
+                   help="concurrent clean clients (default: 2 smoke / "
+                        "4 full)")
+    p.add_argument("--frames", type=int, default=None,
+                   help="frames per client (default: 4 smoke / 8 full)")
+    p.add_argument(
+        "--fuzz-s", type=float, default=0.0, metavar="S",
+        help="also run the seeded protocol fuzzer against the server "
+             "for S seconds while the clean clients stream (gates on "
+             "zero lost clean frames and zero worker restarts)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", dest="json_path", default=None,
+                   help="write the summary JSON to this path")
+    p.add_argument("--dead-letter-log", default=None, metavar="PATH",
+                   help="export quarantined inputs as JSONL")
+
+
+def _cmd_netfront_bench(args) -> int:
+    import json
+
+    from repro.perf import netfront_invariants_ok, run_netfront_bench
+
+    summary = run_netfront_bench(
+        smoke=args.smoke,
+        seed=args.seed,
+        workers=args.workers,
+        clients=args.clients,
+        frames_per_client=args.frames,
+        fuzz_s=args.fuzz_s,
+        dead_letter_path=args.dead_letter_log,
+    )
+    setup = summary["connection_setup"]
+    rtt = summary["round_trip"]
+    print(
+        f"netfront-bench: {summary['clients']} clients, "
+        f"{summary['frames_sent']} frames, "
+        f"{summary['poses_received']} poses in "
+        f"{summary['elapsed_s']:.2f}s"
+    )
+    print(
+        f"  connection setup p50 {setup['p50_ms']:.2f} ms "
+        f"p95 {setup['p95_ms']:.2f} ms | round trip "
+        f"p50 {rtt['p50_ms']:.2f} ms p95 {rtt['p95_ms']:.2f} ms"
+    )
+    if "fuzz" in summary:
+        fuzz = summary["fuzz"]
+        print(
+            f"  fuzz drill: {fuzz['fuzzer_connections']} poisoned "
+            f"connections quarantined, {fuzz['protocol_errors']} "
+            f"protocol errors dead-lettered in {fuzz['duration_s']:.0f}s"
+        )
+    inv = summary["invariants"]
+    print(
+        f"  invariants: lost_clean_frames={inv['lost_clean_frames']} "
+        f"worker_restarts={inv['worker_restarts']} "
+        f"poses_shed={inv['poses_shed']} "
+        f"frames_rejected={inv['frames_rejected']}"
+    )
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(summary, fh, indent=2, default=float)
+        print(f"summary -> {args.json_path}")
+    if args.dead_letter_log:
+        print(f"dead letters -> {args.dead_letter_log}")
+    if not netfront_invariants_ok(summary):
+        print("netfront-bench: INVARIANTS FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_bench_compare(subparsers) -> None:
     p = subparsers.add_parser(
         "bench-compare",
@@ -1709,6 +1908,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_gateway_trace(subparsers)
     _add_campaign(subparsers)
     _add_bench_compare(subparsers)
+    _add_netfront_bench(subparsers)
     return parser
 
 
@@ -1722,6 +1922,7 @@ _COMMANDS = {
     "gateway-trace": _cmd_gateway_trace,
     "bench": _cmd_bench,
     "bench-compare": _cmd_bench_compare,
+    "netfront-bench": _cmd_netfront_bench,
     "export-mesh": _cmd_export_mesh,
     "plan": _cmd_plan,
     "trace": _cmd_trace,

@@ -142,6 +142,39 @@ class WorkerCrashedError(GatewayError):
     heartbeat) and could not be restarted."""
 
 
+class NetFrontError(ServingError):
+    """Base class for failures inside the network front end
+    (:mod:`repro.netfront`): the wire protocol, admission control and
+    the asyncio server/client."""
+
+
+class ProtocolError(NetFrontError):
+    """A byte stream violated the netfront wire protocol (bad magic,
+    unknown version or message type, impossible length, CRC mismatch).
+    The server dead-letters the offending bytes and closes only the
+    connection that sent them."""
+
+
+class AuthError(NetFrontError):
+    """A connection failed token authentication, exceeded the
+    auth-failure budget, or tried to use the data path before
+    completing the handshake."""
+
+
+class AdmissionRejectedError(NetFrontError):
+    """The admission gate refused a connection or session (connection/
+    session limit reached, or the overload ladder is shedding). Carries
+    the typed wire error code the server sent."""
+
+    def __init__(self, message: str, code: int = 0) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class DeadlineExceededError(NetFrontError):
+    """A per-connection read/write/submit deadline expired."""
+
+
 class CampaignError(ReproError):
     """A failure inside the campaign-scale data engine
     (:mod:`repro.campaign`): sharded generation, the streaming sharded

@@ -237,7 +237,11 @@ class Gateway:
             dtype=np.float64,
             buffer=self._heartbeat_shm.buf,
         )
-        self._heartbeat[:] = time.time()
+        # Liveness deadlines run on the monotonic clock (system-wide on
+        # Linux, shared with the workers' beat()): an NTP step or DST
+        # jump on the wall clock must never mass-expire heartbeats and
+        # kill a healthy pool. Wall time appears only in logs/traces.
+        self._heartbeat[:] = time.monotonic()
         for handle in self._workers:
             self._launch(handle)
         self._started = True
@@ -248,8 +252,8 @@ class Gateway:
         """Block briefly until every worker proves live, so a freshly
         ``start()``-ed gateway reports HEALTHY instead of the
         not-yet-proven-recovered DEGRADED clamp."""
-        deadline = time.time() + timeout_s
-        while time.time() < deadline:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
             self.pump(check_liveness=True)
             if all(handle.recovered for handle in self._workers):
                 return
@@ -301,14 +305,14 @@ class Gateway:
             daemon=True,
         )
         if self._heartbeat is not None:
-            self._heartbeat[handle.index] = time.time()
+            self._heartbeat[handle.index] = time.monotonic()
         process.start()
         child_conn.close()
         handle.process = process
         handle.request_ring = request_ring
         handle.response_ring = response_ring
         handle.conn = parent_conn
-        handle.started_at = time.time()
+        handle.started_at = time.monotonic()
         handle.recovered = False
         if process.pid is not None:
             lane = f"worker-{handle.index}"
@@ -357,7 +361,7 @@ class Gateway:
                     handle.conn.send("shutdown")
                 except (BrokenPipeError, OSError):
                     pass
-        deadline = time.time() + timeout_s
+        deadline = time.monotonic() + timeout_s
         # Collect each worker's farewell (buffered spans, final
         # profile) before joining; a worker that died uncleanly simply
         # has nothing to say.
@@ -366,7 +370,7 @@ class Gateway:
             if conn is None:
                 continue
             while True:
-                remaining = deadline - time.time()
+                remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
                 try:
@@ -381,7 +385,7 @@ class Gateway:
         for handle in self._workers:
             if handle.process is None:
                 continue
-            handle.process.join(max(0.05, deadline - time.time()))
+            handle.process.join(max(0.05, deadline - time.monotonic()))
             if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(1.0)
@@ -639,7 +643,7 @@ class Gateway:
             return True
         if self._heartbeat is None:
             return False
-        age = time.time() - self._heartbeat[handle.index]
+        age = time.monotonic() - self._heartbeat[handle.index]
         return age > self.config.heartbeat_timeout_s
 
     def _recover_worker(
@@ -733,9 +737,9 @@ class Gateway:
     # -- draining -------------------------------------------------------
     def drain(self, timeout_s: float = 30.0) -> List[PoseResult]:
         """Pump until no frame is in flight (or the deadline passes)."""
-        deadline = time.time() + timeout_s
+        deadline = time.monotonic() + timeout_s
         results: List[PoseResult] = []
-        while time.time() < deadline:
+        while time.monotonic() < deadline:
             results.extend(self.pump())
             if not any(
                 handle.inflight or handle.awaiting_pose
@@ -769,9 +773,9 @@ class Gateway:
                 pending.append(handle)
             except (BrokenPipeError, OSError):
                 continue
-        deadline = time.time() + timeout_s
+        deadline = time.monotonic() + timeout_s
         for handle in pending:
-            remaining = max(0.0, deadline - time.time())
+            remaining = max(0.0, deadline - time.monotonic())
             try:
                 if handle.conn.poll(remaining):
                     kind, _index, payload = handle.conn.recv()

@@ -248,7 +248,10 @@ def worker_main(
 
     def beat() -> None:
         nonlocal last_beat
-        now = time.time()
+        # Monotonic, matching the dispatcher's liveness deadline clock
+        # (CLOCK_MONOTONIC is system-wide, so the comparison is valid
+        # across processes); wall-clock jumps must not fake staleness.
+        now = time.monotonic()
         if heartbeat is not None and (
             now - last_beat >= config.heartbeat_interval_s
         ):

@@ -1,0 +1,61 @@
+"""``repro.netfront``: the hardened network edge of the serving stack.
+
+An asyncio TCP server (:class:`NetFrontServer`) speaks a
+length-prefixed, CRC32-checked binary protocol and bridges client
+connections onto the multi-process :class:`~repro.gateway.Gateway`:
+radar frames in, pose streams out. Robustness is the design center --
+admission control with constant-time token auth and a lockout budget,
+per-connection deadlines and an idle reaper, bounded outbound queues
+that shed slow consumers, protocol-error quarantine into the dead-letter
+log, health-ladder overload shedding, and SIGTERM graceful drain with
+full frame accounting. :class:`NetFrontClient` is the blocking
+reference client; :class:`ProtocolFuzzer` is the seeded adversary the
+chaos tests run against the server.
+"""
+
+from repro.netfront.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    reason_name,
+)
+from repro.netfront.client import NetFrontClient, PoseFrame
+from repro.netfront.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    HEADER_BYTES,
+    MAGIC,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolFuzzer,
+    WireMessage,
+    decode_all,
+    encode_message,
+)
+from repro.netfront.server import (
+    NetFrontConfig,
+    NetFrontHandle,
+    NetFrontServer,
+    serve_until_signal,
+    start_in_thread,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "DEFAULT_MAX_PAYLOAD",
+    "FrameDecoder",
+    "HEADER_BYTES",
+    "MAGIC",
+    "NetFrontClient",
+    "NetFrontConfig",
+    "NetFrontHandle",
+    "NetFrontServer",
+    "PROTOCOL_VERSION",
+    "PoseFrame",
+    "ProtocolFuzzer",
+    "WireMessage",
+    "decode_all",
+    "encode_message",
+    "reason_name",
+    "serve_until_signal",
+    "start_in_thread",
+]

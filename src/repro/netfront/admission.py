@@ -1,0 +1,239 @@
+"""Admission control for the network front end.
+
+The gate answers three questions *before* any work is accepted, so an
+overloaded or abused server rejects with a typed wire error instead of
+accepting-then-starving:
+
+* **connections** -- is there a free connection slot, is the
+  auth-failure budget intact, and is the pool healthy enough to take
+  new clients at all (``unhealthy`` sheds connections)?
+* **sessions** -- is there a free session slot, and is the pool at
+  least ``healthy`` (``degraded`` sheds new sessions while existing
+  ones keep streaming)?
+* **auth** -- does the presented token match, checked in constant time
+  (:func:`hmac.compare_digest`) so the comparison leaks no prefix
+  information? Failures burn a sliding-window budget; once it is
+  exhausted, new connections are rejected outright for the rest of the
+  window (``auth_lockout``), which caps brute-force throughput at the
+  budget rate no matter how fast the attacker connects.
+
+All deadlines and windows use ``time.monotonic`` -- wall-clock jumps
+must never mass-expire admission state.
+"""
+
+from __future__ import annotations
+
+import hmac
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.errors import NetFrontError
+from repro.netfront.protocol import (
+    ERR_AUTH_FAILED,
+    ERR_AUTH_LOCKOUT,
+    ERR_DRAINING,
+    ERR_MAX_CONNECTIONS,
+    ERR_MAX_SESSIONS,
+    ERR_OVERLOADED,
+    ERROR_NAMES,
+)
+from repro.resilience import HealthState
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Limits and auth policy of the front door."""
+
+    max_connections: int = 64
+    max_sessions: int = 256
+    # Shared secret presented in the HELLO payload; None disables auth
+    # (loopback benches). Compared in constant time.
+    auth_token: Optional[bytes] = None
+    # Sliding-window brute-force budget: after this many failed tokens
+    # within ``auth_lockout_window_s`` seconds, new connections are
+    # refused until the window drains.
+    auth_failure_budget: int = 8
+    auth_lockout_window_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise NetFrontError("max_connections must be >= 1")
+        if self.max_sessions < 1:
+            raise NetFrontError("max_sessions must be >= 1")
+        if self.auth_failure_budget < 1:
+            raise NetFrontError("auth_failure_budget must be >= 1")
+        if self.auth_lockout_window_s <= 0:
+            raise NetFrontError("auth_lockout_window_s must be > 0")
+
+
+class AdmissionController:
+    """Thread-safe admission decisions for connections and sessions.
+
+    ``health_fn`` feeds the overload ladder (normally the gateway's
+    merged :meth:`~repro.gateway.Gateway.health`): ``DEGRADED`` rejects
+    new sessions, ``UNHEALTHY`` rejects new connections. Decisions
+    return ``None`` (admit) or a ``(wire_error_code, reason)`` tuple
+    the server turns into a typed ``MSG_ERROR`` frame.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        health_fn: Optional[Callable[[], HealthState]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self._health_fn = health_fn
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._connections = 0
+        self._sessions = 0
+        self._auth_failures: Deque[float] = deque()
+        self.draining = False
+        self.counters: Dict[str, int] = {
+            "connections_admitted": 0,
+            "connections_rejected": 0,
+            "sessions_admitted": 0,
+            "sessions_rejected": 0,
+            "auth_failures": 0,
+            "auth_lockouts": 0,
+        }
+
+    # -- health ---------------------------------------------------------
+    def _health(self) -> HealthState:
+        if self._health_fn is None:
+            return HealthState.HEALTHY
+        try:
+            return self._health_fn()
+        except Exception:  # pragma: no cover - defensive
+            return HealthState.UNHEALTHY
+
+    def _prune_failures_locked(self, now: float) -> None:
+        horizon = now - self.config.auth_lockout_window_s
+        while self._auth_failures and self._auth_failures[0] < horizon:
+            self._auth_failures.popleft()
+
+    def _locked_out(self, now: float) -> bool:
+        with self._lock:
+            self._prune_failures_locked(now)
+            return (
+                len(self._auth_failures)
+                >= self.config.auth_failure_budget
+            )
+
+    # -- connections ----------------------------------------------------
+    def admit_connection(self) -> Optional[Tuple[int, str]]:
+        """Gate one incoming TCP connection; None admits."""
+        now = self._clock()
+        if self.draining:
+            return self._reject(
+                "connections", ERR_DRAINING,
+                "server is draining; not accepting connections",
+            )
+        if self._locked_out(now):
+            with self._lock:
+                self.counters["auth_lockouts"] += 1
+            return self._reject(
+                "connections", ERR_AUTH_LOCKOUT,
+                f"auth-failure budget "
+                f"({self.config.auth_failure_budget} per "
+                f"{self.config.auth_lockout_window_s:.0f}s) exhausted",
+            )
+        if self._health() is HealthState.UNHEALTHY:
+            return self._reject(
+                "connections", ERR_OVERLOADED,
+                "pool is unhealthy; shedding new connections",
+            )
+        with self._lock:
+            if self._connections >= self.config.max_connections:
+                self.counters["connections_rejected"] += 1
+                return (
+                    ERR_MAX_CONNECTIONS,
+                    f"connection limit "
+                    f"{self.config.max_connections} reached",
+                )
+            self._connections += 1
+            self.counters["connections_admitted"] += 1
+        return None
+
+    def release_connection(self) -> None:
+        with self._lock:
+            self._connections = max(0, self._connections - 1)
+
+    # -- sessions -------------------------------------------------------
+    def admit_session(self) -> Optional[Tuple[int, str]]:
+        """Gate one OPEN request; None admits."""
+        if self.draining:
+            return self._reject(
+                "sessions", ERR_DRAINING,
+                "server is draining; not opening sessions",
+            )
+        if self._health() is not HealthState.HEALTHY:
+            return self._reject(
+                "sessions", ERR_OVERLOADED,
+                f"pool is {self._health().value}; shedding new sessions",
+            )
+        with self._lock:
+            if self._sessions >= self.config.max_sessions:
+                self.counters["sessions_rejected"] += 1
+                return (
+                    ERR_MAX_SESSIONS,
+                    f"session limit {self.config.max_sessions} reached",
+                )
+            self._sessions += 1
+            self.counters["sessions_admitted"] += 1
+        return None
+
+    def release_session(self) -> None:
+        with self._lock:
+            self._sessions = max(0, self._sessions - 1)
+
+    def _reject(
+        self, kind: str, code: int, reason: str
+    ) -> Tuple[int, str]:
+        with self._lock:
+            self.counters[f"{kind}_rejected"] += 1
+        return code, reason
+
+    # -- auth -----------------------------------------------------------
+    def check_token(self, presented: bytes) -> Optional[Tuple[int, str]]:
+        """Constant-time token check; None on success.
+
+        Every mismatch is timestamped into the sliding lockout window;
+        ``hmac.compare_digest`` runs even when no token is configured so
+        the code path's timing does not reveal whether auth is on.
+        """
+        expected = self.config.auth_token or b""
+        ok = hmac.compare_digest(bytes(presented), expected)
+        if self.config.auth_token is None:
+            return None
+        if ok:
+            return None
+        with self._lock:
+            self.counters["auth_failures"] += 1
+            self._auth_failures.append(self._clock())
+            self._prune_failures_locked(self._clock())
+        return ERR_AUTH_FAILED, "authentication token mismatch"
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            recent = len(self._auth_failures)
+            return {
+                "connections": self._connections,
+                "sessions": self._sessions,
+                "max_connections": self.config.max_connections,
+                "max_sessions": self.config.max_sessions,
+                "auth_enabled": self.config.auth_token is not None,
+                "recent_auth_failures": recent,
+                "draining": self.draining,
+                **dict(self.counters),
+            }
+
+
+def reason_name(code: int) -> str:
+    """Human-readable slug for a typed wire error code."""
+    return ERROR_NAMES.get(code, f"code{code}")

@@ -1,0 +1,331 @@
+"""Blocking socket client for the netfront wire protocol.
+
+:class:`NetFrontClient` is the reference client: it speaks the framed
+protocol from :mod:`repro.netfront.protocol` over one TCP connection,
+handles the HELLO/WELCOME handshake, opens gateway sessions, streams
+radar frames and collects the poses the server pushes back. It is
+deliberately synchronous -- tests, the CLI and the loopback bench all
+drive it from plain threads; the asyncio machinery lives server-side
+only.
+
+Server-pushed control frames are folded into the receive path: typed
+``MSG_ERROR`` frames are collected on :attr:`errors` (and optionally
+raised), a draining ``MSG_GOODBYE`` marks the connection
+:attr:`server_draining` with the server's final accounting on
+:attr:`goodbye`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionRejectedError,
+    AuthError,
+    DeadlineExceededError,
+    NetFrontError,
+    ProtocolError,
+)
+from repro.netfront.protocol import (
+    ERR_AUTH_FAILED,
+    ERR_AUTH_LOCKOUT,
+    ERR_AUTH_REQUIRED,
+    MSG_CLOSE,
+    MSG_CLOSED,
+    MSG_ERROR,
+    MSG_FRAME_CUBE,
+    MSG_FRAME_RAW,
+    MSG_GOODBYE,
+    MSG_HELLO,
+    MSG_OPEN,
+    MSG_PING,
+    MSG_PONG,
+    MSG_POSE,
+    MSG_SESSION,
+    MSG_WELCOME,
+    FrameDecoder,
+    WireMessage,
+    encode_message,
+)
+
+_AUTH_CODES = (ERR_AUTH_REQUIRED, ERR_AUTH_FAILED, ERR_AUTH_LOCKOUT)
+
+
+class PoseFrame:
+    """One pose pushed by the server."""
+
+    __slots__ = ("session_id", "frame_id", "joints")
+
+    def __init__(
+        self, session_id: str, frame_id: int, joints: np.ndarray
+    ) -> None:
+        self.session_id = session_id
+        self.frame_id = frame_id
+        self.joints = joints
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PoseFrame(session={self.session_id!r}, "
+            f"frame={self.frame_id}, joints={self.joints.shape})"
+        )
+
+
+class NetFrontClient:
+    """One authenticated connection to a :class:`NetFrontServer`.
+
+    Usage::
+
+        client = NetFrontClient.connect("127.0.0.1", 7700, token="s3cret")
+        session = client.open_session()
+        client.send_cube(session, cube, frame_id=0)
+        poses = client.poll_poses(expect=1, timeout_s=5.0)
+        client.close()
+    """
+
+    def __init__(self, sock: socket.socket, timeout_s: float) -> None:
+        self._sock = sock
+        self._timeout_s = timeout_s
+        self._decoder = FrameDecoder()
+        self._inbox: List[WireMessage] = []
+        self.welcome: Dict[str, Any] = {}
+        self.goodbye: Optional[Dict[str, Any]] = None
+        self.server_draining = False
+        self.errors: List[Dict[str, Any]] = []
+        self.poses: List[PoseFrame] = []
+        self.closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        timeout_s: float = 10.0,
+    ) -> "NetFrontClient":
+        """Dial, authenticate and return a ready client.
+
+        Raises :class:`AuthError` when the token is refused,
+        :class:`AdmissionRejectedError` when the admission gate sheds
+        the connection, :class:`DeadlineExceededError` on timeout.
+        """
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        client = cls(sock, timeout_s)
+        payload = token.encode("utf-8") if token else b""
+        client._send(encode_message(MSG_HELLO, payload=payload))
+        reply = client._next_message(timeout_s)
+        if reply is None:
+            client.close()
+            raise NetFrontError(
+                "server closed the connection during the handshake"
+            )
+        if reply.msg_type == MSG_ERROR:
+            body = reply.json()
+            client.close()
+            if reply.flags in _AUTH_CODES:
+                raise AuthError(
+                    body.get("message", "authentication failed")
+                )
+            raise AdmissionRejectedError(
+                body.get("message", "connection rejected"),
+                code=reply.flags,
+            )
+        if reply.msg_type != MSG_WELCOME:
+            client.close()
+            raise ProtocolError(
+                f"expected welcome, got {reply.type_name}"
+            )
+        client.welcome = reply.json()
+        return client
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+
+    def __enter__(self) -> "NetFrontClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- session / frame API --------------------------------------------
+    def open_session(self, timeout_s: Optional[float] = None) -> str:
+        """Open a gateway session; returns its id."""
+        self._send(encode_message(MSG_OPEN))
+        reply = self._await_type(
+            (MSG_SESSION,), timeout_s, raise_errors=True
+        )
+        return reply.session_id
+
+    def close_session(
+        self, session_id: str, timeout_s: Optional[float] = None
+    ) -> None:
+        self._send(encode_message(MSG_CLOSE, session_id=session_id))
+        self._await_type((MSG_CLOSED,), timeout_s, raise_errors=False)
+
+    def send_cube(
+        self, session_id: str, cube: np.ndarray, frame_id: int
+    ) -> None:
+        """Stream one preprocessed (D, R, A) cube."""
+        self._send(encode_message(
+            MSG_FRAME_CUBE, session_id=session_id, frame_id=frame_id,
+            payload=np.ascontiguousarray(cube),
+        ))
+
+    def send_raw(
+        self, session_id: str, raw: np.ndarray, frame_id: int
+    ) -> None:
+        """Stream one raw complex IF frame."""
+        self._send(encode_message(
+            MSG_FRAME_RAW, session_id=session_id, frame_id=frame_id,
+            payload=np.ascontiguousarray(raw),
+        ))
+
+    def send_bytes(self, data: bytes) -> None:
+        """Raw write escape hatch (the fuzzer drives this)."""
+        self._send(data)
+
+    def ping(self, timeout_s: Optional[float] = None) -> float:
+        """Round-trip one PING; returns the latency in seconds."""
+        start = time.monotonic()
+        self._send(encode_message(MSG_PING))
+        self._await_type((MSG_PONG,), timeout_s, raise_errors=True)
+        return time.monotonic() - start
+
+    def poll_poses(
+        self,
+        expect: int,
+        timeout_s: Optional[float] = None,
+        raise_errors: bool = False,
+    ) -> List[PoseFrame]:
+        """Block until ``expect`` poses have arrived (cumulative).
+
+        Returns every pose collected so far; raises
+        :class:`DeadlineExceededError` if the deadline passes first.
+        Typed errors accumulate on :attr:`errors` (or raise when
+        ``raise_errors``).
+        """
+        deadline = time.monotonic() + (
+            timeout_s if timeout_s is not None else self._timeout_s
+        )
+        while len(self.poses) < expect:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"{len(self.poses)}/{expect} poses before the "
+                    "deadline"
+                )
+            message = self._next_message(remaining)
+            if message is None:
+                if self.server_draining:
+                    break
+                raise NetFrontError(
+                    "server closed the connection while poses were "
+                    f"outstanding ({len(self.poses)}/{expect})"
+                )
+            self._absorb(message, raise_errors)
+        return list(self.poses)
+
+    def drain_messages(self, duration_s: float) -> None:
+        """Absorb whatever the server pushes for ``duration_s``."""
+        deadline = time.monotonic() + duration_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            try:
+                message = self._next_message(remaining)
+            except DeadlineExceededError:
+                return
+            if message is None:
+                return
+            self._absorb(message, raise_errors=False)
+
+    # -- internals ------------------------------------------------------
+    def _absorb(self, message: WireMessage, raise_errors: bool) -> None:
+        if message.msg_type == MSG_POSE:
+            self.poses.append(PoseFrame(
+                message.session_id, message.frame_id, message.array
+            ))
+        elif message.msg_type == MSG_ERROR:
+            body = message.json()
+            body.setdefault("code", f"flags{message.flags}")
+            body["frame_id"] = message.frame_id
+            self.errors.append(body)
+            if raise_errors:
+                raise NetFrontError(
+                    f"server error {body.get('code')}: "
+                    f"{body.get('message', '')}"
+                )
+        elif message.msg_type == MSG_GOODBYE:
+            self.server_draining = True
+            self.goodbye = message.json()
+        # PONG / CLOSED and anything else are absorbed silently here;
+        # the explicit waiters match them by type.
+
+    def _await_type(
+        self,
+        types,
+        timeout_s: Optional[float],
+        raise_errors: bool,
+    ) -> WireMessage:
+        deadline = time.monotonic() + (
+            timeout_s if timeout_s is not None else self._timeout_s
+        )
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"no {types} reply before the deadline"
+                )
+            message = self._next_message(remaining)
+            if message is None:
+                raise NetFrontError(
+                    "server closed the connection mid-request"
+                )
+            if message.msg_type in types:
+                return message
+            if message.msg_type == MSG_ERROR and raise_errors:
+                body = message.json()
+                raise NetFrontError(
+                    f"server error {body.get('code')}: "
+                    f"{body.get('message', '')}"
+                )
+            self._absorb(message, raise_errors=False)
+
+    def _send(self, data: bytes) -> None:
+        if self.closed:
+            raise NetFrontError("client is closed")
+        try:
+            self._sock.sendall(data)
+        except OSError as error:
+            self.closed = True
+            raise NetFrontError(f"send failed: {error}") from error
+
+    def _next_message(
+        self, timeout_s: float
+    ) -> Optional[WireMessage]:
+        """Next decoded message, or None on EOF."""
+        while not self._inbox:
+            self._sock.settimeout(max(0.001, timeout_s))
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout as error:
+                raise DeadlineExceededError(
+                    "receive deadline expired"
+                ) from error
+            except OSError:
+                return None
+            if not data:
+                return None
+            self._inbox.extend(self._decoder.feed(data))
+        return self._inbox.pop(0)

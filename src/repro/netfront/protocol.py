@@ -1,0 +1,397 @@
+"""The netfront wire protocol: length-prefixed, CRC-checked frames.
+
+Every message on the wire is one fixed 74-byte header followed by an
+optional payload::
+
+    magic(4s) version(u8) msg_type(u8) flags(u16) session_id(32s)
+    frame_id(u64) dtype(u8) ndim(u8) shape(4 x u32) payload_len(u32)
+    crc32(u32)
+
+The CRC covers the header (with the CRC field zeroed) plus the payload,
+so a flipped bit anywhere in the message is detected before any byte is
+interpreted. Array payloads (radar frames, poses) carry their dtype and
+shape in the header and cross the wire as raw C-contiguous bytes --
+nothing is pickled, mirroring the gateway's shared-memory rings.
+
+:class:`FrameDecoder` is the streaming half: feed it arbitrary byte
+chunks off a socket and it yields complete :class:`WireMessage`\\ s,
+raising :class:`~repro.errors.ProtocolError` with a byte-level reason
+the moment the stream is provably corrupt. Decoding is deliberately
+paranoid -- magic, version, message type, dtype, ndim, shape/payload
+consistency and the length cap are all validated *before* the payload
+is trusted, so an attacker-controlled length field cannot make the
+server allocate unbounded memory.
+
+:class:`ProtocolFuzzer` is the seeded adversary used by the chaos tests
+and the CI fuzz drill: it mutates valid byte streams (truncation, bit
+flips, oversized length fields, garbage preambles, random noise) in a
+replayable way.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+MAGIC = b"MMHF"
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("<4sBBH32sQBB4III")
+HEADER_BYTES = _HEADER.size  # 74
+
+SESSION_ID_BYTES = 32
+MAX_DIMS = 4
+# Default cap on one message's payload; a raw complex128 IF frame at
+# the full radar config is ~1.5 MB, so 64 MiB leaves generous headroom
+# while keeping an attacker-supplied length from ballooning memory.
+DEFAULT_MAX_PAYLOAD = 64 * 1024 * 1024
+
+# -- message types ------------------------------------------------------
+MSG_HELLO = 1        # client -> server: auth token payload
+MSG_WELCOME = 2      # server -> client: handshake accepted (JSON info)
+MSG_OPEN = 3         # client -> server: open a session
+MSG_SESSION = 4      # server -> client: session granted (id in header)
+MSG_FRAME_CUBE = 5   # client -> server: preprocessed (D, R, A) cube
+MSG_FRAME_RAW = 6    # client -> server: raw complex IF frame
+MSG_POSE = 7         # server -> client: regressed joints array
+MSG_ERROR = 8        # server -> client: typed error (code in flags)
+MSG_CLOSE = 9        # client -> server: close a session
+MSG_CLOSED = 10      # server -> client: session closed
+MSG_PING = 11        # either direction: liveness probe
+MSG_PONG = 12        # reply to PING
+MSG_GOODBYE = 13     # either direction: orderly teardown (JSON stats)
+
+MESSAGE_TYPES = frozenset(range(MSG_HELLO, MSG_GOODBYE + 1))
+
+MESSAGE_NAMES = {
+    MSG_HELLO: "hello", MSG_WELCOME: "welcome", MSG_OPEN: "open",
+    MSG_SESSION: "session", MSG_FRAME_CUBE: "frame_cube",
+    MSG_FRAME_RAW: "frame_raw", MSG_POSE: "pose", MSG_ERROR: "error",
+    MSG_CLOSE: "close", MSG_CLOSED: "closed", MSG_PING: "ping",
+    MSG_PONG: "pong", MSG_GOODBYE: "goodbye",
+}
+
+# -- typed wire error codes (carried in the flags field of MSG_ERROR) ---
+ERR_AUTH_REQUIRED = 1    # data message before a successful HELLO
+ERR_AUTH_FAILED = 2      # token mismatch
+ERR_AUTH_LOCKOUT = 3     # auth-failure budget exhausted
+ERR_MAX_CONNECTIONS = 4  # connection admission gate full
+ERR_MAX_SESSIONS = 5     # session admission gate full
+ERR_OVERLOADED = 6       # health ladder is shedding load
+ERR_PROTOCOL = 7         # malformed bytes; connection will close
+ERR_DEADLINE = 8         # a read/write/submit deadline expired
+ERR_DRAINING = 9         # server is draining; no new work admitted
+ERR_UNKNOWN_SESSION = 10  # frame for a session this conn does not own
+ERR_BACKPRESSURE = 11    # worker rings stayed full past the deadline
+
+ERROR_NAMES = {
+    ERR_AUTH_REQUIRED: "auth_required", ERR_AUTH_FAILED: "auth_failed",
+    ERR_AUTH_LOCKOUT: "auth_lockout",
+    ERR_MAX_CONNECTIONS: "max_connections",
+    ERR_MAX_SESSIONS: "max_sessions", ERR_OVERLOADED: "overloaded",
+    ERR_PROTOCOL: "protocol", ERR_DEADLINE: "deadline",
+    ERR_DRAINING: "draining", ERR_UNKNOWN_SESSION: "unknown_session",
+    ERR_BACKPRESSURE: "backpressure",
+}
+
+# GOODBYE flag: the server is draining (SIGTERM) rather than evicting
+# this one connection.
+FLAG_DRAINING = 1
+
+# -- dtype table --------------------------------------------------------
+DTYPE_NONE = 0
+_DTYPE_CODES: Dict[int, np.dtype] = {
+    1: np.dtype(np.float32),
+    2: np.dtype(np.float64),
+    3: np.dtype(np.complex64),
+    4: np.dtype(np.complex128),
+    5: np.dtype(np.int8),
+    6: np.dtype(np.float16),
+    7: np.dtype(np.uint8),
+    8: np.dtype(np.int32),
+    9: np.dtype(np.int64),
+}
+_CODE_FOR_DTYPE = {dt: code for code, dt in _DTYPE_CODES.items()}
+
+
+def dtype_code(dtype: np.dtype) -> int:
+    code = _CODE_FOR_DTYPE.get(np.dtype(dtype))
+    if code is None:
+        raise ProtocolError(
+            f"dtype {np.dtype(dtype)} has no wire encoding"
+        )
+    return code
+
+
+@dataclass
+class WireMessage:
+    """One decoded protocol message."""
+
+    msg_type: int
+    flags: int = 0
+    session_id: str = ""
+    frame_id: int = 0
+    payload: bytes = b""
+    array: Optional[np.ndarray] = None
+
+    @property
+    def type_name(self) -> str:
+        return MESSAGE_NAMES.get(self.msg_type, f"type{self.msg_type}")
+
+    def json(self) -> Dict[str, Any]:
+        """Decode a JSON payload (WELCOME / ERROR / GOODBYE bodies)."""
+        if not self.payload:
+            return {}
+        try:
+            return json.loads(self.payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return {}
+
+
+def _encode_session_id(session_id: str) -> bytes:
+    raw = session_id.encode("utf-8")
+    if len(raw) > SESSION_ID_BYTES:
+        raise ProtocolError(
+            f"session id {session_id!r} exceeds the {SESSION_ID_BYTES}"
+            "-byte wire field"
+        )
+    return raw.ljust(SESSION_ID_BYTES, b"\x00")
+
+
+def encode_message(
+    msg_type: int,
+    session_id: str = "",
+    frame_id: int = 0,
+    payload: Any = None,
+    flags: int = 0,
+) -> bytes:
+    """Serialise one message. ``payload`` may be ``None``, ``bytes``,
+    a JSON-able dict, or a numpy array (dtype/shape ride the header)."""
+    if msg_type not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {msg_type}")
+    dtype = DTYPE_NONE
+    shape: Tuple[int, ...] = ()
+    if payload is None:
+        body = b""
+    elif isinstance(payload, (bytes, bytearray, memoryview)):
+        body = bytes(payload)
+    elif isinstance(payload, np.ndarray):
+        if payload.ndim > MAX_DIMS:
+            raise ProtocolError(
+                f"array payload has {payload.ndim} dims; the wire "
+                f"format carries at most {MAX_DIMS}"
+            )
+        array = np.ascontiguousarray(payload)
+        dtype = dtype_code(array.dtype)
+        shape = array.shape
+        body = array.tobytes()
+    elif isinstance(payload, dict):
+        body = json.dumps(payload).encode("utf-8")
+    else:
+        raise ProtocolError(
+            f"unsupported payload type {type(payload).__name__}"
+        )
+    dims = list(shape) + [0] * (MAX_DIMS - len(shape))
+    header = _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, msg_type, flags,
+        _encode_session_id(session_id), frame_id, dtype, len(shape),
+        *dims, len(body), 0,
+    )
+    crc = zlib.crc32(header[:-4] + body) & 0xFFFFFFFF
+    return header[:-4] + struct.pack("<I", crc) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: bytes in, validated messages out.
+
+    The decoder never trusts a length before the header's magic,
+    version, type, dtype and shape arithmetic have all checked out, and
+    never buffers more than ``max_payload`` bytes for one message. Any
+    violation raises :class:`ProtocolError` immediately -- the caller
+    (one server connection) quarantines the buffered bytes and closes;
+    other connections never see the poison.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD) -> None:
+        if max_payload < 1:
+            raise ProtocolError("max_payload must be >= 1")
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        self.messages_decoded = 0
+        self.bytes_consumed = 0
+
+    def pending_bytes(self) -> bytes:
+        """The undecoded tail (dead-lettered on a protocol error)."""
+        return bytes(self._buffer)
+
+    def feed(self, data: bytes) -> List[WireMessage]:
+        """Absorb a chunk; return every complete message it finished."""
+        self._buffer.extend(data)
+        out: List[WireMessage] = []
+        while True:
+            message = self._try_decode_one()
+            if message is None:
+                return out
+            out.append(message)
+
+    def _fail(self, reason: str) -> None:
+        head = bytes(self._buffer[:16]).hex()
+        raise ProtocolError(f"{reason} (buffer head: {head or 'empty'})")
+
+    def _try_decode_one(self) -> Optional[WireMessage]:
+        if len(self._buffer) < HEADER_BYTES:
+            # Even a partial preamble must start with the magic, so
+            # garbage is rejected without waiting for a full header.
+            if self._buffer and not MAGIC.startswith(
+                bytes(self._buffer[:4])
+            ):
+                self._fail("bad magic")
+            return None
+        header = bytes(self._buffer[:HEADER_BYTES])
+        (magic, version, msg_type, flags, sid_raw, frame_id, dtype,
+         ndim, d0, d1, d2, d3, payload_len, crc) = _HEADER.unpack(header)
+        if magic != MAGIC:
+            self._fail(f"bad magic {magic!r}")
+        if version != PROTOCOL_VERSION:
+            self._fail(f"unsupported protocol version {version}")
+        if msg_type not in MESSAGE_TYPES:
+            self._fail(f"unknown message type {msg_type}")
+        if payload_len > self.max_payload:
+            self._fail(
+                f"payload length {payload_len} exceeds the "
+                f"{self.max_payload}-byte cap"
+            )
+        if ndim > MAX_DIMS:
+            self._fail(f"ndim {ndim} exceeds {MAX_DIMS}")
+        shape = (d0, d1, d2, d3)[:ndim]
+        array_dtype: Optional[np.dtype] = None
+        if dtype != DTYPE_NONE:
+            array_dtype = _DTYPE_CODES.get(dtype)
+            if array_dtype is None:
+                self._fail(f"unknown dtype code {dtype}")
+            expected = int(np.prod(shape, dtype=np.int64)) * (
+                array_dtype.itemsize
+            )
+            if expected != payload_len:
+                self._fail(
+                    f"shape {shape} x {array_dtype} needs {expected} "
+                    f"payload bytes, header claims {payload_len}"
+                )
+        total = HEADER_BYTES + payload_len
+        if len(self._buffer) < total:
+            return None
+        payload = bytes(self._buffer[HEADER_BYTES:total])
+        computed = zlib.crc32(header[:-4] + payload) & 0xFFFFFFFF
+        if computed != crc:
+            self._fail(
+                f"crc mismatch (header {crc:#010x}, "
+                f"computed {computed:#010x})"
+            )
+        del self._buffer[:total]
+        self.bytes_consumed += total
+        self.messages_decoded += 1
+        array = None
+        if array_dtype is not None:
+            array = np.frombuffer(payload, dtype=array_dtype).reshape(
+                shape
+            ).copy()
+        session_id = sid_raw.rstrip(b"\x00").decode(
+            "utf-8", errors="replace"
+        )
+        return WireMessage(
+            msg_type=msg_type, flags=flags, session_id=session_id,
+            frame_id=frame_id, payload=payload, array=array,
+        )
+
+
+def decode_all(data: bytes) -> List[WireMessage]:
+    """Decode a complete byte string (tests / offline tooling)."""
+    decoder = FrameDecoder()
+    messages = decoder.feed(data)
+    if decoder.pending_bytes():
+        raise ProtocolError(
+            f"{len(decoder.pending_bytes())} trailing bytes after the "
+            "last complete message"
+        )
+    return messages
+
+
+@dataclass
+class ProtocolFuzzer:
+    """Seeded byte-level adversary for the protocol surface.
+
+    Every mutation draws from one ``default_rng(seed)`` stream, so a
+    failing corpus replays exactly. ``mutate`` applies one randomly
+    chosen corruption to a valid message byte string; ``stream`` yields
+    an endless mix of corrupted-valid and pure-garbage chunks sized for
+    socket writes.
+    """
+
+    seed: int = 0
+    rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+
+    # -- corruption primitives -----------------------------------------
+    def truncate(self, data: bytes) -> bytes:
+        if len(data) <= 1:
+            return b""
+        return data[: int(self.rng.integers(1, len(data)))]
+
+    def bit_flip(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        out = bytearray(data)
+        for _ in range(int(self.rng.integers(1, 4))):
+            index = int(self.rng.integers(0, len(out)))
+            out[index] ^= 1 << int(self.rng.integers(0, 8))
+        return bytes(out)
+
+    def oversize_length(self, data: bytes) -> bytes:
+        """Inflate the payload-length field to a hostile value."""
+        if len(data) < HEADER_BYTES:
+            return self.bit_flip(data)
+        out = bytearray(data)
+        huge = int(self.rng.integers(2**28, 2**31))
+        struct.pack_into("<I", out, HEADER_BYTES - 8, huge)
+        return bytes(out)
+
+    def garbage_preamble(self, data: bytes) -> bytes:
+        noise = self.rng.integers(
+            0, 256, size=int(self.rng.integers(4, 64)), dtype=np.uint8
+        ).tobytes()
+        return noise + data
+
+    def garbage(self, size: Optional[int] = None) -> bytes:
+        if size is None:
+            size = int(self.rng.integers(16, 512))
+        return self.rng.integers(
+            0, 256, size=size, dtype=np.uint8
+        ).tobytes()
+
+    _MUTATIONS = (
+        "truncate", "bit_flip", "oversize_length", "garbage_preamble",
+    )
+
+    def mutate(self, data: bytes) -> bytes:
+        """Apply one randomly chosen corruption to valid bytes."""
+        name = self._MUTATIONS[
+            int(self.rng.integers(0, len(self._MUTATIONS)))
+        ]
+        return getattr(self, name)(data)
+
+    def stream(self, template: bytes) -> Iterator[bytes]:
+        """Endless corrupted chunks derived from a valid template."""
+        while True:
+            if self.rng.random() < 0.3:
+                yield self.garbage()
+            else:
+                yield self.mutate(template)

@@ -409,6 +409,56 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
 
+# HELP strings for the network front end's instruments, attached by the
+# server at startup so a Prometheus scrape of a serving process is
+# self-describing (`mmhand_netfront_*`).
+NETFRONT_METRIC_HELP = {
+    "netfront.connections_opened":
+        "TCP connections admitted past the admission gate",
+    "netfront.connections_rejected":
+        "TCP connections refused at admission (limits, lockout, "
+        "health ladder, drain)",
+    "netfront.connections_closed": "TCP connections torn down",
+    "netfront.disconnects": "connections dropped by the peer mid-stream",
+    "netfront.auth_failures": "HELLO frames with a bad token",
+    "netfront.handshake_timeouts":
+        "connections that missed the handshake deadline",
+    "netfront.sessions_opened": "gateway sessions opened over the wire",
+    "netfront.sessions_rejected":
+        "OPEN requests refused (session limit or degraded pool)",
+    "netfront.frames_in": "radar frames received on the wire",
+    "netfront.frames_submitted": "frames forwarded into Gateway.submit",
+    "netfront.frames_rejected":
+        "frames refused (unknown session, drain, backpressure deadline)",
+    "netfront.submit_deadlines":
+        "frames that waited out the submit deadline on full rings",
+    "netfront.poses_out": "pose results queued to clients",
+    "netfront.poses_shed":
+        "oldest poses shed from bounded outbound queues (slow consumer)",
+    "netfront.poses_orphaned":
+        "poses whose owning connection had already closed",
+    "netfront.protocol_errors":
+        "connections quarantined for malformed bytes (dead-lettered)",
+    "netfront.idle_reaped": "connections reaped by the idle deadline",
+    "netfront.read_deadline_closes":
+        "connections closed for stalling mid-message (slowloris)",
+    "netfront.write_deadline_closes":
+        "connections closed because a socket write stalled",
+    "netfront.bytes_in": "bytes read off client sockets",
+    "netfront.bytes_out": "bytes written to client sockets",
+    "netfront.connection_setup_s":
+        "accept-to-welcome handshake latency (seconds)",
+    "netfront.submit_wait_s":
+        "time one frame waited for ring space before submit (seconds)",
+}
+
+
+def describe_netfront_metrics(registry: "MetricsRegistry") -> None:
+    """Attach the ``netfront.*`` HELP strings to ``registry``."""
+    for name, help_text in NETFRONT_METRIC_HELP.items():
+        registry.describe(name, help_text)
+
+
 _GLOBAL = MetricsRegistry()
 
 

@@ -20,6 +20,10 @@ from repro.perf.model_bench import (
     print_model_report,
     run_model_bench,
 )
+from repro.perf.netfront_bench import (
+    netfront_invariants_ok,
+    run_netfront_bench,
+)
 from repro.perf.regression import (
     compare_bench,
     print_comparison,
@@ -31,7 +35,9 @@ from repro.perf.training_bench import (
 
 __all__ = [
     "compare_bench",
+    "netfront_invariants_ok",
     "print_comparison",
+    "run_netfront_bench",
     "print_pipeline_report",
     "print_model_report",
     "print_training_report",

@@ -1,0 +1,301 @@
+"""Loopback benchmark + fuzz drill for the network front end.
+
+:func:`run_netfront_bench` stands up a real stack -- multi-process
+:class:`~repro.gateway.Gateway` behind a threaded
+:class:`~repro.netfront.NetFrontServer` -- on the loopback interface
+and measures what a deployment actually cares about:
+
+* **connection setup** latency (TCP connect + HELLO/WELCOME handshake,
+  p50/p95);
+* **frame round-trip** latency (send one cube, receive its pose, p50/
+  p95) under concurrent clients;
+* the **robustness counters** as hard invariants: a clean bench run
+  must lose zero clean frames, shed zero poses, reject zero frames and
+  restart zero workers.
+
+With ``fuzz_s > 0`` the bench doubles as the CI fuzz drill: a seeded
+:class:`~repro.netfront.ProtocolFuzzer` hammers the server with
+corrupted streams (reconnecting every time the server quarantines it)
+while clean clients keep streaming; the gate is that every clean frame
+is still answered, the fuzzer's garbage lands in the dead-letter log,
+and no worker restarts. The summary dict feeds ``mmhand bench-compare``
+(committed baseline: the ``netfront`` section of ``BENCH_serving.json``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import NetFrontError
+from repro.gateway import Gateway, GatewayConfig
+from repro.gateway.loadgen import bench_configs, make_frame_pool
+from repro.netfront import (
+    NetFrontClient,
+    NetFrontConfig,
+    ProtocolFuzzer,
+    encode_message,
+    start_in_thread,
+)
+from repro.netfront.protocol import MSG_FRAME_CUBE, MSG_HELLO
+
+BENCH_TOKEN = "netfront-bench-token"
+
+
+def _percentiles_ms(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
+    arr = np.asarray(samples) * 1e3
+    p50, p95 = np.percentile(arr, [50.0, 95.0])
+    return {
+        "count": len(samples),
+        "p50_ms": float(p50),
+        "p95_ms": float(p95),
+        "max_ms": float(arr.max()),
+    }
+
+
+def _clean_client(
+    host: str,
+    port: int,
+    frames: np.ndarray,
+    out: Dict[str, Any],
+    stop: threading.Event,
+    loop_frames: bool,
+) -> None:
+    """One clean client: stream cubes, await poses, record latencies.
+
+    Frames are sent one-at-a-time (send, wait for the pose) so the
+    recorded round-trip is a true per-frame latency, not a pipelining
+    artifact. The first frame of a session fills the model's sliding
+    window and returns no pose; it is excluded from the latency sample.
+    """
+    setup_start = time.monotonic()
+    client = NetFrontClient.connect(
+        host, port, token=BENCH_TOKEN, timeout_s=30.0
+    )
+    out["setup_s"] = time.monotonic() - setup_start
+    rtts: List[float] = []
+    poses: List[np.ndarray] = []
+    sent = 0
+    try:
+        session = client.open_session()
+        while True:
+            for index in range(frames.shape[0]):
+                if stop.is_set() and loop_frames:
+                    return
+                start = time.monotonic()
+                client.send_cube(session, frames[index], frame_id=sent)
+                sent += 1
+                if index == 0 and not poses and not rtts:
+                    continue  # window fill: no pose for this one
+                client.poll_poses(
+                    expect=len(rtts) + 1, timeout_s=60.0
+                )
+                rtts.append(time.monotonic() - start)
+                poses.append(client.poses[-1].joints)
+            if not loop_frames or stop.is_set():
+                return
+    finally:
+        out["rtts"] = rtts
+        out["poses"] = poses
+        out["sent"] = sent
+        out["errors"] = list(client.errors)
+        client.close()
+
+
+def _fuzzer_client(
+    host: str,
+    port: int,
+    template: bytes,
+    seed: int,
+    stop: threading.Event,
+    out: Dict[str, Any],
+) -> None:
+    """Reconnect-and-corrupt loop: every connection the server
+    quarantines is immediately replaced, so the fuzz pressure is
+    continuous for the whole drill."""
+    fuzzer = ProtocolFuzzer(seed=seed)
+    connections = 0
+    chunks_sent = 0
+    while not stop.is_set():
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            time.sleep(0.01)
+            continue
+        connections += 1
+        try:
+            sock.sendall(encode_message(
+                MSG_HELLO, payload=BENCH_TOKEN.encode()
+            ))
+            for chunk in fuzzer.stream(template):
+                if stop.is_set():
+                    break
+                sock.sendall(chunk)
+                chunks_sent += 1
+                time.sleep(0.001)
+        except OSError:
+            pass  # server killed the poisoned connection: expected
+        finally:
+            sock.close()
+    out["connections"] = connections
+    out["chunks_sent"] = chunks_sent
+
+
+def run_netfront_bench(
+    smoke: bool = False,
+    seed: int = 0,
+    workers: int = 1,
+    clients: Optional[int] = None,
+    frames_per_client: Optional[int] = None,
+    fuzz_s: float = 0.0,
+    dead_letter_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the loopback bench (and optional fuzz drill); return the
+    ``netfront_serving`` summary for ``mmhand bench-compare``."""
+    radar, dsp, model = bench_configs()
+    n_clients = clients if clients is not None else (2 if smoke else 4)
+    n_frames = (
+        frames_per_client if frames_per_client is not None
+        else (4 if smoke else 8)
+    )
+    gateway = Gateway(
+        radar, dsp, model,
+        GatewayConfig(workers=workers, ring_slots=64, seed=seed),
+    )
+    handle = start_in_thread(
+        gateway,
+        NetFrontConfig(
+            auth_token=BENCH_TOKEN,
+            idle_timeout_s=60.0,
+            max_connections=max(64, n_clients + 8),
+        ),
+    )
+    pool = make_frame_pool(dsp, 8, seed=seed)
+    stop = threading.Event()
+    client_outs: List[Dict[str, Any]] = [{} for _ in range(n_clients)]
+    threads = [
+        threading.Thread(
+            target=_clean_client,
+            args=(
+                handle.host, handle.port, pool[:n_frames],
+                client_outs[i], stop, fuzz_s > 0,
+            ),
+            name=f"bench-client-{i}",
+            daemon=True,
+        )
+        for i in range(n_clients)
+    ]
+
+    fuzz_out: Dict[str, Any] = {}
+    fuzz_thread = None
+    if fuzz_s > 0:
+        template = encode_message(
+            MSG_FRAME_CUBE, session_id="fuzz-template", frame_id=0,
+            payload=pool[0],
+        )
+        fuzz_thread = threading.Thread(
+            target=_fuzzer_client,
+            args=(handle.host, handle.port, template, seed + 1,
+                  stop, fuzz_out),
+            name="bench-fuzzer",
+            daemon=True,
+        )
+
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    if fuzz_thread is not None:
+        fuzz_thread.start()
+        time.sleep(fuzz_s)
+        stop.set()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    if fuzz_thread is not None:
+        fuzz_thread.join(timeout=30.0)
+    elapsed = time.monotonic() - started
+
+    report = handle.stop()
+    if dead_letter_path:
+        gateway.dead_letters.export_jsonl(dead_letter_path)
+    counters = gateway.metrics.snapshot()["counters"]
+    gateway.shutdown()
+
+    if any(thread.is_alive() for thread in threads):
+        raise NetFrontError("a bench client never finished")
+
+    setups = [
+        out["setup_s"] for out in client_outs if "setup_s" in out
+    ]
+    rtts = [
+        value for out in client_outs for value in out.get("rtts", [])
+    ]
+    total_sent = sum(out.get("sent", 0) for out in client_outs)
+    total_poses = sum(len(out.get("poses", [])) for out in client_outs)
+    client_errors = sum(
+        len(out.get("errors", [])) for out in client_outs
+    )
+
+    summary: Dict[str, Any] = {
+        "benchmark": "netfront_serving",
+        "smoke": smoke,
+        "seed": seed,
+        "workers": workers,
+        "clients": n_clients,
+        "frames_per_client": n_frames,
+        "elapsed_s": elapsed,
+        "frames_sent": total_sent,
+        "poses_received": total_poses,
+        "client_errors": client_errors,
+        "connection_setup": _percentiles_ms(setups),
+        "round_trip": _percentiles_ms(rtts),
+        "accounting": report,
+        "counters": {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("netfront.")
+            or name in (
+                "gateway.acks", "gateway.worker_restarts",
+                "gateway.frames_forwarded", "gateway.poses",
+            )
+        },
+        "invariants": {
+            "lost_clean_frames": report.get("lost_clean_frames", -1),
+            "worker_restarts": report.get("worker_restarts", -1),
+            "poses_shed": report.get("poses_shed", -1),
+            "frames_rejected": report.get("frames_rejected", -1),
+            "client_errors": client_errors,
+        },
+    }
+    if fuzz_s > 0:
+        summary["fuzz"] = {
+            "duration_s": fuzz_s,
+            "fuzzer_seed": seed + 1,
+            "fuzzer_connections": fuzz_out.get("connections", 0),
+            "fuzzer_chunks_sent": fuzz_out.get("chunks_sent", 0),
+            "protocol_errors": report.get("protocol_errors", 0),
+            "dead_letters": report.get("dead_letters", 0),
+        }
+    return summary
+
+
+def netfront_invariants_ok(summary: Dict[str, Any]) -> bool:
+    """The hard gate shared by the CLI and CI: no clean-frame loss, no
+    pool damage, no unexplained client errors."""
+    inv = summary.get("invariants", {})
+    ok = (
+        inv.get("lost_clean_frames") == 0
+        and inv.get("worker_restarts") == 0
+        and inv.get("poses_shed") == 0
+        and inv.get("frames_rejected") == 0
+        and inv.get("client_errors") == 0
+    )
+    if "fuzz" in summary:
+        # The drill must actually have exercised the quarantine path.
+        ok = ok and summary["fuzz"].get("protocol_errors", 0) > 0
+    return ok

@@ -104,6 +104,8 @@ class _Report:
 def _kind_of(summary: Dict[str, Any]) -> str:
     if summary.get("benchmark") == "gateway_serving":
         return "gateway_serving"
+    if summary.get("benchmark") == "netfront_serving":
+        return "netfront_serving"
     if summary.get("benchmark") == "campaign_training":
         return "campaign_training"
     if "cube_build" in summary:
@@ -191,6 +193,55 @@ def _compare_gateway(
     )
 
 
+def _compare_netfront(
+    fresh: Dict[str, Any], committed: Dict[str, Any], report: _Report
+) -> None:
+    """Netfront serving checks.
+
+    The latency percentiles (connection setup p95, frame round-trip
+    p95) are not portable across runners, so they gate only on sanity
+    (present and positive -- the bench actually measured them); the
+    robustness counters are the hard invariants: a clean loopback run
+    must lose nothing and damage nothing.
+    """
+    for name in (
+        "invariants.lost_clean_frames",
+        "invariants.worker_restarts",
+        "invariants.poses_shed",
+        "invariants.frames_rejected",
+        "invariants.client_errors",
+    ):
+        report.invariant(name, _dig(fresh, name), expect=0)
+    for name in (
+        "connection_setup.p95_ms",
+        "round_trip.p95_ms",
+    ):
+        value = _dig(fresh, name)
+        report.invariant(
+            f"{name}>0", value is not None and float(value) > 0.0
+        )
+    if "fuzz" in fresh:
+        report.invariant(
+            "fuzz.protocol_errors>0",
+            float(_dig(fresh, "fuzz.protocol_errors") or 0) > 0,
+        )
+    # Throughput shape: poses per clean frame is host-independent
+    # (every frame past each session's window fill returns a pose).
+    fresh_ratio = None
+    committed_ratio = None
+    if fresh.get("frames_sent"):
+        fresh_ratio = (
+            fresh.get("poses_received", 0) / fresh["frames_sent"]
+        )
+    if committed.get("frames_sent"):
+        committed_ratio = (
+            committed.get("poses_received", 0) / committed["frames_sent"]
+        )
+    report.ratio(
+        "poses_per_clean_frame", fresh_ratio, committed_ratio
+    )
+
+
 def _compare_campaign(
     fresh: Dict[str, Any], committed: Dict[str, Any], report: _Report
 ) -> None:
@@ -246,6 +297,15 @@ def compare_bench(
         )
     fresh_kind = _kind_of(fresh)
     committed_kind = _kind_of(committed)
+    if (
+        fresh_kind == "netfront_serving"
+        and committed_kind == "gateway_serving"
+        and isinstance(committed.get("netfront"), dict)
+    ):
+        # The netfront baseline is committed as a section inside
+        # BENCH_serving.json (one serving baseline file); unwrap it.
+        committed = committed["netfront"]
+        committed_kind = _kind_of(committed)
     if fresh_kind != committed_kind:
         raise ReproError(
             f"benchmark type mismatch: fresh is {fresh_kind!r}, "
@@ -263,6 +323,8 @@ def compare_bench(
         _compare_model(fresh, committed, report)
     elif fresh_kind == "campaign_training":
         _compare_campaign(fresh, committed, report)
+    elif fresh_kind == "netfront_serving":
+        _compare_netfront(fresh, committed, report)
     else:
         _compare_gateway(fresh, committed, report)
     return report.result()

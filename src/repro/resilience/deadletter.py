@@ -22,7 +22,13 @@ from repro.errors import ResilienceError
 
 @dataclass
 class DeadLetter:
-    """One quarantined request: who, where in the pipeline, and why."""
+    """One quarantined request: who, where in the pipeline, and why.
+
+    ``payload_hex`` optionally preserves (a truncated prefix of) the
+    offending raw bytes -- the network front end records the undecoded
+    tail of a poisoned connection here so operators can replay it.
+    ``payload_len`` is the *original* byte count before truncation.
+    """
 
     session_id: str
     frame_index: int
@@ -30,15 +36,27 @@ class DeadLetter:
     reason: str
     corr_id: str = ""
     ts: float = field(default_factory=time.time)
+    payload_hex: str = ""
+    payload_len: int = 0
 
 
 class DeadLetterLog:
-    """Bounded ring buffer of :class:`DeadLetter` records."""
+    """Bounded ring buffer of :class:`DeadLetter` records.
 
-    def __init__(self, capacity: int = 1024) -> None:
+    ``payload_cap`` bounds how many payload bytes one record may retain;
+    a single giant malformed network frame must not be able to bloat
+    the ring (or the exported JSONL artifact) by megabytes.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, payload_cap: int = 256
+    ) -> None:
         if capacity < 1:
             raise ResilienceError("dead-letter capacity must be >= 1")
+        if payload_cap < 0:
+            raise ResilienceError("payload_cap must be >= 0")
         self.capacity = capacity
+        self.payload_cap = payload_cap
         self._records: Deque[DeadLetter] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self.total = 0
@@ -50,13 +68,21 @@ class DeadLetterLog:
         stage: str,
         reason: str,
         corr_id: str = "",
+        payload: Optional[bytes] = None,
     ) -> DeadLetter:
+        payload_hex = ""
+        payload_len = 0
+        if payload:
+            payload_len = len(payload)
+            payload_hex = bytes(payload[: self.payload_cap]).hex()
         letter = DeadLetter(
             session_id=session_id,
             frame_index=frame_index,
             stage=stage,
             reason=reason,
             corr_id=corr_id,
+            payload_hex=payload_hex,
+            payload_len=payload_len,
         )
         with self._lock:
             self._records.append(letter)
@@ -86,10 +112,23 @@ class DeadLetterLog:
                 "capacity": self.capacity,
             }
 
-    def to_jsonl(self, path: Union[str, os.PathLike]) -> str:
-        """Write every retained record as one JSON object per line."""
-        records = self.tail()
+    def export_jsonl(self, path: Union[str, os.PathLike]) -> str:
+        """Write every retained record as one JSON object per line.
+
+        The entries are snapshotted under the lock *before* any
+        serialization happens, so concurrent :meth:`record` calls from
+        server threads can neither mutate the deque mid-iteration nor
+        tear a half-written record into the artifact. Payload bytes
+        were already truncated to ``payload_cap`` at record time, so
+        the file size is bounded by ``capacity`` regardless of what
+        arrived on the wire.
+        """
+        with self._lock:
+            records = [asdict(r) for r in self._records]
         with open(path, "w") as fh:
             for record in records:
                 fh.write(json.dumps(record) + "\n")
         return str(path)
+
+    # Historical name, kept for callers predating the netfront PR.
+    to_jsonl = export_jsonl

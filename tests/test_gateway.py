@@ -437,6 +437,69 @@ def test_gateway_shutdown_releases_shared_memory(configs):
         os.kill(pid, 0)
 
 
+def test_gateway_drain_with_frames_in_flight_accounts_all(configs):
+    """The ``sent == acked + dead_lettered`` invariant must hold on the
+    DRAIN path too: fill the rings without pumping, then drain with
+    every frame still in flight and check the books balance."""
+    radar, dsp, model = configs
+    gateway = Gateway(radar, dsp, model, _gateway_config(workers=2))
+    gateway.start()
+    try:
+        sessions = [gateway.open_session() for _ in range(2)]
+        frames = _cube_frames(dsp, 6, seed=13)
+        sent = 0
+        # Stuff the rings WITHOUT pumping: everything stays in flight.
+        for frame in frames:
+            for sid in sessions:
+                try:
+                    gateway.submit_cube(sid, frame)
+                    sent += 1
+                except QueueFullError:
+                    pass  # ring full: in-flight pressure achieved
+        assert sent > 0
+        assert gateway.outstanding() > 0
+
+        results = gateway.drain(timeout_s=30.0)
+
+        assert gateway.outstanding() == 0
+        counters = gateway.stats()["counters"]
+        acked = int(counters["gateway.acks"])
+        dead = int(gateway.dead_letters.stats()["total"])
+        assert sent == acked + dead
+        assert dead == 0  # nothing malformed: no frame may be lost
+        # Every frame past each session's window fill returned a pose.
+        per_session = sent // len(sessions)
+        assert len(results) == sent - len(sessions) * (
+            dsp.segment_frames - 1
+        )
+        assert per_session > dsp.segment_frames - 1
+    finally:
+        gateway.shutdown()
+
+
+def test_gateway_shutdown_with_frames_in_flight_is_clean(configs):
+    """Shutdown with unpumped frames must terminate the workers and
+    release shared memory without hanging -- the drain path is the
+    graceful route; shutdown is the hard stop and may discard."""
+    radar, dsp, model = configs
+    gateway = Gateway(radar, dsp, model, _gateway_config(workers=1))
+    gateway.start()
+    sid = gateway.open_session()
+    for frame in _cube_frames(dsp, 4, seed=17):
+        try:
+            gateway.submit_cube(sid, frame)
+        except QueueFullError:
+            break
+    name = gateway._workers[0].request_ring.name
+    pid = gateway._workers[0].process.pid
+    start = time.monotonic()
+    gateway.shutdown()
+    assert time.monotonic() - start < 30.0
+    assert not os.path.exists(f"/dev/shm/{name}")
+    with pytest.raises((ProcessLookupError, PermissionError)):
+        os.kill(pid, 0)
+
+
 def test_ring_quantized_dtype_roundtrip():
     """float16 and int8 payloads survive the shared-memory ring."""
     ring = ShmRing.create(slots=4, slot_bytes=SLOT_HEADER_BYTES + 512)

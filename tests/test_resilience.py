@@ -449,6 +449,61 @@ class TestDeadLetterLog:
         assert record["corr_id"] == "s-1#7"
         assert record["stage"] == "forward"
 
+    def test_payload_truncated_to_cap(self):
+        log = DeadLetterLog(payload_cap=4)
+        letter = log.record(
+            session_id="conn1@peer", frame_index=0,
+            stage="netfront-protocol", reason="bad magic",
+            payload=b"\xde\xad\xbe\xef-and-a-lot-more-garbage",
+        )
+        # Only the first ``payload_cap`` bytes are retained...
+        assert letter.payload_hex == "deadbeef"
+        # ...but the original size is preserved for forensics.
+        assert letter.payload_len == 27
+
+    def test_payload_cap_zero_keeps_length_only(self):
+        log = DeadLetterLog(payload_cap=0)
+        letter = log.record(
+            session_id="s", frame_index=0, stage="x", reason="y",
+            payload=b"abcdef",
+        )
+        assert letter.payload_hex == ""
+        assert letter.payload_len == 6
+
+    def test_export_jsonl_snapshots_under_concurrent_writes(
+        self, tmp_path
+    ):
+        """export_jsonl must snapshot the ring under the lock: a writer
+        hammering the log concurrently must never corrupt the export
+        (the classic failure is ``deque mutated during iteration``)."""
+        import threading
+
+        log = DeadLetterLog(capacity=64, payload_cap=8)
+        stop = threading.Event()
+
+        def writer():
+            index = 0
+            while not stop.is_set():
+                log.record(
+                    session_id="w", frame_index=index, stage="chaos",
+                    reason="spin", payload=b"0123456789abcdef",
+                )
+                index += 1
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for round_index in range(20):
+                path = tmp_path / f"letters-{round_index}.jsonl"
+                log.export_jsonl(path)
+                for line in path.read_text().splitlines():
+                    record = json.loads(line)  # every line is valid
+                    assert record["payload_len"] == 16
+                    assert len(record["payload_hex"]) == 16  # 8 bytes
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+
 
 # ---------------------------------------------------------------------------
 # Checkpoints
